@@ -1,0 +1,66 @@
+//! One Criterion bench per paper figure: each regenerates the figure at
+//! Quick fidelity and reports its wall time. `repro all` produces the
+//! full-size tables; these benches keep every figure pipeline healthy
+//! and measured.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use gem5prof::figures::{self, Fidelity};
+
+macro_rules! fig_bench {
+    ($fn_name:ident, $fig:ident) => {
+        fn $fn_name(c: &mut Criterion) {
+            let mut g = c.benchmark_group("figures");
+            g.sample_size(10);
+            g.warm_up_time(std::time::Duration::from_millis(500));
+            g.measurement_time(std::time::Duration::from_secs(3));
+            g.bench_function(stringify!($fig), |b| {
+                b.iter(|| figures::$fig(Fidelity::Quick).rows.len())
+            });
+            g.finish();
+        }
+    };
+}
+
+fig_bench!(bench_fig01, fig01);
+fig_bench!(bench_fig02, fig02);
+fig_bench!(bench_fig03, fig03);
+fig_bench!(bench_fig04, fig04);
+fig_bench!(bench_fig05, fig05);
+fig_bench!(bench_fig06, fig06);
+fig_bench!(bench_fig07, fig07);
+fig_bench!(bench_fig08, fig08);
+fig_bench!(bench_fig09, fig09);
+fig_bench!(bench_fig10, fig10);
+fig_bench!(bench_fig11, fig11);
+fig_bench!(bench_fig12, fig12);
+fig_bench!(bench_fig13, fig13);
+fig_bench!(bench_fig14, fig14);
+fig_bench!(bench_fig15, fig15);
+
+fn bench_tables(c: &mut Criterion) {
+    let mut g = c.benchmark_group("figures");
+    g.bench_function("table1", |b| b.iter(|| figures::table1().rows.len()));
+    g.bench_function("table2", |b| b.iter(|| figures::table2().rows.len()));
+    g.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_fig01,
+    bench_fig02,
+    bench_fig03,
+    bench_fig04,
+    bench_fig05,
+    bench_fig06,
+    bench_fig07,
+    bench_fig08,
+    bench_fig09,
+    bench_fig10,
+    bench_fig11,
+    bench_fig12,
+    bench_fig13,
+    bench_fig14,
+    bench_fig15,
+    bench_tables
+);
+criterion_main!(benches);

@@ -1,0 +1,74 @@
+//! `repro` — regenerates every table and figure of *Profiling gem5
+//! Simulator* (ISPASS 2023).
+//!
+//! ```text
+//! repro all [--quick]        # everything, in paper order
+//! repro fig1 ... fig15       # one figure
+//! repro table1 | table2      # configuration tables
+//! repro hottest [cpu]        # named hottest functions (Fig. 15 detail)
+//! ```
+
+use gem5prof::ablation;
+use gem5prof::figures::{self, Fidelity};
+use gem5sim::config::CpuModel;
+
+fn fidelity(args: &[String]) -> Fidelity {
+    if args.iter().any(|a| a == "--quick") {
+        Fidelity::Quick
+    } else {
+        Fidelity::Paper
+    }
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let cmd = args.first().map(String::as_str).unwrap_or("all");
+    let f = fidelity(&args);
+
+    match cmd {
+        "all" => {
+            for t in figures::all_figures(f) {
+                println!("{t}");
+            }
+        }
+        "table1" => println!("{}", figures::table1()),
+        "table2" => println!("{}", figures::table2()),
+        "fig1" => println!("{}", figures::fig01(f)),
+        "fig2" => println!("{}", figures::fig02(f)),
+        "fig3" => println!("{}", figures::fig03(f)),
+        "fig4" => println!("{}", figures::fig04(f)),
+        "fig5" => println!("{}", figures::fig05(f)),
+        "fig6" => println!("{}", figures::fig06(f)),
+        "fig7" => println!("{}", figures::fig07(f)),
+        "fig8" => println!("{}", figures::fig08(f)),
+        "fig9" => println!("{}", figures::fig09(f)),
+        "fig10" => println!("{}", figures::fig10(f)),
+        "fig11" => println!("{}", figures::fig11(f)),
+        "fig12" => println!("{}", figures::fig12(f)),
+        "fig13" => println!("{}", figures::fig13(f)),
+        "fig14" => println!("{}", figures::fig14(f)),
+        "fig15" => println!("{}", figures::fig15(f)),
+        "ablation" => {
+            println!("{}", ablation::accelerator_study(f));
+            println!("{}", ablation::host_mechanism_ablation(f));
+        }
+        "hottest" => {
+            let cpu = match args.get(1).map(String::as_str) {
+                Some("atomic") => CpuModel::Atomic,
+                Some("timing") => CpuModel::Timing,
+                Some("minor") => CpuModel::Minor,
+                _ => CpuModel::O3,
+            };
+            println!("hottest functions ({cpu:?}, water_nsquared):");
+            for (name, calls, share) in figures::fig15_hottest(f, cpu, 20) {
+                println!("  {name:<40} {calls:>10} calls {:>6.2}%", 100.0 * share);
+            }
+        }
+        other => {
+            eprintln!(
+                "unknown command `{other}`; try: all, table1, table2, fig1..fig15, hottest, ablation"
+            );
+            std::process::exit(2);
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Support library for the benchmark harness: shared setup helpers used
+//! by both the Criterion benches and the `repro` binary.
+
+use gem5prof::experiment::{GuestSpec, HostSetup};
+use gem5sim::config::{CpuModel, SimMode};
+use gem5sim_workloads::{Scale, Workload};
+
+/// A tiny guest spec for microbenchmarks.
+pub fn tiny_guest(cpu: CpuModel) -> GuestSpec {
+    GuestSpec::new(Workload::Dedup, Scale::Test, cpu, SimMode::Se)
+}
+
+/// The default host (Intel_Xeon at base knobs).
+pub fn xeon_host() -> HostSetup {
+    HostSetup::platform(&platforms::intel_xeon())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn helpers_build() {
+        let g = tiny_guest(CpuModel::Atomic);
+        assert_eq!(g.scale, Scale::Test);
+        let h = xeon_host();
+        assert_eq!(h.config.name, "Intel_Xeon");
+    }
+}

@@ -1,0 +1,244 @@
+//! Experiment plumbing: one guest simulation, many host evaluations.
+
+use gem5sim::config::{CpuModel, SimMode, SystemConfig};
+use gem5sim::observe::{ExecutionObserver, Obs};
+use gem5sim::system::{SimResult, System};
+use gem5sim_workloads::{Scale, Workload};
+use hostmodel::{HostEngine, HostRunStats};
+use hosttrace::record::FanoutSink;
+use hosttrace::{BinaryVariant, CallProfile, PageBacking, Registry, TraceAdapter};
+use platforms::{Platform, SystemKnobs};
+use specgen::SpecBenchmark;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// What to simulate on the guest side.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GuestSpec {
+    /// Workload program.
+    pub workload: Workload,
+    /// Input scale.
+    pub scale: Scale,
+    /// CPU model under simulation.
+    pub cpu: CpuModel,
+    /// FS or SE mode.
+    pub mode: SimMode,
+}
+
+impl GuestSpec {
+    /// Creates a spec.
+    pub fn new(workload: Workload, scale: Scale, cpu: CpuModel, mode: SimMode) -> Self {
+        GuestSpec {
+            workload,
+            scale,
+            cpu,
+            mode,
+        }
+    }
+
+    /// Figure-style label, e.g. `O3_WATER_NSQUARED`.
+    pub fn label(&self) -> String {
+        format!(
+            "{}_{}",
+            self.cpu.label(),
+            self.workload.name().to_uppercase()
+        )
+    }
+}
+
+/// One host evaluation point: a platform microarchitecture plus the
+/// binary/backing the simulator runs with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostSetup {
+    /// Host CPU configuration (already knob-adjusted).
+    pub config: hostmodel::HostConfig,
+    /// Which simulator binary runs (`-O3` or not).
+    pub binary: BinaryVariant,
+    /// Text page backing (base / THP / EHP).
+    pub backing: PageBacking,
+}
+
+impl HostSetup {
+    /// A platform at default knobs.
+    pub fn platform(p: &Platform) -> Self {
+        HostSetup {
+            config: p.config.clone(),
+            binary: BinaryVariant::Base,
+            backing: PageBacking::Base,
+        }
+    }
+
+    /// A platform with tuning knobs applied.
+    pub fn with_knobs(p: &Platform, knobs: &SystemKnobs) -> Self {
+        HostSetup {
+            config: knobs.apply(&p.config),
+            binary: knobs.binary,
+            backing: knobs.backing,
+        }
+    }
+
+    /// A raw host configuration (e.g. a FireSim sweep point).
+    pub fn raw(config: hostmodel::HostConfig) -> Self {
+        HostSetup {
+            config,
+            binary: BinaryVariant::Base,
+            backing: PageBacking::Base,
+        }
+    }
+}
+
+/// Results of profiling one guest run on several hosts.
+#[derive(Debug)]
+pub struct ProfileRun {
+    /// Guest-side simulation results (identical for all hosts).
+    pub guest: SimResult,
+    /// One host profile per [`HostSetup`], in input order.
+    pub hosts: Vec<HostRunStats>,
+    /// Host-function call profile (Fig. 15).
+    pub profile: CallProfile,
+    /// The canonical binary model, for naming functions.
+    pub registry: Rc<Registry>,
+}
+
+fn registry_for(binary: BinaryVariant, backing: PageBacking) -> Rc<Registry> {
+    // Registries are deterministic; share within a call via a tiny cache.
+    thread_local! {
+        static CACHE: RefCell<Vec<((BinaryVariant, PageBacking), Rc<Registry>)>> =
+            const { RefCell::new(Vec::new()) };
+    }
+    CACHE.with(|c| {
+        let mut c = c.borrow_mut();
+        if let Some((_, r)) = c.iter().find(|(k, _)| *k == (binary, backing)) {
+            return Rc::clone(r);
+        }
+        let r = Rc::new(Registry::new(binary, backing));
+        c.push(((binary, backing), Rc::clone(&r)));
+        r
+    })
+}
+
+/// Runs one guest simulation, feeding every host setup from the same
+/// instrumentation stream (so host comparisons are exact, not sampled).
+pub fn profile(guest: &GuestSpec, hosts: &[HostSetup]) -> ProfileRun {
+    assert!(!hosts.is_empty(), "at least one host setup required");
+    let canon = registry_for(BinaryVariant::Base, PageBacking::Base);
+    let engines: Vec<HostEngine> = hosts
+        .iter()
+        .map(|h| HostEngine::new(h.config.clone(), registry_for(h.binary, h.backing)))
+        .collect();
+    let adapter = Rc::new(RefCell::new(TraceAdapter::new(
+        Rc::clone(&canon),
+        FanoutSink::new(engines),
+    )));
+    let obs = Obs::new(Rc::clone(&adapter) as Rc<RefCell<dyn ExecutionObserver>>);
+
+    let program = guest.workload.program(guest.scale);
+    let cfg = SystemConfig::new(guest.cpu, guest.mode);
+    let mut sys = System::with_observer(cfg, program, obs);
+    let guest_result = sys.run();
+    drop(sys);
+
+    let adapter = Rc::try_unwrap(adapter)
+        .ok()
+        .expect("system dropped; adapter is uniquely owned")
+        .into_inner();
+    let (fanout, profile) = adapter.into_parts();
+    ProfileRun {
+        guest: guest_result,
+        hosts: fanout.into_inner().into_iter().map(HostEngine::finish).collect(),
+        profile,
+        registry: canon,
+    }
+}
+
+/// Profiles a bare-metal SPEC reference benchmark on several hosts.
+pub fn profile_spec(bench: SpecBenchmark, hosts: &[HostSetup], records: u64) -> Vec<HostRunStats> {
+    hosts
+        .iter()
+        .map(|h| {
+            let reg = registry_for(h.binary, h.backing);
+            let mut engine = HostEngine::new(h.config.clone(), Rc::clone(&reg));
+            bench.generate(&reg, &mut engine, records);
+            engine.finish()
+        })
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use platforms::{intel_xeon, m1_pro};
+
+    fn quick(cpu: CpuModel) -> GuestSpec {
+        GuestSpec::new(Workload::Dedup, Scale::Test, cpu, SimMode::Se)
+    }
+
+    #[test]
+    fn fanout_hosts_see_identical_streams() {
+        let xeon = HostSetup::platform(&intel_xeon());
+        let run = profile(&quick(CpuModel::Atomic), &[xeon.clone(), xeon]);
+        assert_eq!(run.hosts.len(), 2);
+        assert_eq!(run.hosts[0].records, run.hosts[1].records);
+        assert_eq!(run.hosts[0].cycles, run.hosts[1].cycles);
+    }
+
+    #[test]
+    fn m1_outruns_xeon_on_the_same_simulation() {
+        let hosts = [
+            HostSetup::platform(&intel_xeon()),
+            HostSetup::platform(&m1_pro()),
+        ];
+        let run = profile(&quick(CpuModel::O3), &hosts);
+        let (xeon, m1) = (&run.hosts[0], &run.hosts[1]);
+        assert!(
+            m1.seconds() < xeon.seconds(),
+            "m1 {} vs xeon {}",
+            m1.seconds(),
+            xeon.seconds()
+        );
+        assert!(m1.ipc() > xeon.ipc());
+    }
+
+    #[test]
+    fn guest_results_are_host_independent() {
+        let a = profile(&quick(CpuModel::Timing), &[HostSetup::platform(&intel_xeon())]);
+        let b = profile(&quick(CpuModel::Timing), &[HostSetup::platform(&m1_pro())]);
+        assert_eq!(a.guest.committed_insts, b.guest.committed_insts);
+        assert_eq!(a.guest.sim_ticks, b.guest.sim_ticks);
+    }
+
+    #[test]
+    fn functions_touched_grow_with_cpu_detail() {
+        let host = [HostSetup::platform(&intel_xeon())];
+        let counts: Vec<u64> = CpuModel::ALL
+            .iter()
+            .map(|&cpu| profile(&quick(cpu), &host).profile.functions_touched())
+            .collect();
+        assert!(
+            counts.windows(2).all(|w| w[0] < w[1]),
+            "functions touched must grow with detail: {counts:?}"
+        );
+    }
+
+    #[test]
+    fn spec_profiles_run() {
+        let hosts = [HostSetup::platform(&intel_xeon())];
+        let stats = profile_spec(SpecBenchmark::X264, &hosts, 5000);
+        assert_eq!(stats.len(), 1);
+        assert!(stats[0].ipc() > 1.0);
+    }
+
+    #[test]
+    fn labels_are_paper_style() {
+        assert_eq!(
+            quick(CpuModel::O3).label(),
+            "O3_DEDUP"
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one host")]
+    fn empty_hosts_panic() {
+        let _ = profile(&quick(CpuModel::Atomic), &[]);
+    }
+}

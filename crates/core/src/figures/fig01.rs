@@ -1,0 +1,113 @@
+//! Fig. 1: normalized simulation time across platforms and co-run
+//! scenarios.
+
+use super::Fidelity;
+use crate::experiment::{profile, GuestSpec, HostSetup};
+use crate::report::{geomean, Table};
+use gem5sim::config::{CpuModel, SimMode};
+use hostmodel::CorunScenario;
+use platforms::{PlatformId, SystemKnobs};
+
+/// The (mode, CPU) rows shown in Fig. 1's sub-graphs.
+const ROWS: [(SimMode, CpuModel); 4] = [
+    (SimMode::Se, CpuModel::Atomic),
+    (SimMode::Se, CpuModel::O3),
+    (SimMode::Fs, CpuModel::Atomic),
+    (SimMode::Fs, CpuModel::O3),
+];
+
+fn scenario_for(p: &platforms::Platform, which: usize) -> CorunScenario {
+    match which {
+        0 => CorunScenario::Single,
+        1 => CorunScenario::PerPhysicalCore {
+            procs: p.physical_cores,
+        },
+        // M1 parts have no SMT: "per hardware thread" equals per core.
+        _ if !p.smt => CorunScenario::PerPhysicalCore {
+            procs: p.physical_cores,
+        },
+        _ => CorunScenario::PerHardwareThread { procs: p.hw_threads },
+    }
+}
+
+/// Regenerates Fig. 1: per scenario, the geometric mean over the PARSEC /
+/// SPLASH-2x workloads of each platform's simulation time normalized to
+/// `Intel_Xeon` in the same scenario (lower is better; Xeon ≡ 1).
+pub fn fig01(f: Fidelity) -> Table {
+    let platforms: Vec<_> = PlatformId::ALL.iter().map(|p| p.platform()).collect();
+    let scenarios = ["single", "per-phys-core", "per-hw-thread"];
+
+    // Host setups: platform × scenario (9 engines per guest run).
+    let mut setups = Vec::new();
+    for p in &platforms {
+        for s in 0..3 {
+            let knobs = SystemKnobs::new().with_corun(scenario_for(p, s));
+            setups.push(HostSetup::with_knobs(p, &knobs));
+        }
+    }
+
+    let mut columns = Vec::new();
+    for s in scenarios {
+        for p in &platforms {
+            columns.push(format!("{}@{s}", p.id.name()));
+        }
+    }
+    let mut table = Table::new(
+        "Fig. 1: simulation time normalized to Intel_Xeon (geomean over workloads)",
+        columns,
+    );
+
+    for (mode, cpu) in ROWS {
+        // seconds[setup][workload]
+        let mut secs: Vec<Vec<f64>> = vec![Vec::new(); setups.len()];
+        for &w in f.workloads() {
+            let run = profile(&GuestSpec::new(w, f.scale(), cpu, mode), &setups);
+            for (i, h) in run.hosts.iter().enumerate() {
+                secs[i].push(h.seconds());
+            }
+        }
+        let mut values = Vec::new();
+        for s in 0..3 {
+            // Xeon is platform index 0.
+            let xeon_idx = s;
+            for p in 0..platforms.len() {
+                let idx = p * 3 + s;
+                let ratios = secs[idx]
+                    .iter()
+                    .zip(&secs[xeon_idx])
+                    .map(|(m, x)| m / x);
+                values.push(geomean(ratios));
+            }
+        }
+        table.push(format!("{}_{}", mode.label(), cpu.label()), values);
+    }
+
+    table.note("paper: M1 platforms are 1.7x-3.02x faster single-process (normalized time 0.33-0.59); up to 4.15x when co-running (0.24)");
+    table.note("paper: Xeon with SMT off is ~47% faster per process than with SMT on");
+    table
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m1_wins_and_corun_widens_the_gap() {
+        let t = fig01(Fidelity::Quick);
+        for row in &t.rows {
+            let xeon = t.get(&row.label, "Intel_Xeon@single").unwrap();
+            assert!((xeon - 1.0).abs() < 1e-9, "Xeon is the unit baseline");
+            let pro = t.get(&row.label, "M1_Pro@single").unwrap();
+            let ultra = t.get(&row.label, "M1_Ultra@single").unwrap();
+            assert!(pro < 1.0, "{}: M1_Pro {pro} must beat Xeon", row.label);
+            assert!(ultra < 1.0, "{}: M1_Ultra {ultra} must beat Xeon", row.label);
+
+            let ultra_smt = t.get(&row.label, "M1_Ultra@per-hw-thread").unwrap();
+            assert!(
+                ultra_smt < ultra + 0.15,
+                "{}: co-run should not erase the M1 advantage ({ultra_smt} vs {ultra})",
+                row.label
+            );
+        }
+    }
+}

@@ -1,0 +1,101 @@
+//! Fig. 15: CDF of the hottest functions — "there is no killer function
+//! in gem5".
+
+use super::Fidelity;
+use crate::experiment::{profile, GuestSpec, HostSetup};
+use crate::report::Table;
+use gem5sim::config::{CpuModel, SimMode};
+use gem5sim_workloads::Workload;
+use platforms::intel_xeon;
+
+/// Regenerates Fig. 15: for each CPU model, the share of the hottest
+/// function, the cumulative share of the 10 and 50 hottest, and the total
+/// number of distinct functions called.
+pub fn fig15(f: Fidelity) -> Table {
+    let xeon = [HostSetup::platform(&intel_xeon())];
+    // Functions-touched counts grow with run length (cold paths keep
+    // being discovered); the paper ran simmedium inputs, so Paper
+    // fidelity uses the largest scale here.
+    let scale = match f {
+        super::Fidelity::Quick => f.scale(),
+        super::Fidelity::Paper => gem5sim_workloads::Scale::SimMedium,
+    };
+    let mut t = Table::new(
+        "Fig. 15: hot-function CDF and functions touched (water_nsquared)",
+        ["Hottest%", "Top10%", "Top50%", "FunctionsTouched"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for cpu in CpuModel::ALL {
+        let run = profile(
+            &GuestSpec::new(Workload::WaterNsquared, scale, cpu, SimMode::Fs),
+            &xeon,
+        );
+        let cdf = run.profile.hottest_cdf(50);
+        t.push(
+            cpu.label(),
+            vec![
+                100.0 * cdf.first().copied().unwrap_or(0.0),
+                100.0 * cdf.get(9).copied().unwrap_or(0.0),
+                100.0 * cdf.get(49).copied().unwrap_or(0.0),
+                run.profile.functions_touched() as f64,
+            ],
+        );
+    }
+    t.note("paper: hottest function is 10.1/8.5/2.9/4.2% of time for Atomic/Timing/Minor/O3");
+    t.note("paper: functions called = 1602/2557/3957/5209 for Atomic/Timing/Minor/O3");
+    t
+}
+
+/// The named hottest-function list for one CPU model (the identity of the
+/// hot handlers, for inspection).
+pub fn fig15_hottest(f: Fidelity, cpu: CpuModel, n: usize) -> Vec<(String, u64, f64)> {
+    let xeon = [HostSetup::platform(&intel_xeon())];
+    let run = profile(
+        &GuestSpec::new(Workload::WaterNsquared, f.scale(), cpu, SimMode::Fs),
+        &xeon,
+    );
+    run.profile.hottest(&run.registry, n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cdf_flattens_and_functions_grow_with_detail() {
+        let t = fig15(Fidelity::Quick);
+        let hottest: Vec<f64> = t.column("Hottest%").unwrap();
+        let funcs: Vec<f64> = t.column("FunctionsTouched").unwrap();
+        // Functions touched strictly grows with detail (paper:
+        // 1602 -> 2557 -> 3957 -> 5209).
+        assert!(
+            funcs.windows(2).all(|w| w[0] < w[1]),
+            "functions: {funcs:?}"
+        );
+        // The hottest function's share shrinks from Atomic/Timing to
+        // Minor/O3 (the CDF flattens).
+        assert!(
+            hottest[0] > hottest[3],
+            "Atomic hottest {} vs O3 hottest {}",
+            hottest[0],
+            hottest[3]
+        );
+        // No killer function anywhere.
+        assert!(hottest.iter().all(|&h| h < 25.0), "{hottest:?}");
+    }
+
+    #[test]
+    fn hottest_functions_are_event_loop_and_cpu_handlers() {
+        let top = fig15_hottest(Fidelity::Quick, CpuModel::Atomic, 10);
+        assert_eq!(top.len(), 10);
+        assert!(
+            top.iter().any(|(name, _, _)| name.contains("EventQueue")
+                || name.contains("CpuAtomic")
+                || name.contains("Decoder")),
+            "expected simulator handlers among the hottest, got {top:?}"
+        );
+        // Shares are sorted descending.
+        assert!(top.windows(2).all(|w| w[0].1 >= w[1].1));
+    }
+}

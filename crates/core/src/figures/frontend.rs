@@ -1,0 +1,222 @@
+//! Figs. 2–6: the Top-Down front-end study of gem5 vs SPEC on
+//! `Intel_Xeon`.
+
+use super::Fidelity;
+use crate::experiment::{profile, profile_spec, GuestSpec, HostSetup};
+use crate::report::Table;
+use gem5sim::config::{CpuModel, SimMode};
+use gem5sim_workloads::Workload;
+use hostmodel::HostRunStats;
+use platforms::intel_xeon;
+use specgen::SpecBenchmark;
+
+struct Case {
+    label: String,
+    stats: HostRunStats,
+}
+
+/// The paper's Fig. 2 row set: four CPU models × {Boot-Exit, PARSEC
+/// (water_nsquared as the representative)} plus the three SPEC
+/// references, all on `Intel_Xeon`.
+fn cases(f: Fidelity) -> Vec<Case> {
+    let xeon = [HostSetup::platform(&intel_xeon())];
+    let mut out = Vec::new();
+    for cpu in [CpuModel::O3, CpuModel::Minor, CpuModel::Timing, CpuModel::Atomic] {
+        for (wl, tag) in [
+            (Workload::BootExit, "BOOT_EXIT"),
+            (Workload::WaterNsquared, "PARSEC"),
+        ] {
+            let run = profile(&GuestSpec::new(wl, f.scale(), cpu, SimMode::Fs), &xeon);
+            out.push(Case {
+                label: format!("{}_{}", cpu.label(), tag),
+                stats: run.hosts.into_iter().next().expect("one host"),
+            });
+        }
+    }
+    for b in SpecBenchmark::ALL {
+        let stats = profile_spec(b, &xeon, f.spec_records());
+        out.push(Case {
+            label: b.name().to_uppercase(),
+            stats: stats.into_iter().next().expect("one host"),
+        });
+    }
+    out
+}
+
+/// Fig. 2: Top-Down level-1 breakdown (percent of cycles).
+pub fn fig02(f: Fidelity) -> Table {
+    let mut t = Table::new(
+        "Fig. 2: Top-Down level 1 on Intel_Xeon (% of cycles)",
+        ["Retiring", "FrontEnd", "BadSpec", "BackEnd"]
+            .map(String::from)
+            .to_vec(),
+    );
+    for c in cases(f) {
+        let (r, fe, bs, be) = c.stats.topdown.level1_pct();
+        t.push(c.label, vec![r, fe, bs, be]);
+    }
+    t.note("paper: gem5 retiring 43.5-64.7%, front-end 30.1-41.5%, back-end 0.9-11.3%");
+    t.note("paper: SPEC retiring 13.2-82.2%; 505.mcf_r back-end 53.7%");
+    t
+}
+
+/// Fig. 3: front-end bound cycles split into latency vs bandwidth.
+pub fn fig03(f: Fidelity) -> Table {
+    let mut t = Table::new(
+        "Fig. 3: front-end latency vs bandwidth (% of cycles)",
+        ["FE-Latency", "FE-Bandwidth"].map(String::from).to_vec(),
+    );
+    for c in cases(f) {
+        let td = &c.stats.topdown;
+        t.push(
+            c.label,
+            vec![td.pct(td.fe_latency.total()), td.pct(td.fe_bandwidth.total())],
+        );
+    }
+    t.note("paper: simple CPU models skew bandwidth-bound; detailed models become latency-bound");
+    t
+}
+
+/// Fig. 4: front-end *latency* breakdown.
+pub fn fig04(f: Fidelity) -> Table {
+    let mut t = Table::new(
+        "Fig. 4: front-end latency breakdown (% of cycles)",
+        [
+            "iCacheMiss",
+            "iTLBMiss",
+            "MispredResteer",
+            "ClearResteer",
+            "UnknownBranch",
+        ]
+        .map(String::from)
+        .to_vec(),
+    );
+    for c in cases(f) {
+        let td = &c.stats.topdown;
+        let l = &td.fe_latency;
+        t.push(
+            c.label,
+            vec![
+                td.pct(l.icache),
+                td.pct(l.itlb),
+                td.pct(l.mispredict_resteers),
+                td.pct(l.clear_resteers),
+                td.pct(l.unknown_branches),
+            ],
+        );
+    }
+    t.note("paper: O3/Minor have up to 11x the iCache miss cycles of Atomic; iTLB stalls high for all gem5 runs");
+    t.note("paper: O3/Minor aggregate branch overhead 6.0x/4.7x Atomic's; unknown branches grow with detail");
+    t.note("paper: for SPEC, mispredict resteers + unknown branches are 43.5-73.6% of FE latency");
+    t
+}
+
+/// Fig. 5: front-end *bandwidth* breakdown (shares of bandwidth-bound
+/// cycles).
+pub fn fig05(f: Fidelity) -> Table {
+    let mut t = Table::new(
+        "Fig. 5: front-end bandwidth breakdown (% of FE-bandwidth cycles)",
+        ["MITE", "DSB"].map(String::from).to_vec(),
+    );
+    for c in cases(f) {
+        let bw = &c.stats.topdown.fe_bandwidth;
+        let total = bw.total();
+        let (m, d) = if total > 0.0 {
+            (100.0 * bw.mite / total, 100.0 * bw.dsb / total)
+        } else {
+            (0.0, 0.0)
+        };
+        t.push(c.label, vec![m, d]);
+    }
+    t.note("paper: 92-97% of gem5's bandwidth-bound cycles wait on MITE; <7% on DSB");
+    t
+}
+
+/// Fig. 6: DSB (µop cache) coverage.
+pub fn fig06(f: Fidelity) -> Table {
+    let mut t = Table::new(
+        "Fig. 6: DSB coverage (% of uops from the uop cache)",
+        ["DSBCoverage"].map(String::from).to_vec(),
+    );
+    for c in cases(f) {
+        t.push(c.label, vec![100.0 * c.stats.dsb_coverage]);
+    }
+    t.note("paper: gem5's DSB coverage is far below SPEC's regardless of CPU type or workload");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn approx_cases() -> Vec<Case> {
+        cases(Fidelity::Quick)
+    }
+
+    #[test]
+    fn gem5_is_front_end_bound_spec_is_not_uniformly() {
+        let t = fig02(Fidelity::Quick);
+        let gem5_fe = t.get("O3_PARSEC", "FrontEnd").unwrap();
+        let x264_fe = t.get("525.X264_R", "FrontEnd").unwrap();
+        assert!(
+            gem5_fe > 2.0 * x264_fe,
+            "gem5 FE {gem5_fe}% must dwarf x264's {x264_fe}%"
+        );
+        let mcf_be = t.get("505.MCF_R", "BackEnd").unwrap();
+        let gem5_be = t.get("O3_PARSEC", "BackEnd").unwrap();
+        assert!(mcf_be > 3.0 * gem5_be, "mcf BE {mcf_be}% vs gem5 {gem5_be}%");
+    }
+
+    #[test]
+    fn detail_shifts_frontend_toward_latency() {
+        let t = fig03(Fidelity::Quick);
+        let frac = |label: &str| {
+            let l = t.get(label, "FE-Latency").unwrap();
+            let b = t.get(label, "FE-Bandwidth").unwrap();
+            l / (l + b)
+        };
+        assert!(
+            frac("O3_PARSEC") > frac("ATOMIC_PARSEC"),
+            "O3 {} vs Atomic {}",
+            frac("O3_PARSEC"),
+            frac("ATOMIC_PARSEC")
+        );
+    }
+
+    #[test]
+    fn gem5_bandwidth_stalls_are_mite_dominated() {
+        let t = fig05(Fidelity::Quick);
+        for label in ["O3_PARSEC", "ATOMIC_PARSEC", "TIMING_BOOT_EXIT"] {
+            let mite = t.get(label, "MITE").unwrap();
+            assert!(mite > 75.0, "{label}: MITE share {mite}%");
+        }
+    }
+
+    #[test]
+    fn gem5_dsb_coverage_below_spec() {
+        let t = fig06(Fidelity::Quick);
+        let gem5 = t.get("O3_PARSEC", "DSBCoverage").unwrap();
+        let x264 = t.get("525.X264_R", "DSBCoverage").unwrap();
+        assert!(gem5 < 35.0, "gem5 coverage {gem5}%");
+        assert!(x264 > 80.0, "x264 coverage {x264}%");
+    }
+
+    #[test]
+    fn icache_misses_grow_with_detail() {
+        let t = fig04(Fidelity::Quick);
+        let o3 = t.get("O3_PARSEC", "iCacheMiss").unwrap();
+        let atomic = t.get("ATOMIC_PARSEC", "iCacheMiss").unwrap();
+        assert!(o3 > atomic, "O3 {o3}% vs Atomic {atomic}%");
+        let itlb = t.get("ATOMIC_PARSEC", "iTLBMiss").unwrap();
+        assert!(itlb > 0.5, "iTLB stalls present even for Atomic: {itlb}%");
+    }
+
+    #[test]
+    fn case_labels_are_unique() {
+        let cs = approx_cases();
+        let mut labels: Vec<&str> = cs.iter().map(|c| c.label.as_str()).collect();
+        labels.sort();
+        labels.dedup();
+        assert_eq!(labels.len(), 11);
+    }
+}

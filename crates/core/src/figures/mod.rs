@@ -1,0 +1,106 @@
+//! Regeneration of every figure and table in the paper's evaluation.
+//!
+//! Each `figNN` function runs the required simulations and returns a
+//! [`Table`] holding the same rows/series the paper
+//! plots, with the paper's reference values attached as notes. The
+//! `EXPERIMENTS.md` file at the repository root records paper-vs-measured
+//! for each.
+//!
+//! [`Table`]: crate::report::Table
+
+mod fig01;
+mod fig14;
+mod fig15;
+mod frontend;
+mod platform;
+mod tables;
+mod tuning;
+
+pub use fig01::fig01;
+pub use fig14::fig14;
+pub use fig15::{fig15, fig15_hottest};
+pub use frontend::{fig02, fig03, fig04, fig05, fig06};
+pub use platform::{fig07, fig08, fig09};
+pub use tables::{table1, table2};
+pub use tuning::{fig10, fig11, fig12, fig13};
+
+use crate::report::Table;
+use gem5sim_workloads::{Scale, Workload};
+
+/// How much work to spend regenerating a figure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum Fidelity {
+    /// Small inputs, reduced workload sets — for tests and Criterion
+    /// benches. Trends hold; absolute noise is larger.
+    #[default]
+    Quick,
+    /// The full workload grid at `simsmall`-equivalent inputs (the
+    /// default for the `repro` binary).
+    Paper,
+}
+
+impl Fidelity {
+    /// Guest input scale.
+    pub fn scale(self) -> Scale {
+        match self {
+            Fidelity::Quick => Scale::Test,
+            Fidelity::Paper => Scale::SimSmall,
+        }
+    }
+
+    /// PARSEC/SPLASH workload set for multi-workload figures.
+    pub fn workloads(self) -> &'static [Workload] {
+        match self {
+            Fidelity::Quick => &[
+                Workload::WaterNsquared,
+                Workload::Canneal,
+                Workload::Dedup,
+            ],
+            Fidelity::Paper => &Workload::PARSEC,
+        }
+    }
+
+    /// SPEC trace length in records.
+    pub fn spec_records(self) -> u64 {
+        match self {
+            Fidelity::Quick => 40_000,
+            Fidelity::Paper => 250_000,
+        }
+    }
+}
+
+/// Every figure in order — used by the `repro` binary's `all` command.
+pub fn all_figures(f: Fidelity) -> Vec<Table> {
+    vec![
+        table1(),
+        table2(),
+        fig01(f),
+        fig02(f),
+        fig03(f),
+        fig04(f),
+        fig05(f),
+        fig06(f),
+        fig07(f),
+        fig08(f),
+        fig09(f),
+        fig10(f),
+        fig11(f),
+        fig12(f),
+        fig13(f),
+        fig14(f),
+        fig15(f),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fidelity_scales() {
+        assert_eq!(Fidelity::Quick.scale(), Scale::Test);
+        assert_eq!(Fidelity::Paper.scale(), Scale::SimSmall);
+        assert_eq!(Fidelity::Quick.workloads().len(), 3);
+        assert_eq!(Fidelity::Paper.workloads().len(), 9);
+    }
+}

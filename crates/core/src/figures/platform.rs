@@ -1,0 +1,144 @@
+//! Figs. 7–9: platform comparison (IPC, TLB/L1/branch rates) and the
+//! LLC/DRAM behaviour of gem5.
+
+use super::Fidelity;
+use crate::experiment::{profile, GuestSpec, HostSetup};
+use crate::report::Table;
+use gem5sim::config::{CpuModel, SimMode};
+use gem5sim_workloads::Workload;
+use platforms::PlatformId;
+
+/// Fig. 7: host IPC and stall fraction when running `water_nsquared`
+/// simulations on the three platforms.
+pub fn fig07(f: Fidelity) -> Table {
+    let setups: Vec<HostSetup> = PlatformId::ALL
+        .iter()
+        .map(|p| HostSetup::platform(&p.platform()))
+        .collect();
+    let mut cols = Vec::new();
+    for p in PlatformId::ALL {
+        cols.push(format!("IPC@{}", p.name()));
+    }
+    for p in PlatformId::ALL {
+        cols.push(format!("Stalled%@{}", p.name()));
+    }
+    let mut t = Table::new("Fig. 7: host IPC and stall fraction (water_nsquared)", cols);
+    for cpu in [CpuModel::Atomic, CpuModel::Timing, CpuModel::O3] {
+        let run = profile(
+            &GuestSpec::new(Workload::WaterNsquared, f.scale(), cpu, SimMode::Fs),
+            &setups,
+        );
+        let mut vals: Vec<f64> = run.hosts.iter().map(|h| h.ipc()).collect();
+        vals.extend(run.hosts.iter().map(|h| 100.0 * h.stalled_fraction()));
+        t.push(cpu.label(), vals);
+    }
+    t.note("paper: M1_Pro and M1_Ultra IPC are 2.22x and 2.24x Intel_Xeon's; Xeon stalls far more");
+    t
+}
+
+/// Fig. 8: TLB, L1 and branch-prediction behaviour across platforms
+/// (O3 simulation of `water_nsquared`).
+pub fn fig08(f: Fidelity) -> Table {
+    let setups: Vec<HostSetup> = PlatformId::ALL
+        .iter()
+        .map(|p| HostSetup::platform(&p.platform()))
+        .collect();
+    let run = profile(
+        &GuestSpec::new(Workload::WaterNsquared, f.scale(), CpuModel::O3, SimMode::Fs),
+        &setups,
+    );
+    let mut t = Table::new(
+        "Fig. 8: TLB / L1 / branch rates (O3 water_nsquared, %)",
+        PlatformId::ALL.iter().map(|p| p.name().to_string()).collect(),
+    );
+    let metric = |g: &dyn Fn(&hostmodel::HostRunStats) -> f64| -> Vec<f64> {
+        run.hosts.iter().map(|h| 100.0 * g(h)).collect()
+    };
+    t.push("iTLB miss rate", metric(&|h| h.itlb_miss_rate));
+    t.push("dTLB miss rate", metric(&|h| h.dtlb_miss_rate));
+    t.push("L1I miss rate", metric(&|h| h.l1i_miss_rate));
+    t.push("L1D miss rate", metric(&|h| h.l1d_miss_rate));
+    t.push("Branch mispredict", metric(&|h| h.branch_mispredict_rate));
+    t.note("paper: Xeon iTLB and dTLB miss rates are 11.7x and 10.5x M1_Ultra's");
+    t.note("paper: M1 dCache miss rate is 10.1-13.4x lower; mispredict 0.22% (Xeon) vs ~0.14% (M1)");
+    t
+}
+
+/// Fig. 9: LLC occupancy and DRAM bandwidth of a single gem5 process on
+/// `Intel_Xeon`, per CPU model and mode.
+pub fn fig09(f: Fidelity) -> Table {
+    let xeon = [HostSetup::platform(&platforms::intel_xeon())];
+    let mut t = Table::new(
+        "Fig. 9: LLC occupancy and DRAM bandwidth on Intel_Xeon",
+        ["LLC-KB", "DRAM-MB/s"].map(String::from).to_vec(),
+    );
+    for mode in [SimMode::Fs, SimMode::Se] {
+        for cpu in CpuModel::ALL {
+            let run = profile(
+                &GuestSpec::new(Workload::WaterNsquared, f.scale(), cpu, mode),
+                &xeon,
+            );
+            let h = &run.hosts[0];
+            t.push(
+                format!("{}_{}", cpu.label(), mode.label()),
+                vec![
+                    h.llc_occupancy_bytes as f64 / 1024.0,
+                    h.dram_bandwidth() / 1e6,
+                ],
+            );
+        }
+    }
+    t.note("paper: LLC occupancy 255KB-3.1MB, growing with simulation detail; DRAM bandwidth negligible");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn m1_ipc_advantage_holds() {
+        let t = fig07(Fidelity::Quick);
+        for cpu in ["ATOMIC", "TIMING", "O3"] {
+            let xeon = t.get(cpu, "IPC@Intel_Xeon").unwrap();
+            let ultra = t.get(cpu, "IPC@M1_Ultra").unwrap();
+            let ratio = ultra / xeon;
+            assert!(
+                ratio > 1.4 && ratio < 4.0,
+                "{cpu}: M1/Xeon IPC ratio {ratio:.2} out of range"
+            );
+            let xeon_stall = t.get(cpu, "Stalled%@Intel_Xeon").unwrap();
+            let ultra_stall = t.get(cpu, "Stalled%@M1_Ultra").unwrap();
+            assert!(xeon_stall > ultra_stall);
+        }
+    }
+
+    #[test]
+    fn xeon_tlb_rates_dwarf_m1() {
+        let t = fig08(Fidelity::Quick);
+        let xeon_itlb = t.get("iTLB miss rate", "Intel_Xeon").unwrap();
+        let ultra_itlb = t.get("iTLB miss rate", "M1_Ultra").unwrap();
+        assert!(
+            xeon_itlb > 4.0 * ultra_itlb,
+            "iTLB: xeon {xeon_itlb}% vs ultra {ultra_itlb}%"
+        );
+        let xeon_l1d = t.get("L1D miss rate", "Intel_Xeon").unwrap();
+        let ultra_l1d = t.get("L1D miss rate", "M1_Ultra").unwrap();
+        assert!(xeon_l1d > 2.0 * ultra_l1d);
+        let xeon_bp = t.get("Branch mispredict", "Intel_Xeon").unwrap();
+        let ultra_bp = t.get("Branch mispredict", "M1_Ultra").unwrap();
+        assert!(xeon_bp > ultra_bp, "bp: {xeon_bp} vs {ultra_bp}");
+    }
+
+    #[test]
+    fn llc_occupancy_grows_with_detail_and_dram_bw_is_negligible() {
+        let t = fig09(Fidelity::Quick);
+        let atomic = t.get("ATOMIC_FS", "LLC-KB").unwrap();
+        let o3 = t.get("O3_FS", "LLC-KB").unwrap();
+        assert!(o3 > atomic, "O3 {o3}KB vs Atomic {atomic}KB");
+        for row in &t.rows {
+            let bw = t.get(&row.label, "DRAM-MB/s").unwrap();
+            assert!(bw < 2000.0, "{}: DRAM bandwidth {bw} MB/s should be tiny", row.label);
+        }
+    }
+}

@@ -1,0 +1,75 @@
+//! Tables I and II: configuration tables, rendered from the same structs
+//! the experiments use (so the tables cannot drift from the models).
+
+use crate::report::Table;
+use platforms::{firesim, PlatformId};
+
+/// Table I: the FireSim base hardware configuration.
+pub fn table1() -> Table {
+    let b = firesim::base();
+    let mut t = Table::new(
+        "Table I: base hardware configuration on FireSim",
+        ["Value"].map(String::from).to_vec(),
+    );
+    t.push("Core frequency (GHz)", vec![b.freq_ghz]);
+    t.push("Superscalar width", vec![b.width as f64]);
+    t.push("L1I (KB)", vec![b.l1i.size as f64 / 1024.0]);
+    t.push("L1D (KB)", vec![b.l1d.size as f64 / 1024.0]);
+    t.push("L2 (KB)", vec![b.l2.size as f64 / 1024.0]);
+    t.push("BTB entries", vec![b.btb_entries as f64]);
+    t.push("iTLB entries", vec![b.itlb_entries as f64]);
+    t.push("Cache line (B)", vec![b.line as f64]);
+    t.push("Page size (B)", vec![b.page as f64]);
+    t.note("paper Table I: 4GHz, 8-wide, ROB/IQ/LQ/SQ=192/64/32/32, TournamentBP/4096 BTB, 48KB(I)+32KB(D), DDR3-1600");
+    t
+}
+
+/// Table II: the evaluation platforms.
+pub fn table2() -> Table {
+    let mut t = Table::new(
+        "Table II: evaluation platforms",
+        PlatformId::ALL.iter().map(|p| p.name().to_string()).collect(),
+    );
+    let ps: Vec<_> = PlatformId::ALL.iter().map(|p| p.platform()).collect();
+    let row = |g: &dyn Fn(&platforms::Platform) -> f64| -> Vec<f64> { ps.iter().map(g).collect() };
+    t.push("Physical cores", row(&|p| p.physical_cores as f64));
+    t.push("Hardware threads", row(&|p| p.hw_threads as f64));
+    t.push("Max freq (GHz)", row(&|p| p.config.freq_ghz));
+    t.push("L1I per core (KB)", row(&|p| p.config.l1i.size as f64 / 1024.0));
+    t.push("L1D per core (KB)", row(&|p| p.config.l1d.size as f64 / 1024.0));
+    t.push("L2 (MB)", row(&|p| p.config.l2.size as f64 / 1048576.0));
+    t.push("LLC (MB)", row(&|p| p.config.llc.size as f64 / 1048576.0));
+    t.push("Cache line (B)", row(&|p| p.config.line as f64));
+    t.push("VM page size (KB)", row(&|p| p.page_size as f64 / 1024.0));
+    t.push("SMT", row(&|p| p.smt as u64 as f64));
+    t.note("paper Table II: Xeon Gold 6242R 20C/40T 3.1GHz(4.1 TB) 32+32KB L1 4KB pages; M1 P-cores 192+128KB L1 16KB pages 128B lines");
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table1_matches_paper_values() {
+        let t = table1();
+        assert_eq!(t.get("Core frequency (GHz)", "Value"), Some(4.0));
+        assert_eq!(t.get("Superscalar width", "Value"), Some(8.0));
+        assert_eq!(t.get("L1I (KB)", "Value"), Some(48.0));
+        assert_eq!(t.get("L1D (KB)", "Value"), Some(32.0));
+        assert_eq!(t.get("BTB entries", "Value"), Some(4096.0));
+    }
+
+    #[test]
+    fn table2_matches_paper_values() {
+        let t = table2();
+        assert_eq!(t.get("Physical cores", "Intel_Xeon"), Some(20.0));
+        assert_eq!(t.get("Hardware threads", "Intel_Xeon"), Some(40.0));
+        assert_eq!(t.get("L1I per core (KB)", "M1_Pro"), Some(192.0));
+        assert_eq!(t.get("L1D per core (KB)", "M1_Ultra"), Some(128.0));
+        assert_eq!(t.get("VM page size (KB)", "M1_Pro"), Some(16.0));
+        assert_eq!(t.get("Cache line (B)", "M1_Ultra"), Some(128.0));
+        assert_eq!(t.get("SMT", "Intel_Xeon"), Some(1.0));
+        assert_eq!(t.get("SMT", "M1_Pro"), Some(0.0));
+    }
+}

@@ -1,0 +1,160 @@
+//! Result tables: the textual equivalent of the paper's figures.
+
+use std::fmt;
+
+/// A labelled row of numbers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Row {
+    /// Row label (workload, configuration, …).
+    pub label: String,
+    /// Values, one per column.
+    pub values: Vec<f64>,
+}
+
+/// A figure-equivalent table.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Table {
+    /// Title (e.g. `"Fig. 2: Top-Down level 1"`).
+    pub title: String,
+    /// Column headers (excluding the row-label column).
+    pub columns: Vec<String>,
+    /// Rows.
+    pub rows: Vec<Row>,
+    /// Free-form notes (paper reference values, caveats).
+    pub notes: Vec<String>,
+}
+
+impl Table {
+    /// Creates an empty table.
+    pub fn new(title: impl Into<String>, columns: Vec<String>) -> Self {
+        Table {
+            title: title.into(),
+            columns,
+            rows: Vec::new(),
+            notes: Vec::new(),
+        }
+    }
+
+    /// Appends a row.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the value count does not match the column count.
+    pub fn push(&mut self, label: impl Into<String>, values: Vec<f64>) {
+        assert_eq!(
+            values.len(),
+            self.columns.len(),
+            "row width must match columns"
+        );
+        self.rows.push(Row {
+            label: label.into(),
+            values,
+        });
+    }
+
+    /// Appends a note line.
+    pub fn note(&mut self, s: impl Into<String>) {
+        self.notes.push(s.into());
+    }
+
+    /// Looks up a cell by row label and column name.
+    pub fn get(&self, row: &str, column: &str) -> Option<f64> {
+        let ci = self.columns.iter().position(|c| c == column)?;
+        let r = self.rows.iter().find(|r| r.label == row)?;
+        r.values.get(ci).copied()
+    }
+
+    /// The values of one column, in row order.
+    pub fn column(&self, column: &str) -> Option<Vec<f64>> {
+        let ci = self.columns.iter().position(|c| c == column)?;
+        Some(self.rows.iter().map(|r| r.values[ci]).collect())
+    }
+}
+
+impl fmt::Display for Table {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "== {} ==", self.title)?;
+        let label_w = self
+            .rows
+            .iter()
+            .map(|r| r.label.len())
+            .chain([8])
+            .max()
+            .unwrap_or(8)
+            .min(40);
+        write!(f, "{:<label_w$}", "")?;
+        for c in &self.columns {
+            write!(f, " {c:>14}")?;
+        }
+        writeln!(f)?;
+        for r in &self.rows {
+            write!(f, "{:<label_w$}", r.label)?;
+            for v in &r.values {
+                if v.abs() >= 1000.0 {
+                    write!(f, " {v:>14.0}")?;
+                } else {
+                    write!(f, " {v:>14.3}")?;
+                }
+            }
+            writeln!(f)?;
+        }
+        for n in &self.notes {
+            writeln!(f, "  note: {n}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Geometric mean of a non-empty sequence of positive values.
+///
+/// Returns 0.0 for an empty iterator.
+pub fn geomean(values: impl IntoIterator<Item = f64>) -> f64 {
+    let mut log_sum = 0.0;
+    let mut n = 0u64;
+    for v in values {
+        debug_assert!(v > 0.0, "geomean requires positive values, got {v}");
+        log_sum += v.ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_roundtrip() {
+        let mut t = Table::new("Fig. X", vec!["a".into(), "b".into()]);
+        t.push("row1", vec![1.0, 2.0]);
+        t.push("row2", vec![3.0, 4.0]);
+        t.note("paper: something");
+        assert_eq!(t.get("row1", "b"), Some(2.0));
+        assert_eq!(t.get("row2", "a"), Some(3.0));
+        assert_eq!(t.get("rowX", "a"), None);
+        assert_eq!(t.column("a"), Some(vec![1.0, 3.0]));
+        let s = t.to_string();
+        assert!(s.contains("Fig. X"));
+        assert!(s.contains("row2"));
+        assert!(s.contains("note: paper"));
+    }
+
+    #[test]
+    #[should_panic(expected = "row width")]
+    fn mismatched_row_panics() {
+        let mut t = Table::new("t", vec!["a".into()]);
+        t.push("r", vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn geomean_basics() {
+        assert_eq!(geomean([]), 0.0);
+        assert!((geomean([4.0]) - 4.0).abs() < 1e-12);
+        assert!((geomean([1.0, 4.0]) - 2.0).abs() < 1e-12);
+        assert!((geomean([2.0, 2.0, 2.0]) - 2.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,415 @@
+//! The central event queue.
+//!
+//! gem5 is an event-driven simulator: every timed action is an event on a
+//! single global queue, serviced strictly in (tick, priority, insertion)
+//! order. This module reproduces that design. Events are `FnOnce`
+//! callbacks, mirroring gem5's member-function-pointer events; handlers may
+//! schedule further events and may request simulation exit.
+//!
+//! The queue hands out `&EventQueue` (not `&mut`) to handlers and keeps its
+//! mutable state behind a [`RefCell`], so that simulation objects held in
+//! `Rc<RefCell<_>>` can be captured by event closures without borrow
+//! conflicts — the queue's internal borrow is always released before a
+//! handler runs.
+
+use crate::tick::Tick;
+use std::cell::RefCell;
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+use std::fmt;
+
+/// Event priority within a tick; lower values run first (gem5 convention).
+///
+/// ```
+/// use gem5sim_event::Priority;
+/// assert!(Priority::CPU_TICK < Priority::DEFAULT);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Priority(pub i16);
+
+impl Priority {
+    /// Debug/trace events, run before everything else in a tick.
+    pub const DEBUG: Priority = Priority(-100);
+    /// CPU tick events (gem5 schedules CPU ticks early in the tick).
+    pub const CPU_TICK: Priority = Priority(-50);
+    /// Default priority.
+    pub const DEFAULT: Priority = Priority(0);
+    /// Memory responses.
+    pub const MEM_RESPONSE: Priority = Priority(10);
+    /// Statistics / bookkeeping, run last in a tick.
+    pub const STAT: Priority = Priority(100);
+}
+
+impl Default for Priority {
+    fn default() -> Self {
+        Priority::DEFAULT
+    }
+}
+
+type EventFn = Box<dyn FnOnce(&EventQueue)>;
+
+struct Scheduled {
+    when: Tick,
+    prio: Priority,
+    seq: u64,
+    func: EventFn,
+    desc: &'static str,
+}
+
+impl PartialEq for Scheduled {
+    fn eq(&self, other: &Self) -> bool {
+        self.cmp(other) == Ordering::Equal
+    }
+}
+impl Eq for Scheduled {}
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // BinaryHeap is a max-heap; invert so earliest (tick, prio, seq)
+        // is popped first.
+        (other.when, other.prio, other.seq).cmp(&(self.when, self.prio, self.seq))
+    }
+}
+
+/// Why [`EventQueue::run`] returned.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExitStatus {
+    /// An event called [`EventQueue::exit_simulation`].
+    Exited {
+        /// Exit reason supplied by the event (e.g. `"m5_exit"`).
+        reason: String,
+        /// Exit code supplied by the event.
+        code: i64,
+    },
+    /// The queue drained with no events left.
+    Drained,
+    /// The tick limit passed to [`EventQueue::run`] was reached.
+    TickLimit,
+}
+
+/// Error returned when scheduling an event in the past.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScheduleError {
+    /// Tick the caller asked for.
+    pub requested: Tick,
+    /// Current simulated tick.
+    pub now: Tick,
+}
+
+impl fmt::Display for ScheduleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "event scheduled in the past (requested tick {}, now {})",
+            self.requested, self.now
+        )
+    }
+}
+
+impl std::error::Error for ScheduleError {}
+
+struct Inner {
+    heap: BinaryHeap<Scheduled>,
+    cur_tick: Tick,
+    seq: u64,
+    exit: Option<(String, i64)>,
+    events_serviced: u64,
+}
+
+/// The global event queue.
+///
+/// See the [module docs](self) for the design rationale. All methods take
+/// `&self`; the queue is intended to be shared via `Rc<EventQueue>`.
+pub struct EventQueue {
+    inner: RefCell<Inner>,
+}
+
+impl fmt::Debug for EventQueue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let inner = self.inner.borrow();
+        f.debug_struct("EventQueue")
+            .field("cur_tick", &inner.cur_tick)
+            .field("pending", &inner.heap.len())
+            .field("events_serviced", &inner.events_serviced)
+            .finish()
+    }
+}
+
+impl Default for EventQueue {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl EventQueue {
+    /// Creates an empty queue at tick 0.
+    pub fn new() -> Self {
+        EventQueue {
+            inner: RefCell::new(Inner {
+                heap: BinaryHeap::new(),
+                cur_tick: 0,
+                seq: 0,
+                exit: None,
+                events_serviced: 0,
+            }),
+        }
+    }
+
+    /// Current simulated tick.
+    pub fn cur_tick(&self) -> Tick {
+        self.inner.borrow().cur_tick
+    }
+
+    /// Number of events serviced so far.
+    pub fn events_serviced(&self) -> u64 {
+        self.inner.borrow().events_serviced
+    }
+
+    /// Number of events currently pending.
+    pub fn pending(&self) -> usize {
+        self.inner.borrow().heap.len()
+    }
+
+    /// Schedules `event` to run at tick `when` with `prio`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `when` is before the current tick; use
+    /// [`try_schedule`](Self::try_schedule) for a fallible variant.
+    pub fn schedule<F>(&self, when: Tick, prio: Priority, event: F)
+    where
+        F: FnOnce(&EventQueue) + 'static,
+    {
+        self.try_schedule(when, prio, event)
+            .unwrap_or_else(|e| panic!("{e}"));
+    }
+
+    /// Schedules a named event (the name shows up in panics/debugging).
+    pub fn schedule_named<F>(&self, desc: &'static str, when: Tick, prio: Priority, event: F)
+    where
+        F: FnOnce(&EventQueue) + 'static,
+    {
+        let mut inner = self.inner.borrow_mut();
+        assert!(
+            when >= inner.cur_tick,
+            "event '{desc}' scheduled in the past ({} < {})",
+            when,
+            inner.cur_tick
+        );
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.heap.push(Scheduled {
+            when,
+            prio,
+            seq,
+            func: Box::new(event),
+            desc,
+        });
+    }
+
+    /// Fallible [`schedule`](Self::schedule).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ScheduleError`] if `when` is before the current tick.
+    pub fn try_schedule<F>(&self, when: Tick, prio: Priority, event: F) -> Result<(), ScheduleError>
+    where
+        F: FnOnce(&EventQueue) + 'static,
+    {
+        let mut inner = self.inner.borrow_mut();
+        if when < inner.cur_tick {
+            return Err(ScheduleError {
+                requested: when,
+                now: inner.cur_tick,
+            });
+        }
+        let seq = inner.seq;
+        inner.seq += 1;
+        inner.heap.push(Scheduled {
+            when,
+            prio,
+            seq,
+            func: Box::new(event),
+            desc: "anonymous",
+        });
+        Ok(())
+    }
+
+    /// Requests that [`run`](Self::run) stop once the current event returns.
+    pub fn exit_simulation(&self, reason: impl Into<String>, code: i64) {
+        self.inner.borrow_mut().exit = Some((reason.into(), code));
+    }
+
+    /// Services the single earliest event. Returns `false` if the queue is
+    /// empty.
+    pub fn service_one(&self) -> bool {
+        let ev = {
+            let mut inner = self.inner.borrow_mut();
+            match inner.heap.pop() {
+                Some(ev) => {
+                    debug_assert!(ev.when >= inner.cur_tick, "event '{}' in past", ev.desc);
+                    inner.cur_tick = ev.when;
+                    inner.events_serviced += 1;
+                    ev
+                }
+                None => return false,
+            }
+        };
+        // The internal borrow is released; the handler may freely call
+        // back into the queue.
+        (ev.func)(self);
+        true
+    }
+
+    /// Runs until exit is requested, the queue drains, or `max_tick`
+    /// (if given) would be exceeded.
+    pub fn run(&self, max_tick: Option<Tick>) -> ExitStatus {
+        loop {
+            if let Some((reason, code)) = self.inner.borrow_mut().exit.take() {
+                return ExitStatus::Exited { reason, code };
+            }
+            if let Some(limit) = max_tick {
+                let next = self.inner.borrow().heap.peek().map(|e| e.when);
+                match next {
+                    Some(t) if t > limit => return ExitStatus::TickLimit,
+                    None => return ExitStatus::Drained,
+                    _ => {}
+                }
+            }
+            if !self.service_one() {
+                return ExitStatus::Drained;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::cell::RefCell as StdRefCell;
+    use std::rc::Rc;
+
+    fn record_order(events: &[(Tick, Priority)]) -> Vec<usize> {
+        let eq = EventQueue::new();
+        let order = Rc::new(StdRefCell::new(Vec::new()));
+        for (i, &(t, p)) in events.iter().enumerate() {
+            let o = Rc::clone(&order);
+            eq.schedule(t, p, move |_| o.borrow_mut().push(i));
+        }
+        eq.run(None);
+        Rc::try_unwrap(order).unwrap().into_inner()
+    }
+
+    #[test]
+    fn events_run_in_tick_order() {
+        let order = record_order(&[
+            (300, Priority::DEFAULT),
+            (100, Priority::DEFAULT),
+            (200, Priority::DEFAULT),
+        ]);
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn priority_breaks_ties() {
+        let order = record_order(&[
+            (100, Priority::STAT),
+            (100, Priority::CPU_TICK),
+            (100, Priority::DEFAULT),
+        ]);
+        assert_eq!(order, vec![1, 2, 0]);
+    }
+
+    #[test]
+    fn insertion_order_is_stable_for_equal_keys() {
+        let order = record_order(&[
+            (100, Priority::DEFAULT),
+            (100, Priority::DEFAULT),
+            (100, Priority::DEFAULT),
+        ]);
+        assert_eq!(order, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn handlers_can_schedule_more_events() {
+        let eq = EventQueue::new();
+        let hits = Rc::new(StdRefCell::new(Vec::new()));
+        let h = Rc::clone(&hits);
+        eq.schedule(10, Priority::DEFAULT, move |eq| {
+            h.borrow_mut().push(eq.cur_tick());
+            let h2 = Rc::clone(&h);
+            eq.schedule(eq.cur_tick() + 5, Priority::DEFAULT, move |eq| {
+                h2.borrow_mut().push(eq.cur_tick());
+            });
+        });
+        assert_eq!(eq.run(None), ExitStatus::Drained);
+        assert_eq!(*hits.borrow(), vec![10, 15]);
+    }
+
+    #[test]
+    fn exit_stops_the_loop_and_preserves_pending() {
+        let eq = EventQueue::new();
+        eq.schedule(1, Priority::DEFAULT, |eq| eq.exit_simulation("m5_exit", 0));
+        eq.schedule(2, Priority::DEFAULT, |_| panic!("must not run"));
+        match eq.run(None) {
+            ExitStatus::Exited { reason, code } => {
+                assert_eq!(reason, "m5_exit");
+                assert_eq!(code, 0);
+            }
+            other => panic!("unexpected {other:?}"),
+        }
+        assert_eq!(eq.pending(), 1);
+    }
+
+    #[test]
+    fn tick_limit_stops_before_later_events() {
+        let eq = EventQueue::new();
+        let ran = Rc::new(StdRefCell::new(0));
+        let r = Rc::clone(&ran);
+        eq.schedule(100, Priority::DEFAULT, move |_| *r.borrow_mut() += 1);
+        eq.schedule(10_000, Priority::DEFAULT, |_| panic!("beyond limit"));
+        assert_eq!(eq.run(Some(5000)), ExitStatus::TickLimit);
+        assert_eq!(*ran.borrow(), 1);
+        assert_eq!(eq.cur_tick(), 100);
+    }
+
+    #[test]
+    fn scheduling_in_past_errors() {
+        let eq = EventQueue::new();
+        eq.schedule(100, Priority::DEFAULT, |eq| {
+            let err = eq.try_schedule(50, Priority::DEFAULT, |_| ()).unwrap_err();
+            assert_eq!(err.requested, 50);
+            assert_eq!(err.now, 100);
+        });
+        eq.run(None);
+    }
+
+    #[test]
+    fn same_tick_rescheduling_runs_in_same_pass() {
+        // An event scheduled for the *current* tick from within a handler
+        // must still run (gem5 allows zero-delay events).
+        let eq = EventQueue::new();
+        let count = Rc::new(StdRefCell::new(0));
+        let c = Rc::clone(&count);
+        eq.schedule(7, Priority::DEFAULT, move |eq| {
+            let c2 = Rc::clone(&c);
+            eq.schedule(7, Priority::DEFAULT, move |_| *c2.borrow_mut() += 1);
+        });
+        eq.run(None);
+        assert_eq!(*count.borrow(), 1);
+    }
+
+    #[test]
+    fn events_serviced_counts() {
+        let eq = EventQueue::new();
+        for t in 0..50 {
+            eq.schedule(t, Priority::DEFAULT, |_| ());
+        }
+        eq.run(None);
+        assert_eq!(eq.events_serviced(), 50);
+    }
+}

@@ -1,0 +1,145 @@
+//! Simulated time.
+//!
+//! Like gem5, simulated time is expressed in integer *ticks* with a global
+//! resolution of 1 ps (10^12 ticks per simulated second). Component clocks
+//! are expressed as a [`Frequency`], which converts cycle counts into tick
+//! intervals.
+
+/// A point (or span) of simulated time, in picoseconds.
+pub type Tick = u64;
+
+/// Number of ticks in one simulated second (1 THz tick rate, like gem5).
+pub const TICKS_PER_SEC: Tick = 1_000_000_000_000;
+
+/// A component clock frequency.
+///
+/// Stores the clock *period* in ticks, so that converting cycles to ticks
+/// is a single multiply.
+///
+/// # Example
+///
+/// ```
+/// use gem5sim_event::Frequency;
+/// let f = Frequency::from_ghz(2.0);
+/// assert_eq!(f.period_ticks(), 500);
+/// assert_eq!(f.cycles_to_ticks(4), 2000);
+/// assert_eq!(f.ticks_to_cycles(2000), 4);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Frequency {
+    period: Tick,
+}
+
+impl Frequency {
+    /// Creates a frequency from a value in gigahertz.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ghz` is not strictly positive or if the resulting period
+    /// would round to zero ticks.
+    pub fn from_ghz(ghz: f64) -> Self {
+        assert!(ghz > 0.0, "frequency must be positive, got {ghz}");
+        let period = (1000.0 / ghz).round() as Tick;
+        assert!(period > 0, "frequency {ghz} GHz exceeds tick resolution");
+        Frequency { period }
+    }
+
+    /// Creates a frequency from a value in megahertz.
+    pub fn from_mhz(mhz: f64) -> Self {
+        Self::from_ghz(mhz / 1000.0)
+    }
+
+    /// The clock period in ticks.
+    pub fn period_ticks(self) -> Tick {
+        self.period
+    }
+
+    /// The frequency in gigahertz (inverse of the stored period).
+    pub fn ghz(self) -> f64 {
+        1000.0 / self.period as f64
+    }
+
+    /// Converts a cycle count into a tick span.
+    pub fn cycles_to_ticks(self, cycles: u64) -> Tick {
+        cycles * self.period
+    }
+
+    /// Converts a tick span into a (floored) cycle count.
+    pub fn ticks_to_cycles(self, ticks: Tick) -> u64 {
+        ticks / self.period
+    }
+
+    /// Rounds `tick` up to the next edge of this clock.
+    ///
+    /// ```
+    /// use gem5sim_event::Frequency;
+    /// let f = Frequency::from_ghz(1.0); // period = 1000 ticks
+    /// assert_eq!(f.next_edge(0), 0);
+    /// assert_eq!(f.next_edge(1), 1000);
+    /// assert_eq!(f.next_edge(1000), 1000);
+    /// ```
+    pub fn next_edge(self, tick: Tick) -> Tick {
+        tick.div_ceil(self.period) * self.period
+    }
+}
+
+impl Default for Frequency {
+    /// 1 GHz.
+    fn default() -> Self {
+        Frequency::from_ghz(1.0)
+    }
+}
+
+/// Converts ticks to simulated seconds.
+pub fn ticks_to_seconds(ticks: Tick) -> f64 {
+    ticks as f64 / TICKS_PER_SEC as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ghz_roundtrip() {
+        for ghz in [0.8, 1.0, 1.2, 2.0, 3.1, 3.2, 4.0, 4.1] {
+            let f = Frequency::from_ghz(ghz);
+            assert!((f.ghz() - ghz).abs() / ghz < 0.01, "{ghz} -> {}", f.ghz());
+        }
+    }
+
+    #[test]
+    fn mhz_matches_ghz() {
+        assert_eq!(Frequency::from_mhz(3100.0), Frequency::from_ghz(3.1));
+    }
+
+    #[test]
+    fn cycle_conversions_are_inverse_on_edges() {
+        let f = Frequency::from_ghz(2.5);
+        for c in [0u64, 1, 7, 1000, 123_456] {
+            assert_eq!(f.ticks_to_cycles(f.cycles_to_ticks(c)), c);
+        }
+    }
+
+    #[test]
+    fn next_edge_is_aligned_and_not_before() {
+        let f = Frequency::from_ghz(3.1);
+        for t in [0u64, 1, 322, 323, 645, 10_000] {
+            let e = f.next_edge(t);
+            assert!(e >= t);
+            assert_eq!(e % f.period_ticks(), 0);
+            assert!(e - t < f.period_ticks());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_frequency_panics() {
+        let _ = Frequency::from_ghz(0.0);
+    }
+
+    #[test]
+    fn seconds_conversion() {
+        assert!((ticks_to_seconds(TICKS_PER_SEC) - 1.0).abs() < 1e-12);
+        assert!((ticks_to_seconds(TICKS_PER_SEC / 2) - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,540 @@
+//! A label-based assembler for the guest ISA.
+//!
+//! [`ProgramBuilder`] is a non-consuming builder: instruction-emitting
+//! methods return `&mut Self` for chaining, and [`assemble`]
+//! (which resolves forward label references) borrows the builder.
+//!
+//! [`assemble`]: ProgramBuilder::assemble
+
+use crate::inst::{AluOp, BranchCond, FCmpOp, FReg, FpuOp, Inst, MemSize, Reg};
+use crate::program::{Program, INST_BYTES, TEXT_BASE};
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Error produced by [`ProgramBuilder::assemble`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum AssembleError {
+    /// A branch or jump referenced a label that was never defined.
+    UndefinedLabel(String),
+    /// The same label was defined twice.
+    DuplicateLabel(String),
+    /// The program has no instructions.
+    Empty,
+}
+
+impl fmt::Display for AssembleError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AssembleError::UndefinedLabel(l) => write!(f, "undefined label `{l}`"),
+            AssembleError::DuplicateLabel(l) => write!(f, "duplicate label `{l}`"),
+            AssembleError::Empty => write!(f, "program has no instructions"),
+        }
+    }
+}
+
+impl std::error::Error for AssembleError {}
+
+#[derive(Debug, Clone)]
+enum Pending {
+    Ready(Inst),
+    BranchTo {
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        label: String,
+    },
+    JalTo {
+        rd: Reg,
+        label: String,
+    },
+    /// `li rd, <label pc>`: materialize a code address (for indirect jumps
+    /// through tables, modelling virtual dispatch in guest code).
+    LiLabel {
+        rd: Reg,
+        label: String,
+    },
+}
+
+/// Builds a [`Program`] one instruction at a time.
+///
+/// # Example
+///
+/// ```
+/// use gem5sim_isa::{asm::ProgramBuilder, Reg};
+/// let mut b = ProgramBuilder::new();
+/// b.li(Reg::A0, 0)
+///     .li(Reg::T0, 10)
+///     .label("loop")
+///     .addi(Reg::A0, Reg::A0, 1)
+///     .addi(Reg::T0, Reg::T0, -1)
+///     .bne(Reg::T0, Reg::ZERO, "loop")
+///     .halt();
+/// let prog = b.assemble()?;
+/// assert_eq!(prog.len(), 6);
+/// # Ok::<(), gem5sim_isa::asm::AssembleError>(())
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct ProgramBuilder {
+    insts: Vec<Pending>,
+    labels: BTreeMap<String, u64>,
+    duplicate: Option<String>,
+}
+
+impl ProgramBuilder {
+    /// Creates an empty builder.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of instructions emitted so far.
+    pub fn len(&self) -> usize {
+        self.insts.len()
+    }
+
+    /// Whether no instructions have been emitted.
+    pub fn is_empty(&self) -> bool {
+        self.insts.is_empty()
+    }
+
+    fn next_pc(&self) -> u64 {
+        TEXT_BASE + self.insts.len() as u64 * INST_BYTES
+    }
+
+    /// Defines `name` at the current position.
+    pub fn label(&mut self, name: impl Into<String>) -> &mut Self {
+        let name = name.into();
+        let pc = self.next_pc();
+        if self.labels.insert(name.clone(), pc).is_some() && self.duplicate.is_none() {
+            self.duplicate = Some(name);
+        }
+        self
+    }
+
+    /// Emits a raw instruction.
+    pub fn inst(&mut self, i: Inst) -> &mut Self {
+        self.insts.push(Pending::Ready(i));
+        self
+    }
+
+    // ---- integer ALU ----
+
+    /// `rd = rs1 op rs2`.
+    pub fn alu(&mut self, op: AluOp, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.inst(Inst::Alu { op, rd, rs1, rs2 })
+    }
+
+    /// `rd = rs1 op imm`.
+    pub fn alui(&mut self, op: AluOp, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.inst(Inst::AluImm { op, rd, rs1, imm })
+    }
+
+    /// `rd = rs1 + rs2`.
+    pub fn add(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Add, rd, rs1, rs2)
+    }
+
+    /// `rd = rs1 - rs2`.
+    pub fn sub(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Sub, rd, rs1, rs2)
+    }
+
+    /// `rd = rs1 * rs2`.
+    pub fn mul(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Mul, rd, rs1, rs2)
+    }
+
+    /// `rd = rs1 / rs2` (signed; division by zero yields -1, like RISC-V).
+    pub fn div(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Div, rd, rs1, rs2)
+    }
+
+    /// `rd = rs1 % rs2`.
+    pub fn rem(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Rem, rd, rs1, rs2)
+    }
+
+    /// `rd = rs1 & rs2`.
+    pub fn and(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::And, rd, rs1, rs2)
+    }
+
+    /// `rd = rs1 | rs2`.
+    pub fn or(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Or, rd, rs1, rs2)
+    }
+
+    /// `rd = rs1 ^ rs2`.
+    pub fn xor(&mut self, rd: Reg, rs1: Reg, rs2: Reg) -> &mut Self {
+        self.alu(AluOp::Xor, rd, rs1, rs2)
+    }
+
+    /// `rd = rs1 + imm`.
+    pub fn addi(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alui(AluOp::Add, rd, rs1, imm)
+    }
+
+    /// `rd = rs1 & imm`.
+    pub fn andi(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alui(AluOp::And, rd, rs1, imm)
+    }
+
+    /// `rd = rs1 ^ imm`.
+    pub fn xori(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alui(AluOp::Xor, rd, rs1, imm)
+    }
+
+    /// `rd = rs1 << imm`.
+    pub fn slli(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alui(AluOp::Sll, rd, rs1, imm)
+    }
+
+    /// `rd = rs1 >> imm` (logical).
+    pub fn srli(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alui(AluOp::Srl, rd, rs1, imm)
+    }
+
+    /// `rd = (rs1 < imm) as i64` (signed).
+    pub fn slti(&mut self, rd: Reg, rs1: Reg, imm: i64) -> &mut Self {
+        self.alui(AluOp::Slt, rd, rs1, imm)
+    }
+
+    /// `rd = imm`.
+    pub fn li(&mut self, rd: Reg, imm: i64) -> &mut Self {
+        self.inst(Inst::Li { rd, imm })
+    }
+
+    /// `rd = <pc of label>` — materializes a code address for indirect
+    /// jumps (resolved at assembly).
+    pub fn li_label(&mut self, rd: Reg, label: impl Into<String>) -> &mut Self {
+        self.insts.push(Pending::LiLabel {
+            rd,
+            label: label.into(),
+        });
+        self
+    }
+
+    /// `rd = rs1` (pseudo `mv`).
+    pub fn mv(&mut self, rd: Reg, rs1: Reg) -> &mut Self {
+        self.addi(rd, rs1, 0)
+    }
+
+    // ---- floating point ----
+
+    /// `fd = fs1 op fs2`.
+    pub fn fpu(&mut self, op: FpuOp, fd: FReg, fs1: FReg, fs2: FReg) -> &mut Self {
+        self.inst(Inst::Fpu { op, fd, fs1, fs2 })
+    }
+
+    /// `fd = fs1 + fs2`.
+    pub fn fadd(&mut self, fd: FReg, fs1: FReg, fs2: FReg) -> &mut Self {
+        self.fpu(FpuOp::Add, fd, fs1, fs2)
+    }
+
+    /// `fd = fs1 - fs2`.
+    pub fn fsub(&mut self, fd: FReg, fs1: FReg, fs2: FReg) -> &mut Self {
+        self.fpu(FpuOp::Sub, fd, fs1, fs2)
+    }
+
+    /// `fd = fs1 * fs2`.
+    pub fn fmul(&mut self, fd: FReg, fs1: FReg, fs2: FReg) -> &mut Self {
+        self.fpu(FpuOp::Mul, fd, fs1, fs2)
+    }
+
+    /// `fd = fs1 / fs2`.
+    pub fn fdiv(&mut self, fd: FReg, fs1: FReg, fs2: FReg) -> &mut Self {
+        self.fpu(FpuOp::Div, fd, fs1, fs2)
+    }
+
+    /// `fd = sqrt(fs1)`.
+    pub fn fsqrt(&mut self, fd: FReg, fs1: FReg) -> &mut Self {
+        self.fpu(FpuOp::Sqrt, fd, fs1, fs1)
+    }
+
+    /// `fd = (double) rs`.
+    pub fn fcvt_if(&mut self, fd: FReg, rs: Reg) -> &mut Self {
+        self.inst(Inst::FCvtIF { fd, rs })
+    }
+
+    /// `rd = (i64) fs` (truncating).
+    pub fn fcvt_fi(&mut self, rd: Reg, fs: FReg) -> &mut Self {
+        self.inst(Inst::FCvtFI { rd, fs })
+    }
+
+    /// `rd = (fs1 < fs2) as i64`.
+    pub fn flt(&mut self, rd: Reg, fs1: FReg, fs2: FReg) -> &mut Self {
+        self.inst(Inst::FCmp {
+            op: FCmpOp::Lt,
+            rd,
+            fs1,
+            fs2,
+        })
+    }
+
+    // ---- memory ----
+
+    /// Load of width `size` (sign-extended when `signed`).
+    pub fn load(&mut self, size: MemSize, signed: bool, rd: Reg, base: Reg, off: i64) -> &mut Self {
+        self.inst(Inst::Load {
+            size,
+            signed,
+            rd,
+            base,
+            off,
+        })
+    }
+
+    /// `rd = *(i64*)(base + off)`.
+    pub fn ld(&mut self, rd: Reg, base: Reg, off: i64) -> &mut Self {
+        self.load(MemSize::D, true, rd, base, off)
+    }
+
+    /// `rd = *(i32*)(base + off)` (sign-extended).
+    pub fn lw(&mut self, rd: Reg, base: Reg, off: i64) -> &mut Self {
+        self.load(MemSize::W, true, rd, base, off)
+    }
+
+    /// `rd = *(u8*)(base + off)` (zero-extended).
+    pub fn lbu(&mut self, rd: Reg, base: Reg, off: i64) -> &mut Self {
+        self.load(MemSize::B, false, rd, base, off)
+    }
+
+    /// Store of width `size`.
+    pub fn store(&mut self, size: MemSize, rs: Reg, base: Reg, off: i64) -> &mut Self {
+        self.inst(Inst::Store { size, rs, base, off })
+    }
+
+    /// `*(i64*)(base + off) = rs`.
+    pub fn sd(&mut self, rs: Reg, base: Reg, off: i64) -> &mut Self {
+        self.store(MemSize::D, rs, base, off)
+    }
+
+    /// `*(i32*)(base + off) = rs`.
+    pub fn sw(&mut self, rs: Reg, base: Reg, off: i64) -> &mut Self {
+        self.store(MemSize::W, rs, base, off)
+    }
+
+    /// `*(u8*)(base + off) = rs`.
+    pub fn sb(&mut self, rs: Reg, base: Reg, off: i64) -> &mut Self {
+        self.store(MemSize::B, rs, base, off)
+    }
+
+    /// `fd = *(f64*)(base + off)`.
+    pub fn fld(&mut self, fd: FReg, base: Reg, off: i64) -> &mut Self {
+        self.inst(Inst::FLoad { fd, base, off })
+    }
+
+    /// `*(f64*)(base + off) = fs`.
+    pub fn fsd(&mut self, fs: FReg, base: Reg, off: i64) -> &mut Self {
+        self.inst(Inst::FStore { fs, base, off })
+    }
+
+    // ---- control flow ----
+
+    /// Conditional branch to `label`.
+    pub fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, label: impl Into<String>) -> &mut Self {
+        self.insts.push(Pending::BranchTo {
+            cond,
+            rs1,
+            rs2,
+            label: label.into(),
+        });
+        self
+    }
+
+    /// Branch if equal.
+    pub fn beq(&mut self, rs1: Reg, rs2: Reg, label: impl Into<String>) -> &mut Self {
+        self.branch(BranchCond::Eq, rs1, rs2, label)
+    }
+
+    /// Branch if not equal.
+    pub fn bne(&mut self, rs1: Reg, rs2: Reg, label: impl Into<String>) -> &mut Self {
+        self.branch(BranchCond::Ne, rs1, rs2, label)
+    }
+
+    /// Branch if less-than (signed).
+    pub fn blt(&mut self, rs1: Reg, rs2: Reg, label: impl Into<String>) -> &mut Self {
+        self.branch(BranchCond::Lt, rs1, rs2, label)
+    }
+
+    /// Branch if greater-or-equal (signed).
+    pub fn bge(&mut self, rs1: Reg, rs2: Reg, label: impl Into<String>) -> &mut Self {
+        self.branch(BranchCond::Ge, rs1, rs2, label)
+    }
+
+    /// Branch if less-than (unsigned).
+    pub fn bltu(&mut self, rs1: Reg, rs2: Reg, label: impl Into<String>) -> &mut Self {
+        self.branch(BranchCond::Ltu, rs1, rs2, label)
+    }
+
+    /// Unconditional jump to `label` (no link).
+    pub fn j(&mut self, label: impl Into<String>) -> &mut Self {
+        self.insts.push(Pending::JalTo {
+            rd: Reg::ZERO,
+            label: label.into(),
+        });
+        self
+    }
+
+    /// Call `label` (link in `ra`).
+    pub fn call(&mut self, label: impl Into<String>) -> &mut Self {
+        self.insts.push(Pending::JalTo {
+            rd: Reg::RA,
+            label: label.into(),
+        });
+        self
+    }
+
+    /// Return (`jalr x0, 0(ra)`).
+    pub fn ret(&mut self) -> &mut Self {
+        self.inst(Inst::Jalr {
+            rd: Reg::ZERO,
+            base: Reg::RA,
+            off: 0,
+        })
+    }
+
+    /// Indirect jump with link.
+    pub fn jalr(&mut self, rd: Reg, base: Reg, off: i64) -> &mut Self {
+        self.inst(Inst::Jalr { rd, base, off })
+    }
+
+    /// Environment call.
+    pub fn ecall(&mut self) -> &mut Self {
+        self.inst(Inst::Ecall)
+    }
+
+    /// Return from interrupt.
+    pub fn iret(&mut self) -> &mut Self {
+        self.inst(Inst::Iret)
+    }
+
+    /// No-op.
+    pub fn nop(&mut self) -> &mut Self {
+        self.inst(Inst::Nop)
+    }
+
+    /// Stop the hart.
+    pub fn halt(&mut self) -> &mut Self {
+        self.inst(Inst::Halt)
+    }
+
+    /// Resolves labels and produces a [`Program`] with entry at the first
+    /// instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`AssembleError`] for undefined or duplicate labels, or an
+    /// empty program.
+    pub fn assemble(&self) -> Result<Program, AssembleError> {
+        if let Some(dup) = &self.duplicate {
+            return Err(AssembleError::DuplicateLabel(dup.clone()));
+        }
+        if self.insts.is_empty() {
+            return Err(AssembleError::Empty);
+        }
+        let lookup = |label: &str| {
+            self.labels
+                .get(label)
+                .copied()
+                .ok_or_else(|| AssembleError::UndefinedLabel(label.to_string()))
+        };
+        let mut text = Vec::with_capacity(self.insts.len());
+        for p in &self.insts {
+            let inst = match p {
+                Pending::Ready(i) => *i,
+                Pending::BranchTo {
+                    cond,
+                    rs1,
+                    rs2,
+                    label,
+                } => Inst::Branch {
+                    cond: *cond,
+                    rs1: *rs1,
+                    rs2: *rs2,
+                    target: lookup(label)?,
+                },
+                Pending::JalTo { rd, label } => Inst::Jal {
+                    rd: *rd,
+                    target: lookup(label)?,
+                },
+                Pending::LiLabel { rd, label } => Inst::Li {
+                    rd: *rd,
+                    imm: lookup(label)? as i64,
+                },
+            };
+            text.push(inst);
+        }
+        Ok(Program::new(text, self.labels.clone(), TEXT_BASE))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn forward_and_backward_labels_resolve() {
+        let mut b = ProgramBuilder::new();
+        b.label("start")
+            .beq(Reg::A0, Reg::ZERO, "end") // forward
+            .addi(Reg::A0, Reg::A0, -1)
+            .j("start") // backward
+            .label("end")
+            .halt();
+        let p = b.assemble().unwrap();
+        assert_eq!(p.symbol("start"), Some(TEXT_BASE));
+        assert_eq!(p.symbol("end"), Some(TEXT_BASE + 12));
+        match p.fetch(TEXT_BASE).unwrap() {
+            Inst::Branch { target, .. } => assert_eq!(target, TEXT_BASE + 12),
+            other => panic!("unexpected {other:?}"),
+        }
+        match p.fetch(TEXT_BASE + 8).unwrap() {
+            Inst::Jal { target, .. } => assert_eq!(target, TEXT_BASE),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn li_label_materializes_pc() {
+        let mut b = ProgramBuilder::new();
+        b.li_label(Reg::T0, "fn").jalr(Reg::RA, Reg::T0, 0).halt().label("fn").ret();
+        let p = b.assemble().unwrap();
+        match p.fetch(TEXT_BASE).unwrap() {
+            Inst::Li { imm, .. } => assert_eq!(imm as u64, TEXT_BASE + 12),
+            other => panic!("unexpected {other:?}"),
+        }
+    }
+
+    #[test]
+    fn undefined_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.j("nowhere");
+        assert_eq!(
+            b.assemble(),
+            Err(AssembleError::UndefinedLabel("nowhere".to_string()))
+        );
+    }
+
+    #[test]
+    fn duplicate_label_is_an_error() {
+        let mut b = ProgramBuilder::new();
+        b.label("x").nop().label("x").halt();
+        assert_eq!(
+            b.assemble(),
+            Err(AssembleError::DuplicateLabel("x".to_string()))
+        );
+    }
+
+    #[test]
+    fn empty_program_is_an_error() {
+        assert_eq!(ProgramBuilder::new().assemble(), Err(AssembleError::Empty));
+    }
+
+    #[test]
+    fn builder_len_tracks_instructions_not_labels() {
+        let mut b = ProgramBuilder::new();
+        assert!(b.is_empty());
+        b.label("a").nop().label("b").nop();
+        assert_eq!(b.len(), 2);
+    }
+}

@@ -1,0 +1,551 @@
+//! Instruction definitions and static classification.
+
+use std::fmt;
+
+/// An integer register. `Reg(0)` is the hard-wired zero register.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Reg(pub u8);
+
+impl Reg {
+    /// Hard-wired zero.
+    pub const ZERO: Reg = Reg(0);
+    /// Return address.
+    pub const RA: Reg = Reg(1);
+    /// Stack pointer.
+    pub const SP: Reg = Reg(2);
+    /// Global pointer.
+    pub const GP: Reg = Reg(3);
+    /// Thread pointer.
+    pub const TP: Reg = Reg(4);
+    /// Temporaries.
+    pub const T0: Reg = Reg(5);
+    /// Temporary 1.
+    pub const T1: Reg = Reg(6);
+    /// Temporary 2.
+    pub const T2: Reg = Reg(7);
+    /// Saved register / frame pointer.
+    pub const S0: Reg = Reg(8);
+    /// Saved register 1.
+    pub const S1: Reg = Reg(9);
+    /// Argument / return value 0.
+    pub const A0: Reg = Reg(10);
+    /// Argument 1.
+    pub const A1: Reg = Reg(11);
+    /// Argument 2.
+    pub const A2: Reg = Reg(12);
+    /// Argument 3.
+    pub const A3: Reg = Reg(13);
+    /// Argument 4.
+    pub const A4: Reg = Reg(14);
+    /// Argument 5.
+    pub const A5: Reg = Reg(15);
+    /// Argument 6.
+    pub const A6: Reg = Reg(16);
+    /// Syscall number register (RISC-V convention).
+    pub const A7: Reg = Reg(17);
+    /// Saved register 2.
+    pub const S2: Reg = Reg(18);
+    /// Saved register 3.
+    pub const S3: Reg = Reg(19);
+    /// Saved register 4.
+    pub const S4: Reg = Reg(20);
+    /// Saved register 5.
+    pub const S5: Reg = Reg(21);
+    /// Saved register 6.
+    pub const S6: Reg = Reg(22);
+    /// Saved register 7.
+    pub const S7: Reg = Reg(23);
+    /// Saved register 8.
+    pub const S8: Reg = Reg(24);
+    /// Temporary 3.
+    pub const T3: Reg = Reg(28);
+    /// Temporary 4.
+    pub const T4: Reg = Reg(29);
+    /// Temporary 5.
+    pub const T5: Reg = Reg(30);
+    /// Temporary 6.
+    pub const T6: Reg = Reg(31);
+
+    /// Register index (0–31).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for Reg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "x{}", self.0)
+    }
+}
+
+/// A floating-point register (f0–f31), holding an `f64`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FReg(pub u8);
+
+impl FReg {
+    /// Register index (0–31).
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for FReg {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+/// Integer ALU operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum AluOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Rem,
+    And,
+    Or,
+    Xor,
+    Sll,
+    Srl,
+    Sra,
+    Slt,
+    Sltu,
+}
+
+/// Floating-point operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum FpuOp {
+    Add,
+    Sub,
+    Mul,
+    Div,
+    Sqrt,
+    Min,
+    Max,
+}
+
+/// FP comparison predicates (result written to an integer register).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum FCmpOp {
+    Eq,
+    Lt,
+    Le,
+}
+
+/// Memory access width.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum MemSize {
+    /// 1 byte.
+    B,
+    /// 2 bytes.
+    H,
+    /// 4 bytes.
+    W,
+    /// 8 bytes.
+    D,
+}
+
+impl MemSize {
+    /// Width in bytes.
+    pub fn bytes(self) -> u64 {
+        match self {
+            MemSize::B => 1,
+            MemSize::H => 2,
+            MemSize::W => 4,
+            MemSize::D => 8,
+        }
+    }
+}
+
+/// Conditional branch predicates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum BranchCond {
+    Eq,
+    Ne,
+    Lt,
+    Ge,
+    Ltu,
+    Geu,
+}
+
+/// A guest instruction.
+///
+/// Branch and jump targets are absolute guest PCs (resolved by the
+/// assembler from labels).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Inst {
+    /// Register-register ALU operation.
+    Alu {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// First source.
+        rs1: Reg,
+        /// Second source.
+        rs2: Reg,
+    },
+    /// Register-immediate ALU operation.
+    AluImm {
+        /// Operation.
+        op: AluOp,
+        /// Destination.
+        rd: Reg,
+        /// Source.
+        rs1: Reg,
+        /// Immediate operand.
+        imm: i64,
+    },
+    /// Load immediate (pseudo `li`).
+    Li {
+        /// Destination.
+        rd: Reg,
+        /// Immediate value.
+        imm: i64,
+    },
+    /// Register-register FP operation (`fs2` ignored for `Sqrt`).
+    Fpu {
+        /// Operation.
+        op: FpuOp,
+        /// Destination.
+        fd: FReg,
+        /// First source.
+        fs1: FReg,
+        /// Second source.
+        fs2: FReg,
+    },
+    /// Convert integer to double.
+    FCvtIF {
+        /// FP destination.
+        fd: FReg,
+        /// Integer source.
+        rs: Reg,
+    },
+    /// Convert double to integer (truncating).
+    FCvtFI {
+        /// Integer destination.
+        rd: Reg,
+        /// FP source.
+        fs: FReg,
+    },
+    /// FP comparison into an integer register (1 if true else 0).
+    FCmp {
+        /// Predicate.
+        op: FCmpOp,
+        /// Integer destination.
+        rd: Reg,
+        /// First FP source.
+        fs1: FReg,
+        /// Second FP source.
+        fs2: FReg,
+    },
+    /// Integer load.
+    Load {
+        /// Access width.
+        size: MemSize,
+        /// Sign-extend narrower loads when true.
+        signed: bool,
+        /// Destination.
+        rd: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        off: i64,
+    },
+    /// Integer store.
+    Store {
+        /// Access width.
+        size: MemSize,
+        /// Value source.
+        rs: Reg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        off: i64,
+    },
+    /// FP load (8 bytes).
+    FLoad {
+        /// Destination.
+        fd: FReg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        off: i64,
+    },
+    /// FP store (8 bytes).
+    FStore {
+        /// Value source.
+        fs: FReg,
+        /// Base address register.
+        base: Reg,
+        /// Byte offset.
+        off: i64,
+    },
+    /// Conditional branch to an absolute PC.
+    Branch {
+        /// Predicate.
+        cond: BranchCond,
+        /// First source.
+        rs1: Reg,
+        /// Second source.
+        rs2: Reg,
+        /// Absolute target PC.
+        target: u64,
+    },
+    /// Jump and link to an absolute PC.
+    Jal {
+        /// Link register (often `Reg::RA`, or `Reg::ZERO` for plain jumps).
+        rd: Reg,
+        /// Absolute target PC.
+        target: u64,
+    },
+    /// Indirect jump and link.
+    Jalr {
+        /// Link register.
+        rd: Reg,
+        /// Target base register.
+        base: Reg,
+        /// Byte offset added to the base.
+        off: i64,
+    },
+    /// Environment call (syscall in SE mode, firmware service in FS mode).
+    Ecall,
+    /// Return from interrupt (FS mode): restores the PC saved at
+    /// interrupt entry. Does not touch general registers.
+    Iret,
+    /// No operation.
+    Nop,
+    /// Stop the hart (pseudo-instruction standing in for gem5's
+    /// `m5_exit` magic instruction).
+    Halt,
+}
+
+/// Static instruction class, used by the timing CPU models for functional
+/// unit selection and latency.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[allow(missing_docs)]
+pub enum InstClass {
+    IntAlu,
+    IntMul,
+    IntDiv,
+    FpAlu,
+    FpMul,
+    FpDiv,
+    Load,
+    Store,
+    Branch,
+    Jump,
+    Syscall,
+    Nop,
+}
+
+impl Inst {
+    /// Static classification of this instruction.
+    pub fn class(&self) -> InstClass {
+        match self {
+            Inst::Alu { op, .. } | Inst::AluImm { op, .. } => match op {
+                AluOp::Mul => InstClass::IntMul,
+                AluOp::Div | AluOp::Rem => InstClass::IntDiv,
+                _ => InstClass::IntAlu,
+            },
+            Inst::Li { .. } => InstClass::IntAlu,
+            Inst::Fpu { op, .. } => match op {
+                FpuOp::Mul => InstClass::FpMul,
+                FpuOp::Div | FpuOp::Sqrt => InstClass::FpDiv,
+                _ => InstClass::FpAlu,
+            },
+            Inst::FCvtIF { .. } | Inst::FCvtFI { .. } | Inst::FCmp { .. } => InstClass::FpAlu,
+            Inst::Load { .. } | Inst::FLoad { .. } => InstClass::Load,
+            Inst::Store { .. } | Inst::FStore { .. } => InstClass::Store,
+            Inst::Branch { .. } => InstClass::Branch,
+            Inst::Jal { .. } | Inst::Jalr { .. } => InstClass::Jump,
+            Inst::Ecall => InstClass::Syscall,
+            Inst::Iret => InstClass::Jump,
+            Inst::Nop | Inst::Halt => InstClass::Nop,
+        }
+    }
+
+    /// Whether this instruction can redirect control flow.
+    pub fn is_control(&self) -> bool {
+        matches!(
+            self.class(),
+            InstClass::Branch | InstClass::Jump | InstClass::Syscall
+        ) || matches!(self, Inst::Halt)
+    }
+
+    /// Whether this instruction accesses memory.
+    pub fn is_mem(&self) -> bool {
+        matches!(self.class(), InstClass::Load | InstClass::Store)
+    }
+
+    /// Destination integer register, if any (excluding the zero register).
+    pub fn int_dest(&self) -> Option<Reg> {
+        let rd = match *self {
+            Inst::Alu { rd, .. }
+            | Inst::AluImm { rd, .. }
+            | Inst::Li { rd, .. }
+            | Inst::FCvtFI { rd, .. }
+            | Inst::FCmp { rd, .. }
+            | Inst::Load { rd, .. }
+            | Inst::Jal { rd, .. }
+            | Inst::Jalr { rd, .. } => rd,
+            _ => return None,
+        };
+        (rd != Reg::ZERO).then_some(rd)
+    }
+
+    /// Integer source registers (up to two).
+    pub fn int_srcs(&self) -> [Option<Reg>; 2] {
+        match *self {
+            Inst::Alu { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
+            Inst::AluImm { rs1, .. } => [Some(rs1), None],
+            Inst::FCvtIF { rs, .. } => [Some(rs), None],
+            Inst::Load { base, .. } | Inst::FLoad { base, .. } => [Some(base), None],
+            Inst::Store { rs, base, .. } => [Some(rs), Some(base)],
+            Inst::FStore { base, .. } => [Some(base), None],
+            Inst::Branch { rs1, rs2, .. } => [Some(rs1), Some(rs2)],
+            Inst::Jalr { base, .. } => [Some(base), None],
+            _ => [None, None],
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Alu { op, rd, rs1, rs2 } => write!(f, "{op:?} {rd}, {rs1}, {rs2}"),
+            Inst::AluImm { op, rd, rs1, imm } => write!(f, "{op:?}i {rd}, {rs1}, {imm}"),
+            Inst::Li { rd, imm } => write!(f, "li {rd}, {imm}"),
+            Inst::Fpu { op, fd, fs1, fs2 } => write!(f, "f{op:?} {fd}, {fs1}, {fs2}"),
+            Inst::FCvtIF { fd, rs } => write!(f, "fcvt.d.l {fd}, {rs}"),
+            Inst::FCvtFI { rd, fs } => write!(f, "fcvt.l.d {rd}, {fs}"),
+            Inst::FCmp { op, rd, fs1, fs2 } => write!(f, "f{op:?} {rd}, {fs1}, {fs2}"),
+            Inst::Load {
+                size,
+                signed,
+                rd,
+                base,
+                off,
+            } => write!(
+                f,
+                "l{}{} {rd}, {off}({base})",
+                format!("{size:?}").to_lowercase(),
+                if *signed { "" } else { "u" }
+            ),
+            Inst::Store { size, rs, base, off } => write!(
+                f,
+                "s{} {rs}, {off}({base})",
+                format!("{size:?}").to_lowercase()
+            ),
+            Inst::FLoad { fd, base, off } => write!(f, "fld {fd}, {off}({base})"),
+            Inst::FStore { fs, base, off } => write!(f, "fsd {fs}, {off}({base})"),
+            Inst::Branch {
+                cond,
+                rs1,
+                rs2,
+                target,
+            } => write!(
+                f,
+                "b{} {rs1}, {rs2}, {target:#x}",
+                format!("{cond:?}").to_lowercase()
+            ),
+            Inst::Jal { rd, target } => write!(f, "jal {rd}, {target:#x}"),
+            Inst::Jalr { rd, base, off } => write!(f, "jalr {rd}, {off}({base})"),
+            Inst::Ecall => write!(f, "ecall"),
+            Inst::Iret => write!(f, "iret"),
+            Inst::Nop => write!(f, "nop"),
+            Inst::Halt => write!(f, "halt"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classification_matches_semantics() {
+        let mul = Inst::Alu {
+            op: AluOp::Mul,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            rs2: Reg::A2,
+        };
+        assert_eq!(mul.class(), InstClass::IntMul);
+        let div = Inst::AluImm {
+            op: AluOp::Rem,
+            rd: Reg::A0,
+            rs1: Reg::A1,
+            imm: 3,
+        };
+        assert_eq!(div.class(), InstClass::IntDiv);
+        let fsqrt = Inst::Fpu {
+            op: FpuOp::Sqrt,
+            fd: FReg(0),
+            fs1: FReg(1),
+            fs2: FReg(0),
+        };
+        assert_eq!(fsqrt.class(), InstClass::FpDiv);
+        assert!(Inst::Ecall.is_control());
+        assert!(Inst::Halt.is_control());
+        assert!(!Inst::Nop.is_control());
+        assert!(Inst::FLoad {
+            fd: FReg(0),
+            base: Reg::SP,
+            off: 0
+        }
+        .is_mem());
+    }
+
+    #[test]
+    fn zero_register_is_never_a_dest() {
+        let i = Inst::Li {
+            rd: Reg::ZERO,
+            imm: 5,
+        };
+        assert_eq!(i.int_dest(), None);
+        let i = Inst::Li { rd: Reg::A0, imm: 5 };
+        assert_eq!(i.int_dest(), Some(Reg::A0));
+    }
+
+    #[test]
+    fn sources_reported() {
+        let st = Inst::Store {
+            size: MemSize::D,
+            rs: Reg::A0,
+            base: Reg::SP,
+            off: 8,
+        };
+        assert_eq!(st.int_srcs(), [Some(Reg::A0), Some(Reg::SP)]);
+    }
+
+    #[test]
+    fn display_is_nonempty_for_all_shapes() {
+        let insts = [
+            Inst::Nop,
+            Inst::Halt,
+            Inst::Ecall,
+            Inst::Li { rd: Reg::A0, imm: 1 },
+            Inst::Jal {
+                rd: Reg::RA,
+                target: 0x1000,
+            },
+        ];
+        for i in insts {
+            assert!(!i.to_string().is_empty());
+        }
+    }
+
+    #[test]
+    fn mem_size_bytes() {
+        assert_eq!(MemSize::B.bytes(), 1);
+        assert_eq!(MemSize::H.bytes(), 2);
+        assert_eq!(MemSize::W.bytes(), 4);
+        assert_eq!(MemSize::D.bytes(), 8);
+    }
+}

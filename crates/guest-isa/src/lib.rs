@@ -1,0 +1,45 @@
+//! Guest instruction-set architecture for the `gem5sim` simulator.
+//!
+//! The paper's simulated targets run ARM binaries (PARSEC / SPLASH-2x,
+//! a Linux boot image, and a small C++ program). We substitute a compact
+//! RISC-style 64-bit ISA, rich enough to express the same workload kernels:
+//! 31 integer registers + zero register, 32 floating-point registers,
+//! loads/stores of 1/2/4/8 bytes, conditional branches, jumps with link,
+//! and an `ecall` for syscalls (SE mode) / firmware services (FS mode).
+//!
+//! The crate provides:
+//! * [`Inst`] — the instruction set, with static classification
+//!   ([`Inst::class`]) used by the timing CPU models;
+//! * [`asm::ProgramBuilder`] — a label-based assembler;
+//! * [`Program`] — an assembled text segment;
+//! * [`exec`] — the architectural executor shared by all CPU models, which
+//!   guarantees every model computes identical architectural results.
+//!
+//! # Example
+//!
+//! ```
+//! use gem5sim_isa::{asm::ProgramBuilder, exec::{ArchState, StepAction}, Reg};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.li(Reg::A0, 2).li(Reg::A1, 40).add(Reg::A0, Reg::A0, Reg::A1).halt();
+//! let prog = b.assemble().unwrap();
+//!
+//! let mut st = ArchState::new(prog.entry_pc());
+//! let mut mem = vec![0u8; 0];
+//! loop {
+//!     let inst = prog.fetch(st.pc).unwrap();
+//!     match gem5sim_isa::exec::step(&mut st, inst, &mut mem) {
+//!         StepAction::Halt => break,
+//!         _ => {}
+//!     }
+//! }
+//! assert_eq!(st.read(Reg::A0), 42);
+//! ```
+
+pub mod asm;
+pub mod exec;
+pub mod inst;
+pub mod program;
+
+pub use inst::{AluOp, BranchCond, FCmpOp, FReg, FpuOp, Inst, InstClass, MemSize, Reg};
+pub use program::{Program, TEXT_BASE};

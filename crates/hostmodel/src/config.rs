@@ -1,0 +1,203 @@
+//! Host platform configuration.
+
+/// Geometry of one host cache level.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheGeom {
+    /// Total bytes.
+    pub size: u64,
+    /// Ways.
+    pub assoc: u64,
+}
+
+impl CacheGeom {
+    /// Convenience constructor with size in KiB.
+    pub fn kib(size_kib: u64, assoc: u64) -> Self {
+        CacheGeom {
+            size: size_kib * 1024,
+            assoc,
+        }
+    }
+
+    /// Convenience constructor with size in MiB.
+    pub fn mib(size_mib: u64, assoc: u64) -> Self {
+        CacheGeom {
+            size: size_mib * 1024 * 1024,
+            assoc,
+        }
+    }
+}
+
+/// A host CPU + memory-system configuration (one column of the paper's
+/// Table II, or one FireSim sweep point).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostConfig {
+    /// Display name (e.g. `"Intel_Xeon"`).
+    pub name: String,
+    /// Pipeline width in slots/cycle (retire width).
+    pub width: u64,
+    /// Legacy-decoder (MITE) sustained µops/cycle (fractional: decoder
+    /// bubbles make the sustained rate lower than the burst rate).
+    pub mite_width: f64,
+    /// µop-cache (DSB) µops/cycle (ignored when `dsb_uops == 0`).
+    pub dsb_width: f64,
+    /// µop-cache capacity in µops; 0 disables the DSB (fixed-width ISAs
+    /// like ARM/RISC-V decode at full width without one).
+    pub dsb_uops: u64,
+    /// Core frequency in GHz (as configured; Turbo handled by callers).
+    pub freq_ghz: f64,
+    /// Cache line size in bytes.
+    pub line: u64,
+    /// Base virtual-memory page size in bytes.
+    pub page: u64,
+    /// L1 instruction cache.
+    pub l1i: CacheGeom,
+    /// L1 data cache.
+    pub l1d: CacheGeom,
+    /// Unified L2.
+    pub l2: CacheGeom,
+    /// Last-level cache (this core's effective share).
+    pub llc: CacheGeom,
+    /// L2 hit latency (cycles).
+    pub l2_lat: u64,
+    /// LLC hit latency (cycles).
+    pub llc_lat: u64,
+    /// DRAM latency (cycles).
+    pub dram_lat: u64,
+    /// First-level iTLB entries.
+    pub itlb_entries: u64,
+    /// First-level dTLB entries.
+    pub dtlb_entries: u64,
+    /// Second-level (shared) TLB entries; 0 = none.
+    pub stlb_entries: u64,
+    /// STLB hit cost (cycles).
+    pub stlb_lat: u64,
+    /// Full page-walk cost (cycles).
+    pub walk_lat: u64,
+    /// Conditional-predictor table size (log2 entries).
+    pub bp_bits: u32,
+    /// BTB entries (power of two).
+    pub btb_entries: u64,
+    /// Branch misprediction pipeline penalty (cycles).
+    pub mispredict_penalty: u64,
+    /// Front-end resteer cost on a BTB miss / unknown target (cycles).
+    pub resteer_cycles: u64,
+    /// Longest loop period the machine's loop/long-history predictor can
+    /// capture (0 = plain gshare only).
+    pub loop_reach: u64,
+    /// Average instruction bytes per µop (x86 ≈ 3.6; fixed 4-byte ISAs
+    /// with ~1.1 µops/inst ≈ 3.6 as well).
+    pub bytes_per_uop: f64,
+    /// µops per instruction (for IPC).
+    pub uops_per_inst: f64,
+    /// Memory-level parallelism divisor for demand-load stalls.
+    pub mlp: f64,
+    /// Overlap divisor for instruction-fetch stalls.
+    pub fetch_mlp: f64,
+    /// Residual stall fraction for stride-prefetched data streams
+    /// (0 = perfect prefetcher, 1 = none).
+    pub prefetch_factor: f64,
+}
+
+impl HostConfig {
+    /// Validates internal consistency.
+    ///
+    /// # Panics
+    ///
+    /// Panics if geometry values are inconsistent (used in constructors
+    /// and tests).
+    pub fn validate(&self) {
+        assert!(self.width > 0 && self.mite_width > 0.0);
+        assert!(self.line.is_power_of_two());
+        assert!(self.page.is_power_of_two());
+        assert!(self.btb_entries.is_power_of_two());
+        for g in [self.l1i, self.l1d, self.l2, self.llc] {
+            assert!(g.size > 0 && g.assoc > 0 && g.size % (g.assoc * self.line) == 0,
+                "bad cache geometry {g:?} in {}", self.name);
+        }
+        assert!(self.mlp >= 1.0 && self.fetch_mlp >= 1.0);
+        assert!((0.0..=1.0).contains(&self.prefetch_factor));
+        assert!(self.freq_ghz > 0.0);
+    }
+
+    /// Cycles → seconds at this configuration's frequency.
+    pub fn seconds(&self, cycles: f64) -> f64 {
+        cycles / (self.freq_ghz * 1e9)
+    }
+
+    /// Returns a copy with a different core frequency (the paper's
+    /// Fig. 13 frequency sweep / Turbo Boost row).
+    pub fn with_freq(&self, ghz: f64) -> Self {
+        let mut c = self.clone();
+        c.freq_ghz = ghz;
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// A small but valid config for unit tests.
+    pub(crate) fn test_config() -> HostConfig {
+        HostConfig {
+            name: "test".into(),
+            width: 4,
+            mite_width: 2.6,
+            dsb_width: 6.0,
+            dsb_uops: 1536,
+            freq_ghz: 3.0,
+            line: 64,
+            page: 4096,
+            l1i: CacheGeom::kib(32, 8),
+            l1d: CacheGeom::kib(32, 8),
+            l2: CacheGeom::mib(1, 16),
+            llc: CacheGeom::mib(8, 16),
+            l2_lat: 14,
+            llc_lat: 44,
+            dram_lat: 280,
+            itlb_entries: 128,
+            dtlb_entries: 64,
+            stlb_entries: 1536,
+            stlb_lat: 8,
+            walk_lat: 35,
+            bp_bits: 13,
+            btb_entries: 4096,
+            mispredict_penalty: 17,
+            resteer_cycles: 9,
+            loop_reach: 48,
+            bytes_per_uop: 3.6,
+            uops_per_inst: 1.1,
+            mlp: 3.0,
+            fetch_mlp: 2.0,
+            prefetch_factor: 0.08,
+        }
+    }
+
+    #[test]
+    fn test_config_validates() {
+        test_config().validate();
+    }
+
+    #[test]
+    fn seconds_scale_with_frequency() {
+        let c = test_config();
+        let s3 = c.seconds(3e9);
+        assert!((s3 - 1.0).abs() < 1e-9);
+        let c2 = c.with_freq(1.5);
+        assert!((c2.seconds(3e9) - 2.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "bad cache geometry")]
+    fn validate_rejects_bad_geometry() {
+        let mut c = test_config();
+        c.l1i = CacheGeom { size: 1000, assoc: 3 };
+        c.validate();
+    }
+
+    #[test]
+    fn geom_constructors() {
+        assert_eq!(CacheGeom::kib(32, 8).size, 32768);
+        assert_eq!(CacheGeom::mib(2, 16).size, 2 * 1024 * 1024);
+    }
+}

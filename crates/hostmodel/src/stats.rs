@@ -1,0 +1,133 @@
+//! Final statistics of one host run — everything the paper's figures
+//! read off the PMU.
+
+use crate::topdown::TopDown;
+
+/// Results of running a workload trace through a
+/// [`HostEngine`](crate::engine::HostEngine).
+#[derive(Debug, Clone, PartialEq)]
+pub struct HostRunStats {
+    /// Host configuration name.
+    pub name: String,
+    /// Total host cycles.
+    pub cycles: f64,
+    /// Host µops retired.
+    pub uops: u64,
+    /// Host instructions retired (µops / µops-per-inst).
+    pub instructions: f64,
+    /// Core frequency used for wall-clock conversion.
+    pub freq_ghz: f64,
+    /// Top-Down breakdown.
+    pub topdown: TopDown,
+    /// L1I accesses (line granularity).
+    pub l1i_accesses: u64,
+    /// L1I miss rate.
+    pub l1i_miss_rate: f64,
+    /// L1D accesses.
+    pub l1d_accesses: u64,
+    /// L1D miss rate.
+    pub l1d_miss_rate: f64,
+    /// iTLB first-level miss rate.
+    pub itlb_miss_rate: f64,
+    /// dTLB first-level miss rate.
+    pub dtlb_miss_rate: f64,
+    /// Conditional branches executed.
+    pub branch_lookups: u64,
+    /// Conditional misprediction rate.
+    pub branch_mispredict_rate: f64,
+    /// Unknown-branch (BTB-miss) resteers.
+    pub unknown_branches: u64,
+    /// DSB (µop cache) coverage in [0, 1].
+    pub dsb_coverage: f64,
+    /// Bytes resident in the LLC at the end of the run.
+    pub llc_occupancy_bytes: u64,
+    /// Bytes transferred from DRAM.
+    pub dram_bytes: u64,
+    /// Trace records consumed.
+    pub records: u64,
+}
+
+impl HostRunStats {
+    /// Host wall-clock seconds ("host seconds" in gem5 terms — the
+    /// paper's simulation-time metric).
+    pub fn seconds(&self) -> f64 {
+        self.cycles / (self.freq_ghz * 1e9)
+    }
+
+    /// Host IPC.
+    pub fn ipc(&self) -> f64 {
+        if self.cycles == 0.0 {
+            0.0
+        } else {
+            self.instructions / self.cycles
+        }
+    }
+
+    /// Fraction of cycles the machine is stalled (1 − retiring share).
+    pub fn stalled_fraction(&self) -> f64 {
+        let (r, _, _, _) = self.topdown.level1_pct();
+        1.0 - r / 100.0
+    }
+
+    /// DRAM bandwidth in bytes/second.
+    pub fn dram_bandwidth(&self) -> f64 {
+        let s = self.seconds();
+        if s == 0.0 {
+            0.0
+        } else {
+            self.dram_bytes as f64 / s
+        }
+    }
+
+    /// iTLB misses per kilo-instruction.
+    pub fn itlb_mpki(&self) -> f64 {
+        // Approximation from rate × accesses.
+        if self.instructions == 0.0 {
+            0.0
+        } else {
+            self.itlb_miss_rate * self.l1i_accesses as f64 / self.instructions * 1000.0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> HostRunStats {
+        HostRunStats {
+            name: "x".into(),
+            cycles: 2e9,
+            uops: 2_200_000_000,
+            instructions: 2e9,
+            freq_ghz: 2.0,
+            topdown: TopDown {
+                retiring: 1e9,
+                bad_speculation: 1e9,
+                ..TopDown::default()
+            },
+            l1i_accesses: 1000,
+            l1i_miss_rate: 0.1,
+            l1d_accesses: 1000,
+            l1d_miss_rate: 0.05,
+            itlb_miss_rate: 0.02,
+            dtlb_miss_rate: 0.01,
+            branch_lookups: 100,
+            branch_mispredict_rate: 0.002,
+            unknown_branches: 10,
+            dsb_coverage: 0.05,
+            llc_occupancy_bytes: 1 << 20,
+            dram_bytes: 4_000_000,
+            records: 42,
+        }
+    }
+
+    #[test]
+    fn derived_metrics() {
+        let s = sample();
+        assert!((s.seconds() - 1.0).abs() < 1e-9);
+        assert!((s.ipc() - 1.0).abs() < 1e-9);
+        assert!((s.stalled_fraction() - 0.5).abs() < 1e-9);
+        assert!((s.dram_bandwidth() - 4_000_000.0).abs() < 1.0);
+    }
+}

@@ -1,0 +1,191 @@
+//! Yasin-style Top-Down cycle accounting structures.
+//!
+//! All fields are in *cycles*; the total is the sum of every leaf bucket,
+//! so conservation holds by construction and percentages are exact.
+
+/// Front-end latency sub-buckets (the paper's Fig. 4).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FeLatency {
+    /// iCache miss stalls.
+    pub icache: f64,
+    /// iTLB miss stalls.
+    pub itlb: f64,
+    /// Resteers after branch mispredictions.
+    pub mispredict_resteers: f64,
+    /// Resteers after machine clears.
+    pub clear_resteers: f64,
+    /// Resteers for branches the front end could not target (BTB misses,
+    /// indirect dispatch).
+    pub unknown_branches: f64,
+}
+
+impl FeLatency {
+    /// Sum of all latency buckets.
+    pub fn total(&self) -> f64 {
+        self.icache + self.itlb + self.mispredict_resteers + self.clear_resteers + self.unknown_branches
+    }
+}
+
+/// Front-end bandwidth sub-buckets (the paper's Fig. 5).
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct FeBandwidth {
+    /// Cycles limited by the MITE legacy decoders.
+    pub mite: f64,
+    /// Cycles limited by DSB µop supply.
+    pub dsb: f64,
+}
+
+impl FeBandwidth {
+    /// Sum of bandwidth buckets.
+    pub fn total(&self) -> f64 {
+        self.mite + self.dsb
+    }
+}
+
+/// Back-end memory sub-buckets.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct BeMem {
+    /// Stalls satisfied by L2.
+    pub l2: f64,
+    /// Stalls satisfied by the LLC.
+    pub llc: f64,
+    /// Stalls going to DRAM.
+    pub dram: f64,
+}
+
+impl BeMem {
+    /// Sum of memory buckets.
+    pub fn total(&self) -> f64 {
+        self.l2 + self.llc + self.dram
+    }
+}
+
+/// The full Top-Down breakdown.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct TopDown {
+    /// Useful-work cycles (µops retiring at full width).
+    pub retiring: f64,
+    /// Front-end latency stalls.
+    pub fe_latency: FeLatency,
+    /// Front-end bandwidth limits.
+    pub fe_bandwidth: FeBandwidth,
+    /// Wasted work from mis-speculation.
+    pub bad_speculation: f64,
+    /// Back-end memory stalls.
+    pub be_mem: BeMem,
+    /// Back-end core stalls (FU contention, long dependency chains).
+    pub be_core: f64,
+}
+
+impl TopDown {
+    /// Total accounted cycles (sum of all buckets).
+    pub fn total_cycles(&self) -> f64 {
+        self.retiring
+            + self.fe_latency.total()
+            + self.fe_bandwidth.total()
+            + self.bad_speculation
+            + self.be_mem.total()
+            + self.be_core
+    }
+
+    /// Front-end bound cycles (latency + bandwidth).
+    pub fn frontend_bound(&self) -> f64 {
+        self.fe_latency.total() + self.fe_bandwidth.total()
+    }
+
+    /// Back-end bound cycles (memory + core).
+    pub fn backend_bound(&self) -> f64 {
+        self.be_mem.total() + self.be_core
+    }
+
+    /// Level-1 percentages `(retiring, frontend, bad_spec, backend)`,
+    /// summing to 100 (when any cycles were accounted).
+    pub fn level1_pct(&self) -> (f64, f64, f64, f64) {
+        let t = self.total_cycles();
+        if t == 0.0 {
+            return (0.0, 0.0, 0.0, 0.0);
+        }
+        (
+            100.0 * self.retiring / t,
+            100.0 * self.frontend_bound() / t,
+            100.0 * self.bad_speculation / t,
+            100.0 * self.backend_bound() / t,
+        )
+    }
+
+    /// Fraction of front-end-bound cycles that are latency (vs bandwidth)
+    /// — the paper's Fig. 3 axis.
+    pub fn fe_latency_fraction(&self) -> f64 {
+        let fe = self.frontend_bound();
+        if fe == 0.0 {
+            0.0
+        } else {
+            self.fe_latency.total() / fe
+        }
+    }
+
+    /// Percent of total cycles for an arbitrary bucket value.
+    pub fn pct(&self, bucket: f64) -> f64 {
+        let t = self.total_cycles();
+        if t == 0.0 {
+            0.0
+        } else {
+            100.0 * bucket / t
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> TopDown {
+        TopDown {
+            retiring: 50.0,
+            fe_latency: FeLatency {
+                icache: 10.0,
+                itlb: 5.0,
+                mispredict_resteers: 3.0,
+                clear_resteers: 1.0,
+                unknown_branches: 6.0,
+            },
+            fe_bandwidth: FeBandwidth { mite: 10.0, dsb: 1.0 },
+            bad_speculation: 6.0,
+            be_mem: BeMem {
+                l2: 3.0,
+                llc: 2.0,
+                dram: 2.0,
+            },
+            be_core: 1.0,
+        }
+    }
+
+    #[test]
+    fn totals_are_sums() {
+        let td = sample();
+        assert!((td.total_cycles() - 100.0).abs() < 1e-9);
+        assert!((td.frontend_bound() - 36.0).abs() < 1e-9);
+        assert!((td.backend_bound() - 8.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn level1_sums_to_100() {
+        let (r, f, b, be) = sample().level1_pct();
+        assert!((r + f + b + be - 100.0).abs() < 1e-9);
+        assert!((r - 50.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn latency_fraction() {
+        let td = sample();
+        assert!((td.fe_latency_fraction() - 25.0 / 36.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn empty_breakdown_is_safe() {
+        let td = TopDown::default();
+        assert_eq!(td.level1_pct(), (0.0, 0.0, 0.0, 0.0));
+        assert_eq!(td.fe_latency_fraction(), 0.0);
+        assert_eq!(td.pct(5.0), 0.0);
+    }
+}

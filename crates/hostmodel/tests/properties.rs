@@ -1,0 +1,144 @@
+//! Property-based tests of host-model invariants.
+
+use hostmodel::{CacheGeom, HostConfig, HostEngine};
+use hosttrace::record::{DataRef, ExecRecord, TraceSink};
+use hosttrace::registry::{BinaryVariant, FunctionId, Registry};
+use hosttrace::PageBacking;
+use proptest::prelude::*;
+use std::rc::Rc;
+
+fn cfg() -> HostConfig {
+    HostConfig {
+        name: "prop".into(),
+        width: 4,
+        mite_width: 3.0,
+        dsb_width: 6.0,
+        dsb_uops: 576,
+        freq_ghz: 3.0,
+        line: 64,
+        page: 4096,
+        l1i: CacheGeom::kib(32, 8),
+        l1d: CacheGeom::kib(32, 8),
+        l2: CacheGeom::mib(1, 16),
+        llc: CacheGeom::mib(8, 16),
+        l2_lat: 14,
+        llc_lat: 44,
+        dram_lat: 280,
+        itlb_entries: 128,
+        dtlb_entries: 64,
+        stlb_entries: 1536,
+        stlb_lat: 8,
+        walk_lat: 35,
+        bp_bits: 13,
+        btb_entries: 4096,
+        mispredict_penalty: 17,
+        resteer_cycles: 7,
+        loop_reach: 48,
+        bytes_per_uop: 3.6,
+        uops_per_inst: 1.1,
+        mlp: 3.0,
+        fetch_mlp: 8.0,
+        prefetch_factor: 0.08,
+    }
+}
+
+fn registry() -> Rc<Registry> {
+    thread_local! {
+        static REG: Rc<Registry> =
+            Rc::new(Registry::new(BinaryVariant::Base, PageBacking::Base));
+    }
+    REG.with(Rc::clone)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Top-Down buckets sum exactly to total cycles for arbitrary record
+    /// streams, and all derived metrics stay in range.
+    #[test]
+    fn accounting_conserved_for_arbitrary_streams(
+        recs in prop::collection::vec(
+            (0u32..5000, 6u16..120, 0u8..8, 0u8..3, 0u8..12, 0u8..6, 0u32..100),
+            1..400,
+        ),
+        datas in prop::collection::vec((0u64..1_000_000u64, 1u32..256, any::<bool>()), 0..200),
+    ) {
+        let mut e = HostEngine::new(cfg(), registry());
+        let nfuncs = registry().len() as u32;
+        for &(f, uops, cb, ib, ld, st, v) in &recs {
+            e.exec(ExecRecord {
+                func: FunctionId(f % nfuncs),
+                uops,
+                cond_branches: cb,
+                indirect_branches: ib,
+                loads: ld,
+                stores: st,
+                variant: v,
+            });
+        }
+        for &(a, b, w) in &datas {
+            e.data(DataRef { addr: 0x10_0000_0000 + a, bytes: b, write: w });
+        }
+        let s = e.finish();
+        let (r, fe, bs, be) = s.topdown.level1_pct();
+        prop_assert!((r + fe + bs + be - 100.0).abs() < 1e-6);
+        prop_assert!(s.cycles > 0.0);
+        prop_assert!(s.ipc() > 0.0 && s.ipc() <= 8.0);
+        prop_assert!((0.0..=1.0).contains(&s.l1i_miss_rate));
+        prop_assert!((0.0..=1.0).contains(&s.dsb_coverage));
+        prop_assert!((0.0..=1.0).contains(&s.branch_mispredict_rate));
+        prop_assert!(s.llc_occupancy_bytes <= 8 * 1024 * 1024);
+        let total_uops: u64 = recs.iter().map(|r| r.1 as u64).sum();
+        prop_assert_eq!(s.uops, total_uops);
+    }
+
+    /// Determinism: the same stream always produces identical stats.
+    #[test]
+    fn engine_is_deterministic(seed in 0u64..1000) {
+        let run = || {
+            let mut e = HostEngine::new(cfg(), registry());
+            for i in 0..200u64 {
+                let h = hosttrace::mix64(seed ^ i);
+                e.exec(ExecRecord {
+                    func: FunctionId((h % registry().len() as u64) as u32),
+                    uops: 10 + (h % 40) as u16,
+                    cond_branches: (h % 5) as u8,
+                    indirect_branches: (h % 2) as u8,
+                    loads: (h % 6) as u8,
+                    stores: (h % 3) as u8,
+                    variant: (i / 7) as u32,
+                });
+            }
+            e.finish()
+        };
+        prop_assert_eq!(run(), run());
+    }
+
+    /// Widening any cache never slows the modeled machine down.
+    #[test]
+    fn bigger_caches_never_hurt(l1i_kib in prop::sample::select(vec![8u64, 16, 32, 64, 192])) {
+        let stream = |e: &mut HostEngine| {
+            for i in 0..4000u64 {
+                let h = hosttrace::mix64(i);
+                e.exec(ExecRecord {
+                    func: FunctionId((h % 2000) as u32),
+                    uops: 16,
+                    cond_branches: 2,
+                    indirect_branches: 1,
+                    loads: 3,
+                    stores: 1,
+                    variant: (i / 500) as u32,
+                });
+            }
+        };
+        let mut small_cfg = cfg();
+        small_cfg.l1i = CacheGeom::kib(8, 8);
+        let mut big_cfg = cfg();
+        big_cfg.l1i = CacheGeom::kib(l1i_kib, 8);
+        let mut small = HostEngine::new(small_cfg, registry());
+        let mut big = HostEngine::new(big_cfg, registry());
+        stream(&mut small);
+        stream(&mut big);
+        prop_assert!(big.finish().cycles <= small.finish().cycles * 1.001);
+    }
+}

@@ -1,0 +1,126 @@
+//! Per-function call profiling — the data behind the paper's Fig. 15
+//! (CDF of the 50 hottest functions, total functions touched).
+
+use crate::registry::{FunctionId, Registry};
+
+/// Call counts per host function.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CallProfile {
+    counts: Vec<u64>,
+    total: u64,
+}
+
+impl CallProfile {
+    /// Creates a profile sized for `registry`.
+    pub fn new(registry: &Registry) -> Self {
+        CallProfile {
+            counts: vec![0; registry.len()],
+            total: 0,
+        }
+    }
+
+    /// Records a call; returns the function's previous count (used as the
+    /// invocation variant).
+    pub fn bump(&mut self, fid: FunctionId) -> u32 {
+        let c = &mut self.counts[fid.0 as usize];
+        let prev = *c;
+        *c += 1;
+        self.total += 1;
+        prev as u32
+    }
+
+    /// Total calls recorded.
+    pub fn total_calls(&self) -> u64 {
+        self.total
+    }
+
+    /// Number of distinct functions called at least once — the paper's
+    /// "total number of functions called throughout the simulation".
+    pub fn functions_touched(&self) -> u64 {
+        self.counts.iter().filter(|&&c| c > 0).count() as u64
+    }
+
+    /// The `n` hottest functions as `(name, calls, share)` sorted by
+    /// descending call count.
+    pub fn hottest(&self, registry: &Registry, n: usize) -> Vec<(String, u64, f64)> {
+        let mut idx: Vec<usize> = (0..self.counts.len()).filter(|&i| self.counts[i] > 0).collect();
+        idx.sort_by_key(|&i| std::cmp::Reverse(self.counts[i]));
+        idx.truncate(n);
+        idx.into_iter()
+            .map(|i| {
+                let c = self.counts[i];
+                (
+                    registry.name(FunctionId(i as u32)),
+                    c,
+                    c as f64 / self.total.max(1) as f64,
+                )
+            })
+            .collect()
+    }
+
+    /// Cumulative distribution of CPU-time share over the `n` hottest
+    /// functions (call counts as the time proxy): `cdf[k]` is the share of
+    /// the `k+1` hottest functions combined.
+    pub fn hottest_cdf(&self, n: usize) -> Vec<f64> {
+        let mut counts: Vec<u64> = self.counts.iter().copied().filter(|&c| c > 0).collect();
+        counts.sort_by_key(|&c| std::cmp::Reverse(c));
+        counts.truncate(n);
+        let mut acc = 0u64;
+        counts
+            .into_iter()
+            .map(|c| {
+                acc += c;
+                acc as f64 / self.total.max(1) as f64
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layout::PageBacking;
+    use crate::registry::BinaryVariant;
+
+    #[test]
+    fn bump_counts_and_variants() {
+        let reg = Registry::new(BinaryVariant::Base, PageBacking::Base);
+        let mut p = CallProfile::new(&reg);
+        let f = FunctionId(7);
+        assert_eq!(p.bump(f), 0);
+        assert_eq!(p.bump(f), 1);
+        assert_eq!(p.bump(FunctionId(9)), 0);
+        assert_eq!(p.total_calls(), 3);
+        assert_eq!(p.functions_touched(), 2);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_bounded() {
+        let reg = Registry::new(BinaryVariant::Base, PageBacking::Base);
+        let mut p = CallProfile::new(&reg);
+        for i in 0..100u32 {
+            for _ in 0..(100 - i) {
+                p.bump(FunctionId(i));
+            }
+        }
+        let cdf = p.hottest_cdf(50);
+        assert_eq!(cdf.len(), 50);
+        assert!(cdf.windows(2).all(|w| w[0] <= w[1]));
+        assert!(*cdf.last().unwrap() <= 1.0 + 1e-9);
+        assert!(cdf[0] > 0.0);
+    }
+
+    #[test]
+    fn hottest_reports_names_and_shares() {
+        let reg = Registry::new(BinaryVariant::Base, PageBacking::Base);
+        let mut p = CallProfile::new(&reg);
+        for _ in 0..9 {
+            p.bump(FunctionId(3));
+        }
+        p.bump(FunctionId(5));
+        let top = p.hottest(&reg, 2);
+        assert_eq!(top.len(), 2);
+        assert_eq!(top[0].1, 9);
+        assert!((top[0].2 - 0.9).abs() < 1e-9);
+    }
+}

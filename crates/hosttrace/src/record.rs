@@ -1,0 +1,155 @@
+//! The host instruction stream: record types and sinks.
+
+use crate::registry::FunctionId;
+
+/// One host *function invocation* with its block-level character.
+///
+/// The host microarchitecture model expands this into instruction-cache
+/// line touches (from the function's code address/size in the
+/// [`Registry`](crate::registry::Registry)), decode traffic, branch events
+/// and local data accesses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ExecRecord {
+    /// Which function ran.
+    pub func: FunctionId,
+    /// Host µops executed in this invocation.
+    pub uops: u16,
+    /// Conditional branches executed.
+    pub cond_branches: u8,
+    /// Indirect calls/jumps (virtual dispatch, function-pointer calls).
+    pub indirect_branches: u8,
+    /// Loads to function-local data (stack, locals).
+    pub loads: u8,
+    /// Stores to function-local data.
+    pub stores: u8,
+    /// Per-function invocation counter; drives deterministic branch
+    /// outcome and target streams.
+    pub variant: u32,
+}
+
+/// A host data reference into simulator state (tag arrays, ROB entries,
+/// packet objects…).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct DataRef {
+    /// Host virtual address.
+    pub addr: u64,
+    /// Bytes touched.
+    pub bytes: u32,
+    /// Whether the touch writes.
+    pub write: bool,
+}
+
+/// Consumer of the host instruction stream.
+pub trait TraceSink {
+    /// A function invocation.
+    fn exec(&mut self, rec: ExecRecord);
+    /// A simulator-state data touch.
+    fn data(&mut self, dref: DataRef);
+}
+
+/// Discards everything.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullSink;
+
+impl TraceSink for NullSink {
+    fn exec(&mut self, _rec: ExecRecord) {}
+    fn data(&mut self, _dref: DataRef) {}
+}
+
+/// Fans one stream out to several sinks — used to evaluate multiple host
+/// platforms over a single guest simulation.
+#[derive(Debug, Default)]
+pub struct FanoutSink<S> {
+    /// The downstream sinks.
+    pub sinks: Vec<S>,
+}
+
+impl<S> FanoutSink<S> {
+    /// Wraps the given sinks.
+    pub fn new(sinks: Vec<S>) -> Self {
+        FanoutSink { sinks }
+    }
+
+    /// Unwraps the sinks.
+    pub fn into_inner(self) -> Vec<S> {
+        self.sinks
+    }
+}
+
+impl<S: TraceSink> TraceSink for FanoutSink<S> {
+    fn exec(&mut self, rec: ExecRecord) {
+        for s in &mut self.sinks {
+            s.exec(rec);
+        }
+    }
+    fn data(&mut self, dref: DataRef) {
+        for s in &mut self.sinks {
+            s.data(dref);
+        }
+    }
+}
+
+/// Counts records (tests and sanity checks).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct CountingSink {
+    /// exec records seen.
+    pub execs: u64,
+    /// data records seen.
+    pub datas: u64,
+    /// total µops seen.
+    pub uops: u64,
+}
+
+impl TraceSink for CountingSink {
+    fn exec(&mut self, rec: ExecRecord) {
+        self.execs += 1;
+        self.uops += rec.uops as u64;
+    }
+    fn data(&mut self, _dref: DataRef) {
+        self.datas += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(uops: u16) -> ExecRecord {
+        ExecRecord {
+            func: FunctionId(0),
+            uops,
+            cond_branches: 2,
+            indirect_branches: 1,
+            loads: 3,
+            stores: 1,
+            variant: 0,
+        }
+    }
+
+    #[test]
+    fn fanout_duplicates_stream() {
+        let mut f = FanoutSink::new(vec![CountingSink::default(); 3]);
+        f.exec(rec(10));
+        f.data(DataRef {
+            addr: 0x1000,
+            bytes: 64,
+            write: false,
+        });
+        for s in f.into_inner() {
+            assert_eq!(s.execs, 1);
+            assert_eq!(s.datas, 1);
+            assert_eq!(s.uops, 10);
+        }
+    }
+
+    #[test]
+    fn null_sink_ignores() {
+        let mut n = NullSink;
+        n.exec(rec(5));
+        n.data(DataRef {
+            addr: 0,
+            bytes: 1,
+            write: true,
+        });
+    }
+}

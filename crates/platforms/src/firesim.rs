@@ -1,0 +1,134 @@
+//! The FireSim host of Table I and the Fig. 14 cache sweep.
+//!
+//! The paper runs unmodified gem5 *on top of* FireSim — an FPGA-simulated
+//! RISC-V host whose cache hierarchy can be reconfigured at will. Here
+//! that host is simply a parameterized [`HostConfig`] family: an 8-wide
+//! out-of-order core (Table I) with VIPT L1 caches whose size is swept by
+//! associativity at a fixed 64 sets, exactly as the paper does.
+
+use hostmodel::{CacheGeom, HostConfig};
+
+/// Fixed number of L1 sets in the sweep (64 sets × 64 B lines = 4 KB way,
+/// overlapping TLB access with cache indexing — the VIPT constraint).
+pub const L1_SETS: u64 = 64;
+
+/// Builds a FireSim host with the given L1I/L1D/L2 geometries.
+///
+/// Cache sizes follow the paper's `(size/assoc : size/assoc : size/assoc)`
+/// notation, in bytes.
+pub fn config(l1i: CacheGeom, l1d: CacheGeom, l2: CacheGeom) -> HostConfig {
+    let name = format!(
+        "{}KB/{}:{}KB/{}:{}KB/{}",
+        l1i.size / 1024,
+        l1i.assoc,
+        l1d.size / 1024,
+        l1d.assoc,
+        l2.size / 1024,
+        l2.assoc
+    );
+    let c = HostConfig {
+        name,
+        width: 8, // Table I: 8-wide superscalar
+        mite_width: 8.0,
+        dsb_width: 8.0,
+        dsb_uops: 0, // RISC-V: fixed-width decode, no µop cache
+        freq_ghz: 4.0,
+        line: 64,
+        page: 4096,
+        l1i,
+        l1d,
+        l2,
+        // No L3 on the Rocket-style SoC: alias the LLC to the L2 so the
+        // hierarchy collapses to L1 → L2 → DRAM.
+        llc: l2,
+        l2_lat: 16,
+        llc_lat: 16,
+        dram_lat: 288, // DDR3-1600 ~72 ns at 4 GHz
+        itlb_entries: 32,
+        dtlb_entries: 32,
+        stlb_entries: 0,
+        stlb_lat: 0,
+        walk_lat: 57,
+        bp_bits: 12, // TournamentBP
+        btb_entries: 4096,
+        mispredict_penalty: 12,
+        resteer_cycles: 6,
+        loop_reach: 96,
+        bytes_per_uop: 3.8,
+        uops_per_inst: 1.02,
+        mlp: 3.0,
+        fetch_mlp: 10.0,
+        prefetch_factor: 0.08,
+    };
+    c.validate();
+    c
+}
+
+/// An L1 geometry from the sweep: `size = 64 sets × 64 B × assoc`.
+pub fn l1(assoc: u64) -> CacheGeom {
+    CacheGeom {
+        size: L1_SETS * 64 * assoc,
+        assoc,
+    }
+}
+
+/// The Table I base configuration (48 KB L1I, 32 KB L1D, 512 KB L2).
+pub fn base() -> HostConfig {
+    config(l1(12), l1(8), CacheGeom::kib(512, 8))
+}
+
+/// The Fig. 14 baseline: `(8KB/2 : 8KB/2 : 512KB/8)`.
+pub fn fig14_baseline() -> HostConfig {
+    config(l1(2), l1(2), CacheGeom::kib(512, 8))
+}
+
+/// The full Fig. 14 sweep, in the paper's order. The first entry is the
+/// baseline.
+pub fn fig14_sweep() -> Vec<HostConfig> {
+    vec![
+        fig14_baseline(),
+        config(l1(4), l1(4), CacheGeom::kib(512, 8)), // 16 KB L1s
+        config(l1(8), l1(8), CacheGeom::kib(512, 8)), // 32 KB L1s
+        config(l1(8), l1(8), CacheGeom::mib(1, 8)),   // 32 KB + 1 MB L2
+        config(l1(8), l1(8), CacheGeom::mib(2, 8)),   // 32 KB + 2 MB L2
+        config(l1(12), l1(8), CacheGeom::kib(512, 8)), // Table I default
+        config(l1(16), l1(16), CacheGeom::kib(512, 8)), // 64 KB best
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn l1_sizes_follow_the_vipt_sweep() {
+        assert_eq!(l1(2).size, 8 * 1024);
+        assert_eq!(l1(4).size, 16 * 1024);
+        assert_eq!(l1(8).size, 32 * 1024);
+        assert_eq!(l1(16).size, 64 * 1024);
+    }
+
+    #[test]
+    fn sweep_configs_validate_and_have_unique_names() {
+        let sweep = fig14_sweep();
+        assert_eq!(sweep.len(), 7);
+        let mut names: Vec<&str> = sweep.iter().map(|c| c.name.as_str()).collect();
+        names.sort();
+        names.dedup();
+        assert_eq!(names.len(), 7);
+    }
+
+    #[test]
+    fn baseline_matches_paper_notation() {
+        assert_eq!(fig14_baseline().name, "8KB/2:8KB/2:512KB/8");
+    }
+
+    #[test]
+    fn table1_base_has_48k_icache() {
+        let b = base();
+        assert_eq!(b.l1i.size, 48 * 1024);
+        assert_eq!(b.l1d.size, 32 * 1024);
+        assert_eq!(b.width, 8);
+        assert_eq!(b.dsb_uops, 0);
+    }
+}

@@ -1,0 +1,113 @@
+//! System-level tuning knobs (the paper's Sec. V-A).
+
+use hostmodel::{corun_adjust, CorunScenario, HostConfig};
+use hosttrace::{BinaryVariant, PageBacking};
+
+/// The tuning axes the paper explores without touching hardware: text
+/// page backing (Figs. 10–11), compiler flags (Fig. 12), CPU frequency
+/// and Turbo Boost (Fig. 13), and co-running (Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SystemKnobs {
+    /// How the simulator's code segment is backed.
+    pub backing: PageBacking,
+    /// Which compilation of the simulator runs.
+    pub binary: BinaryVariant,
+    /// Frequency override in GHz (`None` = the platform's nominal).
+    pub freq_ghz: Option<f64>,
+    /// Co-run scenario.
+    pub corun: CorunScenario,
+}
+
+impl Default for SystemKnobs {
+    fn default() -> Self {
+        SystemKnobs {
+            backing: PageBacking::Base,
+            binary: BinaryVariant::Base,
+            freq_ghz: None,
+            corun: CorunScenario::Single,
+        }
+    }
+}
+
+impl SystemKnobs {
+    /// Baseline knobs.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enables transparent huge pages for the simulator's text.
+    pub fn with_thp(mut self) -> Self {
+        self.backing = PageBacking::thp();
+        self
+    }
+
+    /// Enables explicit huge pages (libhugetlbfs-style) for text.
+    pub fn with_ehp(mut self) -> Self {
+        self.backing = PageBacking::Ehp;
+        self
+    }
+
+    /// Uses the `-O3`-compiled simulator binary.
+    pub fn with_o3_binary(mut self) -> Self {
+        self.binary = BinaryVariant::O3Flag;
+        self
+    }
+
+    /// Overrides the core frequency.
+    pub fn with_freq(mut self, ghz: f64) -> Self {
+        self.freq_ghz = Some(ghz);
+        self
+    }
+
+    /// Sets the co-run scenario.
+    pub fn with_corun(mut self, corun: CorunScenario) -> Self {
+        self.corun = corun;
+        self
+    }
+
+    /// Applies the host-side knobs to a platform configuration
+    /// (frequency and co-run sharing; text backing and binary variant are
+    /// applied when building the `hosttrace` registry).
+    pub fn apply(&self, base: &HostConfig) -> HostConfig {
+        let mut c = corun_adjust(base, self.corun);
+        if let Some(f) = self.freq_ghz {
+            c = c.with_freq(f);
+        }
+        c
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::table2::intel_xeon;
+
+    #[test]
+    fn default_is_identity() {
+        let base = intel_xeon().config;
+        let c = SystemKnobs::new().apply(&base);
+        assert_eq!(c, base);
+    }
+
+    #[test]
+    fn builders_compose() {
+        let k = SystemKnobs::new()
+            .with_thp()
+            .with_o3_binary()
+            .with_freq(1.2)
+            .with_corun(CorunScenario::PerHardwareThread { procs: 40 });
+        assert_eq!(k.backing, PageBacking::thp());
+        assert_eq!(k.binary, BinaryVariant::O3Flag);
+        let c = k.apply(&intel_xeon().config);
+        assert_eq!(c.freq_ghz, 1.2);
+        assert!(c.l1i.size < intel_xeon().config.l1i.size);
+    }
+
+    #[test]
+    fn ehp_differs_from_thp() {
+        assert_ne!(
+            SystemKnobs::new().with_thp().backing,
+            SystemKnobs::new().with_ehp().backing
+        );
+    }
+}

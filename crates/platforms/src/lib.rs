@@ -1,0 +1,17 @@
+//! Evaluation platforms and system-tuning knobs.
+//!
+//! [`Platform`] encodes the three machines of the paper's Table II —
+//! `Intel_Xeon` (Dell Precision 7920, Xeon Gold 6242R, Cascade Lake),
+//! `M1_Pro` (Apple MacBook Pro) and `M1_Ultra` (Mac Studio) — as
+//! [`hostmodel::HostConfig`]s plus topology facts (cores, threads, SMT).
+//! [`firesim`] provides the configurable RISC-V host of Table I and the
+//! Fig. 14 cache sweep. [`SystemKnobs`] bundles the paper's Sec. V-A
+//! tuning axes: huge-page text backing, `-O3` recompilation, CPU
+//! frequency and Turbo Boost.
+
+pub mod firesim;
+pub mod knobs;
+pub mod table2;
+
+pub use knobs::SystemKnobs;
+pub use table2::{intel_xeon, m1_pro, m1_ultra, Platform, PlatformId};

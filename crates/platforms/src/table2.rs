@@ -1,0 +1,224 @@
+//! Table II: the three evaluation platforms.
+
+use hostmodel::{CacheGeom, HostConfig};
+
+/// Identifies an evaluation platform.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum PlatformId {
+    /// Dell Precision 7920, Xeon Gold 6242R (Cascade Lake).
+    IntelXeon,
+    /// Apple MacBook Pro, M1 (Firestorm P-cores).
+    M1Pro,
+    /// Apple Mac Studio, M1 Ultra.
+    M1Ultra,
+}
+
+impl PlatformId {
+    /// All platforms in Table II order.
+    pub const ALL: [PlatformId; 3] = [PlatformId::IntelXeon, PlatformId::M1Pro, PlatformId::M1Ultra];
+
+    /// The paper's configuration name.
+    pub fn name(self) -> &'static str {
+        match self {
+            PlatformId::IntelXeon => "Intel_Xeon",
+            PlatformId::M1Pro => "M1_Pro",
+            PlatformId::M1Ultra => "M1_Ultra",
+        }
+    }
+
+    /// Builds the platform description.
+    pub fn platform(self) -> Platform {
+        match self {
+            PlatformId::IntelXeon => intel_xeon(),
+            PlatformId::M1Pro => m1_pro(),
+            PlatformId::M1Ultra => m1_ultra(),
+        }
+    }
+}
+
+/// A physical evaluation machine: per-core microarchitecture plus
+/// topology.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Platform {
+    /// Identity.
+    pub id: PlatformId,
+    /// Single-process host configuration (performance cores).
+    pub config: HostConfig,
+    /// Physical (performance) cores available for co-running.
+    pub physical_cores: u64,
+    /// Hardware threads (== cores when SMT is unsupported).
+    pub hw_threads: u64,
+    /// Whether the machine supports SMT.
+    pub smt: bool,
+    /// Single-core Turbo frequency, if any.
+    pub turbo_ghz: Option<f64>,
+    /// Host base page size (bytes) — duplicated from `config.page` for
+    /// reporting.
+    pub page_size: u64,
+}
+
+/// `Intel_Xeon`: Xeon Gold 6242R — 20C/40T Cascade Lake @ 3.1 GHz
+/// (4.1 GHz TB), 32 KB/32 KB L1, 1 MB L2/core, 35.75 MB LLC, 64 B lines,
+/// 4 KB pages, 96 GB DDR4-2933.
+pub fn intel_xeon() -> Platform {
+    let config = HostConfig {
+        name: "Intel_Xeon".into(),
+        width: 4,
+        mite_width: 3.0,
+        dsb_width: 6.0,
+        dsb_uops: 576,
+        freq_ghz: 3.1,
+        line: 64,
+        page: 4096,
+        l1i: CacheGeom::kib(32, 8),
+        l1d: CacheGeom::kib(32, 8),
+        l2: CacheGeom::mib(1, 16),
+        llc: CacheGeom { size: 35 * 1024 * 1024 + 768 * 1024, assoc: 11 },
+        l2_lat: 14,
+        llc_lat: 44,
+        dram_lat: 298, // 96 ns at 3.1 GHz
+        itlb_entries: 128,
+        dtlb_entries: 64,
+        stlb_entries: 1536,
+        stlb_lat: 9,
+        walk_lat: 36,
+        bp_bits: 13,
+        btb_entries: 4096,
+        mispredict_penalty: 17,
+        resteer_cycles: 7,
+        loop_reach: 48,
+        bytes_per_uop: 3.6,
+        uops_per_inst: 1.12,
+        mlp: 3.0,
+        fetch_mlp: 8.0,
+        prefetch_factor: 0.08,
+    };
+    config.validate();
+    Platform {
+        id: PlatformId::IntelXeon,
+        config,
+        physical_cores: 20,
+        hw_threads: 40,
+        smt: true,
+        turbo_ghz: Some(4.1),
+        page_size: 4096,
+    }
+}
+
+fn firestorm_core(name: &str, l2: CacheGeom, llc: CacheGeom) -> HostConfig {
+    HostConfig {
+        name: name.into(),
+        width: 8,
+        // Fixed-width AArch64 decode: the 8-wide decoder keeps pace with
+        // the pipeline; no µop cache exists or is needed.
+        mite_width: 8.0,
+        dsb_width: 8.0,
+        dsb_uops: 0,
+        freq_ghz: 3.2,
+        line: 128,
+        page: 16384,
+        l1i: CacheGeom::kib(192, 12), // VIPT: 16 KB way = page size
+        l1d: CacheGeom::kib(128, 8),
+        l2,
+        llc,
+        l2_lat: 18,
+        llc_lat: 90,
+        dram_lat: 310, // 97 ns at 3.2 GHz
+        itlb_entries: 192,
+        dtlb_entries: 160,
+        stlb_entries: 3072,
+        stlb_lat: 7,
+        walk_lat: 28,
+        bp_bits: 15,
+        btb_entries: 16384,
+        mispredict_penalty: 14,
+        resteer_cycles: 7,
+        loop_reach: 600,
+        bytes_per_uop: 3.8,
+        uops_per_inst: 1.05,
+        mlp: 4.0,
+        fetch_mlp: 8.0,
+        prefetch_factor: 0.08,
+    }
+}
+
+/// `M1_Pro`: Apple MacBook Pro (M1) — 4 Firestorm P-cores @ 3.2 GHz,
+/// 192 KB/128 KB L1, 12 MB shared P-cluster L2, 8 MB SLC, 128 B lines,
+/// 16 KB pages, no SMT.
+pub fn m1_pro() -> Platform {
+    let config = firestorm_core("M1_Pro", CacheGeom::mib(12, 12), CacheGeom::mib(8, 16));
+    config.validate();
+    Platform {
+        id: PlatformId::M1Pro,
+        config,
+        physical_cores: 4,
+        hw_threads: 4,
+        smt: false,
+        turbo_ghz: None,
+        page_size: 16384,
+    }
+}
+
+/// `M1_Ultra`: Apple Mac Studio — 16 Firestorm P-cores @ 3.2 GHz,
+/// 48 MB L2 (4 clusters), 96 MB SLC, no SMT.
+pub fn m1_ultra() -> Platform {
+    let config = firestorm_core("M1_Ultra", CacheGeom::mib(12, 12), CacheGeom::mib(96, 16));
+    config.validate();
+    Platform {
+        id: PlatformId::M1Ultra,
+        config,
+        physical_cores: 16,
+        hw_threads: 16,
+        smt: false,
+        turbo_ghz: None,
+        page_size: 16384,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_platforms_validate() {
+        for id in PlatformId::ALL {
+            let p = id.platform();
+            p.config.validate();
+            assert_eq!(p.config.name, id.name());
+            assert!(p.hw_threads >= p.physical_cores);
+        }
+    }
+
+    #[test]
+    fn m1_l1_caches_dwarf_xeon() {
+        let x = intel_xeon().config;
+        let m = m1_pro().config;
+        assert_eq!(m.l1i.size, 6 * x.l1i.size, "6x larger iCache (paper)");
+        assert_eq!(m.l1d.size, 4 * x.l1d.size, "4x larger dCache (paper)");
+        assert_eq!(m.page, 4 * x.page, "16 KB vs 4 KB pages");
+        assert_eq!(m.line, 2 * x.line, "128 B vs 64 B lines");
+    }
+
+    #[test]
+    fn m1_vipt_way_size_equals_page() {
+        // The paper's reverse-engineering argument: VIPT caches need
+        // way-size <= page size; 192K/12 and 128K/8 both give 16 KB ways.
+        let m = m1_pro().config;
+        assert_eq!(m.l1i.size / m.l1i.assoc, m.page);
+        assert_eq!(m.l1d.size / m.l1d.assoc, m.page);
+    }
+
+    #[test]
+    fn only_xeon_has_smt_and_turbo() {
+        assert!(intel_xeon().smt);
+        assert!(intel_xeon().turbo_ghz.is_some());
+        assert!(!m1_pro().smt);
+        assert!(!m1_ultra().smt);
+    }
+
+    #[test]
+    fn ultra_has_more_cache_than_pro() {
+        assert!(m1_ultra().config.llc.size > m1_pro().config.llc.size);
+        assert!(m1_ultra().physical_cores > m1_pro().physical_cores);
+    }
+}

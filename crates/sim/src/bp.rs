@@ -1,0 +1,249 @@
+//! Guest branch prediction (used by the Minor and O3 CPU models).
+//!
+//! A tournament predictor in the style of the Alpha 21264 / gem5's
+//! `TournamentBP`: a local (per-PC) 2-bit table, a global (history-indexed)
+//! 2-bit table, and a chooser; plus a direct-mapped BTB for targets.
+
+use crate::observe::{CompClass, Obs};
+
+const LOCAL_BITS: usize = 11;
+const GLOBAL_BITS: usize = 12;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+struct Counter2(u8);
+
+impl Counter2 {
+    fn taken(self) -> bool {
+        self.0 >= 2
+    }
+    fn update(&mut self, taken: bool) {
+        if taken {
+            self.0 = (self.0 + 1).min(3);
+        } else {
+            self.0 = self.0.saturating_sub(1);
+        }
+    }
+}
+
+/// A branch prediction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Prediction {
+    /// Predicted direction.
+    pub taken: bool,
+    /// Predicted target, if the BTB had one.
+    pub target: Option<u64>,
+}
+
+/// Tournament branch predictor + BTB.
+#[derive(Debug, Clone)]
+pub struct TournamentBp {
+    local: Vec<Counter2>,
+    global: Vec<Counter2>,
+    choice: Vec<Counter2>,
+    history: u64,
+    btb_tags: Vec<u64>,
+    btb_targets: Vec<u64>,
+    /// Conditional-branch predictions made.
+    pub lookups: u64,
+    /// Conditional-branch mispredictions.
+    pub mispredicts: u64,
+    /// BTB misses on taken control transfers.
+    pub btb_misses: u64,
+}
+
+impl TournamentBp {
+    /// Builds a predictor with `btb_entries` BTB slots.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `btb_entries` is not a power of two.
+    pub fn new(btb_entries: usize) -> Self {
+        assert!(btb_entries.is_power_of_two(), "BTB entries must be a power of two");
+        TournamentBp {
+            local: vec![Counter2(1); 1 << LOCAL_BITS],
+            global: vec![Counter2(1); 1 << GLOBAL_BITS],
+            choice: vec![Counter2(2); 1 << GLOBAL_BITS],
+            history: 0,
+            btb_tags: vec![u64::MAX; btb_entries],
+            btb_targets: vec![0; btb_entries],
+            lookups: 0,
+            mispredicts: 0,
+            btb_misses: 0,
+        }
+    }
+
+    fn local_idx(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & ((1 << LOCAL_BITS) - 1)
+    }
+
+    fn global_idx(&self) -> usize {
+        (self.history as usize) & ((1 << GLOBAL_BITS) - 1)
+    }
+
+    fn btb_idx(&self, pc: u64) -> usize {
+        ((pc >> 2) as usize) & (self.btb_tags.len() - 1)
+    }
+
+    /// Predicts a conditional branch at `pc`.
+    pub fn predict(&mut self, pc: u64, obs: &Obs, obj: u16) -> Prediction {
+        self.lookups += 1;
+        obs.call(CompClass::BranchPred, "lookup", obj, 22);
+        let use_global = self.choice[self.global_idx()].taken();
+        let taken = if use_global {
+            self.global[self.global_idx()].taken()
+        } else {
+            self.local[self.local_idx(pc)].taken()
+        };
+        let i = self.btb_idx(pc);
+        let target = (self.btb_tags[i] == pc).then(|| self.btb_targets[i]);
+        Prediction { taken, target }
+    }
+
+    /// Looks up the BTB for an unconditional control transfer at `pc`.
+    pub fn btb_lookup(&mut self, pc: u64, obs: &Obs, obj: u16) -> Option<u64> {
+        obs.call(CompClass::BranchPred, "btbLookup", obj, 10);
+        let i = self.btb_idx(pc);
+        (self.btb_tags[i] == pc).then(|| self.btb_targets[i])
+    }
+
+    /// Trains the predictor with the resolved outcome; returns whether the
+    /// earlier prediction `predicted` was wrong.
+    pub fn update(
+        &mut self,
+        pc: u64,
+        taken: bool,
+        target: u64,
+        predicted: Prediction,
+        obs: &Obs,
+        obj: u16,
+    ) -> bool {
+        obs.call(CompClass::BranchPred, "update", obj, 20);
+        let gi = self.global_idx();
+        let li = self.local_idx(pc);
+        let local_correct = self.local[li].taken() == taken;
+        let global_correct = self.global[gi].taken() == taken;
+        if local_correct != global_correct {
+            self.choice[gi].update(global_correct);
+        }
+        self.local[li].update(taken);
+        self.global[gi].update(taken);
+        self.history = (self.history << 1) | taken as u64;
+        if taken {
+            let i = self.btb_idx(pc);
+            self.btb_tags[i] = pc;
+            self.btb_targets[i] = target;
+        }
+        let mispredicted =
+            predicted.taken != taken || (taken && predicted.target != Some(target));
+        if mispredicted {
+            self.mispredicts += 1;
+        }
+        mispredicted
+    }
+
+    /// Records a BTB fill for an unconditional transfer.
+    pub fn btb_install(&mut self, pc: u64, target: u64) {
+        let i = self.btb_idx(pc);
+        if self.btb_tags[i] != pc {
+            self.btb_misses += 1;
+        }
+        self.btb_tags[i] = pc;
+        self.btb_targets[i] = target;
+    }
+
+    /// Misprediction rate over conditional lookups.
+    pub fn mispredict_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.mispredicts as f64 / self.lookups as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn learns_always_taken_loop() {
+        let mut bp = TournamentBp::new(64);
+        let obs = Obs::none();
+        let pc = 0x400100;
+        let mut wrong = 0;
+        for _ in 0..100 {
+            let p = bp.predict(pc, &obs, 0);
+            if bp.update(pc, true, 0x400080, p, &obs, 0) {
+                wrong += 1;
+            }
+        }
+        // Warm-up misses: until the global history register saturates,
+        // each iteration indexes a fresh (untrained) global counter.
+        assert!(wrong <= 16, "should converge quickly, got {wrong} wrong");
+        // After training, target comes from the BTB.
+        let p = bp.predict(pc, &obs, 0);
+        assert!(p.taken);
+        assert_eq!(p.target, Some(0x400080));
+    }
+
+    #[test]
+    fn learns_alternating_pattern_via_global_history() {
+        let mut bp = TournamentBp::new(64);
+        let obs = Obs::none();
+        let pc = 0x400200;
+        let mut wrong_late = 0;
+        for i in 0..400 {
+            let taken = i % 2 == 0;
+            let p = bp.predict(pc, &obs, 0);
+            let mis = bp.update(pc, taken, 0x400300, p, &obs, 0);
+            if i >= 200 && mis {
+                wrong_late += 1;
+            }
+        }
+        assert!(
+            wrong_late < 20,
+            "global history should capture alternation, got {wrong_late}/200"
+        );
+    }
+
+    #[test]
+    fn random_branches_mispredict_often() {
+        let mut bp = TournamentBp::new(64);
+        let obs = Obs::none();
+        let pc = 0x400400;
+        // A pseudo-random but deterministic sequence.
+        let mut x = 0x12345678u64;
+        let mut wrong = 0;
+        for _ in 0..1000 {
+            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            let taken = (x >> 33) & 1 == 1;
+            let p = bp.predict(pc, &obs, 0);
+            if bp.update(pc, taken, 0x400500, p, &obs, 0) {
+                wrong += 1;
+            }
+        }
+        assert!(wrong > 250, "random data should defeat the predictor, got {wrong}");
+    }
+
+    #[test]
+    fn btb_tracks_installs() {
+        let mut bp = TournamentBp::new(16);
+        let obs = Obs::none();
+        assert_eq!(bp.btb_lookup(0x400000, &obs, 0), None);
+        bp.btb_install(0x400000, 0x400800);
+        assert_eq!(bp.btb_lookup(0x400000, &obs, 0), Some(0x400800));
+        assert_eq!(bp.btb_misses, 1);
+        bp.btb_install(0x400000, 0x400800);
+        assert_eq!(bp.btb_misses, 1, "re-install of same pc is not a miss");
+    }
+
+    #[test]
+    fn rates_are_bounded() {
+        let mut bp = TournamentBp::new(16);
+        assert_eq!(bp.mispredict_rate(), 0.0);
+        let obs = Obs::none();
+        let p = bp.predict(0, &obs, 0);
+        bp.update(0, true, 4, p, &obs, 0);
+        assert!(bp.mispredict_rate() <= 1.0);
+    }
+}

@@ -1,0 +1,339 @@
+//! Checkpointing — gem5's `m5 checkpoint` / restore flow.
+//!
+//! The paper's methodology depends on checkpoints ("we use [M1 machines]
+//! to recover from checkpoints taken by Intel_Xeon"): boot or fast-forward
+//! with a cheap CPU model, snapshot the architectural state, and restore
+//! into a detailed model. This module reproduces that: a [`Checkpoint`]
+//! captures each hart's architectural registers plus physical memory and
+//! the syscall-emulation state; restoring builds a fresh system (caches
+//! and TLBs cold, exactly as in gem5) that continues execution.
+//!
+//! Checkpoints serialize to a self-describing byte format
+//! ([`Checkpoint::to_bytes`] / [`Checkpoint::from_bytes`]) so they can be
+//! moved between processes or machines.
+
+use crate::config::SystemConfig;
+use crate::system::System;
+use gem5sim_isa::exec::ArchState;
+use gem5sim_isa::{FReg, Program, Reg};
+use std::fmt;
+
+const MAGIC: &[u8; 8] = b"GEM5CPT1";
+
+/// Architectural snapshot of one hart.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HartState {
+    /// Program counter.
+    pub pc: u64,
+    /// Integer registers x0–x31.
+    pub regs: [u64; 32],
+    /// FP registers f0–f31 (bit patterns).
+    pub fregs: [u64; 32],
+    /// Whether the hart had already halted.
+    pub halted: bool,
+}
+
+impl HartState {
+    /// Captures a hart.
+    pub fn capture(arch: &ArchState, halted: bool) -> Self {
+        let mut regs = [0u64; 32];
+        let mut fregs = [0u64; 32];
+        for i in 0..32 {
+            regs[i] = arch.read(Reg(i as u8));
+            fregs[i] = arch.fread(FReg(i as u8)).to_bits();
+        }
+        HartState {
+            pc: arch.pc,
+            regs,
+            fregs,
+            halted,
+        }
+    }
+
+    /// Applies this snapshot to a fresh architectural state.
+    pub fn apply(&self, arch: &mut ArchState) {
+        arch.pc = self.pc;
+        for i in 0..32 {
+            arch.write(Reg(i as u8), self.regs[i]);
+            arch.fwrite(FReg(i as u8), f64::from_bits(self.fregs[i]));
+        }
+    }
+}
+
+/// A drained-system checkpoint.
+#[derive(Clone, PartialEq)]
+pub struct Checkpoint {
+    /// Per-hart architectural state.
+    pub harts: Vec<HartState>,
+    /// Full physical-memory image.
+    pub memory: Vec<u8>,
+    /// Program break.
+    pub brk: u64,
+    /// Guest stdout produced so far.
+    pub stdout: Vec<u8>,
+    /// Guest instructions committed before the checkpoint (carried into
+    /// reporting only).
+    pub insts_before: u64,
+}
+
+impl fmt::Debug for Checkpoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Checkpoint")
+            .field("harts", &self.harts.len())
+            .field("memory_bytes", &self.memory.len())
+            .field("insts_before", &self.insts_before)
+            .finish()
+    }
+}
+
+/// Error while decoding a checkpoint image.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckpointError {
+    /// Bad magic bytes or version.
+    BadMagic,
+    /// Image ended prematurely or lengths are inconsistent.
+    Truncated,
+}
+
+impl fmt::Display for CheckpointError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CheckpointError::BadMagic => write!(f, "not a gem5sim checkpoint image"),
+            CheckpointError::Truncated => write!(f, "checkpoint image is truncated"),
+        }
+    }
+}
+
+impl std::error::Error for CheckpointError {}
+
+fn push_u64(out: &mut Vec<u8>, v: u64) {
+    out.extend_from_slice(&v.to_le_bytes());
+}
+
+struct Reader<'a> {
+    b: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    fn u64(&mut self) -> Result<u64, CheckpointError> {
+        let end = self.pos + 8;
+        let s = self.b.get(self.pos..end).ok_or(CheckpointError::Truncated)?;
+        self.pos = end;
+        Ok(u64::from_le_bytes(s.try_into().expect("8 bytes")))
+    }
+    fn bytes(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
+        let end = self.pos.checked_add(n).ok_or(CheckpointError::Truncated)?;
+        let s = self.b.get(self.pos..end).ok_or(CheckpointError::Truncated)?;
+        self.pos = end;
+        Ok(s)
+    }
+}
+
+impl Checkpoint {
+    /// Serializes to a portable byte image.
+    pub fn to_bytes(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(self.memory.len() + 1024);
+        out.extend_from_slice(MAGIC);
+        push_u64(&mut out, self.harts.len() as u64);
+        for h in &self.harts {
+            push_u64(&mut out, h.pc);
+            for r in h.regs {
+                push_u64(&mut out, r);
+            }
+            for r in h.fregs {
+                push_u64(&mut out, r);
+            }
+            push_u64(&mut out, h.halted as u64);
+        }
+        push_u64(&mut out, self.brk);
+        push_u64(&mut out, self.insts_before);
+        push_u64(&mut out, self.stdout.len() as u64);
+        out.extend_from_slice(&self.stdout);
+        push_u64(&mut out, self.memory.len() as u64);
+        out.extend_from_slice(&self.memory);
+        out
+    }
+
+    /// Decodes a byte image.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`CheckpointError`] for malformed images.
+    pub fn from_bytes(b: &[u8]) -> Result<Self, CheckpointError> {
+        if b.len() < 8 || &b[..8] != MAGIC {
+            return Err(CheckpointError::BadMagic);
+        }
+        let mut r = Reader { b, pos: 8 };
+        let n_harts = r.u64()? as usize;
+        if n_harts > 4096 {
+            return Err(CheckpointError::Truncated);
+        }
+        let mut harts = Vec::with_capacity(n_harts);
+        for _ in 0..n_harts {
+            let pc = r.u64()?;
+            let mut regs = [0u64; 32];
+            for v in regs.iter_mut() {
+                *v = r.u64()?;
+            }
+            let mut fregs = [0u64; 32];
+            for v in fregs.iter_mut() {
+                *v = r.u64()?;
+            }
+            let halted = r.u64()? != 0;
+            harts.push(HartState {
+                pc,
+                regs,
+                fregs,
+                halted,
+            });
+        }
+        let brk = r.u64()?;
+        let insts_before = r.u64()?;
+        let stdout_len = r.u64()? as usize;
+        let stdout = r.bytes(stdout_len)?.to_vec();
+        let mem_len = r.u64()? as usize;
+        let memory = r.bytes(mem_len)?.to_vec();
+        Ok(Checkpoint {
+            harts,
+            memory,
+            brk,
+            stdout,
+            insts_before,
+        })
+    }
+}
+
+impl System {
+    /// Takes a checkpoint of the (drained) system — call after
+    /// [`run`](System::run) has returned (e.g. stopped by `max_insts`).
+    pub fn take_checkpoint(&self) -> Checkpoint {
+        let m = self.machine_ref();
+        let m = m.borrow();
+        let harts = m
+            .cpus
+            .iter()
+            .map(|c| HartState::capture(&c.core().arch, c.core().halted))
+            .collect::<Vec<_>>();
+        let memory = m.shared.phys.read_slice(0, m.shared.phys.size() as usize);
+        Checkpoint {
+            harts,
+            memory,
+            brk: m.shared.sys.brk,
+            stdout: m.shared.sys.stdout.clone(),
+            insts_before: m.cpus.iter().map(|c| c.core().committed).sum(),
+        }
+    }
+
+    /// Builds a system restored from `ckpt`: architectural state and
+    /// memory are recovered; caches, TLBs and predictors start cold (as
+    /// in gem5). The `cfg` may use a *different CPU model* than the one
+    /// that took the checkpoint — the boot-fast/measure-detailed flow.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the hart count or memory size disagree with `cfg`.
+    pub fn from_checkpoint(cfg: SystemConfig, program: Program, ckpt: &Checkpoint) -> System {
+        assert_eq!(
+            cfg.num_cpus,
+            ckpt.harts.len(),
+            "checkpoint hart count must match the configuration"
+        );
+        assert_eq!(
+            cfg.mem_size as usize,
+            ckpt.memory.len(),
+            "checkpoint memory size must match the configuration"
+        );
+        let sys = System::new(cfg, program);
+        {
+            let m = sys.machine_ref();
+            let mut m = m.borrow_mut();
+            m.shared.phys.write_slice(0, &ckpt.memory);
+            m.shared.sys.brk = ckpt.brk;
+            m.shared.sys.stdout = ckpt.stdout.clone();
+            for (c, h) in m.cpus.iter_mut().zip(&ckpt.harts) {
+                h.apply(&mut c.core_mut().arch);
+            }
+        }
+        sys
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CpuModel, SimMode};
+    use gem5sim_workloads::{Scale, Workload};
+
+    fn run_straight(w: Workload, model: CpuModel) -> (u64, Vec<u8>) {
+        let mut sys = System::new(SystemConfig::new(model, SimMode::Se), w.program(Scale::Test));
+        let r = sys.run();
+        (r.committed_insts, r.stdout)
+    }
+
+    #[test]
+    fn checkpoint_restore_resumes_exactly() {
+        let w = Workload::Sieve;
+        let (straight_insts, straight_out) = run_straight(w, CpuModel::Atomic);
+
+        // Fast-forward the first 60% with Atomic, checkpoint...
+        let ff = straight_insts * 6 / 10;
+        let cfg = SystemConfig::new(CpuModel::Atomic, SimMode::Se).with_max_insts(ff);
+        let mut boot = System::new(cfg, w.program(Scale::Test));
+        boot.run();
+        let ckpt = boot.take_checkpoint();
+        drop(boot);
+
+        // ...and finish on the detailed O3 model.
+        let cfg = SystemConfig::new(CpuModel::O3, SimMode::Se);
+        let mut detailed = System::from_checkpoint(cfg, w.program(Scale::Test), &ckpt);
+        let r = detailed.run();
+
+        assert_eq!(r.stdout, straight_out, "restored run must finish identically");
+        assert_eq!(
+            ckpt.insts_before + r.committed_insts,
+            straight_insts,
+            "no instructions lost or duplicated across the checkpoint"
+        );
+    }
+
+    #[test]
+    fn serialization_roundtrips() {
+        let cfg = SystemConfig::new(CpuModel::Atomic, SimMode::Se).with_max_insts(500);
+        let mut sys = System::new(cfg, Workload::Dedup.program(Scale::Test));
+        sys.run();
+        let ckpt = sys.take_checkpoint();
+        let bytes = ckpt.to_bytes();
+        let back = Checkpoint::from_bytes(&bytes).unwrap();
+        assert_eq!(ckpt, back);
+        assert!(bytes.len() > ckpt.memory.len());
+    }
+
+    #[test]
+    fn malformed_images_are_rejected() {
+        assert_eq!(
+            Checkpoint::from_bytes(b"not a checkpoint"),
+            Err(CheckpointError::BadMagic)
+        );
+        let cfg = SystemConfig::new(CpuModel::Atomic, SimMode::Se).with_max_insts(100);
+        let mut sys = System::new(cfg, Workload::Dedup.program(Scale::Test));
+        sys.run();
+        let bytes = sys.take_checkpoint().to_bytes();
+        assert_eq!(
+            Checkpoint::from_bytes(&bytes[..bytes.len() / 2]),
+            Err(CheckpointError::Truncated)
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "memory size")]
+    fn mismatched_config_is_rejected() {
+        let cfg = SystemConfig::new(CpuModel::Atomic, SimMode::Se).with_max_insts(100);
+        let mut sys = System::new(cfg, Workload::Dedup.program(Scale::Test));
+        sys.run();
+        let ckpt = sys.take_checkpoint();
+        let mut other = SystemConfig::new(CpuModel::Atomic, SimMode::Se);
+        other.mem_size *= 2;
+        let _ = System::from_checkpoint(other, Workload::Dedup.program(Scale::Test), &ckpt);
+    }
+}

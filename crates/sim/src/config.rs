@@ -1,0 +1,270 @@
+//! Simulated-system configuration.
+
+use gem5sim_event::Frequency;
+
+/// CPU models, in increasing order of simulation detail — the paper's
+/// primary experimental axis.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum CpuModel {
+    /// `AtomicSimpleCPU`: CPI = 1, atomic memory accesses with no
+    /// contention or queuing modeled.
+    Atomic,
+    /// `TimingSimpleCPU`: CPI = 1 plus detailed memory timing (queuing
+    /// delays, resource contention).
+    Timing,
+    /// `MinorCPU`: fixed in-order pipeline with detailed memory timing.
+    Minor,
+    /// `O3CPU`: out-of-order superscalar (ROB/IQ/LSQ, rename, tournament
+    /// branch predictor) with detailed memory timing.
+    O3,
+}
+
+impl CpuModel {
+    /// All models, in increasing detail order.
+    pub const ALL: [CpuModel; 4] = [
+        CpuModel::Atomic,
+        CpuModel::Timing,
+        CpuModel::Minor,
+        CpuModel::O3,
+    ];
+
+    /// Short uppercase name used in figures (matches the paper's labels).
+    pub fn label(self) -> &'static str {
+        match self {
+            CpuModel::Atomic => "ATOMIC",
+            CpuModel::Timing => "TIMING",
+            CpuModel::Minor => "MINOR",
+            CpuModel::O3 => "O3",
+        }
+    }
+
+    /// 0-based detail rank (Atomic = 0 … O3 = 3).
+    pub fn detail_rank(self) -> usize {
+        match self {
+            CpuModel::Atomic => 0,
+            CpuModel::Timing => 1,
+            CpuModel::Minor => 2,
+            CpuModel::O3 => 3,
+        }
+    }
+}
+
+/// Simulation mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SimMode {
+    /// Syscall emulation: user-level code only; `ecall`s serviced by the
+    /// simulator; no TLBs or interrupts.
+    Se,
+    /// Full system: TLB translation on every access, timer interrupts,
+    /// firmware `ecall` services.
+    Fs,
+}
+
+impl SimMode {
+    /// Short name used in figures.
+    pub fn label(self) -> &'static str {
+        match self {
+            SimMode::Se => "SE",
+            SimMode::Fs => "FS",
+        }
+    }
+}
+
+/// Geometry and latency of one guest cache.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CacheConfig {
+    /// Total size in bytes.
+    pub size: u64,
+    /// Associativity (ways).
+    pub assoc: u64,
+    /// Line size in bytes.
+    pub line: u64,
+    /// Hit latency in CPU cycles.
+    pub hit_latency: u64,
+    /// Number of MSHRs (outstanding misses); blocking when in flight
+    /// misses reach this count.
+    pub mshrs: u64,
+}
+
+impl CacheConfig {
+    /// Number of sets.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry is inconsistent (size not divisible by
+    /// `assoc * line`).
+    pub fn sets(&self) -> u64 {
+        assert!(
+            self.size % (self.assoc * self.line) == 0 && self.size > 0,
+            "inconsistent cache geometry {self:?}"
+        );
+        self.size / (self.assoc * self.line)
+    }
+}
+
+/// Full simulated-system configuration.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SystemConfig {
+    /// CPU model.
+    pub cpu_model: CpuModel,
+    /// SE or FS mode.
+    pub mode: SimMode,
+    /// Number of CPUs (each runs the workload with its hart id in `tp`).
+    pub num_cpus: usize,
+    /// Guest CPU clock.
+    pub clock: Frequency,
+    /// Physical memory size in bytes.
+    pub mem_size: u64,
+    /// L1 instruction cache (per CPU).
+    pub l1i: CacheConfig,
+    /// L1 data cache (per CPU).
+    pub l1d: CacheConfig,
+    /// Unified L2 (shared).
+    pub l2: CacheConfig,
+    /// DRAM access latency in nanoseconds.
+    pub dram_latency_ns: u64,
+    /// DRAM peak bandwidth in bytes/sec (models occupancy).
+    pub dram_bw_bytes_per_sec: u64,
+    /// iTLB/dTLB entries (FS mode).
+    pub tlb_entries: usize,
+    /// Guest page size in bytes (FS mode).
+    pub page_size: u64,
+    /// Timer interrupt interval in guest microseconds (FS mode).
+    pub timer_interval_us: u64,
+    /// Pipeline width for Minor (fetch/execute per cycle).
+    pub minor_width: usize,
+    /// O3 pipeline width (fetch/rename/issue/commit per cycle).
+    pub o3_width: usize,
+    /// O3 reorder-buffer entries.
+    pub rob_entries: usize,
+    /// O3 issue-queue entries.
+    pub iq_entries: usize,
+    /// O3 load-queue entries.
+    pub lq_entries: usize,
+    /// O3 store-queue entries.
+    pub sq_entries: usize,
+    /// Physical integer registers (O3 rename).
+    pub int_phys_regs: usize,
+    /// Physical FP registers (O3 rename).
+    pub fp_phys_regs: usize,
+    /// Branch-predictor BTB entries (Minor/O3).
+    pub btb_entries: usize,
+    /// Safety valve: maximum committed instructions before forced exit
+    /// (`None` = unlimited).
+    pub max_insts: Option<u64>,
+}
+
+impl SystemConfig {
+    /// gem5-like defaults for the given model and mode (2 GHz guest,
+    /// 32 KB L1s, 1 MB L2, 64 MB memory).
+    pub fn new(cpu_model: CpuModel, mode: SimMode) -> Self {
+        let l1 = CacheConfig {
+            size: 32 * 1024,
+            assoc: 8,
+            line: 64,
+            hit_latency: 2,
+            mshrs: 4,
+        };
+        SystemConfig {
+            cpu_model,
+            mode,
+            num_cpus: 1,
+            clock: Frequency::from_ghz(2.0),
+            mem_size: 64 * 1024 * 1024,
+            l1i: l1,
+            l1d: l1,
+            l2: CacheConfig {
+                size: 1024 * 1024,
+                assoc: 16,
+                line: 64,
+                hit_latency: 12,
+                mshrs: 16,
+            },
+            dram_latency_ns: 50,
+            dram_bw_bytes_per_sec: 12_800_000_000,
+            tlb_entries: 64,
+            page_size: 4096,
+            timer_interval_us: 100,
+            minor_width: 2,
+            o3_width: 8,
+            rob_entries: 192,
+            iq_entries: 64,
+            lq_entries: 32,
+            sq_entries: 32,
+            int_phys_regs: 128,
+            fp_phys_regs: 192,
+            btb_entries: 4096,
+            max_insts: None,
+        }
+    }
+
+    /// Sets the number of CPUs (builder style).
+    pub fn with_cpus(mut self, n: usize) -> Self {
+        assert!(n >= 1, "at least one CPU required");
+        self.num_cpus = n;
+        self
+    }
+
+    /// Sets the committed-instruction limit (builder style).
+    pub fn with_max_insts(mut self, n: u64) -> Self {
+        self.max_insts = Some(n);
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn model_order_reflects_detail() {
+        assert!(CpuModel::Atomic < CpuModel::Timing);
+        assert!(CpuModel::Timing < CpuModel::Minor);
+        assert!(CpuModel::Minor < CpuModel::O3);
+        for (i, m) in CpuModel::ALL.iter().enumerate() {
+            assert_eq!(m.detail_rank(), i);
+        }
+    }
+
+    #[test]
+    fn cache_sets() {
+        let c = CacheConfig {
+            size: 32 * 1024,
+            assoc: 8,
+            line: 64,
+            hit_latency: 2,
+            mshrs: 4,
+        };
+        assert_eq!(c.sets(), 64);
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent")]
+    fn bad_cache_geometry_panics() {
+        let c = CacheConfig {
+            size: 1000,
+            assoc: 3,
+            line: 64,
+            hit_latency: 1,
+            mshrs: 1,
+        };
+        let _ = c.sets();
+    }
+
+    #[test]
+    fn defaults_are_sane() {
+        let cfg = SystemConfig::new(CpuModel::O3, SimMode::Fs);
+        assert_eq!(cfg.l1i.sets(), 64);
+        assert_eq!(cfg.l2.sets(), 1024);
+        assert_eq!(cfg.num_cpus, 1);
+        let cfg = cfg.with_cpus(4).with_max_insts(1000);
+        assert_eq!(cfg.num_cpus, 4);
+        assert_eq!(cfg.max_insts, Some(1000));
+    }
+
+    #[test]
+    fn labels_match_paper() {
+        assert_eq!(CpuModel::O3.label(), "O3");
+        assert_eq!(SimMode::Fs.label(), "FS");
+    }
+}

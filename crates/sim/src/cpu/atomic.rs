@@ -1,0 +1,51 @@
+//! `AtomicSimpleCPU`: CPI = 1, atomic memory accesses.
+//!
+//! Memory accesses complete "atomically" within the instruction — cache
+//! and TLB state is updated (so warming works, as in gem5), but no
+//! contention or queuing is modeled and latency is a flat CPI of 1.
+
+use crate::cpu::TickOutcome;
+use crate::dyninst::FunctionalCore;
+use crate::observe::CompClass;
+use crate::system::Shared;
+use gem5sim_event::Tick;
+
+/// The atomic CPU model.
+#[derive(Debug)]
+pub struct AtomicCpu {
+    /// Shared functional core.
+    pub core: FunctionalCore,
+}
+
+impl AtomicCpu {
+    /// Creates the CPU.
+    pub fn new(core: FunctionalCore) -> Self {
+        AtomicCpu { core }
+    }
+
+    /// Executes one instruction per tick.
+    pub fn tick(&mut self, sh: &mut Shared, now: Tick) -> TickOutcome {
+        let id = self.core.cpu_id;
+        sh.obs.call(CompClass::CpuAtomic, "tick", id, 50);
+
+        let d = sh.step_core(&mut self.core, now);
+
+        // Atomic instruction fetch: warms the I-side, returns no timing.
+        sh.obs.call(CompClass::CpuAtomic, "atomicFetchInst", id, 24);
+        sh.fetch_access_atomic(id as usize, d.pc, now);
+
+        if let Some(m) = d.mem {
+            sh.obs.call(CompClass::CpuAtomic, "atomicMemAccess", id, 30);
+            sh.data_access_atomic(id as usize, m.addr, m.write, now);
+        }
+
+        if d.is_halt {
+            return TickOutcome { next_at: None };
+        }
+        let mut next = now + sh.period();
+        if d.stall_us > 0 {
+            next += d.stall_us * 1_000_000; // µs in ps
+        }
+        TickOutcome { next_at: Some(next) }
+    }
+}

@@ -1,0 +1,162 @@
+//! `MinorCPU`: a fixed in-order pipeline with detailed memory timing.
+//!
+//! The timing model is a scoreboarded in-order pipeline (fetch → decode →
+//! execute → writeback) expressed in the one-pass style: per-resource
+//! availability times (fetch bandwidth, issue port, architectural-register
+//! readiness) advance as each instruction is processed in program order.
+//! Branches are predicted with a tournament predictor; mispredictions
+//! stall fetch until the branch resolves.
+
+use crate::bp::TournamentBp;
+use crate::cpu::{fu_latency, TickOutcome};
+use crate::dyninst::FunctionalCore;
+use crate::observe::CompClass;
+use crate::system::Shared;
+use gem5sim_event::Tick;
+use gem5sim_isa::InstClass;
+
+/// The Minor (in-order) CPU model.
+#[derive(Debug)]
+pub struct MinorCpu {
+    /// Shared functional core.
+    pub core: FunctionalCore,
+    /// Branch predictor.
+    pub bp: TournamentBp,
+    reg_ready: [Tick; 64],
+    fetch_avail: Tick,
+    issue_avail: Tick,
+    draining: Option<Tick>,
+    /// Cycles lost to branch mispredictions (guest ticks).
+    pub mispredict_stall_ticks: Tick,
+}
+
+impl MinorCpu {
+    /// Creates the CPU.
+    pub fn new(core: FunctionalCore, btb_entries: usize) -> Self {
+        MinorCpu {
+            core,
+            bp: TournamentBp::new(btb_entries),
+            reg_ready: [0; 64],
+            fetch_avail: 0,
+            issue_avail: 0,
+            draining: None,
+            mispredict_stall_ticks: 0,
+        }
+    }
+
+    fn srcs_ready(&self, d: &crate::dyninst::DynInst) -> Tick {
+        let mut t = 0;
+        for s in d.inst.int_srcs().into_iter().flatten() {
+            t = t.max(self.reg_ready[s.index()]);
+        }
+        // FP sources: approximate by treating the FP register file as the
+        // upper half of the scoreboard, keyed by the static instruction.
+        if matches!(
+            d.class,
+            InstClass::FpAlu | InstClass::FpMul | InstClass::FpDiv
+        ) {
+            t = t.max(self.reg_ready[32..].iter().copied().max().unwrap_or(0));
+        }
+        t
+    }
+
+    fn set_dest_ready(&mut self, d: &crate::dyninst::DynInst, at: Tick) {
+        if let Some(r) = d.inst.int_dest() {
+            self.reg_ready[r.index()] = at;
+        }
+        if matches!(
+            d.class,
+            InstClass::FpAlu | InstClass::FpMul | InstClass::FpDiv | InstClass::Load
+        ) {
+            // Conservatively mark one FP slot; precise FP renaming lives in
+            // the O3 model.
+            if matches!(d.class, InstClass::FpAlu | InstClass::FpMul | InstClass::FpDiv) {
+                self.reg_ready[32] = at;
+            }
+        }
+    }
+
+    /// Processes one instruction through the pipeline model.
+    pub fn tick(&mut self, sh: &mut Shared, now: Tick) -> TickOutcome {
+        if let Some(done) = self.draining.take() {
+            let _ = done;
+            return TickOutcome { next_at: None };
+        }
+        let id = self.core.cpu_id;
+        let width = sh.cfg.minor_width as u64;
+        let slot = sh.period() / width.max(1);
+
+        // Minor evaluates all pipeline stages every cycle; its evaluate
+        // chain is one of the heavier per-event code paths in gem5.
+        sh.obs.call(CompClass::CpuMinor, "evaluate", id, 70);
+        sh.obs.call(CompClass::CpuMinor, "fetch1_evaluate", id, 30);
+
+        let pc = self.core.arch.pc;
+        let fetch_start = now.max(self.fetch_avail);
+        let ilat = sh.fetch_access(id as usize, pc, fetch_start);
+        let fetch_done = fetch_start + ilat;
+
+        let d = sh.step_core(&mut self.core, now);
+        sh.obs.call(CompClass::CpuMinor, "fetch2_evaluate", id, 35);
+        sh.obs.call(CompClass::CpuMinor, "decode_evaluate", id, 30);
+        sh.obs
+            .data(CompClass::CpuMinor, id, (d.seq % 16) as u32 * 48, 48, true);
+
+        // Issue: in order, after decode (2-cycle front), operands ready.
+        let ready = self.srcs_ready(&d);
+        let issue = (fetch_done + sh.cyc(2)).max(self.issue_avail).max(ready);
+        self.issue_avail = issue + slot;
+        sh.obs.call(CompClass::CpuMinor, "execute_evaluate", id, 45);
+
+        let mut exec_end = issue + sh.cyc(fu_latency(d.class));
+        if let Some(m) = d.mem {
+            sh.obs.call(CompClass::CpuMinor, "lsq_issue", id, 30);
+            let dlat = sh.data_access(id as usize, m.addr, m.write, issue);
+            if !m.write {
+                exec_end = issue + dlat;
+            }
+        }
+        if d.is_syscall {
+            exec_end += sh.cyc(10);
+        }
+        self.set_dest_ready(&d, exec_end);
+        sh.obs.call(CompClass::CpuMinor, "commit", id, 25);
+
+        // Control flow and fetch pacing.
+        let mut next_fetch = fetch_start + slot;
+        if let Some(c) = d.control {
+            if c.is_cond {
+                let pred = self.bp.predict(d.pc, &sh.obs, id);
+                let mis = self.bp.update(d.pc, c.taken, c.target, pred, &sh.obs, id);
+                if mis {
+                    sh.obs.call(CompClass::CpuMinor, "branchMispredict_squash", id, 90);
+                    let redirect = exec_end + sh.cyc(2);
+                    self.mispredict_stall_ticks += redirect.saturating_sub(next_fetch);
+                    next_fetch = redirect;
+                }
+            } else {
+                // Jumps: a BTB miss costs a fetch bubble while the target
+                // is computed.
+                if self.bp.btb_lookup(d.pc, &sh.obs, id).is_none() {
+                    next_fetch = next_fetch.max(fetch_done + sh.cyc(2));
+                }
+                self.bp.btb_install(d.pc, c.target);
+            }
+        }
+        self.fetch_avail = next_fetch;
+        if d.stall_us > 0 {
+            self.fetch_avail += d.stall_us * 1_000_000;
+        }
+
+        if d.is_halt {
+            // One drain event so sim time includes the pipeline tail.
+            self.draining = Some(exec_end);
+            return TickOutcome {
+                next_at: Some(exec_end.max(now)),
+            };
+        }
+        TickOutcome {
+            next_at: Some(self.fetch_avail.max(now)),
+        }
+    }
+}

@@ -1,0 +1,144 @@
+//! The four CPU models, in increasing detail order:
+//! [`atomic`], [`timing`], [`minor`], [`o3`].
+//!
+//! All models are *functional-first* (see [`crate::dyninst`]): they share
+//! one architectural executor and differ only in timing and in the set of
+//! simulator handlers they exercise per instruction — which is exactly the
+//! axis the paper varies ("the instruction cache footprint increases with
+//! the CPU model complexity").
+
+pub mod atomic;
+pub mod minor;
+pub mod o3;
+pub mod timing;
+
+use crate::dyninst::FunctionalCore;
+use crate::system::Shared;
+use gem5sim_event::Tick;
+
+pub use atomic::AtomicCpu;
+pub use minor::MinorCpu;
+pub use o3::O3Cpu;
+pub use timing::TimingCpu;
+
+/// Result of one CPU tick handler.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TickOutcome {
+    /// When to schedule the next tick; `None` when the hart halted.
+    pub next_at: Option<Tick>,
+}
+
+/// Functional-unit latency in guest cycles for an instruction class.
+pub fn fu_latency(class: gem5sim_isa::InstClass) -> u64 {
+    use gem5sim_isa::InstClass::*;
+    match class {
+        IntAlu | Nop => 1,
+        IntMul => 3,
+        IntDiv => 20,
+        FpAlu => 2,
+        FpMul => 4,
+        FpDiv => 12,
+        Load => 1,  // plus cache latency
+        Store => 1, // retired through the store queue
+        Branch | Jump => 1,
+        Syscall => 10,
+    }
+}
+
+/// A CPU of any model (the concrete type is chosen by
+/// [`SystemConfig::cpu_model`](crate::config::SystemConfig)).
+///
+/// `Empty` is the placeholder used while a CPU is temporarily moved out of
+/// the machine during its own tick.
+#[derive(Debug, Default)]
+pub enum CpuBox {
+    /// Placeholder (a CPU is being ticked).
+    #[default]
+    Empty,
+    /// Atomic CPU.
+    Atomic(AtomicCpu),
+    /// Timing CPU.
+    Timing(TimingCpu),
+    /// Minor (in-order) CPU.
+    Minor(MinorCpu),
+    /// O3 (out-of-order) CPU.
+    O3(O3Cpu),
+}
+
+impl CpuBox {
+    /// Ticks the CPU.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the `Empty` placeholder.
+    pub fn tick(&mut self, sh: &mut Shared, now: Tick) -> TickOutcome {
+        match self {
+            CpuBox::Empty => panic!("tick on moved-out CPU"),
+            CpuBox::Atomic(c) => c.tick(sh, now),
+            CpuBox::Timing(c) => c.tick(sh, now),
+            CpuBox::Minor(c) => c.tick(sh, now),
+            CpuBox::O3(c) => c.tick(sh, now),
+        }
+    }
+
+    /// The functional core.
+    ///
+    /// # Panics
+    ///
+    /// Panics on the `Empty` placeholder.
+    pub fn core(&self) -> &FunctionalCore {
+        match self {
+            CpuBox::Empty => panic!("core() on moved-out CPU"),
+            CpuBox::Atomic(c) => &c.core,
+            CpuBox::Timing(c) => &c.core,
+            CpuBox::Minor(c) => &c.core,
+            CpuBox::O3(c) => &c.core,
+        }
+    }
+
+    /// Mutable functional core (for interrupt injection).
+    ///
+    /// # Panics
+    ///
+    /// Panics on the `Empty` placeholder.
+    pub fn core_mut(&mut self) -> &mut FunctionalCore {
+        match self {
+            CpuBox::Empty => panic!("core_mut() on moved-out CPU"),
+            CpuBox::Atomic(c) => &mut c.core,
+            CpuBox::Timing(c) => &mut c.core,
+            CpuBox::Minor(c) => &mut c.core,
+            CpuBox::O3(c) => &mut c.core,
+        }
+    }
+
+    /// Guest branch-predictor statistics `(lookups, mispredicts)`, if the
+    /// model has a predictor.
+    pub fn bp_stats(&self) -> Option<(u64, u64)> {
+        match self {
+            CpuBox::Minor(c) => Some((c.bp.lookups, c.bp.mispredicts)),
+            CpuBox::O3(c) => Some((c.bp.lookups, c.bp.mispredicts)),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem5sim_isa::InstClass;
+
+    #[test]
+    fn latencies_are_ordered_sensibly() {
+        assert!(fu_latency(InstClass::IntDiv) > fu_latency(InstClass::IntMul));
+        assert!(fu_latency(InstClass::IntMul) > fu_latency(InstClass::IntAlu));
+        assert!(fu_latency(InstClass::FpDiv) > fu_latency(InstClass::FpMul));
+        assert_eq!(fu_latency(InstClass::Nop), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "moved-out")]
+    fn empty_box_panics() {
+        let b = CpuBox::Empty;
+        let _ = b.core();
+    }
+}

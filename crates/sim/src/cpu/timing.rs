@@ -1,0 +1,65 @@
+//! `TimingSimpleCPU`: CPI = 1 plus detailed memory timing.
+//!
+//! Each instruction performs a timed instruction fetch; loads and stores
+//! issue timed requests through the cache hierarchy and the CPU blocks
+//! until the response (the real `TimingSimpleCPU` is also blocking).
+
+use crate::cpu::TickOutcome;
+use crate::dyninst::FunctionalCore;
+use crate::observe::CompClass;
+use crate::system::Shared;
+use gem5sim_event::Tick;
+
+/// The timing-simple CPU model.
+#[derive(Debug)]
+pub struct TimingCpu {
+    /// Shared functional core.
+    pub core: FunctionalCore,
+}
+
+impl TimingCpu {
+    /// Creates the CPU.
+    pub fn new(core: FunctionalCore) -> Self {
+        TimingCpu { core }
+    }
+
+    /// Fetches, executes and (for memory ops) waits for the hierarchy;
+    /// one instruction per tick event.
+    pub fn tick(&mut self, sh: &mut Shared, now: Tick) -> TickOutcome {
+        let id = self.core.cpu_id;
+        sh.obs.call(CompClass::CpuTiming, "fetch", id, 45);
+
+        // The fetch itself is a timed access through the I-side.
+        let pc = self.core.arch.pc;
+        let fetch_lat = sh.fetch_access(id as usize, pc, now);
+
+        let d = sh.step_core(&mut self.core, now);
+        sh.obs.call(CompClass::CpuTiming, "completeIfetch", id, 35);
+        sh.obs.call(CompClass::CpuTiming, "executeInst", id, 40);
+
+        let mut lat = fetch_lat.max(sh.period());
+        if let Some(m) = d.mem {
+            sh.obs.call(CompClass::CpuTiming, "sendTimingReq", id, 30);
+            let dlat = sh.data_access(id as usize, m.addr, m.write, now + lat);
+            sh.obs.call(CompClass::CpuTiming, "recvTimingResp", id, 35);
+            // Stores retire through the write buffer; loads block.
+            if !m.write {
+                lat += dlat;
+            } else {
+                lat += sh.period();
+            }
+        }
+        if d.is_syscall {
+            lat += sh.cyc(10);
+        }
+
+        if d.is_halt {
+            return TickOutcome { next_at: None };
+        }
+        let mut next = now + lat;
+        if d.stall_us > 0 {
+            next += d.stall_us * 1_000_000;
+        }
+        TickOutcome { next_at: Some(next) }
+    }
+}

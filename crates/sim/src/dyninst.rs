@@ -1,0 +1,376 @@
+//! Functional-first dynamic instructions.
+//!
+//! All timing CPU models in this simulator follow the *functional-first*
+//! (execute-at-fetch) organization used by several production simulators:
+//! a [`FunctionalCore`] steps the architectural state in program order and
+//! hands out [`DynInst`] records; the CPU models then account for *timing*
+//! (pipelines, caches, mispredict recovery) over those records. This keeps
+//! all four CPU models architecturally identical by construction while
+//! letting them differ arbitrarily in timing detail — the same property
+//! gem5 gets from its shared ISA definition.
+
+use crate::mem::PhysMem;
+use crate::observe::{CompClass, Obs};
+use crate::syscall::{handle_ecall, EcallEffect, SyscallState};
+use gem5sim_isa::exec::{step as exec_step, ArchState, StepAction};
+use gem5sim_isa::{Inst, InstClass, MemSize, Program};
+
+/// A dynamic memory reference.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MemRef {
+    /// Effective (virtual) address.
+    pub addr: u64,
+    /// Whether this is a store.
+    pub write: bool,
+    /// Access width.
+    pub size: MemSize,
+}
+
+/// Resolved control-flow information for a dynamic instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ControlInfo {
+    /// Whether the transfer was taken (always true for jumps).
+    pub taken: bool,
+    /// The (taken) target.
+    pub target: u64,
+    /// Whether the instruction is a conditional branch.
+    pub is_cond: bool,
+    /// Whether the target comes from a register (indirect).
+    pub is_indirect: bool,
+}
+
+/// One dynamic instruction: architectural effects already applied,
+/// timing-relevant facts recorded.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DynInst {
+    /// Global sequence number (per hart).
+    pub seq: u64,
+    /// PC of this instruction.
+    pub pc: u64,
+    /// The static instruction.
+    pub inst: Inst,
+    /// Static class (functional-unit selection).
+    pub class: InstClass,
+    /// Memory reference, if any.
+    pub mem: Option<MemRef>,
+    /// Control-flow resolution, if any.
+    pub control: Option<ControlInfo>,
+    /// Next PC after this instruction (follow-on fetch address).
+    pub next_pc: u64,
+    /// Whether this was an `ecall`.
+    pub is_syscall: bool,
+    /// Whether this instruction ends the hart (halt / exit).
+    pub is_halt: bool,
+    /// Guest microseconds this hart must stall (firmware delays).
+    pub stall_us: u64,
+}
+
+/// In-order architectural core shared by all CPU models.
+#[derive(Debug)]
+pub struct FunctionalCore {
+    /// Hart id.
+    pub cpu_id: u16,
+    /// Architectural state.
+    pub arch: ArchState,
+    /// Whether the hart has halted.
+    pub halted: bool,
+    /// Exit code, if the workload called `exit`.
+    pub exit_code: Option<i64>,
+    /// Pending timer interrupt (set by the platform, FS mode).
+    pub irq_pending: bool,
+    /// Interrupts taken.
+    pub irqs_taken: u64,
+    /// Instructions committed.
+    pub committed: u64,
+    in_irq: bool,
+    saved_pc: u64,
+    irq_handler: Option<u64>,
+    fs_mode: bool,
+    seq: u64,
+}
+
+impl FunctionalCore {
+    /// Creates a core at `entry`. `irq_handler` (FS mode) is the PC of the
+    /// workload's interrupt vector, if it provides one.
+    pub fn new(cpu_id: u16, entry: u64, fs_mode: bool, irq_handler: Option<u64>) -> Self {
+        FunctionalCore {
+            cpu_id,
+            arch: ArchState::new(entry),
+            halted: false,
+            exit_code: None,
+            irq_pending: false,
+            irqs_taken: 0,
+            committed: 0,
+            in_irq: false,
+            saved_pc: 0,
+            irq_handler,
+            fs_mode,
+            seq: 0,
+        }
+    }
+
+    /// Whether the core is currently servicing an interrupt.
+    pub fn in_irq(&self) -> bool {
+        self.in_irq
+    }
+
+    /// Executes the next instruction in program order and returns its
+    /// dynamic record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called on a halted core.
+    pub fn step(
+        &mut self,
+        prog: &Program,
+        phys: &mut PhysMem,
+        sys: &mut SyscallState,
+        now_ticks: u64,
+        obs: &Obs,
+    ) -> DynInst {
+        assert!(!self.halted, "step() on a halted core");
+
+        // Interrupt entry happens at an instruction boundary.
+        if self.fs_mode && self.irq_pending && !self.in_irq {
+            if let Some(handler) = self.irq_handler {
+                obs.call(CompClass::Device, "takeInterrupt", self.cpu_id, 35);
+                self.saved_pc = self.arch.pc;
+                self.arch.pc = handler;
+                self.in_irq = true;
+                self.irqs_taken += 1;
+            }
+            self.irq_pending = false;
+        }
+
+        let pc = self.arch.pc;
+        let inst = match prog.fetch(pc) {
+            Some(i) => i,
+            None => {
+                // Running off the text segment halts the hart (gem5 would
+                // raise a fault; our workloads always end in halt/exit, so
+                // this is purely defensive).
+                self.halted = true;
+                return self.make(pc, Inst::Halt, StepAction::Halt, 0);
+            }
+        };
+        obs.call(CompClass::Decoder, "decodeInst", self.cpu_id, 16);
+
+        let action = exec_step(&mut self.arch, inst, phys);
+        let mut stall_us = 0;
+        match action {
+            StepAction::Halt => {
+                self.halted = true;
+            }
+            StepAction::Syscall => {
+                match handle_ecall(&mut self.arch, phys, sys, now_ticks, obs, self.cpu_id) {
+                    EcallEffect::Continue => {}
+                    EcallEffect::Exit(code) => {
+                        self.halted = true;
+                        self.exit_code = Some(code);
+                    }
+                    EcallEffect::Iret => {
+                        self.arch.pc = self.saved_pc;
+                        self.in_irq = false;
+                    }
+                    EcallEffect::Delay(us) => stall_us = us,
+                }
+            }
+            StepAction::Iret => {
+                self.arch.pc = self.saved_pc;
+                self.in_irq = false;
+            }
+            _ => {}
+        }
+        self.committed += 1;
+        self.make(pc, inst, action, stall_us)
+    }
+
+    fn make(&mut self, pc: u64, inst: Inst, action: StepAction, stall_us: u64) -> DynInst {
+        let seq = self.seq;
+        self.seq += 1;
+        let mem = match action {
+            StepAction::Load { addr, size, .. } => Some(MemRef {
+                addr,
+                write: false,
+                size,
+            }),
+            StepAction::Store { addr, size, .. } => Some(MemRef {
+                addr,
+                write: true,
+                size,
+            }),
+            _ => None,
+        };
+        let control = match action {
+            StepAction::Branch { taken, target } => Some(ControlInfo {
+                taken,
+                target,
+                is_cond: true,
+                is_indirect: false,
+            }),
+            StepAction::Jump { target } => Some(ControlInfo {
+                taken: true,
+                target,
+                is_cond: false,
+                is_indirect: matches!(inst, Inst::Jalr { .. }),
+            }),
+            // iret is an indirect jump to the saved PC (now in arch.pc).
+            StepAction::Iret => Some(ControlInfo {
+                taken: true,
+                target: self.arch.pc,
+                is_cond: false,
+                is_indirect: true,
+            }),
+            _ => None,
+        };
+        DynInst {
+            seq,
+            pc,
+            inst,
+            class: inst.class(),
+            mem,
+            control,
+            next_pc: self.arch.pc,
+            is_syscall: matches!(action, StepAction::Syscall),
+            is_halt: self.halted,
+            stall_us,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use gem5sim_isa::asm::ProgramBuilder;
+    use gem5sim_isa::Reg;
+
+    fn drive(core: &mut FunctionalCore, prog: &Program, phys: &mut PhysMem) -> Vec<DynInst> {
+        let mut sys = SyscallState::new(0x1000);
+        let obs = Obs::none();
+        let mut out = Vec::new();
+        while !core.halted && out.len() < 10_000 {
+            out.push(core.step(prog, phys, &mut sys, 0, &obs));
+        }
+        out
+    }
+
+    #[test]
+    fn records_sequence_and_control() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::T0, 2)
+            .label("loop")
+            .addi(Reg::T0, Reg::T0, -1)
+            .bne(Reg::T0, Reg::ZERO, "loop")
+            .halt();
+        let p = b.assemble().unwrap();
+        let mut phys = PhysMem::new(4096);
+        let mut core = FunctionalCore::new(0, p.entry_pc(), false, None);
+        let trace = drive(&mut core, &p, &mut phys);
+        // li, (addi, bne) x2, halt = 6 dynamic insts
+        assert_eq!(trace.len(), 6);
+        assert_eq!(core.committed, 6);
+        let seqs: Vec<u64> = trace.iter().map(|d| d.seq).collect();
+        assert_eq!(seqs, vec![0, 1, 2, 3, 4, 5]);
+        let b1 = trace[2].control.unwrap();
+        assert!(b1.taken && b1.is_cond);
+        let b2 = trace[4].control.unwrap();
+        assert!(!b2.taken);
+        assert!(trace[5].is_halt);
+    }
+
+    #[test]
+    fn memory_refs_are_recorded_and_performed() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::T0, 256)
+            .li(Reg::A0, 7)
+            .sd(Reg::A0, Reg::T0, 0)
+            .ld(Reg::A1, Reg::T0, 0)
+            .halt();
+        let p = b.assemble().unwrap();
+        let mut phys = PhysMem::new(4096);
+        let mut core = FunctionalCore::new(0, p.entry_pc(), false, None);
+        let trace = drive(&mut core, &p, &mut phys);
+        let st = trace[2].mem.unwrap();
+        assert!(st.write);
+        assert_eq!(st.addr, 256);
+        let ld = trace[3].mem.unwrap();
+        assert!(!ld.write);
+        assert_eq!(core.arch.read(Reg::A1), 7);
+    }
+
+    #[test]
+    fn exit_syscall_halts_with_code() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::A7, crate::syscall::nr::EXIT as i64)
+            .li(Reg::A0, 5)
+            .ecall();
+        let p = b.assemble().unwrap();
+        let mut phys = PhysMem::new(4096);
+        let mut core = FunctionalCore::new(0, p.entry_pc(), false, None);
+        let trace = drive(&mut core, &p, &mut phys);
+        assert!(trace.last().unwrap().is_halt);
+        assert_eq!(core.exit_code, Some(5));
+    }
+
+    #[test]
+    fn irq_redirects_and_iret_returns() {
+        let mut b = ProgramBuilder::new();
+        // main: spin 3 adds then halt; handler: bump counter, iret.
+        b.li(Reg::S8, 512) // counter address (handler-reserved register)
+            .addi(Reg::A0, Reg::A0, 1)
+            .addi(Reg::A0, Reg::A0, 1)
+            .addi(Reg::A0, Reg::A0, 1)
+            .halt()
+            .label("__irq_handler")
+            .ld(Reg::T6, Reg::S8, 0)
+            .addi(Reg::T6, Reg::T6, 1)
+            .sd(Reg::T6, Reg::S8, 0)
+            .iret();
+        let p = b.assemble().unwrap();
+        let handler = p.symbol("__irq_handler");
+        let mut phys = PhysMem::new(4096);
+        let mut core = FunctionalCore::new(0, p.entry_pc(), true, handler);
+        let mut sys = SyscallState::new(0x1000);
+        let obs = Obs::none();
+
+        // Execute the first instruction, then raise an interrupt.
+        core.step(&p, &mut phys, &mut sys, 0, &obs);
+        core.irq_pending = true;
+        let d = core.step(&p, &mut phys, &mut sys, 0, &obs);
+        assert_eq!(d.pc, handler.unwrap(), "redirected into the handler");
+        assert!(core.in_irq());
+        // Drain: handler runs, irets, main resumes and halts.
+        while !core.halted {
+            core.step(&p, &mut phys, &mut sys, 0, &obs);
+        }
+        assert_eq!(core.irqs_taken, 1);
+        assert_eq!(core.arch.read(Reg::A0), 3, "main work unaffected");
+        assert_eq!(PhysMem::read(&phys, 512, MemSize::D), 1, "handler ran once");
+    }
+
+    #[test]
+    fn irq_ignored_without_handler_or_in_se() {
+        let mut b = ProgramBuilder::new();
+        b.nop().halt();
+        let p = b.assemble().unwrap();
+        let mut phys = PhysMem::new(1024);
+        let mut core = FunctionalCore::new(0, p.entry_pc(), false, None);
+        core.irq_pending = true;
+        let mut sys = SyscallState::new(0);
+        let d = core.step(&p, &mut phys, &mut sys, 0, &Obs::none());
+        assert_eq!(d.pc, p.entry_pc(), "no redirect in SE mode");
+    }
+
+    #[test]
+    #[should_panic(expected = "halted")]
+    fn stepping_halted_core_panics() {
+        let mut b = ProgramBuilder::new();
+        b.halt();
+        let p = b.assemble().unwrap();
+        let mut phys = PhysMem::new(1024);
+        let mut core = FunctionalCore::new(0, p.entry_pc(), false, None);
+        let mut sys = SyscallState::new(0);
+        core.step(&p, &mut phys, &mut sys, 0, &Obs::none());
+        core.step(&p, &mut phys, &mut sys, 0, &Obs::none());
+    }
+}

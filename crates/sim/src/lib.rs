@@ -1,0 +1,53 @@
+//! `gem5sim` — a gem5-like discrete-event architectural simulator.
+//!
+//! This crate is the Rust stand-in for the gem5 simulator profiled by
+//! *Profiling gem5 Simulator* (ISPASS 2023). It reproduces gem5's
+//! structural skeleton — the properties the paper attributes gem5's host
+//! behaviour to:
+//!
+//! * a central **event queue** servicing callbacks on polymorphic
+//!   simulation objects ([`gem5sim_event`]);
+//! * four **CPU models** of increasing detail — [`CpuModel::Atomic`],
+//!   [`CpuModel::Timing`], [`CpuModel::Minor`] (in-order pipeline) and
+//!   [`CpuModel::O3`] (out-of-order, ROB/IQ/LSQ, tournament branch
+//!   predictor) — sharing one architectural executor so all models compute
+//!   identical results;
+//! * a **classic memory system**: per-CPU L1I/L1D, shared L2, DRAM with
+//!   occupancy, and (in full-system mode) TLBs with page-table-walk costs;
+//! * **SE** (syscall emulation) and **FS** (full-system: TLBs + timer
+//!   interrupts + firmware calls) modes;
+//! * an [`observe::ExecutionObserver`] instrumentation layer through which
+//!   every simulator handler reports its execution, so a host-level model
+//!   can profile this simulator the way VTune profiled gem5.
+//!
+//! # Quick start
+//!
+//! ```
+//! use gem5sim::{config::{CpuModel, SimMode, SystemConfig}, system::System};
+//! use gem5sim_isa::{asm::ProgramBuilder, Reg};
+//!
+//! let mut b = ProgramBuilder::new();
+//! b.li(Reg::A0, 6).li(Reg::A1, 7).mul(Reg::A0, Reg::A0, Reg::A1).halt();
+//! let prog = b.assemble().unwrap();
+//!
+//! let cfg = SystemConfig::new(CpuModel::Atomic, SimMode::Se);
+//! let mut sys = System::new(cfg, prog);
+//! let result = sys.run();
+//! assert_eq!(result.committed_insts, 4);
+//! ```
+
+pub mod bp;
+pub mod checkpoint;
+pub mod config;
+pub mod cpu;
+pub mod dyninst;
+pub mod mem;
+pub mod observe;
+pub mod syscall;
+pub mod system;
+pub mod tlb;
+pub mod trace;
+
+pub use config::{CacheConfig, CpuModel, SimMode, SystemConfig};
+pub use observe::{CompClass, ExecutionObserver, HandlerCall, Obs};
+pub use system::{SimResult, System};

@@ -1,0 +1,135 @@
+//! Flat physical backing store.
+
+use gem5sim_isa::exec::GuestMem;
+use gem5sim_isa::MemSize;
+
+/// Flat little-endian physical memory.
+///
+/// Addresses wrap modulo the memory size so that stray high-address
+/// accesses in synthetic workloads alias harmlessly instead of aborting
+/// the simulation (gem5 raises a fault; our workloads are trusted, so
+/// aliasing is sufficient and keeps the fast path branch-free).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PhysMem {
+    bytes: Vec<u8>,
+}
+
+impl PhysMem {
+    /// Allocates `size` zeroed bytes.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `size` is zero.
+    pub fn new(size: u64) -> Self {
+        assert!(size > 0, "physical memory must be non-empty");
+        PhysMem {
+            bytes: vec![0; size as usize],
+        }
+    }
+
+    /// Memory size in bytes.
+    pub fn size(&self) -> u64 {
+        self.bytes.len() as u64
+    }
+
+    #[inline]
+    fn idx(&self, addr: u64) -> usize {
+        (addr % self.bytes.len() as u64) as usize
+    }
+
+    /// Reads one byte.
+    pub fn read_u8(&self, addr: u64) -> u8 {
+        self.bytes[self.idx(addr)]
+    }
+
+    /// Writes one byte.
+    pub fn write_u8(&mut self, addr: u64, v: u8) {
+        let i = self.idx(addr);
+        self.bytes[i] = v;
+    }
+
+    /// Reads `size` bytes little-endian, zero-extended.
+    pub fn read(&self, addr: u64, size: MemSize) -> u64 {
+        let mut v = 0u64;
+        for i in 0..size.bytes() {
+            v |= (self.read_u8(addr.wrapping_add(i)) as u64) << (8 * i);
+        }
+        v
+    }
+
+    /// Writes the low `size` bytes of `val` little-endian.
+    pub fn write(&mut self, addr: u64, size: MemSize, val: u64) {
+        for i in 0..size.bytes() {
+            self.write_u8(addr.wrapping_add(i), (val >> (8 * i)) as u8);
+        }
+    }
+
+    /// Copies a byte slice into memory (for loading data segments).
+    pub fn write_slice(&mut self, addr: u64, data: &[u8]) {
+        for (i, &b) in data.iter().enumerate() {
+            self.write_u8(addr.wrapping_add(i as u64), b);
+        }
+    }
+
+    /// Reads `len` bytes out (for inspecting results).
+    pub fn read_slice(&self, addr: u64, len: usize) -> Vec<u8> {
+        (0..len)
+            .map(|i| self.read_u8(addr.wrapping_add(i as u64)))
+            .collect()
+    }
+}
+
+impl GuestMem for PhysMem {
+    fn read(&mut self, addr: u64, size: MemSize) -> u64 {
+        PhysMem::read(self, addr, size)
+    }
+    fn write(&mut self, addr: u64, size: MemSize, val: u64) {
+        PhysMem::write(self, addr, size, val)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_sizes() {
+        let mut m = PhysMem::new(1024);
+        for (size, val) in [
+            (MemSize::B, 0xAB),
+            (MemSize::H, 0xABCD),
+            (MemSize::W, 0xDEAD_BEEF),
+            (MemSize::D, 0x0123_4567_89AB_CDEF),
+        ] {
+            m.write(100, size, val);
+            assert_eq!(m.read(100, size), val);
+        }
+    }
+
+    #[test]
+    fn little_endian_layout() {
+        let mut m = PhysMem::new(64);
+        m.write(0, MemSize::W, 0x0403_0201);
+        assert_eq!(m.read_slice(0, 4), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn addresses_wrap() {
+        let mut m = PhysMem::new(16);
+        m.write_u8(16, 7); // aliases to 0
+        assert_eq!(m.read_u8(0), 7);
+    }
+
+    #[test]
+    fn slice_copy() {
+        let mut m = PhysMem::new(64);
+        m.write_slice(8, &[9, 8, 7]);
+        assert_eq!(m.read_slice(8, 3), vec![9, 8, 7]);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-empty")]
+    fn zero_size_panics() {
+        let _ = PhysMem::new(0);
+    }
+}

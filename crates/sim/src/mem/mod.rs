@@ -1,0 +1,11 @@
+//! The classic memory system: backing store, caches, DRAM, hierarchy.
+
+pub mod backing;
+pub mod cache;
+pub mod dram;
+pub mod hierarchy;
+
+pub use backing::PhysMem;
+pub use cache::{AccessOutcome, Cache};
+pub use dram::Dram;
+pub use hierarchy::{AccessKind, MemSystem};

@@ -1,0 +1,228 @@
+//! Execution instrumentation.
+//!
+//! The paper profiles gem5 *as an application* with hardware performance
+//! counters. We cannot attach a PMU to this process portably, so instead
+//! every simulator handler reports its execution through the
+//! [`ExecutionObserver`] trait: which (class, method) ran, on which object,
+//! how much work its body did, and which simulator state it touched.
+//! The `hosttrace` crate adapts this stream into a synthetic host
+//! instruction stream, which the `hostmodel` crate profiles exactly like
+//! VTune profiled gem5 on the Xeon.
+//!
+//! Observer calls are placed at the same granularity as gem5's own
+//! functions (one per handler/method body), so the *function-call
+//! structure* of a simulation — the quantity Fig. 15 of the paper
+//! measures — is observed directly, not synthesized.
+
+use std::cell::RefCell;
+use std::fmt;
+use std::rc::Rc;
+
+/// Classes of simulation objects, mirroring gem5's class hierarchy.
+///
+/// Used by the host-trace adapter to assign code-footprint and work
+/// characteristics per class.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[allow(missing_docs)]
+pub enum CompClass {
+    /// The event queue / simulation kernel.
+    EventQueue,
+    /// `AtomicSimpleCPU`.
+    CpuAtomic,
+    /// `TimingSimpleCPU`.
+    CpuTiming,
+    /// `MinorCPU` pipeline.
+    CpuMinor,
+    /// `O3CPU` pipeline.
+    CpuO3,
+    /// Branch predictor (guest).
+    BranchPred,
+    /// Instruction decoder / microcode.
+    Decoder,
+    /// L1 instruction cache.
+    Icache,
+    /// L1 data cache.
+    Dcache,
+    /// Unified L2.
+    L2,
+    /// Coherent crossbar between L1s and L2.
+    Xbar,
+    /// DRAM controller.
+    Dram,
+    /// Guest TLBs and page-table walker.
+    Tlb,
+    /// Syscall emulation layer.
+    Syscall,
+    /// FS-mode platform devices (timer, console, firmware).
+    Device,
+    /// Statistics framework.
+    Stats,
+}
+
+impl CompClass {
+    /// All component classes.
+    pub const ALL: [CompClass; 16] = [
+        CompClass::EventQueue,
+        CompClass::CpuAtomic,
+        CompClass::CpuTiming,
+        CompClass::CpuMinor,
+        CompClass::CpuO3,
+        CompClass::BranchPred,
+        CompClass::Decoder,
+        CompClass::Icache,
+        CompClass::Dcache,
+        CompClass::L2,
+        CompClass::Xbar,
+        CompClass::Dram,
+        CompClass::Tlb,
+        CompClass::Syscall,
+        CompClass::Device,
+        CompClass::Stats,
+    ];
+}
+
+impl fmt::Display for CompClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{self:?}")
+    }
+}
+
+/// One handler invocation, as reported to the observer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct HandlerCall {
+    /// Component class of the invoked method.
+    pub comp: CompClass,
+    /// Method name (stable across runs; used as the host-function key).
+    pub method: &'static str,
+    /// Object instance (e.g. CPU index, cache id).
+    pub obj: u16,
+    /// Approximate host work of the method body, in abstract work units
+    /// (≈ host µops before expansion by the trace adapter).
+    pub work: u16,
+}
+
+/// Receiver of simulator execution reports.
+///
+/// Implementations must be cheap: the simulator calls these methods from
+/// the innermost loops.
+pub trait ExecutionObserver {
+    /// A handler/method body ran.
+    fn call(&mut self, call: HandlerCall);
+    /// A handler touched simulator state (tag arrays, ROB entries,
+    /// packets…) — drives the host-side *data* footprint.
+    fn data(&mut self, comp: CompClass, obj: u16, offset: u32, bytes: u16, write: bool);
+}
+
+/// No-op observer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct NullObserver;
+
+impl ExecutionObserver for NullObserver {
+    fn call(&mut self, _call: HandlerCall) {}
+    fn data(&mut self, _comp: CompClass, _obj: u16, _offset: u32, _bytes: u16, _write: bool) {}
+}
+
+/// Shared observer handle passed through the simulator.
+///
+/// `Obs::none()` compiles to near-zero overhead (an `Option` check).
+#[derive(Clone, Default)]
+pub struct Obs(Option<Rc<RefCell<dyn ExecutionObserver>>>);
+
+impl fmt::Debug for Obs {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_tuple("Obs").field(&self.0.is_some()).finish()
+    }
+}
+
+impl Obs {
+    /// An observer that ignores everything.
+    pub fn none() -> Self {
+        Obs(None)
+    }
+
+    /// Wraps a concrete observer.
+    pub fn new(obs: Rc<RefCell<dyn ExecutionObserver>>) -> Self {
+        Obs(Some(obs))
+    }
+
+    /// Whether a real observer is attached.
+    pub fn is_attached(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Reports a handler invocation.
+    #[inline]
+    pub fn call(&self, comp: CompClass, method: &'static str, obj: u16, work: u16) {
+        if let Some(o) = &self.0 {
+            o.borrow_mut().call(HandlerCall {
+                comp,
+                method,
+                obj,
+                work,
+            });
+        }
+    }
+
+    /// Reports a state touch.
+    #[inline]
+    pub fn data(&self, comp: CompClass, obj: u16, offset: u32, bytes: u16, write: bool) {
+        if let Some(o) = &self.0 {
+            o.borrow_mut().data(comp, obj, offset, bytes, write);
+        }
+    }
+}
+
+/// An observer that counts handler calls — handy in tests.
+#[derive(Debug, Default)]
+pub struct CountingObserver {
+    /// Number of `call` reports.
+    pub calls: u64,
+    /// Number of `data` reports.
+    pub datas: u64,
+    /// Distinct (comp, method) pairs seen.
+    pub methods: std::collections::BTreeSet<(CompClass, &'static str)>,
+}
+
+impl ExecutionObserver for CountingObserver {
+    fn call(&mut self, call: HandlerCall) {
+        self.calls += 1;
+        self.methods.insert((call.comp, call.method));
+    }
+    fn data(&mut self, _comp: CompClass, _obj: u16, _offset: u32, _bytes: u16, _write: bool) {
+        self.datas += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn none_observer_is_cheap_and_silent() {
+        let obs = Obs::none();
+        assert!(!obs.is_attached());
+        obs.call(CompClass::EventQueue, "serviceOne", 0, 4);
+        obs.data(CompClass::Icache, 0, 0, 64, false);
+    }
+
+    #[test]
+    fn counting_observer_sees_calls() {
+        let counter = Rc::new(RefCell::new(CountingObserver::default()));
+        let obs = Obs::new(counter.clone());
+        assert!(obs.is_attached());
+        obs.call(CompClass::Icache, "access", 0, 8);
+        obs.call(CompClass::Icache, "access", 1, 8);
+        obs.call(CompClass::Dcache, "fill", 0, 12);
+        obs.data(CompClass::Dcache, 0, 128, 64, true);
+        let c = counter.borrow();
+        assert_eq!(c.calls, 3);
+        assert_eq!(c.datas, 1);
+        assert_eq!(c.methods.len(), 2);
+    }
+
+    #[test]
+    fn comp_class_display() {
+        assert_eq!(CompClass::CpuO3.to_string(), "CpuO3");
+        assert_eq!(CompClass::ALL.len(), 16);
+    }
+}

@@ -1,0 +1,219 @@
+//! Syscall emulation (SE mode) and firmware services (FS mode).
+//!
+//! SE mode mirrors gem5's syscall-emulation layer: `ecall`s are serviced
+//! directly by the simulator against host-side state. FS mode services a
+//! small firmware ABI instead (console, interrupt return, device delays,
+//! shutdown), with the guest OS responsibilities carried by the boot
+//! workload program.
+
+use crate::mem::PhysMem;
+use crate::observe::{CompClass, Obs};
+use gem5sim_isa::exec::ArchState;
+use gem5sim_isa::{MemSize, Reg};
+
+/// Linux-flavoured syscall numbers (RISC-V convention).
+pub mod nr {
+    /// `write(fd, buf, len)`.
+    pub const WRITE: u64 = 64;
+    /// `exit(code)`.
+    pub const EXIT: u64 = 93;
+    /// `clock_gettime` — returns sim ticks in `a0`.
+    pub const GETTIME: u64 = 169;
+    /// `brk(addr)`.
+    pub const BRK: u64 = 214;
+    /// Firmware: return from interrupt (FS mode only).
+    pub const FW_IRET: u64 = 0x1000;
+    /// Firmware: device delay of `a0` microseconds (FS mode only).
+    pub const FW_DELAY: u64 = 0x2000;
+    /// Firmware: console putchar (FS mode only).
+    pub const FW_PUTCHAR: u64 = 0x2001;
+}
+
+/// Effect of servicing an `ecall`, beyond architectural state updates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum EcallEffect {
+    /// Continue executing normally.
+    Continue,
+    /// The workload exited with this code.
+    Exit(i64),
+    /// Return-from-interrupt: redirect to the saved PC.
+    Iret,
+    /// Stall this hart for the given number of guest microseconds
+    /// (models device/firmware waits during FS boot).
+    Delay(u64),
+}
+
+/// Host-side emulation state shared by all harts.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SyscallState {
+    /// Bytes written to fd 1/2.
+    pub stdout: Vec<u8>,
+    /// Current program break.
+    pub brk: u64,
+    /// Syscalls serviced.
+    pub count: u64,
+}
+
+impl SyscallState {
+    /// Fresh state with the break at `initial_brk`.
+    pub fn new(initial_brk: u64) -> Self {
+        SyscallState {
+            stdout: Vec::new(),
+            brk: initial_brk,
+            count: 0,
+        }
+    }
+}
+
+/// Services the `ecall` encoded in `arch`'s argument registers.
+///
+/// Returns the non-architectural [`EcallEffect`]. `now_ticks` backs the
+/// `GETTIME` syscall.
+pub fn handle_ecall(
+    arch: &mut ArchState,
+    phys: &mut PhysMem,
+    st: &mut SyscallState,
+    now_ticks: u64,
+    obs: &Obs,
+    cpu: u16,
+) -> EcallEffect {
+    st.count += 1;
+    obs.call(CompClass::Syscall, "handleSyscall", cpu, 55);
+    let num = arch.read(Reg::A7);
+    match num {
+        nr::WRITE => {
+            obs.call(CompClass::Syscall, "sys_write", cpu, 40);
+            let buf = arch.read(Reg::A1);
+            let len = arch.read(Reg::A2).min(1 << 20);
+            for i in 0..len {
+                st.stdout.push(phys.read(buf + i, MemSize::B) as u8);
+            }
+            arch.write(Reg::A0, len);
+            EcallEffect::Continue
+        }
+        nr::EXIT => {
+            obs.call(CompClass::Syscall, "sys_exit", cpu, 25);
+            EcallEffect::Exit(arch.read(Reg::A0) as i64)
+        }
+        nr::GETTIME => {
+            obs.call(CompClass::Syscall, "sys_gettime", cpu, 18);
+            arch.write(Reg::A0, now_ticks);
+            EcallEffect::Continue
+        }
+        nr::BRK => {
+            obs.call(CompClass::Syscall, "sys_brk", cpu, 22);
+            let req = arch.read(Reg::A0);
+            if req != 0 {
+                st.brk = req;
+            }
+            arch.write(Reg::A0, st.brk);
+            EcallEffect::Continue
+        }
+        nr::FW_IRET => {
+            obs.call(CompClass::Device, "intrReturn", cpu, 16);
+            EcallEffect::Iret
+        }
+        nr::FW_DELAY => {
+            obs.call(CompClass::Device, "firmwareDelay", cpu, 30);
+            EcallEffect::Delay(arch.read(Reg::A0))
+        }
+        nr::FW_PUTCHAR => {
+            obs.call(CompClass::Device, "consolePutchar", cpu, 20);
+            st.stdout.push(arch.read(Reg::A0) as u8);
+            EcallEffect::Continue
+        }
+        other => {
+            // Unknown syscalls are ignored (gem5 warns); return -ENOSYS.
+            obs.call(CompClass::Syscall, "unimplemented", cpu, 15);
+            let _ = other;
+            arch.write(Reg::A0, (-38i64) as u64);
+            EcallEffect::Continue
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn setup() -> (ArchState, PhysMem, SyscallState) {
+        (ArchState::new(0), PhysMem::new(4096), SyscallState::new(1024))
+    }
+
+    #[test]
+    fn write_copies_bytes_out() {
+        let (mut a, mut m, mut s) = setup();
+        m.write_slice(100, b"hi!");
+        a.write(Reg::A7, nr::WRITE);
+        a.write(Reg::A0, 1);
+        a.write(Reg::A1, 100);
+        a.write(Reg::A2, 3);
+        let e = handle_ecall(&mut a, &mut m, &mut s, 0, &Obs::none(), 0);
+        assert_eq!(e, EcallEffect::Continue);
+        assert_eq!(s.stdout, b"hi!");
+        assert_eq!(a.read(Reg::A0), 3);
+    }
+
+    #[test]
+    fn exit_reports_code() {
+        let (mut a, mut m, mut s) = setup();
+        a.write(Reg::A7, nr::EXIT);
+        a.write(Reg::A0, 42);
+        assert_eq!(
+            handle_ecall(&mut a, &mut m, &mut s, 0, &Obs::none(), 0),
+            EcallEffect::Exit(42)
+        );
+    }
+
+    #[test]
+    fn brk_moves_and_queries() {
+        let (mut a, mut m, mut s) = setup();
+        a.write(Reg::A7, nr::BRK);
+        a.write(Reg::A0, 0);
+        handle_ecall(&mut a, &mut m, &mut s, 0, &Obs::none(), 0);
+        assert_eq!(a.read(Reg::A0), 1024);
+        a.write(Reg::A7, nr::BRK);
+        a.write(Reg::A0, 9999);
+        handle_ecall(&mut a, &mut m, &mut s, 0, &Obs::none(), 0);
+        assert_eq!(s.brk, 9999);
+    }
+
+    #[test]
+    fn gettime_returns_now() {
+        let (mut a, mut m, mut s) = setup();
+        a.write(Reg::A7, nr::GETTIME);
+        handle_ecall(&mut a, &mut m, &mut s, 777, &Obs::none(), 0);
+        assert_eq!(a.read(Reg::A0), 777);
+    }
+
+    #[test]
+    fn firmware_services() {
+        let (mut a, mut m, mut s) = setup();
+        a.write(Reg::A7, nr::FW_DELAY);
+        a.write(Reg::A0, 50);
+        assert_eq!(
+            handle_ecall(&mut a, &mut m, &mut s, 0, &Obs::none(), 0),
+            EcallEffect::Delay(50)
+        );
+        a.write(Reg::A7, nr::FW_IRET);
+        assert_eq!(
+            handle_ecall(&mut a, &mut m, &mut s, 0, &Obs::none(), 0),
+            EcallEffect::Iret
+        );
+        a.write(Reg::A7, nr::FW_PUTCHAR);
+        a.write(Reg::A0, b'x' as u64);
+        handle_ecall(&mut a, &mut m, &mut s, 0, &Obs::none(), 0);
+        assert_eq!(s.stdout, b"x");
+    }
+
+    #[test]
+    fn unknown_syscall_returns_enosys() {
+        let (mut a, mut m, mut s) = setup();
+        a.write(Reg::A7, 4242);
+        assert_eq!(
+            handle_ecall(&mut a, &mut m, &mut s, 0, &Obs::none(), 0),
+            EcallEffect::Continue
+        );
+        assert_eq!(a.read(Reg::A0) as i64, -38);
+    }
+}

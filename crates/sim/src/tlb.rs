@@ -1,0 +1,145 @@
+//! Guest TLBs (full-system mode).
+//!
+//! The simulated target uses flat (identity) translation, but FS-mode
+//! accesses still pay translation costs and generate page-table-walk
+//! traffic, exactly as gem5's FS mode does relative to SE mode.
+
+use crate::observe::{CompClass, Obs};
+
+/// A fully-associative guest TLB with FIFO-ish (round-robin) replacement.
+#[derive(Debug, Clone)]
+pub struct Tlb {
+    entries: Vec<u64>, // virtual page numbers; u64::MAX = invalid
+    next_victim: usize,
+    page_shift: u32,
+    /// Lookups performed.
+    pub lookups: u64,
+    /// Misses (walks) performed.
+    pub misses: u64,
+}
+
+/// Result of a TLB lookup.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TlbOutcome {
+    /// Whether the translation was cached.
+    pub hit: bool,
+    /// Extra latency in guest cycles (0 on hit, walk cost on miss).
+    pub walk_cycles: u64,
+}
+
+/// Guest cycles charged for a two-level page-table walk (the walker's
+/// memory accesses typically hit in L2).
+pub const WALK_CYCLES: u64 = 30;
+
+impl Tlb {
+    /// Builds a TLB with `entries` slots for `page_size`-byte pages.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `page_size` is not a power of two or `entries` is zero.
+    pub fn new(entries: usize, page_size: u64) -> Self {
+        assert!(entries > 0, "TLB needs at least one entry");
+        assert!(page_size.is_power_of_two(), "page size must be a power of two");
+        Tlb {
+            entries: vec![u64::MAX; entries],
+            next_victim: 0,
+            page_shift: page_size.trailing_zeros(),
+            lookups: 0,
+            misses: 0,
+        }
+    }
+
+    /// Translates `vaddr`; on a miss, installs the translation and
+    /// charges a walk.
+    pub fn translate(&mut self, vaddr: u64, obs: &Obs, obj: u16) -> TlbOutcome {
+        self.lookups += 1;
+        let vpn = vaddr >> self.page_shift;
+        obs.call(CompClass::Tlb, "lookup", obj, 12);
+        if self.entries.contains(&vpn) {
+            return TlbOutcome {
+                hit: true,
+                walk_cycles: 0,
+            };
+        }
+        self.misses += 1;
+        obs.call(CompClass::Tlb, "tableWalk", obj, 70);
+        obs.data(CompClass::Tlb, obj, (vpn & 0xFFFF) as u32, 16, true);
+        self.entries[self.next_victim] = vpn;
+        self.next_victim = (self.next_victim + 1) % self.entries.len();
+        TlbOutcome {
+            hit: false,
+            walk_cycles: WALK_CYCLES,
+        }
+    }
+
+    /// TLB miss rate in [0, 1].
+    pub fn miss_rate(&self) -> f64 {
+        if self.lookups == 0 {
+            0.0
+        } else {
+            self.misses as f64 / self.lookups as f64
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_fill() {
+        let mut t = Tlb::new(4, 4096);
+        let obs = Obs::none();
+        assert!(!t.translate(0x1000, &obs, 0).hit);
+        assert!(t.translate(0x1FFF, &obs, 0).hit, "same page");
+        assert!(!t.translate(0x2000, &obs, 0).hit, "next page");
+        assert_eq!(t.lookups, 3);
+        assert_eq!(t.misses, 2);
+    }
+
+    #[test]
+    fn capacity_misses_when_working_set_exceeds_entries() {
+        let mut t = Tlb::new(2, 4096);
+        let obs = Obs::none();
+        for round in 0..3 {
+            for page in 0..3u64 {
+                let out = t.translate(page * 4096, &obs, 0);
+                if round == 0 {
+                    assert!(!out.hit);
+                }
+            }
+        }
+        // 3 pages cycling through 2 entries with FIFO: every access misses.
+        assert_eq!(t.misses, 9);
+    }
+
+    #[test]
+    fn larger_pages_increase_reach() {
+        let obs = Obs::none();
+        let mut small = Tlb::new(2, 4096);
+        let mut large = Tlb::new(2, 16384);
+        // Touch 8 KB of addresses: 2 pages at 4 KB, 1 page at 16 KB.
+        for addr in (0..8192u64).step_by(4096) {
+            small.translate(addr, &obs, 0);
+            large.translate(addr, &obs, 0);
+        }
+        assert_eq!(small.misses, 2);
+        assert_eq!(large.misses, 1);
+    }
+
+    #[test]
+    fn walk_has_cost() {
+        let mut t = Tlb::new(4, 4096);
+        let obs = Obs::none();
+        let out = t.translate(0, &obs, 0);
+        assert_eq!(out.walk_cycles, WALK_CYCLES);
+        let out = t.translate(0, &obs, 0);
+        assert_eq!(out.walk_cycles, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn bad_page_size_panics() {
+        let _ = Tlb::new(4, 3000);
+    }
+}

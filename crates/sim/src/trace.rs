@@ -1,0 +1,229 @@
+//! Instruction tracing — the equivalent of gem5's `--debug-flags=Exec`
+//! trace output.
+//!
+//! A [`TraceEntry`] is produced for every committed instruction when a
+//! tracer is attached to the [`System`](crate::system::System); the
+//! [`format_entry`] renderer mimics gem5's `Exec` trace line format:
+//!
+//! ```text
+//! 500:  system.cpu T0 : 0x400004    @ li x10, 6          : IntAlu  D=0x6
+//! ```
+
+use crate::dyninst::DynInst;
+use gem5sim_event::Tick;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+/// One committed-instruction trace record.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TraceEntry {
+    /// Simulated tick of commit.
+    pub tick: Tick,
+    /// Hart id.
+    pub cpu: u16,
+    /// PC.
+    pub pc: u64,
+    /// Disassembly.
+    pub disasm: String,
+    /// Instruction class name.
+    pub class: String,
+    /// Effective address for memory ops.
+    pub ea: Option<u64>,
+    /// Whether a control transfer was taken.
+    pub taken: Option<bool>,
+}
+
+impl TraceEntry {
+    /// Builds an entry from a dynamic instruction.
+    pub fn from_dyninst(tick: Tick, cpu: u16, d: &DynInst) -> Self {
+        TraceEntry {
+            tick,
+            cpu,
+            pc: d.pc,
+            disasm: d.inst.to_string(),
+            class: format!("{:?}", d.class),
+            ea: d.mem.map(|m| m.addr),
+            taken: d.control.map(|c| c.taken),
+        }
+    }
+}
+
+/// Renders an entry in gem5's `Exec`-flag style.
+pub fn format_entry(e: &TraceEntry) -> String {
+    let mut line = format!(
+        "{:>10}:  system.cpu T{} : {:#010x}  @ {:<28} : {}",
+        e.tick, e.cpu, e.pc, e.disasm, e.class
+    );
+    if let Some(ea) = e.ea {
+        line.push_str(&format!("  A={ea:#x}"));
+    }
+    if let Some(taken) = e.taken {
+        line.push_str(if taken { "  taken" } else { "  not-taken" });
+    }
+    line
+}
+
+/// Receiver of trace entries.
+pub trait InstTracer {
+    /// Called once per committed instruction, in program order per hart.
+    fn trace(&mut self, entry: &TraceEntry);
+}
+
+/// Collects entries into a vector (tests, small runs).
+#[derive(Debug, Default)]
+pub struct VecTracer {
+    /// Collected entries.
+    pub entries: Vec<TraceEntry>,
+}
+
+impl InstTracer for VecTracer {
+    fn trace(&mut self, entry: &TraceEntry) {
+        self.entries.push(entry.clone());
+    }
+}
+
+/// Writes formatted lines to any `io::Write` (e.g. stdout) as they occur.
+pub struct WriteTracer<W: std::io::Write> {
+    w: W,
+}
+
+impl<W: std::io::Write> WriteTracer<W> {
+    /// Wraps a writer.
+    pub fn new(w: W) -> Self {
+        WriteTracer { w }
+    }
+}
+
+impl<W: std::io::Write> InstTracer for WriteTracer<W> {
+    fn trace(&mut self, entry: &TraceEntry) {
+        let _ = writeln!(self.w, "{}", format_entry(entry));
+    }
+}
+
+impl<W: std::io::Write> std::fmt::Debug for WriteTracer<W> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("WriteTracer")
+    }
+}
+
+/// Shared tracer handle (mirrors [`Obs`](crate::observe::Obs)).
+#[derive(Clone, Default)]
+pub struct Tracer(Option<Rc<RefCell<dyn InstTracer>>>);
+
+impl std::fmt::Debug for Tracer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("Tracer").field(&self.0.is_some()).finish()
+    }
+}
+
+impl Tracer {
+    /// No tracing.
+    pub fn none() -> Self {
+        Tracer(None)
+    }
+
+    /// Wraps a tracer.
+    pub fn new(t: Rc<RefCell<dyn InstTracer>>) -> Self {
+        Tracer(Some(t))
+    }
+
+    /// Whether a tracer is attached.
+    pub fn is_attached(&self) -> bool {
+        self.0.is_some()
+    }
+
+    /// Emits an entry (no-op when unattached).
+    #[inline]
+    pub fn trace(&self, tick: Tick, cpu: u16, d: &DynInst) {
+        if let Some(t) = &self.0 {
+            t.borrow_mut().trace(&TraceEntry::from_dyninst(tick, cpu, d));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::{CpuModel, SimMode, SystemConfig};
+    use crate::system::System;
+    use gem5sim_isa::asm::ProgramBuilder;
+    use gem5sim_isa::Reg;
+
+    fn traced_run(model: CpuModel) -> Vec<TraceEntry> {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::A0, 5)
+            .li(Reg::T0, 0x2000)
+            .sd(Reg::A0, Reg::T0, 0)
+            .ld(Reg::A1, Reg::T0, 0)
+            .beq(Reg::A0, Reg::A1, "same")
+            .nop()
+            .label("same")
+            .halt();
+        let prog = b.assemble().unwrap();
+        let tracer = Rc::new(RefCell::new(VecTracer::default()));
+        let mut sys = System::new(SystemConfig::new(model, SimMode::Se), prog);
+        sys.set_tracer(Tracer::new(tracer.clone()));
+        sys.run();
+        drop(sys);
+        Rc::try_unwrap(tracer).unwrap().into_inner().entries
+    }
+
+    #[test]
+    fn trace_captures_every_instruction_in_order() {
+        let t = traced_run(CpuModel::Atomic);
+        assert_eq!(t.len(), 6, "li, li, sd, ld, beq(taken), halt");
+        assert!(t.windows(2).all(|w| w[0].pc < w[1].pc || w[0].taken.is_some()));
+        let st = &t[2];
+        assert_eq!(st.ea, Some(0x2000));
+        assert!(st.disasm.starts_with("sd"));
+        let br = &t[4];
+        assert_eq!(br.taken, Some(true));
+    }
+
+    #[test]
+    fn all_models_produce_identical_traces_modulo_ticks() {
+        let strip = |v: Vec<TraceEntry>| -> Vec<(u64, String)> {
+            v.into_iter().map(|e| (e.pc, e.disasm)).collect()
+        };
+        let a = strip(traced_run(CpuModel::Atomic));
+        for m in [CpuModel::Timing, CpuModel::Minor, CpuModel::O3] {
+            assert_eq!(a, strip(traced_run(m)), "{m:?}");
+        }
+    }
+
+    #[test]
+    fn format_matches_gem5_style() {
+        let e = TraceEntry {
+            tick: 500,
+            cpu: 0,
+            pc: 0x400004,
+            disasm: "li x10, 6".into(),
+            class: "IntAlu".into(),
+            ea: None,
+            taken: None,
+        };
+        let line = format_entry(&e);
+        assert!(line.contains("system.cpu T0"));
+        assert!(line.contains("0x00400004"));
+        assert!(line.contains(": IntAlu"));
+    }
+
+    #[test]
+    fn write_tracer_streams_lines() {
+        let buf: Vec<u8> = Vec::new();
+        let tracer = Rc::new(RefCell::new(WriteTracer::new(buf)));
+        let mut b = ProgramBuilder::new();
+        b.nop().halt();
+        let mut sys = System::new(
+            SystemConfig::new(CpuModel::Atomic, SimMode::Se),
+            b.assemble().unwrap(),
+        );
+        sys.set_tracer(Tracer::new(tracer.clone()));
+        sys.run();
+        drop(sys);
+        let inner = Rc::try_unwrap(tracer).unwrap().into_inner();
+        let text = String::from_utf8(inner.w).unwrap();
+        assert_eq!(text.lines().count(), 2);
+        assert!(text.contains("nop"));
+    }
+}

@@ -1,0 +1,101 @@
+//! Property-based tests of simulator invariants.
+
+use gem5sim::config::{CacheConfig, CpuModel, SimMode, SystemConfig};
+use gem5sim::mem::cache::Cache;
+use gem5sim::system::System;
+use gem5sim_event::{EventQueue, Priority};
+use gem5sim_isa::asm::ProgramBuilder;
+use gem5sim_isa::Reg;
+use proptest::prelude::*;
+use std::cell::RefCell;
+use std::rc::Rc;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Events fire in (tick, priority, insertion) order for arbitrary
+    /// schedules.
+    #[test]
+    fn event_queue_total_order(events in prop::collection::vec((0u64..1000, -5i16..5), 1..100)) {
+        let eq = EventQueue::new();
+        let fired = Rc::new(RefCell::new(Vec::new()));
+        for (i, &(t, p)) in events.iter().enumerate() {
+            let f = Rc::clone(&fired);
+            eq.schedule(t, Priority(p), move |eq| {
+                f.borrow_mut().push((eq.cur_tick(), p, i));
+            });
+        }
+        eq.run(None);
+        let fired = fired.borrow();
+        prop_assert_eq!(fired.len(), events.len());
+        for w in fired.windows(2) {
+            let (t0, p0, i0) = w[0];
+            let (t1, p1, i1) = w[1];
+            prop_assert!(
+                (t0, p0) < (t1, p1) || ((t0, p0) == (t1, p1) && i0 < i1),
+                "order violated: {:?} then {:?}", w[0], w[1]
+            );
+        }
+    }
+
+    /// A cache never exceeds its capacity and always hits immediately
+    /// after an access to the same line.
+    #[test]
+    fn cache_capacity_and_rehit(addrs in prop::collection::vec(0u64..1_000_000, 1..300)) {
+        let cfg = CacheConfig { size: 2048, assoc: 4, line: 64, hit_latency: 1, mshrs: 4 };
+        let mut c = Cache::new(cfg);
+        for &a in &addrs {
+            c.access(a, a % 3 == 0);
+            prop_assert!(c.probe(a), "line must be resident right after access");
+            prop_assert!(c.valid_lines() <= 32);
+        }
+        let s = c.stats();
+        prop_assert_eq!(s.accesses, addrs.len() as u64);
+        prop_assert!(s.misses <= s.accesses);
+    }
+
+    /// Loop programs with data-dependent trip counts commit the same
+    /// instruction count on every CPU model.
+    #[test]
+    fn models_agree_on_loops(n in 1i64..60, step in 1i64..5) {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::T0, 0)
+            .li(Reg::T1, n * step)
+            .label("loop")
+            .addi(Reg::T0, Reg::T0, step)
+            .blt(Reg::T0, Reg::T1, "loop")
+            .halt();
+        let prog = b.assemble().unwrap();
+        let counts: Vec<u64> = CpuModel::ALL
+            .iter()
+            .map(|&m| {
+                let mut sys = System::new(SystemConfig::new(m, SimMode::Se), prog.clone());
+                sys.run().committed_insts
+            })
+            .collect();
+        prop_assert!(counts.iter().all(|&c| c == counts[0]), "{:?}", counts);
+        prop_assert_eq!(counts[0], 2 + 2 * n as u64 + 1);
+    }
+
+    /// Guest time is monotone in work: more loop iterations never take
+    /// fewer simulated ticks (checked per model).
+    #[test]
+    fn sim_time_monotone_in_work(n in 2u64..40) {
+        for m in [CpuModel::Timing, CpuModel::O3] {
+            let run = |iters: u64| {
+                let mut b = ProgramBuilder::new();
+                b.li(Reg::T0, iters as i64)
+                    .label("l")
+                    .addi(Reg::T0, Reg::T0, -1)
+                    .bne(Reg::T0, Reg::ZERO, "l")
+                    .halt();
+                let mut sys = System::new(
+                    SystemConfig::new(m, SimMode::Se),
+                    b.assemble().unwrap(),
+                );
+                sys.run().sim_ticks
+            };
+            prop_assert!(run(2 * n) > run(n), "{m:?}");
+        }
+    }
+}

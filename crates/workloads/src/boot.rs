@@ -1,0 +1,75 @@
+//! The Boot-Exit workload: boot a (stylized) kernel in FS mode and exit
+//! immediately, as the paper does to measure pure-boot simulation cost.
+
+use crate::{Scale, DATA_BASE};
+use gem5sim_isa::asm::ProgramBuilder;
+use gem5sim_isa::Reg;
+
+const FW_DELAY: i64 = 0x2000;
+const FW_PUTCHAR: i64 = 0x2001;
+
+fn print(b: &mut ProgramBuilder, msg: &str) {
+    for ch in msg.bytes() {
+        b.li(Reg::A7, FW_PUTCHAR)
+            .li(Reg::A0, ch as i64)
+            .ecall();
+    }
+}
+
+/// Emits the boot sequence: console banner, BSS clearing, page-table
+/// population, device probes (with firmware delays), a scheduler warm-up
+/// loop, and immediate exit — the phases a real Linux boot spends its
+/// time in, at vastly reduced scale.
+pub fn boot_exit(b: &mut ProgramBuilder, scale: Scale) {
+    let f = scale.factor() as i64;
+    print(b, "Booting Linux...\n");
+
+    // Phase 1: clear BSS (streaming stores).
+    let bss_words = 1024 * f;
+    b.li(Reg::T0, DATA_BASE)
+        .li(Reg::T1, 0)
+        .li(Reg::T2, bss_words)
+        .label("bz_loop")
+        .sd(Reg::ZERO, Reg::T0, 0)
+        .addi(Reg::T0, Reg::T0, 8)
+        .addi(Reg::T1, Reg::T1, 1)
+        .bne(Reg::T1, Reg::T2, "bz_loop");
+
+    // Phase 2: populate page tables (strided stores with computed PTEs).
+    let ptes = 512 * f;
+    b.li(Reg::T0, DATA_BASE + 0x20_0000)
+        .li(Reg::T1, 0)
+        .li(Reg::T2, ptes)
+        .label("pt_loop")
+        .slli(Reg::T3, Reg::T1, 12) // page frame
+        .addi(Reg::T3, Reg::T3, 0x7) // V|R|W bits
+        .sd(Reg::T3, Reg::T0, 0)
+        .addi(Reg::T0, Reg::T0, 8)
+        .addi(Reg::T1, Reg::T1, 1)
+        .bne(Reg::T1, Reg::T2, "pt_loop");
+    print(b, "mm: page tables up\n");
+
+    // Phase 3: device probes — firmware delays model device wait time.
+    for (i, dev) in ["virtio-blk", "virtio-net", "uart", "rtc"].iter().enumerate() {
+        print(b, &format!("probe {dev}\n"));
+        b.li(Reg::A7, FW_DELAY)
+            .li(Reg::A0, 20 + 10 * i as i64) // microseconds
+            .ecall();
+    }
+
+    // Phase 4: scheduler warm-up — short branchy loops ("calibrating").
+    b.li(Reg::S0, 0)
+        .li(Reg::S1, 400 * f)
+        .li(Reg::S2, 0)
+        .label("cal_loop")
+        .andi(Reg::T0, Reg::S0, 7)
+        .beq(Reg::T0, Reg::ZERO, "cal_skip")
+        .addi(Reg::S2, Reg::S2, 3)
+        .label("cal_skip")
+        .addi(Reg::S0, Reg::S0, 1)
+        .bne(Reg::S0, Reg::S1, "cal_loop");
+    print(b, "init: exiting\n");
+
+    // Boot-Exit: exit immediately after boot (the m5 exit pseudo-op).
+    b.halt();
+}

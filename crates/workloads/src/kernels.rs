@@ -1,0 +1,444 @@
+//! PARSEC / SPLASH-2x-like guest kernels.
+//!
+//! Each kernel mimics the operation mix of the corresponding application:
+//! the FP/integer balance, the memory access pattern (streaming, strided,
+//! pointer-chasing), and the branch behaviour (predictable loop bounds vs
+//! data-dependent decisions). These are the properties that set how much
+//! and what kind of *simulation work per guest instruction* gem5 performs,
+//! which is what the host-level profile depends on.
+//!
+//! Register convention: `s8` and `t6` are reserved for the FS-mode
+//! interrupt handler and never used here.
+
+use crate::{Scale, DATA_BASE};
+use gem5sim_isa::asm::ProgramBuilder;
+use gem5sim_isa::{FReg, Reg};
+
+const ARR0: i64 = DATA_BASE; // primary array
+const ARR1: i64 = DATA_BASE + 0x40_0000; // secondary array
+const ARR2: i64 = DATA_BASE + 0x80_0000; // tertiary array
+
+/// Emits a standard LCG fill of `n` 64-bit slots at `base` using `seed`.
+/// Clobbers t0..t3, a6.
+fn lcg_fill(b: &mut ProgramBuilder, label: &str, base: i64, n: i64, seed: i64) {
+    b.li(Reg::T0, base)
+        .li(Reg::T1, 0)
+        .li(Reg::T2, n)
+        .li(Reg::A6, seed)
+        .li(Reg::T3, 6364136223846793005)
+        .label(label.to_string())
+        .mul(Reg::A6, Reg::A6, Reg::T3)
+        .addi(Reg::A6, Reg::A6, 1442695040888963407)
+        .sd(Reg::A6, Reg::T0, 0)
+        .addi(Reg::T0, Reg::T0, 8)
+        .addi(Reg::T1, Reg::T1, 1)
+        .bne(Reg::T1, Reg::T2, label.to_string());
+}
+
+/// `blackscholes`: embarrassingly regular FP option pricing.
+///
+/// Per option: load three parameters, run a division/sqrt-rich arithmetic
+/// chain (standing in for the CNDF evaluation), store the price. Streaming
+/// access, perfectly predictable branches, FP-dominated — the "easy" end
+/// of PARSEC.
+pub fn blackscholes(b: &mut ProgramBuilder, scale: Scale) {
+    let n = 48 * scale.factor() as i64;
+    lcg_fill(b, "bs_fill", ARR0, 3 * n, 12345);
+    b.li(Reg::S0, ARR0) // params
+        .li(Reg::S1, ARR1) // prices out
+        .li(Reg::S2, 0) // i
+        .li(Reg::S3, n)
+        .li(Reg::T0, 255)
+        .label("bs_loop")
+        // Load three params as small positive doubles.
+        .ld(Reg::T1, Reg::S0, 0)
+        .andi(Reg::T1, Reg::T1, 255)
+        .addi(Reg::T1, Reg::T1, 1)
+        .fcvt_if(FReg(0), Reg::T1) // S (spot)
+        .ld(Reg::T1, Reg::S0, 8)
+        .andi(Reg::T1, Reg::T1, 255)
+        .addi(Reg::T1, Reg::T1, 1)
+        .fcvt_if(FReg(1), Reg::T1) // K (strike)
+        .ld(Reg::T1, Reg::S0, 16)
+        .andi(Reg::T1, Reg::T1, 63)
+        .addi(Reg::T1, Reg::T1, 1)
+        .fcvt_if(FReg(2), Reg::T1) // T (time)
+        // d1 = (S/K) / sqrt(T); d2 = d1 - sqrt(T); price = S*d1 - K*d2
+        .fdiv(FReg(3), FReg(0), FReg(1))
+        .fsqrt(FReg(4), FReg(2))
+        .fdiv(FReg(5), FReg(3), FReg(4))
+        .fsub(FReg(6), FReg(5), FReg(4))
+        .fmul(FReg(7), FReg(0), FReg(5))
+        .fmul(FReg(8), FReg(1), FReg(6))
+        .fsub(FReg(9), FReg(7), FReg(8))
+        .fsd(FReg(9), Reg::S1, 0)
+        .addi(Reg::S0, Reg::S0, 24)
+        .addi(Reg::S1, Reg::S1, 8)
+        .addi(Reg::S2, Reg::S2, 1)
+        .bne(Reg::S2, Reg::S3, "bs_loop")
+        .halt();
+}
+
+/// `canneal`: cache-hostile pointer chasing with data-dependent branches.
+///
+/// Walks a permutation cycle over a large element array (simulated
+/// annealing's random element picks), swap-accepting based on element
+/// parity. The array exceeds L1D by design.
+pub fn canneal(b: &mut ProgramBuilder, scale: Scale) {
+    let n: i64 = 16 * 1024; // elements (128 KB) — larger than L1D
+    let steps = 700 * scale.factor() as i64;
+    // perm[i] = (i * 9973 + 7) mod n  (9973 coprime with 2^14)
+    b.li(Reg::S0, ARR0)
+        .li(Reg::T0, 0)
+        .li(Reg::T1, n)
+        .li(Reg::T2, 9973)
+        .label("ca_fill")
+        .mul(Reg::T3, Reg::T0, Reg::T2)
+        .addi(Reg::T3, Reg::T3, 7)
+        .andi(Reg::T3, Reg::T3, n - 1)
+        .slli(Reg::T4, Reg::T0, 3)
+        .add(Reg::T4, Reg::T4, Reg::S0)
+        .slli(Reg::T3, Reg::T3, 3)
+        .add(Reg::T3, Reg::T3, Reg::S0)
+        .sd(Reg::T3, Reg::T4, 0) // store *address* of successor
+        .addi(Reg::T0, Reg::T0, 1)
+        .bne(Reg::T0, Reg::T1, "ca_fill")
+        // Chase: cur = *cur; accept/reject on address parity bit 3.
+        .mv(Reg::S1, Reg::S0) // cur
+        .li(Reg::S2, 0) // accepted
+        .li(Reg::S3, 0) // step
+        .li(Reg::S4, steps)
+        .label("ca_chase")
+        .ld(Reg::S1, Reg::S1, 0) // pointer chase (serialized loads)
+        .andi(Reg::T0, Reg::S1, 8)
+        .beq(Reg::T0, Reg::ZERO, "ca_reject")
+        .addi(Reg::S2, Reg::S2, 1)
+        .sd(Reg::S2, Reg::S1, 0x2000) // swap write near the element
+        .label("ca_reject")
+        .addi(Reg::S3, Reg::S3, 1)
+        .bne(Reg::S3, Reg::S4, "ca_chase")
+        .halt();
+}
+
+/// `dedup`: integer hashing pipeline (rolling hash + hash-table probes).
+///
+/// Byte-granular loads, multiply/xor hashing, and hash-table stores with
+/// hit/miss branches — integer- and branch-heavy.
+pub fn dedup(b: &mut ProgramBuilder, scale: Scale) {
+    let nbytes = 1400 * scale.factor() as i64;
+    lcg_fill(b, "dd_fill", ARR0, nbytes / 8 + 1, 999);
+    b.li(Reg::S0, ARR0) // input
+        .li(Reg::S1, ARR1) // hash table (2^10 buckets)
+        .li(Reg::S2, 0) // i
+        .li(Reg::S3, nbytes)
+        .li(Reg::S4, 0) // h
+        .li(Reg::S5, 0) // dupes
+        .li(Reg::S6, 31)
+        .label("dd_loop")
+        .add(Reg::T0, Reg::S0, Reg::S2)
+        .lbu(Reg::T1, Reg::T0, 0)
+        .mul(Reg::S4, Reg::S4, Reg::S6)
+        .add(Reg::S4, Reg::S4, Reg::T1)
+        .andi(Reg::T2, Reg::S2, 63)
+        .bne(Reg::T2, Reg::ZERO, "dd_next") // chunk boundary every 64 B
+        // probe table[h % 1024]
+        .andi(Reg::T3, Reg::S4, 1023)
+        .slli(Reg::T3, Reg::T3, 3)
+        .add(Reg::T3, Reg::T3, Reg::S1)
+        .ld(Reg::T4, Reg::T3, 0)
+        .bne(Reg::T4, Reg::S4, "dd_insert")
+        .addi(Reg::S5, Reg::S5, 1) // duplicate chunk
+        .j("dd_next")
+        .label("dd_insert")
+        .sd(Reg::S4, Reg::T3, 0)
+        .label("dd_next")
+        .addi(Reg::S2, Reg::S2, 1)
+        .bne(Reg::S2, Reg::S3, "dd_loop")
+        .halt();
+}
+
+/// `streamcluster`: k-means-style distance kernel.
+///
+/// For each point, compute squared distances to 4 centers over 8
+/// dimensions and pick the argmin — FP multiply-add streams with
+/// short data-dependent comparison branches.
+pub fn streamcluster(b: &mut ProgramBuilder, scale: Scale) {
+    let npoints = 30 * scale.factor() as i64;
+    let dims: i64 = 8;
+    let k: i64 = 4;
+    lcg_fill(b, "sc_fillp", ARR0, npoints * dims, 77);
+    lcg_fill(b, "sc_fillc", ARR1, k * dims, 33);
+    b.li(Reg::S0, ARR0)
+        .li(Reg::S1, 0) // point index
+        .li(Reg::S2, npoints)
+        .label("sc_point")
+        .li(Reg::S3, 0) // center index
+        .li(Reg::S4, -1) // best center
+        .li(Reg::T4, 0) // best dist bits (init below)
+        .fcvt_if(FReg(10), Reg::ZERO)
+        .li(Reg::T0, 1 << 30)
+        .fcvt_if(FReg(11), Reg::T0) // best = huge
+        .label("sc_center")
+        .fcvt_if(FReg(0), Reg::ZERO) // acc = 0
+        .li(Reg::S5, 0) // dim
+        .label("sc_dim")
+        // load point[dim], center[dim] as small doubles from int bits
+        .mul(Reg::T1, Reg::S1, Reg::ZERO) // t1 = 0 (filler op, rename pressure)
+        .slli(Reg::T1, Reg::S5, 3)
+        .add(Reg::T2, Reg::S0, Reg::T1)
+        .ld(Reg::T3, Reg::T2, 0)
+        .andi(Reg::T3, Reg::T3, 1023)
+        .fcvt_if(FReg(1), Reg::T3)
+        .li(Reg::T2, ARR1)
+        .add(Reg::T2, Reg::T2, Reg::T1)
+        .ld(Reg::T3, Reg::T2, 0)
+        .andi(Reg::T3, Reg::T3, 1023)
+        .fcvt_if(FReg(2), Reg::T3)
+        .fsub(FReg(3), FReg(1), FReg(2))
+        .fmul(FReg(4), FReg(3), FReg(3))
+        .fadd(FReg(0), FReg(0), FReg(4))
+        .addi(Reg::S5, Reg::S5, 1)
+        .slti(Reg::T5, Reg::S5, dims)
+        .bne(Reg::T5, Reg::ZERO, "sc_dim")
+        // if acc < best { best = acc; bestc = c }
+        .flt(Reg::T5, FReg(0), FReg(11))
+        .beq(Reg::T5, Reg::ZERO, "sc_skip")
+        .fadd(FReg(11), FReg(0), FReg(10))
+        .mv(Reg::S4, Reg::S3)
+        .label("sc_skip")
+        .addi(Reg::S3, Reg::S3, 1)
+        .slti(Reg::T5, Reg::S3, k)
+        .bne(Reg::T5, Reg::ZERO, "sc_center")
+        // store assignment
+        .slli(Reg::T0, Reg::S1, 3)
+        .li(Reg::T1, ARR2)
+        .add(Reg::T0, Reg::T0, Reg::T1)
+        .sd(Reg::S4, Reg::T0, 0)
+        .addi(Reg::S0, Reg::S0, 8 * dims)
+        .addi(Reg::S1, Reg::S1, 1)
+        .bne(Reg::S1, Reg::S2, "sc_point")
+        .halt();
+}
+
+fn water_n(scale: Scale) -> i64 {
+    match scale {
+        Scale::Test => 16,
+        Scale::SimSmall => 40,
+        Scale::SimMedium => 84,
+    }
+}
+
+/// `water_nsquared`: O(N²) pairwise molecular forces.
+///
+/// The paper's representative workload for the Top-Down study. Nested
+/// loops over all molecule pairs: FP subtract/multiply/divide chains with
+/// fully predictable inner branches and streaming loads of the position
+/// arrays.
+pub fn water_nsquared(b: &mut ProgramBuilder, scale: Scale) {
+    let n = water_n(scale);
+    lcg_fill(b, "wn_fill", ARR0, 3 * n, 4242);
+    b.li(Reg::S0, 0) // i
+        .li(Reg::S1, n)
+        .label("wn_i")
+        .addi(Reg::S2, Reg::S0, 1) // j = i+1
+        .label("wn_j")
+        .bge(Reg::S2, Reg::S1, "wn_j_done")
+        // load positions (3 coords each) as small doubles
+        .li(Reg::T0, ARR0)
+        .slli(Reg::T1, Reg::S0, 3)
+        .add(Reg::T1, Reg::T1, Reg::T0)
+        .ld(Reg::T2, Reg::T1, 0)
+        .andi(Reg::T2, Reg::T2, 511)
+        .fcvt_if(FReg(0), Reg::T2)
+        .slli(Reg::T1, Reg::S2, 3)
+        .add(Reg::T1, Reg::T1, Reg::T0)
+        .ld(Reg::T2, Reg::T1, 0)
+        .andi(Reg::T2, Reg::T2, 511)
+        .fcvt_if(FReg(1), Reg::T2)
+        .fsub(FReg(2), FReg(0), FReg(1)) // dx
+        .fmul(FReg(3), FReg(2), FReg(2)) // dx^2
+        .li(Reg::T2, 1)
+        .fcvt_if(FReg(4), Reg::T2)
+        .fadd(FReg(3), FReg(3), FReg(4)) // r2 + 1 (avoid div by 0)
+        .fdiv(FReg(5), FReg(4), FReg(3)) // 1/r2
+        .fsqrt(FReg(6), FReg(5))
+        .fadd(FReg(20), FReg(20), FReg(6)) // accumulate potential
+        .addi(Reg::S2, Reg::S2, 1)
+        .j("wn_j")
+        .label("wn_j_done")
+        .addi(Reg::S0, Reg::S0, 1)
+        .bne(Reg::S0, Reg::S1, "wn_i")
+        .halt();
+}
+
+/// `water_spatial`: the cell-list variant of `water_nsquared`.
+///
+/// First bins molecules into cells (integer index arithmetic + scattered
+/// stores), then computes forces only within a cell — less FP per
+/// molecule, more irregular memory traffic.
+pub fn water_spatial(b: &mut ProgramBuilder, scale: Scale) {
+    let n = 2 * water_n(scale);
+    let cells: i64 = 16;
+    let cell_cap: i64 = 32;
+    lcg_fill(b, "ws_fill", ARR0, n, 31337);
+    // Bin: cell = pos & 15; counts at ARR2, slots at ARR1.
+    b.li(Reg::S0, 0)
+        .li(Reg::S1, n)
+        .label("ws_bin")
+        .li(Reg::T0, ARR0)
+        .slli(Reg::T1, Reg::S0, 3)
+        .add(Reg::T1, Reg::T1, Reg::T0)
+        .ld(Reg::T2, Reg::T1, 0)
+        .andi(Reg::T3, Reg::T2, cells - 1) // cell index
+        .slli(Reg::T4, Reg::T3, 3)
+        .li(Reg::T0, ARR2)
+        .add(Reg::T4, Reg::T4, Reg::T0)
+        .ld(Reg::T5, Reg::T4, 0) // count
+        .slti(Reg::A6, Reg::T5, cell_cap)
+        .beq(Reg::A6, Reg::ZERO, "ws_bin_skip")
+        // slot = ARR1 + (cell*cap + count)*8
+        .mul(Reg::A6, Reg::T3, Reg::ZERO)
+        .li(Reg::A6, cell_cap)
+        .mul(Reg::A6, Reg::T3, Reg::A6)
+        .add(Reg::A6, Reg::A6, Reg::T5)
+        .slli(Reg::A6, Reg::A6, 3)
+        .li(Reg::T0, ARR1)
+        .add(Reg::A6, Reg::A6, Reg::T0)
+        .sd(Reg::T2, Reg::A6, 0)
+        .addi(Reg::T5, Reg::T5, 1)
+        .sd(Reg::T5, Reg::T4, 0)
+        .label("ws_bin_skip")
+        .addi(Reg::S0, Reg::S0, 1)
+        .bne(Reg::S0, Reg::S1, "ws_bin")
+        // Per-cell pairwise forces (cap pairs by count^2, count <= 32).
+        .li(Reg::S0, 0) // cell
+        .label("ws_cell")
+        .slli(Reg::T0, Reg::S0, 3)
+        .li(Reg::T1, ARR2)
+        .add(Reg::T0, Reg::T0, Reg::T1)
+        .ld(Reg::S2, Reg::T0, 0) // count
+        .li(Reg::S3, 0) // a
+        .label("ws_a")
+        .bge(Reg::S3, Reg::S2, "ws_a_done")
+        .li(Reg::S4, 0) // b
+        .label("ws_b")
+        .bge(Reg::S4, Reg::S2, "ws_b_done")
+        .li(Reg::T0, cell_cap)
+        .mul(Reg::T1, Reg::S0, Reg::T0)
+        .add(Reg::T2, Reg::T1, Reg::S3)
+        .slli(Reg::T2, Reg::T2, 3)
+        .li(Reg::T0, ARR1)
+        .add(Reg::T2, Reg::T2, Reg::T0)
+        .ld(Reg::T3, Reg::T2, 0)
+        .andi(Reg::T3, Reg::T3, 255)
+        .fcvt_if(FReg(0), Reg::T3)
+        .fmul(FReg(1), FReg(0), FReg(0))
+        .fadd(FReg(21), FReg(21), FReg(1))
+        .addi(Reg::S4, Reg::S4, 1)
+        .j("ws_b")
+        .label("ws_b_done")
+        .addi(Reg::S3, Reg::S3, 1)
+        .j("ws_a")
+        .label("ws_a_done")
+        .addi(Reg::S0, Reg::S0, 1)
+        .slti(Reg::T5, Reg::S0, cells)
+        .bne(Reg::T5, Reg::ZERO, "ws_cell")
+        .halt();
+}
+
+/// `ocean_cp` / `ocean_ncp`: red-black-style 5-point stencil relaxation.
+///
+/// `contiguous = false` (ncp) walks the grid column-major so successive
+/// accesses stride by a full row — the non-contiguous-partitions variant's
+/// worse locality, as in SPLASH-2x.
+pub fn ocean(b: &mut ProgramBuilder, scale: Scale, non_contiguous: bool) {
+    let (n, iters): (i64, i64) = match scale {
+        Scale::Test => (16, 1),
+        Scale::SimSmall => (40, 2),
+        Scale::SimMedium => (80, 3),
+    };
+    lcg_fill(b, "oc_fill", ARR0, n * n, 55);
+    b.li(Reg::S5, 0) // iter
+        .li(Reg::S6, iters)
+        .label("oc_iter")
+        .li(Reg::S0, 1) // outer = 1..n-1
+        .label("oc_outer")
+        .li(Reg::S1, 1) // inner = 1..n-1
+        .label("oc_inner");
+    // idx = cp ? outer*n+inner : inner*n+outer
+    if non_contiguous {
+        b.li(Reg::T0, n)
+            .mul(Reg::T1, Reg::S1, Reg::T0)
+            .add(Reg::T1, Reg::T1, Reg::S0);
+    } else {
+        b.li(Reg::T0, n)
+            .mul(Reg::T1, Reg::S0, Reg::T0)
+            .add(Reg::T1, Reg::T1, Reg::S1);
+    }
+    b.slli(Reg::T1, Reg::T1, 3)
+        .li(Reg::T2, ARR0)
+        .add(Reg::T1, Reg::T1, Reg::T2)
+        // 5-point neighbourhood
+        .fld(FReg(0), Reg::T1, 0)
+        .fld(FReg(1), Reg::T1, 8)
+        .fld(FReg(2), Reg::T1, -8)
+        .fld(FReg(3), Reg::T1, 8 * n)
+        .fld(FReg(4), Reg::T1, -8 * n)
+        .fadd(FReg(5), FReg(1), FReg(2))
+        .fadd(FReg(6), FReg(3), FReg(4))
+        .fadd(FReg(5), FReg(5), FReg(6))
+        .li(Reg::T3, 4)
+        .fcvt_if(FReg(7), Reg::T3)
+        .fdiv(FReg(8), FReg(5), FReg(7))
+        .fsd(FReg(8), Reg::T1, 0)
+        .addi(Reg::S1, Reg::S1, 1)
+        .slti(Reg::T5, Reg::S1, n - 1)
+        .bne(Reg::T5, Reg::ZERO, "oc_inner")
+        .addi(Reg::S0, Reg::S0, 1)
+        .slti(Reg::T5, Reg::S0, n - 1)
+        .bne(Reg::T5, Reg::ZERO, "oc_outer")
+        .addi(Reg::S5, Reg::S5, 1)
+        .bne(Reg::S5, Reg::S6, "oc_iter")
+        .halt();
+}
+
+/// `fmm`: fast-multipole-like tree walks.
+///
+/// Descends an implicit binary tree with data-dependent left/right
+/// decisions (hard-to-predict branches), evaluating a short FP
+/// "multipole" chain at each node — a mix of irregular control flow and
+/// dependent loads.
+pub fn fmm(b: &mut ProgramBuilder, scale: Scale) {
+    let walks = 48 * scale.factor() as i64;
+    let depth: i64 = 10;
+    let tree_nodes: i64 = 1 << (depth + 1);
+    lcg_fill(b, "fm_fill", ARR0, tree_nodes, 616);
+    b.li(Reg::S0, 0) // walk
+        .li(Reg::S1, walks)
+        .label("fm_walk")
+        .li(Reg::S2, 1) // node index (1-based heap)
+        .li(Reg::S3, 0) // level
+        .label("fm_desc")
+        .slli(Reg::T0, Reg::S2, 3)
+        .li(Reg::T1, ARR0)
+        .add(Reg::T0, Reg::T0, Reg::T1)
+        .ld(Reg::T2, Reg::T0, 0) // node payload
+        // multipole-ish FP evaluation
+        .andi(Reg::T3, Reg::T2, 127)
+        .addi(Reg::T3, Reg::T3, 1)
+        .fcvt_if(FReg(0), Reg::T3)
+        .fmul(FReg(1), FReg(0), FReg(0))
+        .fdiv(FReg(2), FReg(0), FReg(1))
+        .fadd(FReg(22), FReg(22), FReg(2))
+        // descend: direction = payload xor walk parity (data dependent)
+        .xor(Reg::T4, Reg::T2, Reg::S0)
+        .andi(Reg::T4, Reg::T4, 1)
+        .slli(Reg::S2, Reg::S2, 1)
+        .add(Reg::S2, Reg::S2, Reg::T4)
+        .addi(Reg::S3, Reg::S3, 1)
+        .slti(Reg::T5, Reg::S3, depth)
+        .bne(Reg::T5, Reg::ZERO, "fm_desc")
+        .addi(Reg::S0, Reg::S0, 1)
+        .bne(Reg::S0, Reg::S1, "fm_walk")
+        .halt();
+}

@@ -1,0 +1,63 @@
+//! Sieve of Eratosthenes — the "simple C++ program" the paper runs on
+//! gem5-on-FireSim (Fig. 14), where PARSEC would be too slow.
+
+use crate::{Scale, DATA_BASE};
+use gem5sim_isa::asm::ProgramBuilder;
+use gem5sim_isa::Reg;
+
+/// Emits the sieve over `[2, n)` with `n = 2048 * scale`, then prints
+/// `count % 256` as a single byte via `write(1, …)`.
+pub fn sieve(b: &mut ProgramBuilder, scale: Scale) {
+    let n = 2048 * scale.factor() as i64;
+    // Clear flags[0..n] (bytes).
+    b.li(Reg::S0, DATA_BASE) // flags
+        .li(Reg::T0, 0)
+        .li(Reg::T1, n)
+        .label("sv_clear")
+        .add(Reg::T2, Reg::S0, Reg::T0)
+        .sb(Reg::ZERO, Reg::T2, 0)
+        .addi(Reg::T0, Reg::T0, 8) // clear every 8th; rest stays 0 anyway
+        .blt(Reg::T0, Reg::T1, "sv_clear")
+        // Outer: p from 2 while p*p < n.
+        .li(Reg::S1, 2) // p
+        .label("sv_outer")
+        .mul(Reg::T0, Reg::S1, Reg::S1)
+        .bge(Reg::T0, Reg::T1, "sv_count")
+        // if flags[p] != 0, skip
+        .add(Reg::T2, Reg::S0, Reg::S1)
+        .lbu(Reg::T3, Reg::T2, 0)
+        .bne(Reg::T3, Reg::ZERO, "sv_next_p")
+        // mark multiples: m = p*p; m += p
+        .mul(Reg::S2, Reg::S1, Reg::S1)
+        .li(Reg::T4, 1)
+        .label("sv_mark")
+        .add(Reg::T2, Reg::S0, Reg::S2)
+        .sb(Reg::T4, Reg::T2, 0)
+        .add(Reg::S2, Reg::S2, Reg::S1)
+        .blt(Reg::S2, Reg::T1, "sv_mark")
+        .label("sv_next_p")
+        .addi(Reg::S1, Reg::S1, 1)
+        .j("sv_outer")
+        // Count primes in [2, n).
+        .label("sv_count")
+        .li(Reg::S3, 0) // count
+        .li(Reg::S1, 2)
+        .label("sv_cnt_loop")
+        .add(Reg::T2, Reg::S0, Reg::S1)
+        .lbu(Reg::T3, Reg::T2, 0)
+        .bne(Reg::T3, Reg::ZERO, "sv_not_prime")
+        .addi(Reg::S3, Reg::S3, 1)
+        .label("sv_not_prime")
+        .addi(Reg::S1, Reg::S1, 1)
+        .blt(Reg::S1, Reg::T1, "sv_cnt_loop")
+        // Print count % 256 as one byte.
+        .andi(Reg::S3, Reg::S3, 255)
+        .li(Reg::T0, DATA_BASE - 128)
+        .sb(Reg::S3, Reg::T0, 0)
+        .li(Reg::A7, 64) // write
+        .li(Reg::A0, 1)
+        .li(Reg::A1, DATA_BASE - 128)
+        .li(Reg::A2, 1)
+        .ecall()
+        .halt();
+}

@@ -1,0 +1,59 @@
+//! Quickstart: simulate a workload on the gem5-like simulator and
+//! profile that simulation on the Intel Xeon host model — the paper's
+//! core methodology in ~30 lines.
+//!
+//! ```sh
+//! cargo run --release --example quickstart
+//! ```
+
+use gem5_profiling::prof::experiment::{profile, GuestSpec, HostSetup};
+use gem5_profiling::prof::figures::Fidelity;
+use gem5_profiling::sim::config::{CpuModel, SimMode};
+use gem5_profiling::workloads::{Scale, Workload};
+
+fn main() {
+    let _ = Fidelity::Quick; // see `repro` for full figure regeneration
+
+    // 1. Pick what gem5 simulates: an O3 CPU booting nothing fancy —
+    //    the water_nsquared kernel in full-system mode.
+    let guest = GuestSpec::new(
+        Workload::WaterNsquared,
+        Scale::SimSmall,
+        CpuModel::O3,
+        SimMode::Fs,
+    );
+
+    // 2. Pick the machine gem5 runs *on*: the paper's Xeon Gold 6242R.
+    let host = HostSetup::platform(&platforms::intel_xeon());
+
+    // 3. Run the simulation and profile it.
+    let run = profile(&guest, std::slice::from_ref(&host));
+
+    println!("guest: {} instructions committed, {} events, IPC {:.2}",
+        run.guest.committed_insts, run.guest.host_events, run.guest.guest_ipc());
+    let h = &run.hosts[0];
+    println!(
+        "host ({}): {:.0} cycles, IPC {:.2}, simulated in {:.4}s of host time",
+        h.name,
+        h.cycles,
+        h.ipc(),
+        h.seconds()
+    );
+    let (r, fe, bs, be) = h.topdown.level1_pct();
+    println!("Top-Down: retiring {r:.1}%  front-end {fe:.1}%  bad-spec {bs:.1}%  back-end {be:.1}%");
+    println!(
+        "front-end latency detail: iCache {:.1}%  iTLB {:.1}%  unknown-branches {:.1}%",
+        h.topdown.pct(h.topdown.fe_latency.icache),
+        h.topdown.pct(h.topdown.fe_latency.itlb),
+        h.topdown.pct(h.topdown.fe_latency.unknown_branches),
+    );
+    println!(
+        "DSB coverage {:.1}%  |  functions touched: {}",
+        100.0 * h.dsb_coverage,
+        run.profile.functions_touched()
+    );
+    println!("\nhottest simulator functions:");
+    for (name, calls, share) in run.profile.hottest(&run.registry, 8) {
+        println!("  {name:<44} {calls:>9} calls  {:>5.2}%", 100.0 * share);
+    }
+}

@@ -1,0 +1,11 @@
+//! Root façade crate for the gem5-profiling workspace.
+//!
+//! Re-exports the public API of the member crates so that examples and
+//! integration tests can use a single import root. See `README.md` for a
+//! tour and `DESIGN.md` for the system inventory.
+
+pub use gem5prof as prof;
+pub use gem5sim as sim;
+pub use gem5sim_workloads as workloads;
+pub use hostmodel;
+pub use platforms;

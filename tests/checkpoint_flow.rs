@@ -1,0 +1,72 @@
+//! Integration test of the paper's checkpoint workflow: fast-forward on
+//! the cheap Atomic model, checkpoint, restore into the detailed O3
+//! model — including a serialize/deserialize hop, as when the paper moves
+//! checkpoints from the Xeon to the M1 machines.
+
+use gem5_profiling::sim::checkpoint::Checkpoint;
+use gem5_profiling::sim::config::{CpuModel, SimMode, SystemConfig};
+use gem5_profiling::sim::system::System;
+use gem5_profiling::workloads::{Scale, Workload};
+
+#[test]
+fn boot_atomic_restore_o3_via_bytes() {
+    let w = Workload::Dedup;
+    // Reference: run straight through on O3.
+    let mut reference = System::new(SystemConfig::new(CpuModel::O3, SimMode::Se), w.program(Scale::Test));
+    let ref_result = reference.run();
+
+    // Fast-forward half the run with Atomic.
+    let half = ref_result.committed_insts / 2;
+    let cfg = SystemConfig::new(CpuModel::Atomic, SimMode::Se).with_max_insts(half);
+    let mut ff = System::new(cfg, w.program(Scale::Test));
+    ff.run();
+    let image = ff.take_checkpoint().to_bytes();
+    drop(ff);
+
+    // "Move the checkpoint to another machine" and restore into O3.
+    let restored = Checkpoint::from_bytes(&image).expect("valid image");
+    let mut o3 = System::from_checkpoint(
+        SystemConfig::new(CpuModel::O3, SimMode::Se),
+        w.program(Scale::Test),
+        &restored,
+    );
+    let tail = o3.run();
+
+    assert_eq!(tail.stdout, ref_result.stdout);
+    assert_eq!(
+        restored.insts_before + tail.committed_insts,
+        ref_result.committed_insts
+    );
+    // The detailed portion still produces cache/branch activity.
+    assert!(tail.l1i.accesses > 0);
+    assert!(tail.bp.is_some());
+}
+
+#[test]
+fn checkpoints_work_for_every_parsec_kernel() {
+    for w in Workload::PARSEC {
+        let straight = {
+            let mut s =
+                System::new(SystemConfig::new(CpuModel::Timing, SimMode::Se), w.program(Scale::Test));
+            s.run()
+        };
+        let cut = straight.committed_insts / 3;
+        let mut ff = System::new(
+            SystemConfig::new(CpuModel::Atomic, SimMode::Se).with_max_insts(cut),
+            w.program(Scale::Test),
+        );
+        ff.run();
+        let ckpt = ff.take_checkpoint();
+        let mut rest = System::from_checkpoint(
+            SystemConfig::new(CpuModel::Timing, SimMode::Se),
+            w.program(Scale::Test),
+            &ckpt,
+        );
+        let tail = rest.run();
+        assert_eq!(
+            ckpt.insts_before + tail.committed_insts,
+            straight.committed_insts,
+            "{w}: checkpoint must be instruction-exact"
+        );
+    }
+}

@@ -1,0 +1,114 @@
+//! Property-based integration tests over the full stack.
+
+use gem5_profiling::prof::experiment::{profile, GuestSpec, HostSetup};
+use gem5_profiling::sim::config::{CpuModel, SimMode, SystemConfig};
+use gem5_profiling::sim::system::System;
+use gem5_profiling::workloads::{Scale, Workload};
+use gem5sim_isa::asm::ProgramBuilder;
+use gem5sim_isa::{AluOp, Reg};
+use proptest::prelude::*;
+
+/// All four CPU models execute random straight-line ALU programs to the
+/// same architectural result.
+#[test]
+fn models_agree_on_random_programs() {
+    let mut runner = proptest::test_runner::TestRunner::new(proptest::test_runner::Config {
+        cases: 24,
+        ..Default::default()
+    });
+    let ops = prop::collection::vec((0u8..8, 0u8..6, 0u8..6, -64i64..64), 3..40);
+    runner
+        .run(&ops, |ops| {
+            let regs = [Reg::A0, Reg::A1, Reg::A2, Reg::A3, Reg::A4, Reg::A5];
+            let alu = [
+                AluOp::Add,
+                AluOp::Sub,
+                AluOp::Mul,
+                AluOp::And,
+                AluOp::Or,
+                AluOp::Xor,
+                AluOp::Sll,
+                AluOp::Srl,
+            ];
+            let mut b = ProgramBuilder::new();
+            for (i, r) in regs.iter().enumerate() {
+                b.li(*r, i as i64 * 7 + 1);
+            }
+            for (op, rd, rs, imm) in &ops {
+                b.alui(alu[*op as usize], regs[*rd as usize], regs[*rs as usize], *imm);
+            }
+            b.halt();
+            let prog = b.assemble().unwrap();
+
+            let mut results = Vec::new();
+            for m in CpuModel::ALL {
+                let mut sys = System::new(SystemConfig::new(m, SimMode::Se), prog.clone());
+                let r = sys.run();
+                results.push((r.committed_insts, r.exit_code));
+            }
+            prop_assert!(results.windows(2).all(|w| w[0] == w[1]), "{results:?}");
+            Ok(())
+        })
+        .unwrap();
+}
+
+/// Top-Down buckets always sum to 100% across arbitrary workload/model
+/// combinations.
+#[test]
+fn topdown_conservation_across_pipeline() {
+    for (wl, cpu, mode) in [
+        (Workload::Dedup, CpuModel::Atomic, SimMode::Se),
+        (Workload::Canneal, CpuModel::Timing, SimMode::Fs),
+        (Workload::Fmm, CpuModel::Minor, SimMode::Se),
+        (Workload::OceanNcp, CpuModel::O3, SimMode::Fs),
+        (Workload::BootExit, CpuModel::O3, SimMode::Fs),
+    ] {
+        let run = profile(
+            &GuestSpec::new(wl, Scale::Test, cpu, mode),
+            &[HostSetup::platform(&platforms::intel_xeon())],
+        );
+        let (r, f, b, be) = run.hosts[0].topdown.level1_pct();
+        let sum = r + f + b + be;
+        assert!((sum - 100.0).abs() < 1e-6, "{wl} {cpu:?}: sum {sum}");
+        for v in [r, f, b, be] {
+            assert!((0.0..=100.0).contains(&v));
+        }
+    }
+}
+
+/// Guest timing sanity across workloads: guest IPC stays in a physical
+/// range for every model.
+#[test]
+fn guest_ipc_is_physical() {
+    for wl in Workload::PARSEC {
+        for cpu in CpuModel::ALL {
+            let mut sys = System::new(SystemConfig::new(cpu, SimMode::Se), wl.program(Scale::Test));
+            let r = sys.run();
+            let ipc = r.guest_ipc();
+            let max = match cpu {
+                CpuModel::Atomic | CpuModel::Timing => 1.01,
+                CpuModel::Minor => 2.01,
+                CpuModel::O3 => 8.01,
+            };
+            assert!(ipc > 0.005 && ipc <= max, "{wl} {cpu:?}: IPC {ipc}");
+        }
+    }
+}
+
+/// The host-seconds metric scales (inversely) with frequency and is
+/// invariant to re-running.
+#[test]
+fn host_seconds_scale_with_frequency() {
+    let p = platforms::intel_xeon();
+    let half = {
+        let mut s = HostSetup::platform(&p);
+        s.config = s.config.with_freq(p.config.freq_ghz / 2.0);
+        s
+    };
+    let run = profile(
+        &GuestSpec::new(Workload::Sieve, Scale::Test, CpuModel::Timing, SimMode::Se),
+        &[HostSetup::platform(&p), half],
+    );
+    let ratio = run.hosts[1].seconds() / run.hosts[0].seconds();
+    assert!((ratio - 2.0).abs() < 1e-9, "half frequency = double time, got {ratio}");
+}
