@@ -1,7 +1,7 @@
 //! Component microbenchmarks: the building blocks whose speed bounds the
 //! whole reproduction pipeline.
 
-use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use bench::harness::Runner;
 use gem5sim::config::{CpuModel, SimMode, SystemConfig};
 use gem5sim::system::System;
 use gem5sim_event::{EventQueue, Priority};
@@ -10,60 +10,43 @@ use hostmodel::HostEngine;
 use hosttrace::record::{ExecRecord, TraceSink};
 use hosttrace::registry::FunctionId;
 use hosttrace::{BinaryVariant, PageBacking, Registry};
-use std::rc::Rc;
+use std::sync::Arc;
 
-fn bench_event_queue(c: &mut Criterion) {
-    let mut g = c.benchmark_group("eventq");
-    g.throughput(Throughput::Elements(10_000));
-    g.bench_function("schedule_service_10k", |b| {
-        b.iter(|| {
-            let eq = EventQueue::new();
-            for t in 0..10_000u64 {
-                eq.schedule(t, Priority::DEFAULT, |_| {});
-            }
-            eq.run(None)
-        })
+fn main() {
+    let mut r = Runner::from_args();
+
+    r.bench("eventq/schedule_service_10k", || {
+        let eq = EventQueue::new();
+        for t in 0..10_000u64 {
+            eq.schedule(t, Priority::DEFAULT, |_| {});
+        }
+        eq.run(None)
     });
-    g.finish();
-}
 
-fn bench_guest_models(c: &mut Criterion) {
-    let mut g = c.benchmark_group("guest_cpu_models");
     for cpu in CpuModel::ALL {
-        g.bench_function(cpu.label(), |b| {
-            let prog = Workload::Dedup.program(Scale::Test);
-            b.iter(|| {
-                let mut sys = System::new(SystemConfig::new(cpu, SimMode::Se), prog.clone());
-                sys.run().committed_insts
-            })
+        let prog = Workload::Dedup.program(Scale::Test);
+        r.bench(&format!("guest_cpu_models/{}", cpu.label()), || {
+            let mut sys = System::new(SystemConfig::new(cpu, SimMode::Se), prog.clone());
+            sys.run().committed_insts
         });
     }
-    g.finish();
-}
 
-fn bench_host_engine(c: &mut Criterion) {
-    let reg = Rc::new(Registry::new(BinaryVariant::Base, PageBacking::Base));
-    let mut g = c.benchmark_group("host_engine");
-    g.throughput(Throughput::Elements(100_000));
-    g.bench_function("exec_100k_records", |b| {
-        b.iter(|| {
-            let mut e = HostEngine::new(platforms::intel_xeon().config, Rc::clone(&reg));
-            for i in 0..100_000u32 {
-                e.exec(ExecRecord {
-                    func: FunctionId(i % 4000),
-                    uops: 16,
-                    cond_branches: 3,
-                    indirect_branches: 1,
-                    loads: 4,
-                    stores: 2,
-                    variant: i / 4000,
-                });
-            }
-            e.finish().cycles
-        })
+    let reg = Arc::new(Registry::new(BinaryVariant::Base, PageBacking::Base));
+    r.bench("host_engine/exec_100k_records", || {
+        let mut e = HostEngine::new(platforms::intel_xeon().config, Arc::clone(&reg));
+        for i in 0..100_000u32 {
+            e.exec(ExecRecord {
+                func: FunctionId(i % 4000),
+                uops: 16,
+                cond_branches: 3,
+                indirect_branches: 1,
+                loads: 4,
+                stores: 2,
+                variant: i / 4000,
+            });
+        }
+        e.finish().cycles
     });
-    g.finish();
-}
 
-criterion_group!(benches, bench_event_queue, bench_guest_models, bench_host_engine);
-criterion_main!(benches);
+    r.finish();
+}

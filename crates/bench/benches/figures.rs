@@ -1,66 +1,49 @@
-//! One Criterion bench per paper figure: each regenerates the figure at
-//! Quick fidelity and reports its wall time. `repro all` produces the
+//! One bench per paper figure: each regenerates the figure at Quick
+//! fidelity and reports its wall time. `repro all` produces the
 //! full-size tables; these benches keep every figure pipeline healthy
 //! and measured.
+//!
+//! Note: the guest-trace memoization cache is process-wide, so after the
+//! first iteration of each figure the guest simulations are served by
+//! replay — the numbers measure the steady-state (cached) pipeline.
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use bench::harness::{Budget, Runner};
 use gem5prof::figures::{self, Fidelity};
+use gem5prof::report::Table;
+use std::time::Duration;
 
-macro_rules! fig_bench {
-    ($fn_name:ident, $fig:ident) => {
-        fn $fn_name(c: &mut Criterion) {
-            let mut g = c.benchmark_group("figures");
-            g.sample_size(10);
-            g.warm_up_time(std::time::Duration::from_millis(500));
-            g.measurement_time(std::time::Duration::from_secs(3));
-            g.bench_function(stringify!($fig), |b| {
-                b.iter(|| figures::$fig(Fidelity::Quick).rows.len())
-            });
-            g.finish();
-        }
+fn main() {
+    let mut r = Runner::from_args();
+    let budget = Budget {
+        max_time: Duration::from_secs(3),
+        max_iters: 10,
     };
+
+    let figs: Vec<(&str, fn(Fidelity) -> Table)> = vec![
+        ("fig01", figures::fig01),
+        ("fig02", figures::fig02),
+        ("fig03", figures::fig03),
+        ("fig04", figures::fig04),
+        ("fig05", figures::fig05),
+        ("fig06", figures::fig06),
+        ("fig07", figures::fig07),
+        ("fig08", figures::fig08),
+        ("fig09", figures::fig09),
+        ("fig10", figures::fig10),
+        ("fig11", figures::fig11),
+        ("fig12", figures::fig12),
+        ("fig13", figures::fig13),
+        ("fig14", figures::fig14),
+        ("fig15", figures::fig15),
+    ];
+    for (name, f) in figs {
+        r.bench_with(&format!("figures/{name}"), budget, || {
+            f(Fidelity::Quick).rows.len()
+        });
+    }
+
+    r.bench_with("figures/table1", budget, || figures::table1().rows.len());
+    r.bench_with("figures/table2", budget, || figures::table2().rows.len());
+
+    r.finish();
 }
-
-fig_bench!(bench_fig01, fig01);
-fig_bench!(bench_fig02, fig02);
-fig_bench!(bench_fig03, fig03);
-fig_bench!(bench_fig04, fig04);
-fig_bench!(bench_fig05, fig05);
-fig_bench!(bench_fig06, fig06);
-fig_bench!(bench_fig07, fig07);
-fig_bench!(bench_fig08, fig08);
-fig_bench!(bench_fig09, fig09);
-fig_bench!(bench_fig10, fig10);
-fig_bench!(bench_fig11, fig11);
-fig_bench!(bench_fig12, fig12);
-fig_bench!(bench_fig13, fig13);
-fig_bench!(bench_fig14, fig14);
-fig_bench!(bench_fig15, fig15);
-
-fn bench_tables(c: &mut Criterion) {
-    let mut g = c.benchmark_group("figures");
-    g.bench_function("table1", |b| b.iter(|| figures::table1().rows.len()));
-    g.bench_function("table2", |b| b.iter(|| figures::table2().rows.len()));
-    g.finish();
-}
-
-criterion_group!(
-    benches,
-    bench_fig01,
-    bench_fig02,
-    bench_fig03,
-    bench_fig04,
-    bench_fig05,
-    bench_fig06,
-    bench_fig07,
-    bench_fig08,
-    bench_fig09,
-    bench_fig10,
-    bench_fig11,
-    bench_fig12,
-    bench_fig13,
-    bench_fig14,
-    bench_fig15,
-    bench_tables
-);
-criterion_main!(benches);

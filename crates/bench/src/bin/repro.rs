@@ -7,6 +7,10 @@
 //! repro table1 | table2      # configuration tables
 //! repro hottest [cpu]        # named hottest functions (Fig. 15 detail)
 //! ```
+//!
+//! `--threads N` (or the `GEM5PROF_THREADS` environment variable) pins
+//! the parallel runner's worker count; the default is every core.
+//! Output is byte-identical at any thread count.
 
 use gem5prof::ablation;
 use gem5prof::figures::{self, Fidelity};
@@ -20,8 +24,22 @@ fn fidelity(args: &[String]) -> Fidelity {
     }
 }
 
+/// Applies `--threads N` to the runner; exits on a malformed value.
+fn apply_threads(args: &[String]) {
+    if let Some(i) = args.iter().position(|a| a == "--threads") {
+        match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n > 0 => gem5prof::set_threads(n),
+            _ => {
+                eprintln!("--threads requires a positive integer");
+                std::process::exit(2);
+            }
+        }
+    }
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    apply_threads(&args);
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     let f = fidelity(&args);
 

@@ -1,9 +1,13 @@
-//! Support library for the benchmark harness: shared setup helpers used
-//! by both the Criterion benches and the `repro` binary.
+//! Support library for the benchmark harness: shared setup helpers and a
+//! std-only wall-clock bench runner used by the `[[bench]]` targets and
+//! the `repro` binary. No external bench framework — the build must work
+//! fully offline.
 
 use gem5prof::experiment::{GuestSpec, HostSetup};
 use gem5sim::config::{CpuModel, SimMode};
 use gem5sim_workloads::{Scale, Workload};
+
+pub mod harness;
 
 /// A tiny guest spec for microbenchmarks.
 pub fn tiny_guest(cpu: CpuModel) -> GuestSpec {

@@ -28,15 +28,16 @@ use hosttrace::{BinaryVariant, PageBacking, Registry, TraceAdapter};
 use platforms::intel_xeon;
 use std::cell::RefCell;
 use std::rc::Rc;
+use std::sync::Arc;
 
 use crate::figures::Fidelity;
 
 /// Runs one guest simulation with per-component work scaling applied to
 /// the adapter, returning host seconds on the Xeon.
 fn run_scaled(guest: &GuestSpec, scaled: Option<(CompClass, f32)>) -> f64 {
-    let reg = Rc::new(Registry::new(BinaryVariant::Base, PageBacking::Base));
-    let engine = HostEngine::new(intel_xeon().config, Rc::clone(&reg));
-    let mut adapter = TraceAdapter::new(Rc::clone(&reg), FanoutSink::new(vec![engine]));
+    let reg = Arc::new(Registry::new(BinaryVariant::Base, PageBacking::Base));
+    let engine = HostEngine::new(intel_xeon().config, Arc::clone(&reg));
+    let mut adapter = TraceAdapter::new(Arc::clone(&reg), FanoutSink::new(vec![engine]));
     if let Some((comp, factor)) = scaled {
         adapter.set_work_scale(comp, factor);
     }
@@ -85,8 +86,9 @@ pub fn accelerator_study(f: Fidelity) -> Table {
         CompClass::Decoder,
         CompClass::Stats,
     ];
-    for comp in candidates {
-        let s = run_scaled(&guest, Some((comp, 0.1)));
+    let secs =
+        crate::runner::parallel_map(&candidates, |&comp| run_scaled(&guest, Some((comp, 0.1))));
+    for (comp, s) in candidates.iter().zip(secs) {
         t.push(format!("{comp}"), vec![100.0 * (base / s - 1.0)]);
     }
     t.note("paper Sec. VI: 'there is no killer function ... accelerating even several gem5 functions in hardware would not provide a significant performance improvement'");
@@ -109,12 +111,12 @@ pub fn host_mechanism_ablation(f: Fidelity) -> Table {
     };
     let setups = vec![
         mk(&|_| {}),
-        mk(&|c| c.prefetch_factor = 1.0),                  // no stride prefetcher
-        mk(&|c| c.loop_reach = 0),                         // no loop predictor
-        mk(&|c| c.dsb_uops = 0),                           // no uop cache
-        mk(&|c| c.btb_entries = 256),                      // tiny BTB
-        mk(&|c| c.itlb_entries = 16),                      // tiny iTLB
-        mk(&|c| c.stlb_entries = 0),                       // no second-level TLB
+        mk(&|c| c.prefetch_factor = 1.0), // no stride prefetcher
+        mk(&|c| c.loop_reach = 0),        // no loop predictor
+        mk(&|c| c.dsb_uops = 0),          // no uop cache
+        mk(&|c| c.btb_entries = 256),     // tiny BTB
+        mk(&|c| c.itlb_entries = 16),     // tiny iTLB
+        mk(&|c| c.stlb_entries = 0),      // no second-level TLB
     ];
     let labels = [
         "baseline",
@@ -190,10 +192,8 @@ mod tests {
         let m1 = platforms::m1_pro().config;
         let mut no_loop = m1.clone();
         no_loop.loop_reach = 0;
-        let run = crate::experiment::profile(
-            &guest,
-            &[HostSetup::raw(m1), HostSetup::raw(no_loop)],
-        );
+        let run =
+            crate::experiment::profile(&guest, &[HostSetup::raw(m1), HostSetup::raw(no_loop)]);
         assert!(
             run.hosts[1].branch_mispredict_rate > 2.0 * run.hosts[0].branch_mispredict_rate,
             "M1's long-history predictor should matter: {} vs {}",

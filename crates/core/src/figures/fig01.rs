@@ -4,6 +4,7 @@
 use super::Fidelity;
 use crate::experiment::{profile, GuestSpec, HostSetup};
 use crate::report::{geomean, Table};
+use crate::runner::parallel_map;
 use gem5sim::config::{CpuModel, SimMode};
 use hostmodel::CorunScenario;
 use platforms::{PlatformId, SystemKnobs};
@@ -26,7 +27,9 @@ fn scenario_for(p: &platforms::Platform, which: usize) -> CorunScenario {
         _ if !p.smt => CorunScenario::PerPhysicalCore {
             procs: p.physical_cores,
         },
-        _ => CorunScenario::PerHardwareThread { procs: p.hw_threads },
+        _ => CorunScenario::PerHardwareThread {
+            procs: p.hw_threads,
+        },
     }
 }
 
@@ -57,13 +60,25 @@ pub fn fig01(f: Fidelity) -> Table {
         columns,
     );
 
-    for (mode, cpu) in ROWS {
+    // The full (row, workload) matrix fans out across the thread pool;
+    // assembly below is in input order, so output is thread-count
+    // independent.
+    let work: Vec<(SimMode, CpuModel, gem5sim_workloads::Workload)> = ROWS
+        .iter()
+        .flat_map(|&(mode, cpu)| f.workloads().iter().map(move |&w| (mode, cpu, w)))
+        .collect();
+    let runs: Vec<Vec<f64>> = parallel_map(&work, |&(mode, cpu, w)| {
+        let run = profile(&GuestSpec::new(w, f.scale(), cpu, mode), &setups);
+        run.hosts.iter().map(|h| h.seconds()).collect()
+    });
+
+    let nw = f.workloads().len();
+    for (r, &(mode, cpu)) in ROWS.iter().enumerate() {
         // seconds[setup][workload]
         let mut secs: Vec<Vec<f64>> = vec![Vec::new(); setups.len()];
-        for &w in f.workloads() {
-            let run = profile(&GuestSpec::new(w, f.scale(), cpu, mode), &setups);
-            for (i, h) in run.hosts.iter().enumerate() {
-                secs[i].push(h.seconds());
+        for wi in 0..nw {
+            for (i, s) in runs[r * nw + wi].iter().enumerate() {
+                secs[i].push(*s);
             }
         }
         let mut values = Vec::new();
@@ -72,10 +87,7 @@ pub fn fig01(f: Fidelity) -> Table {
             let xeon_idx = s;
             for p in 0..platforms.len() {
                 let idx = p * 3 + s;
-                let ratios = secs[idx]
-                    .iter()
-                    .zip(&secs[xeon_idx])
-                    .map(|(m, x)| m / x);
+                let ratios = secs[idx].iter().zip(&secs[xeon_idx]).map(|(m, x)| m / x);
                 values.push(geomean(ratios));
             }
         }
@@ -100,7 +112,11 @@ mod tests {
             let pro = t.get(&row.label, "M1_Pro@single").unwrap();
             let ultra = t.get(&row.label, "M1_Ultra@single").unwrap();
             assert!(pro < 1.0, "{}: M1_Pro {pro} must beat Xeon", row.label);
-            assert!(ultra < 1.0, "{}: M1_Ultra {ultra} must beat Xeon", row.label);
+            assert!(
+                ultra < 1.0,
+                "{}: M1_Ultra {ultra} must beat Xeon",
+                row.label
+            );
 
             let ultra_smt = t.get(&row.label, "M1_Ultra@per-hw-thread").unwrap();
             assert!(

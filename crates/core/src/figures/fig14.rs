@@ -21,14 +21,13 @@ pub fn fig14(f: Fidelity) -> Table {
         cpus.iter().map(|c| c.label().to_string()).collect(),
     );
     // seconds[cpu][config]
-    let mut secs = Vec::new();
-    for &cpu in &cpus {
+    let secs: Vec<Vec<f64>> = crate::runner::parallel_map(&cpus, |&cpu| {
         let run = profile(
             &GuestSpec::new(Workload::Sieve, f.scale(), cpu, SimMode::Se),
             &setups,
         );
-        secs.push(run.hosts.iter().map(|h| h.seconds()).collect::<Vec<_>>());
-    }
+        run.hosts.iter().map(|h| h.seconds()).collect()
+    });
     for (ci, cfg) in sweep.iter().enumerate() {
         let vals: Vec<f64> = (0..cpus.len())
             .map(|k| 100.0 * (secs[k][0] / secs[k][ci] - 1.0))

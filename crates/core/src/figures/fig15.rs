@@ -26,21 +26,21 @@ pub fn fig15(f: Fidelity) -> Table {
             .map(String::from)
             .to_vec(),
     );
-    for cpu in CpuModel::ALL {
+    let rows: Vec<Vec<f64>> = crate::runner::parallel_map(&CpuModel::ALL, |&cpu| {
         let run = profile(
             &GuestSpec::new(Workload::WaterNsquared, scale, cpu, SimMode::Fs),
             &xeon,
         );
         let cdf = run.profile.hottest_cdf(50);
-        t.push(
-            cpu.label(),
-            vec![
-                100.0 * cdf.first().copied().unwrap_or(0.0),
-                100.0 * cdf.get(9).copied().unwrap_or(0.0),
-                100.0 * cdf.get(49).copied().unwrap_or(0.0),
-                run.profile.functions_touched() as f64,
-            ],
-        );
+        vec![
+            100.0 * cdf.first().copied().unwrap_or(0.0),
+            100.0 * cdf.get(9).copied().unwrap_or(0.0),
+            100.0 * cdf.get(49).copied().unwrap_or(0.0),
+            run.profile.functions_touched() as f64,
+        ]
+    });
+    for (cpu, vals) in CpuModel::ALL.iter().zip(rows) {
+        t.push(cpu.label(), vals);
     }
     t.note("paper: hottest function is 10.1/8.5/2.9/4.2% of time for Atomic/Timing/Minor/O3");
     t.note("paper: functions called = 1602/2557/3957/5209 for Atomic/Timing/Minor/O3");

@@ -19,28 +19,46 @@ struct Case {
 /// (water_nsquared as the representative)} plus the three SPEC
 /// references, all on `Intel_Xeon`.
 fn cases(f: Fidelity) -> Vec<Case> {
-    let xeon = [HostSetup::platform(&intel_xeon())];
-    let mut out = Vec::new();
-    for cpu in [CpuModel::O3, CpuModel::Minor, CpuModel::Timing, CpuModel::Atomic] {
+    enum Point {
+        Gem5(CpuModel, Workload, &'static str),
+        Spec(SpecBenchmark),
+    }
+    let mut work = Vec::new();
+    for cpu in [
+        CpuModel::O3,
+        CpuModel::Minor,
+        CpuModel::Timing,
+        CpuModel::Atomic,
+    ] {
         for (wl, tag) in [
             (Workload::BootExit, "BOOT_EXIT"),
             (Workload::WaterNsquared, "PARSEC"),
         ] {
-            let run = profile(&GuestSpec::new(wl, f.scale(), cpu, SimMode::Fs), &xeon);
-            out.push(Case {
-                label: format!("{}_{}", cpu.label(), tag),
-                stats: run.hosts.into_iter().next().expect("one host"),
-            });
+            work.push(Point::Gem5(cpu, wl, tag));
         }
     }
     for b in SpecBenchmark::ALL {
-        let stats = profile_spec(b, &xeon, f.spec_records());
-        out.push(Case {
-            label: b.name().to_uppercase(),
-            stats: stats.into_iter().next().expect("one host"),
-        });
+        work.push(Point::Spec(b));
     }
-    out
+    crate::runner::parallel_map(&work, |point| {
+        let xeon = [HostSetup::platform(&intel_xeon())];
+        match *point {
+            Point::Gem5(cpu, wl, tag) => {
+                let run = profile(&GuestSpec::new(wl, f.scale(), cpu, SimMode::Fs), &xeon);
+                Case {
+                    label: format!("{}_{}", cpu.label(), tag),
+                    stats: run.hosts.into_iter().next().expect("one host"),
+                }
+            }
+            Point::Spec(b) => {
+                let stats = profile_spec(b, &xeon, f.spec_records());
+                Case {
+                    label: b.name().to_uppercase(),
+                    stats: stats.into_iter().next().expect("one host"),
+                }
+            }
+        }
+    })
 }
 
 /// Fig. 2: Top-Down level-1 breakdown (percent of cycles).
@@ -70,7 +88,10 @@ pub fn fig03(f: Fidelity) -> Table {
         let td = &c.stats.topdown;
         t.push(
             c.label,
-            vec![td.pct(td.fe_latency.total()), td.pct(td.fe_bandwidth.total())],
+            vec![
+                td.pct(td.fe_latency.total()),
+                td.pct(td.fe_bandwidth.total()),
+            ],
         );
     }
     t.note("paper: simple CPU models skew bandwidth-bound; detailed models become latency-bound");
@@ -164,7 +185,10 @@ mod tests {
         );
         let mcf_be = t.get("505.MCF_R", "BackEnd").unwrap();
         let gem5_be = t.get("O3_PARSEC", "BackEnd").unwrap();
-        assert!(mcf_be > 3.0 * gem5_be, "mcf BE {mcf_be}% vs gem5 {gem5_be}%");
+        assert!(
+            mcf_be > 3.0 * gem5_be,
+            "mcf BE {mcf_be}% vs gem5 {gem5_be}%"
+        );
     }
 
     #[test]

@@ -51,11 +51,7 @@ impl Fidelity {
     /// PARSEC/SPLASH workload set for multi-workload figures.
     pub fn workloads(self) -> &'static [Workload] {
         match self {
-            Fidelity::Quick => &[
-                Workload::WaterNsquared,
-                Workload::Canneal,
-                Workload::Dedup,
-            ],
+            Fidelity::Quick => &[Workload::WaterNsquared, Workload::Canneal, Workload::Dedup],
             Fidelity::Paper => &Workload::PARSEC,
         }
     }

@@ -23,13 +23,17 @@ pub fn fig07(f: Fidelity) -> Table {
         cols.push(format!("Stalled%@{}", p.name()));
     }
     let mut t = Table::new("Fig. 7: host IPC and stall fraction (water_nsquared)", cols);
-    for cpu in [CpuModel::Atomic, CpuModel::Timing, CpuModel::O3] {
+    let cpus = [CpuModel::Atomic, CpuModel::Timing, CpuModel::O3];
+    let rows: Vec<Vec<f64>> = crate::runner::parallel_map(&cpus, |&cpu| {
         let run = profile(
             &GuestSpec::new(Workload::WaterNsquared, f.scale(), cpu, SimMode::Fs),
             &setups,
         );
         let mut vals: Vec<f64> = run.hosts.iter().map(|h| h.ipc()).collect();
         vals.extend(run.hosts.iter().map(|h| 100.0 * h.stalled_fraction()));
+        vals
+    });
+    for (cpu, vals) in cpus.iter().zip(rows) {
         t.push(cpu.label(), vals);
     }
     t.note("paper: M1_Pro and M1_Ultra IPC are 2.22x and 2.24x Intel_Xeon's; Xeon stalls far more");
@@ -44,12 +48,20 @@ pub fn fig08(f: Fidelity) -> Table {
         .map(|p| HostSetup::platform(&p.platform()))
         .collect();
     let run = profile(
-        &GuestSpec::new(Workload::WaterNsquared, f.scale(), CpuModel::O3, SimMode::Fs),
+        &GuestSpec::new(
+            Workload::WaterNsquared,
+            f.scale(),
+            CpuModel::O3,
+            SimMode::Fs,
+        ),
         &setups,
     );
     let mut t = Table::new(
         "Fig. 8: TLB / L1 / branch rates (O3 water_nsquared, %)",
-        PlatformId::ALL.iter().map(|p| p.name().to_string()).collect(),
+        PlatformId::ALL
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect(),
     );
     let metric = |g: &dyn Fn(&hostmodel::HostRunStats) -> f64| -> Vec<f64> {
         run.hosts.iter().map(|h| 100.0 * g(h)).collect()
@@ -60,7 +72,9 @@ pub fn fig08(f: Fidelity) -> Table {
     t.push("L1D miss rate", metric(&|h| h.l1d_miss_rate));
     t.push("Branch mispredict", metric(&|h| h.branch_mispredict_rate));
     t.note("paper: Xeon iTLB and dTLB miss rates are 11.7x and 10.5x M1_Ultra's");
-    t.note("paper: M1 dCache miss rate is 10.1-13.4x lower; mispredict 0.22% (Xeon) vs ~0.14% (M1)");
+    t.note(
+        "paper: M1 dCache miss rate is 10.1-13.4x lower; mispredict 0.22% (Xeon) vs ~0.14% (M1)",
+    );
     t
 }
 
@@ -72,21 +86,23 @@ pub fn fig09(f: Fidelity) -> Table {
         "Fig. 9: LLC occupancy and DRAM bandwidth on Intel_Xeon",
         ["LLC-KB", "DRAM-MB/s"].map(String::from).to_vec(),
     );
-    for mode in [SimMode::Fs, SimMode::Se] {
-        for cpu in CpuModel::ALL {
-            let run = profile(
-                &GuestSpec::new(Workload::WaterNsquared, f.scale(), cpu, mode),
-                &xeon,
-            );
-            let h = &run.hosts[0];
-            t.push(
-                format!("{}_{}", cpu.label(), mode.label()),
-                vec![
-                    h.llc_occupancy_bytes as f64 / 1024.0,
-                    h.dram_bandwidth() / 1e6,
-                ],
-            );
-        }
+    let work: Vec<(SimMode, CpuModel)> = [SimMode::Fs, SimMode::Se]
+        .iter()
+        .flat_map(|&mode| CpuModel::ALL.iter().map(move |&cpu| (mode, cpu)))
+        .collect();
+    let rows: Vec<Vec<f64>> = crate::runner::parallel_map(&work, |&(mode, cpu)| {
+        let run = profile(
+            &GuestSpec::new(Workload::WaterNsquared, f.scale(), cpu, mode),
+            &xeon,
+        );
+        let h = &run.hosts[0];
+        vec![
+            h.llc_occupancy_bytes as f64 / 1024.0,
+            h.dram_bandwidth() / 1e6,
+        ]
+    });
+    for (&(mode, cpu), vals) in work.iter().zip(rows) {
+        t.push(format!("{}_{}", cpu.label(), mode.label()), vals);
     }
     t.note("paper: LLC occupancy 255KB-3.1MB, growing with simulation detail; DRAM bandwidth negligible");
     t
@@ -138,7 +154,11 @@ mod tests {
         assert!(o3 > atomic, "O3 {o3}KB vs Atomic {atomic}KB");
         for row in &t.rows {
             let bw = t.get(&row.label, "DRAM-MB/s").unwrap();
-            assert!(bw < 2000.0, "{}: DRAM bandwidth {bw} MB/s should be tiny", row.label);
+            assert!(
+                bw < 2000.0,
+                "{}: DRAM bandwidth {bw} MB/s should be tiny",
+                row.label
+            );
         }
     }
 }

@@ -28,15 +28,24 @@ pub fn table1() -> Table {
 pub fn table2() -> Table {
     let mut t = Table::new(
         "Table II: evaluation platforms",
-        PlatformId::ALL.iter().map(|p| p.name().to_string()).collect(),
+        PlatformId::ALL
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect(),
     );
     let ps: Vec<_> = PlatformId::ALL.iter().map(|p| p.platform()).collect();
     let row = |g: &dyn Fn(&platforms::Platform) -> f64| -> Vec<f64> { ps.iter().map(g).collect() };
     t.push("Physical cores", row(&|p| p.physical_cores as f64));
     t.push("Hardware threads", row(&|p| p.hw_threads as f64));
     t.push("Max freq (GHz)", row(&|p| p.config.freq_ghz));
-    t.push("L1I per core (KB)", row(&|p| p.config.l1i.size as f64 / 1024.0));
-    t.push("L1D per core (KB)", row(&|p| p.config.l1d.size as f64 / 1024.0));
+    t.push(
+        "L1I per core (KB)",
+        row(&|p| p.config.l1i.size as f64 / 1024.0),
+    );
+    t.push(
+        "L1D per core (KB)",
+        row(&|p| p.config.l1d.size as f64 / 1024.0),
+    );
     t.push("L2 (MB)", row(&|p| p.config.l2.size as f64 / 1048576.0));
     t.push("LLC (MB)", row(&|p| p.config.llc.size as f64 / 1048576.0));
     t.push("Cache line (B)", row(&|p| p.config.line as f64));

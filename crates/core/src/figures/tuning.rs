@@ -20,14 +20,17 @@ pub fn fig10(f: Fidelity) -> Table {
         "Fig. 10: huge-page speedup on Intel_Xeon (%)",
         ["THP", "EHP"].map(String::from).to_vec(),
     );
-    for cpu in CpuModel::ALL {
+    let rows: Vec<Vec<f64>> = crate::runner::parallel_map(&CpuModel::ALL, |&cpu| {
         let run = profile(
             &GuestSpec::new(Workload::WaterNsquared, f.scale(), cpu, SimMode::Fs),
             &setups,
         );
         let base = run.hosts[0].seconds();
         let speedup = |i: usize| 100.0 * (base / run.hosts[i].seconds() - 1.0);
-        t.push(cpu.label(), vec![speedup(1), speedup(2)]);
+        vec![speedup(1), speedup(2)]
+    });
+    for (cpu, vals) in CpuModel::ALL.iter().zip(rows) {
+        t.push(cpu.label(), vals);
     }
     t.note("paper: up to 5.9% speedup; small for Atomic/Timing, larger for Minor/O3");
     t
@@ -46,7 +49,7 @@ pub fn fig11(f: Fidelity) -> Table {
             .map(String::from)
             .to_vec(),
     );
-    for cpu in CpuModel::ALL {
+    let rows: Vec<Vec<f64>> = crate::runner::parallel_map(&CpuModel::ALL, |&cpu| {
         let run = profile(
             &GuestSpec::new(Workload::WaterNsquared, f.scale(), cpu, SimMode::Fs),
             &setups,
@@ -59,7 +62,10 @@ pub fn fig11(f: Fidelity) -> Table {
         };
         let (r0, ..) = base.topdown.level1_pct();
         let (r1, ..) = thp.topdown.level1_pct();
-        t.push(cpu.label(), vec![itlb_red, 100.0 * (r1 / r0 - 1.0)]);
+        vec![itlb_red, 100.0 * (r1 / r0 - 1.0)]
+    });
+    for (cpu, vals) in CpuModel::ALL.iter().zip(rows) {
+        t.push(cpu.label(), vals);
     }
     t.note("paper: THP cuts iTLB overhead by ~63% on average; retiring improves 3-7% for detailed CPUs");
     t
@@ -70,23 +76,30 @@ pub fn fig11(f: Fidelity) -> Table {
 pub fn fig12(f: Fidelity) -> Table {
     let mut t = Table::new(
         "Fig. 12: -O3 binary speedup (%)",
-        PlatformId::ALL.iter().map(|p| p.name().to_string()).collect(),
+        PlatformId::ALL
+            .iter()
+            .map(|p| p.name().to_string())
+            .collect(),
     );
-    for cpu in CpuModel::ALL {
-        let mut vals = Vec::new();
-        for pid in PlatformId::ALL {
-            let p = pid.platform();
-            let setups = [
-                HostSetup::with_knobs(&p, &SystemKnobs::new()),
-                HostSetup::with_knobs(&p, &SystemKnobs::new().with_o3_binary()),
-            ];
-            let run = profile(
-                &GuestSpec::new(Workload::WaterNsquared, f.scale(), cpu, SimMode::Fs),
-                &setups,
-            );
-            vals.push(100.0 * (run.hosts[0].seconds() / run.hosts[1].seconds() - 1.0));
-        }
-        t.push(cpu.label(), vals);
+    let work: Vec<(CpuModel, PlatformId)> = CpuModel::ALL
+        .iter()
+        .flat_map(|&cpu| PlatformId::ALL.iter().map(move |&pid| (cpu, pid)))
+        .collect();
+    let cells: Vec<f64> = crate::runner::parallel_map(&work, |&(cpu, pid)| {
+        let p = pid.platform();
+        let setups = [
+            HostSetup::with_knobs(&p, &SystemKnobs::new()),
+            HostSetup::with_knobs(&p, &SystemKnobs::new().with_o3_binary()),
+        ];
+        let run = profile(
+            &GuestSpec::new(Workload::WaterNsquared, f.scale(), cpu, SimMode::Fs),
+            &setups,
+        );
+        100.0 * (run.hosts[0].seconds() / run.hosts[1].seconds() - 1.0)
+    });
+    let np = PlatformId::ALL.len();
+    for (ci, cpu) in CpuModel::ALL.iter().enumerate() {
+        t.push(cpu.label(), cells[ci * np..(ci + 1) * np].to_vec());
     }
     t.note("paper: average speedups 1.38% (Xeon), 0.98% (M1_Pro), 0.78% (M1_Ultra); a few regressions occur");
     t
@@ -114,16 +127,19 @@ pub fn fig13(f: Fidelity) -> Table {
         .map(|g| (format!("{g:.1}GHz"), Vec::new()))
         .collect();
     rows.push(("4.1GHz-Turbo".into(), Vec::new()));
-    for cpu in [CpuModel::Atomic, CpuModel::O3] {
+    let cpus = [CpuModel::Atomic, CpuModel::O3];
+    let cols: Vec<Vec<f64>> = crate::runner::parallel_map(&cpus, |&cpu| {
         let run = profile(
             &GuestSpec::new(Workload::WaterNsquared, f.scale(), cpu, SimMode::Se),
             &setups,
         );
         let base = run.hosts[5].seconds(); // 3.1 GHz
+        run.hosts.iter().map(|h| h.seconds() / base).collect()
+    });
+    for col in cols {
         for (i, row) in rows.iter_mut().enumerate() {
-            row.1.push(run.hosts[i].seconds() / base);
+            row.1.push(col[i]);
         }
-        let _ = cpu;
     }
     for (label, vals) in rows {
         t.push(label, vals);
@@ -143,7 +159,10 @@ mod tests {
         let o3 = t.get("O3", "THP").unwrap();
         assert!(o3 > 0.0, "THP must help O3: {o3}%");
         assert!(o3 > atomic, "O3 {o3}% vs Atomic {atomic}%");
-        assert!(o3 < 30.0, "speedup should stay single/low-double digit: {o3}%");
+        assert!(
+            o3 < 30.0,
+            "speedup should stay single/low-double digit: {o3}%"
+        );
         let ehp = t.get("O3", "EHP").unwrap();
         assert!(ehp > 0.0);
     }
@@ -163,7 +182,10 @@ mod tests {
     fn o3_flag_gives_small_speedup() {
         let t = fig12(Fidelity::Quick);
         let v = t.get("O3", "Intel_Xeon").unwrap();
-        assert!(v > -2.0 && v < 15.0, "-O3 speedup {v}% out of plausible range");
+        assert!(
+            v > -2.0 && v < 15.0,
+            "-O3 speedup {v}% out of plausible range"
+        );
     }
 
     #[test]

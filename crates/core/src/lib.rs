@@ -38,6 +38,8 @@ pub mod ablation;
 pub mod experiment;
 pub mod figures;
 pub mod report;
+pub mod runner;
 
 pub use experiment::{profile, profile_spec, GuestSpec, HostSetup, ProfileRun};
 pub use report::{geomean, Table};
+pub use runner::{parallel_map, set_threads, threads, with_threads};

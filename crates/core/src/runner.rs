@@ -1,0 +1,305 @@
+//! Parallel experiment execution: a std-only work-stealing thread pool
+//! plus the guest-trace memoization cache.
+//!
+//! The figure matrix is embarrassingly parallel — Fig. 1 alone is
+//! 9 workloads × 4 CPU models × platforms × co-run scenarios — but each
+//! point was historically profiled sequentially. [`parallel_map`] fans a
+//! work list across cores with scoped threads and work stealing, and the
+//! [trace cache](cache_stats) makes each [`GuestSpec`] guest simulation
+//! run at most once per process: its post-adapter event stream is
+//! recorded and replayed into the host engines of every later profile of
+//! the same spec.
+//!
+//! Determinism contract: `parallel_map(items, f)[i] == f(&items[i])`,
+//! assembled in input order, for any thread count and any interleaving.
+//! Profiling is deterministic per spec (replayed streams are exactly the
+//! recorded streams), so whole figures are byte-identical whether built
+//! on 1 thread or N.
+//!
+//! Thread count resolution order: [`with_threads`] override, then
+//! [`set_threads`], then the `GEM5PROF_THREADS` environment variable,
+//! then [`std::thread::available_parallelism`].
+
+use crate::experiment::GuestSpec;
+use gem5sim::system::SimResult;
+use hosttrace::record::TraceEvent;
+use hosttrace::CallProfile;
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
+
+// ---------------------------------------------------------------------
+// Thread-count configuration
+// ---------------------------------------------------------------------
+
+/// Process-wide thread-count override; 0 means "not set".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// The thread count [`parallel_map`] will use right now.
+pub fn threads() -> usize {
+    let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
+    if o > 0 {
+        return o;
+    }
+    if let Some(n) = std::env::var("GEM5PROF_THREADS")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok())
+        .filter(|&n| n > 0)
+    {
+        return n;
+    }
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+/// Sets the process-wide thread count (`0` restores auto-detection).
+pub fn set_threads(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// Runs `f` with the thread count pinned to `n`, restoring the previous
+/// setting afterwards. Calls are serialized process-wide so concurrent
+/// tests cannot observe each other's override.
+pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
+    static SERIAL: Mutex<()> = Mutex::new(());
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = THREAD_OVERRIDE.swap(n, Ordering::Relaxed);
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            THREAD_OVERRIDE.store(self.0, Ordering::Relaxed);
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+// ---------------------------------------------------------------------
+// Work-stealing parallel map
+// ---------------------------------------------------------------------
+
+/// A worker's slice of the index space: `[lo, hi)`.
+struct Range {
+    lo: usize,
+    hi: usize,
+}
+
+/// Applies `f` to every item across [`threads`] scoped worker threads
+/// and returns the results **in input order** — byte-identical to the
+/// sequential `items.iter().map(f).collect()` regardless of scheduling.
+///
+/// The index space is split evenly into per-worker ranges; a worker pops
+/// from the front of its own range and, when empty, steals the upper
+/// half of the largest remaining victim range. Jobs here are coarse
+/// (whole guest simulations / host replays), so the per-pop lock is
+/// noise.
+///
+/// # Panics
+///
+/// Propagates a panic from any invocation of `f`.
+pub fn parallel_map<T, R, F>(items: &[T], f: F) -> Vec<R>
+where
+    T: Sync,
+    R: Send,
+    F: Fn(&T) -> R + Sync,
+{
+    let n = items.len();
+    let workers = threads().min(n).max(1);
+    if workers == 1 {
+        return items.iter().map(f).collect();
+    }
+
+    let ranges: Vec<Mutex<Range>> = (0..workers)
+        .map(|w| {
+            // Even split: worker w owns [w*n/workers, (w+1)*n/workers).
+            Mutex::new(Range {
+                lo: w * n / workers,
+                hi: (w + 1) * n / workers,
+            })
+        })
+        .collect();
+    let slots: Vec<Mutex<Option<R>>> = (0..n).map(|_| Mutex::new(None)).collect();
+
+    let pop_own = |me: usize| -> Option<usize> {
+        let mut r = lock(&ranges[me]);
+        if r.lo < r.hi {
+            let i = r.lo;
+            r.lo += 1;
+            Some(i)
+        } else {
+            None
+        }
+    };
+    let steal = |me: usize| -> Option<usize> {
+        // Pick the victim with the most remaining work, take its upper
+        // half, then serve the first stolen index.
+        let victim = (0..ranges.len()).filter(|&v| v != me).max_by_key(|&v| {
+            let r = lock(&ranges[v]);
+            r.hi.saturating_sub(r.lo)
+        })?;
+        let (lo, hi) = {
+            let mut r = lock(&ranges[victim]);
+            let len = r.hi.saturating_sub(r.lo);
+            if len == 0 {
+                return None;
+            }
+            let keep = len / 2;
+            let stolen_lo = r.lo + keep;
+            let stolen_hi = r.hi;
+            r.hi = stolen_lo;
+            (stolen_lo, stolen_hi)
+        };
+        {
+            let mut mine = lock(&ranges[me]);
+            mine.lo = lo + 1;
+            mine.hi = hi;
+        }
+        Some(lo)
+    };
+
+    std::thread::scope(|scope| {
+        for me in 0..workers {
+            let slots = &slots;
+            let f = &f;
+            let pop_own = &pop_own;
+            let steal = &steal;
+            scope.spawn(move || loop {
+                let i = match pop_own(me) {
+                    Some(i) => i,
+                    None => match steal(me) {
+                        Some(i) => i,
+                        None => break,
+                    },
+                };
+                *lock(&slots[i]) = Some(f(&items[i]));
+            });
+        }
+    });
+
+    slots
+        .into_iter()
+        .enumerate()
+        .map(|(i, s)| {
+            s.into_inner()
+                .unwrap_or_else(|e| e.into_inner())
+                .unwrap_or_else(|| panic!("slot {i} never produced"))
+        })
+        .collect()
+}
+
+fn lock<T>(m: &Mutex<T>) -> MutexGuard<'_, T> {
+    m.lock().unwrap_or_else(|e| e.into_inner())
+}
+
+// ---------------------------------------------------------------------
+// Guest-trace memoization cache
+// ---------------------------------------------------------------------
+
+/// One memoized guest simulation: everything `profile` needs to serve a
+/// later call for the same [`GuestSpec`] without touching the simulator.
+#[derive(Debug)]
+pub(crate) struct CachedGuest {
+    /// Guest-side results (host-independent by construction).
+    pub guest: SimResult,
+    /// Host-function call profile accumulated by the adapter.
+    pub profile: CallProfile,
+    /// The complete post-adapter event stream, replayable into any host
+    /// engine set.
+    pub events: Vec<TraceEvent>,
+}
+
+/// Cap on cached events per guest simulation (~16 bytes/event → ≤128 MiB
+/// per entry). Streams past the cap are profiled live but not cached.
+pub(crate) const TRACE_CACHE_CAP: usize = 8_000_000;
+
+/// Running totals for the trace cache, readable by tests and tools.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Profiles served by replaying a cached stream (no guest simulation).
+    pub hits: u64,
+    /// Profiles that ran the guest simulator.
+    pub misses: u64,
+    /// Events currently resident across all cached streams.
+    pub resident_events: u64,
+}
+
+static HITS: AtomicU64 = AtomicU64::new(0);
+static MISSES: AtomicU64 = AtomicU64::new(0);
+
+fn cache() -> &'static Mutex<HashMap<GuestSpec, Arc<CachedGuest>>> {
+    static CACHE: OnceLock<Mutex<HashMap<GuestSpec, Arc<CachedGuest>>>> = OnceLock::new();
+    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+pub(crate) fn cache_lookup(spec: &GuestSpec) -> Option<Arc<CachedGuest>> {
+    let hit = lock(cache()).get(spec).cloned();
+    match &hit {
+        Some(_) => HITS.fetch_add(1, Ordering::Relaxed),
+        None => MISSES.fetch_add(1, Ordering::Relaxed),
+    };
+    hit
+}
+
+pub(crate) fn cache_insert(spec: GuestSpec, entry: CachedGuest) -> Arc<CachedGuest> {
+    let entry = Arc::new(entry);
+    lock(cache()).insert(spec, Arc::clone(&entry));
+    entry
+}
+
+/// Current trace-cache counters.
+pub fn cache_stats() -> CacheStats {
+    let resident: u64 = lock(cache()).values().map(|e| e.events.len() as u64).sum();
+    CacheStats {
+        hits: HITS.load(Ordering::Relaxed),
+        misses: MISSES.load(Ordering::Relaxed),
+        resident_events: resident,
+    }
+}
+
+/// Empties the trace cache (counters keep running totals).
+pub fn clear_cache() {
+    lock(cache()).clear();
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parallel_map_matches_sequential_for_any_thread_count() {
+        let items: Vec<u64> = (0..257).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * x + 1).collect();
+        for n in [1, 2, 3, 4, 7, 16, 400] {
+            let got = with_threads(n, || parallel_map(&items, |x| x * x + 1));
+            assert_eq!(got, expect, "threads={n}");
+        }
+    }
+
+    #[test]
+    fn parallel_map_handles_degenerate_inputs() {
+        let empty: Vec<u32> = Vec::new();
+        assert!(parallel_map(&empty, |x| *x).is_empty());
+        assert_eq!(with_threads(8, || parallel_map(&[42], |x| x + 1)), vec![43]);
+    }
+
+    #[test]
+    fn stealing_covers_skewed_workloads() {
+        // One item is vastly heavier than the rest; the other workers
+        // must finish the tail via steals, and order must still hold.
+        let items: Vec<u64> = (0..64).collect();
+        let got = with_threads(4, || {
+            parallel_map(&items, |&x| {
+                if x == 0 {
+                    (0..200_000u64).fold(x, |a, b| a ^ b.wrapping_mul(31))
+                } else {
+                    x
+                }
+            })
+        });
+        assert_eq!(got[1..], items[1..]);
+    }
+
+    #[test]
+    fn thread_override_wins_over_env() {
+        with_threads(3, || assert_eq!(threads(), 3));
+    }
+}

@@ -28,6 +28,6 @@ pub mod queue;
 pub mod stats;
 pub mod tick;
 
-pub use queue::{EventQueue, ExitStatus, Priority, ScheduleError};
+pub use queue::{global_events_serviced, EventQueue, ExitStatus, Priority, ScheduleError};
 pub use stats::{Histogram, ScalarStat, StatDump, StatValue};
 pub use tick::{Frequency, Tick, TICKS_PER_SEC};

@@ -120,6 +120,16 @@ struct Inner {
     events_serviced: u64,
 }
 
+/// Events serviced by *all* queues in this process, ever. Each `System`
+/// owns its own queue, so this is the observable proof (used by the
+/// memoization tests) that a cached profile ran zero guest simulation.
+static GLOBAL_EVENTS_SERVICED: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+
+/// Total events serviced across every [`EventQueue`] in this process.
+pub fn global_events_serviced() -> u64 {
+    GLOBAL_EVENTS_SERVICED.load(std::sync::atomic::Ordering::Relaxed)
+}
+
 /// The global event queue.
 ///
 /// See the [module docs](self) for the design rationale. All methods take
@@ -254,6 +264,7 @@ impl EventQueue {
                     debug_assert!(ev.when >= inner.cur_tick, "event '{}' in past", ev.desc);
                     inner.cur_tick = ev.when;
                     inner.events_serviced += 1;
+                    GLOBAL_EVENTS_SERVICED.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                     ev
                 }
                 None => return false,

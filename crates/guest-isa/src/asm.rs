@@ -300,7 +300,12 @@ impl ProgramBuilder {
 
     /// Store of width `size`.
     pub fn store(&mut self, size: MemSize, rs: Reg, base: Reg, off: i64) -> &mut Self {
-        self.inst(Inst::Store { size, rs, base, off })
+        self.inst(Inst::Store {
+            size,
+            rs,
+            base,
+            off,
+        })
     }
 
     /// `*(i64*)(base + off) = rs`.
@@ -331,7 +336,13 @@ impl ProgramBuilder {
     // ---- control flow ----
 
     /// Conditional branch to `label`.
-    pub fn branch(&mut self, cond: BranchCond, rs1: Reg, rs2: Reg, label: impl Into<String>) -> &mut Self {
+    pub fn branch(
+        &mut self,
+        cond: BranchCond,
+        rs1: Reg,
+        rs2: Reg,
+        label: impl Into<String>,
+    ) -> &mut Self {
         self.insts.push(Pending::BranchTo {
             cond,
             rs1,
@@ -497,7 +508,11 @@ mod tests {
     #[test]
     fn li_label_materializes_pc() {
         let mut b = ProgramBuilder::new();
-        b.li_label(Reg::T0, "fn").jalr(Reg::RA, Reg::T0, 0).halt().label("fn").ret();
+        b.li_label(Reg::T0, "fn")
+            .jalr(Reg::RA, Reg::T0, 0)
+            .halt()
+            .label("fn")
+            .ret();
         let p = b.assemble().unwrap();
         match p.fetch(TEXT_BASE).unwrap() {
             Inst::Li { imm, .. } => assert_eq!(imm as u64, TEXT_BASE + 12),

@@ -292,7 +292,12 @@ pub fn exec_no_mem(st: &mut ArchState, inst: Inst) -> StepAction {
                 dest: LoadDest::Fp(fd),
             }
         }
-        Inst::Store { size, rs, base, off } => {
+        Inst::Store {
+            size,
+            rs,
+            base,
+            off,
+        } => {
             let addr = st.read(base).wrapping_add(off as u64);
             let data = st.read(rs);
             st.pc = next;
@@ -413,7 +418,10 @@ mod tests {
     fn extend_loaded_sign_and_zero() {
         assert_eq!(extend_loaded(0xFF, MemSize::B, true), u64::MAX);
         assert_eq!(extend_loaded(0xFF, MemSize::B, false), 0xFF);
-        assert_eq!(extend_loaded(0x8000, MemSize::H, true), 0xFFFF_FFFF_FFFF_8000);
+        assert_eq!(
+            extend_loaded(0x8000, MemSize::H, true),
+            0xFFFF_FFFF_FFFF_8000
+        );
         assert_eq!(extend_loaded(0xDEAD_BEEF, MemSize::W, false), 0xDEAD_BEEF);
         assert_eq!(extend_loaded(0x1234, MemSize::D, true), 0x1234);
     }

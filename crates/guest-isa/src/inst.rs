@@ -437,7 +437,12 @@ impl fmt::Display for Inst {
                 format!("{size:?}").to_lowercase(),
                 if *signed { "" } else { "u" }
             ),
-            Inst::Store { size, rs, base, off } => write!(
+            Inst::Store {
+                size,
+                rs,
+                base,
+                off,
+            } => write!(
                 f,
                 "s{} {rs}, {off}({base})",
                 format!("{size:?}").to_lowercase()
@@ -509,7 +514,10 @@ mod tests {
             imm: 5,
         };
         assert_eq!(i.int_dest(), None);
-        let i = Inst::Li { rd: Reg::A0, imm: 5 };
+        let i = Inst::Li {
+            rd: Reg::A0,
+            imm: 5,
+        };
         assert_eq!(i.int_dest(), Some(Reg::A0));
     }
 
@@ -530,7 +538,10 @@ mod tests {
             Inst::Nop,
             Inst::Halt,
             Inst::Ecall,
-            Inst::Li { rd: Reg::A0, imm: 1 },
+            Inst::Li {
+                rd: Reg::A0,
+                imm: 1,
+            },
             Inst::Jal {
                 rd: Reg::RA,
                 target: 0x1000,

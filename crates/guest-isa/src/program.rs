@@ -55,7 +55,9 @@ impl Program {
         if pc < TEXT_BASE || (pc - TEXT_BASE) % INST_BYTES != 0 {
             return None;
         }
-        self.text.get(((pc - TEXT_BASE) / INST_BYTES) as usize).copied()
+        self.text
+            .get(((pc - TEXT_BASE) / INST_BYTES) as usize)
+            .copied()
     }
 
     /// Looks up a label's PC.
@@ -81,7 +83,13 @@ mod tests {
         let mut syms = BTreeMap::new();
         syms.insert("start".to_string(), TEXT_BASE);
         Program::new(
-            vec![Inst::Li { rd: Reg::A0, imm: 1 }, Inst::Halt],
+            vec![
+                Inst::Li {
+                    rd: Reg::A0,
+                    imm: 1,
+                },
+                Inst::Halt,
+            ],
             syms,
             TEXT_BASE,
         )
@@ -90,7 +98,13 @@ mod tests {
     #[test]
     fn fetch_in_bounds() {
         let p = two_inst_program();
-        assert_eq!(p.fetch(TEXT_BASE), Some(Inst::Li { rd: Reg::A0, imm: 1 }));
+        assert_eq!(
+            p.fetch(TEXT_BASE),
+            Some(Inst::Li {
+                rd: Reg::A0,
+                imm: 1
+            })
+        );
         assert_eq!(p.fetch(TEXT_BASE + 4), Some(Inst::Halt));
         assert_eq!(p.fetch(TEXT_BASE + 8), None);
         assert_eq!(p.fetch(TEXT_BASE - 4), None);

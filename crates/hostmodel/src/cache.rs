@@ -93,7 +93,13 @@ mod tests {
     use super::*;
 
     fn tiny() -> HostCache {
-        HostCache::new(CacheGeom { size: 512, assoc: 2 }, 64) // 4 sets
+        HostCache::new(
+            CacheGeom {
+                size: 512,
+                assoc: 2,
+            },
+            64,
+        ) // 4 sets
     }
 
     #[test]

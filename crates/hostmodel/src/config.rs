@@ -111,8 +111,11 @@ impl HostConfig {
         assert!(self.page.is_power_of_two());
         assert!(self.btb_entries.is_power_of_two());
         for g in [self.l1i, self.l1d, self.l2, self.llc] {
-            assert!(g.size > 0 && g.assoc > 0 && g.size % (g.assoc * self.line) == 0,
-                "bad cache geometry {g:?} in {}", self.name);
+            assert!(
+                g.size > 0 && g.assoc > 0 && g.size % (g.assoc * self.line) == 0,
+                "bad cache geometry {g:?} in {}",
+                self.name
+            );
         }
         assert!(self.mlp >= 1.0 && self.fetch_mlp >= 1.0);
         assert!((0.0..=1.0).contains(&self.prefetch_factor));
@@ -191,7 +194,10 @@ mod tests {
     #[should_panic(expected = "bad cache geometry")]
     fn validate_rejects_bad_geometry() {
         let mut c = test_config();
-        c.l1i = CacheGeom { size: 1000, assoc: 3 };
+        c.l1i = CacheGeom {
+            size: 1000,
+            assoc: 3,
+        };
         c.validate();
     }
 

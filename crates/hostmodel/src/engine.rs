@@ -11,7 +11,7 @@ use crate::topdown::TopDown;
 use hosttrace::record::{DataRef, ExecRecord, TraceSink};
 use hosttrace::registry::Registry;
 use hosttrace::{mix2, mix64};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Host virtual address of the simulated process's stack (function-local
 /// data in [`ExecRecord`]s lands here — hot and small).
@@ -27,7 +27,7 @@ const HEAP_BASE: u64 = 0x20_0000_0000;
 #[derive(Debug)]
 pub struct HostEngine {
     cfg: HostConfig,
-    reg: Rc<Registry>,
+    reg: Arc<Registry>,
     l1i: HostCache,
     l1d: HostCache,
     l2: HostCache,
@@ -43,11 +43,9 @@ pub struct HostEngine {
     last_data_line: u64,
 }
 
-
-
 impl HostEngine {
     /// Builds an engine for `cfg` over the binary model `reg`.
-    pub fn new(cfg: HostConfig, reg: Rc<Registry>) -> Self {
+    pub fn new(cfg: HostConfig, reg: Arc<Registry>) -> Self {
         cfg.validate();
         HostEngine {
             l1i: HostCache::new(cfg.l1i, cfg.line),
@@ -229,8 +227,8 @@ impl TraceSink for HostEngine {
             0.0
         };
         let mite_uops_f = uopsf * (1.0 - dsb_frac);
-        let decode_cycles = mite_uops_f / self.cfg.mite_width
-            + (uopsf - mite_uops_f) / self.cfg.dsb_width.max(1.0);
+        let decode_cycles =
+            mite_uops_f / self.cfg.mite_width + (uopsf - mite_uops_f) / self.cfg.dsb_width.max(1.0);
         let deficit = (decode_cycles - base).max(0.0);
         if deficit > 0.0 {
             // Attribute the shortfall to the slow component first: the
@@ -303,9 +301,7 @@ impl TraceSink for HostEngine {
                     TlbResult::StlbHit => {
                         self.td.be_mem.l2 += self.cfg.stlb_lat as f64 / self.cfg.mlp
                     }
-                    TlbResult::Walk => {
-                        self.td.be_mem.l2 += self.cfg.walk_lat as f64 / self.cfg.mlp
-                    }
+                    TlbResult::Walk => self.td.be_mem.l2 += self.cfg.walk_lat as f64 / self.cfg.mlp,
                 }
             }
             if !self.l1d.access(a) {
@@ -335,7 +331,11 @@ impl TraceSink for HostEngine {
         let delta = this_line.wrapping_sub(self.last_data_line);
         let prefetched = delta <= 4; // covers same-line and small forward strides
         self.last_data_line = this_line;
-        let stream_factor = if prefetched { self.cfg.prefetch_factor } else { 1.0 };
+        let stream_factor = if prefetched {
+            self.cfg.prefetch_factor
+        } else {
+            1.0
+        };
 
         let pid = d.addr / self.cfg.page;
         let walk_factor = stream_factor / self.cfg.mlp;
@@ -400,8 +400,8 @@ mod tests {
         }
     }
 
-    fn registry() -> Rc<Registry> {
-        Rc::new(Registry::new(BinaryVariant::Base, PageBacking::Base))
+    fn registry() -> Arc<Registry> {
+        Arc::new(Registry::new(BinaryVariant::Base, PageBacking::Base))
     }
 
     fn rec(func: u32, uops: u16, variant: u32) -> ExecRecord {
@@ -438,14 +438,14 @@ mod tests {
     fn scattered_code_is_front_end_bound_hot_loop_is_not() {
         let reg = registry();
         // Hot loop: one small function repeatedly.
-        let mut hot = HostEngine::new(cfg(), Rc::clone(&reg));
+        let mut hot = HostEngine::new(cfg(), Arc::clone(&reg));
         for i in 0..20000u32 {
             hot.exec(rec(100, 24, i));
         }
         let hot_s = hot.finish();
 
         // Scattered: thousands of different functions.
-        let mut cold = HostEngine::new(cfg(), Rc::clone(&reg));
+        let mut cold = HostEngine::new(cfg(), Arc::clone(&reg));
         for i in 0..20000u32 {
             cold.exec(rec(i % 5000, 24, i / 5000));
         }
@@ -468,7 +468,7 @@ mod tests {
         let run = |l1i_kib: u64| {
             let mut c = cfg();
             c.l1i = CacheGeom::kib(l1i_kib, 8);
-            let mut e = HostEngine::new(c, Rc::clone(&reg));
+            let mut e = HostEngine::new(c, Arc::clone(&reg));
             // Skewed random function selection (as real call profiles
             // are), not a cyclic sweep that would defeat LRU entirely:
             // 95% of calls hit a hot set of 150 functions (~100 KB of
@@ -476,7 +476,11 @@ mod tests {
             // cold tail's compulsory DRAM fetches amortize.
             for i in 0..120_000u64 {
                 let h = mix64(i);
-                let f = if h % 20 != 0 { h % 150 } else { 150 + mix64(h) % 2350 };
+                let f = if h % 20 != 0 {
+                    h % 150
+                } else {
+                    150 + mix64(h) % 2350
+                };
                 e.exec(rec(f as u32, 24, (i / 150) as u32));
             }
             e.finish()
@@ -502,7 +506,7 @@ mod tests {
         let run = |page: u64| {
             let mut c = cfg();
             c.page = page;
-            let mut e = HostEngine::new(c, Rc::clone(&reg));
+            let mut e = HostEngine::new(c, Arc::clone(&reg));
             for i in 0..30000u32 {
                 e.exec(rec(i % 2500, 24, i / 2500));
             }
@@ -521,7 +525,7 @@ mod tests {
     #[test]
     fn huge_page_backing_reduces_itlb_stalls() {
         let run = |backing: PageBacking| {
-            let reg = Rc::new(Registry::new(BinaryVariant::Base, backing));
+            let reg = Arc::new(Registry::new(BinaryVariant::Base, backing));
             let mut e = HostEngine::new(cfg(), reg);
             for i in 0..30000u32 {
                 e.exec(rec(i % 2500, 24, i / 2500));

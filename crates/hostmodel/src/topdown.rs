@@ -22,7 +22,11 @@ pub struct FeLatency {
 impl FeLatency {
     /// Sum of all latency buckets.
     pub fn total(&self) -> f64 {
-        self.icache + self.itlb + self.mispredict_resteers + self.clear_resteers + self.unknown_branches
+        self.icache
+            + self.itlb
+            + self.mispredict_resteers
+            + self.clear_resteers
+            + self.unknown_branches
     }
 }
 
@@ -149,7 +153,10 @@ mod tests {
                 clear_resteers: 1.0,
                 unknown_branches: 6.0,
             },
-            fe_bandwidth: FeBandwidth { mite: 10.0, dsb: 1.0 },
+            fe_bandwidth: FeBandwidth {
+                mite: 10.0,
+                dsb: 1.0,
+            },
             bad_speculation: 6.0,
             be_mem: BeMem {
                 l2: 3.0,

@@ -4,8 +4,8 @@ use hostmodel::{CacheGeom, HostConfig, HostEngine};
 use hosttrace::record::{DataRef, ExecRecord, TraceSink};
 use hosttrace::registry::{BinaryVariant, FunctionId, Registry};
 use hosttrace::PageBacking;
-use proptest::prelude::*;
-use std::rc::Rc;
+use std::sync::{Arc, OnceLock};
+use testkit::{prop_assert, prop_assert_eq, run_cases};
 
 fn cfg() -> HostConfig {
     HostConfig {
@@ -42,27 +42,30 @@ fn cfg() -> HostConfig {
     }
 }
 
-fn registry() -> Rc<Registry> {
-    thread_local! {
-        static REG: Rc<Registry> =
-            Rc::new(Registry::new(BinaryVariant::Base, PageBacking::Base));
-    }
-    REG.with(Rc::clone)
+fn registry() -> Arc<Registry> {
+    static REG: OnceLock<Arc<Registry>> = OnceLock::new();
+    Arc::clone(REG.get_or_init(|| Arc::new(Registry::new(BinaryVariant::Base, PageBacking::Base))))
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(32))]
-
-    /// Top-Down buckets sum exactly to total cycles for arbitrary record
-    /// streams, and all derived metrics stay in range.
-    #[test]
-    fn accounting_conserved_for_arbitrary_streams(
-        recs in prop::collection::vec(
-            (0u32..5000, 6u16..120, 0u8..8, 0u8..3, 0u8..12, 0u8..6, 0u32..100),
-            1..400,
-        ),
-        datas in prop::collection::vec((0u64..1_000_000u64, 1u32..256, any::<bool>()), 0..200),
-    ) {
+/// Top-Down buckets sum exactly to total cycles for arbitrary record
+/// streams, and all derived metrics stay in range.
+#[test]
+fn accounting_conserved_for_arbitrary_streams() {
+    run_cases("accounting_conserved_for_arbitrary_streams", 32, |g| {
+        let recs = g.vec(1..400, |g| {
+            (
+                g.u32_in(0..5000),
+                g.u16_in(6..120),
+                g.u8_in(0..8),
+                g.u8_in(0..3),
+                g.u8_in(0..12),
+                g.u8_in(0..6),
+                g.u32_in(0..100),
+            )
+        });
+        let datas = g.vec(0..200, |g| {
+            (g.u64_in(0..1_000_000), g.u32_in(1..256), g.bool())
+        });
         let mut e = HostEngine::new(cfg(), registry());
         let nfuncs = registry().len() as u32;
         for &(f, uops, cb, ib, ld, st, v) in &recs {
@@ -77,7 +80,11 @@ proptest! {
             });
         }
         for &(a, b, w) in &datas {
-            e.data(DataRef { addr: 0x10_0000_0000 + a, bytes: b, write: w });
+            e.data(DataRef {
+                addr: 0x10_0000_0000 + a,
+                bytes: b,
+                write: w,
+            });
         }
         let s = e.finish();
         let (r, fe, bs, be) = s.topdown.level1_pct();
@@ -90,11 +97,15 @@ proptest! {
         prop_assert!(s.llc_occupancy_bytes <= 8 * 1024 * 1024);
         let total_uops: u64 = recs.iter().map(|r| r.1 as u64).sum();
         prop_assert_eq!(s.uops, total_uops);
-    }
+        Ok(())
+    });
+}
 
-    /// Determinism: the same stream always produces identical stats.
-    #[test]
-    fn engine_is_deterministic(seed in 0u64..1000) {
+/// Determinism: the same stream always produces identical stats.
+#[test]
+fn engine_is_deterministic() {
+    run_cases("engine_is_deterministic", 32, |g| {
+        let seed = g.u64_in(0..1000);
         let run = || {
             let mut e = HostEngine::new(cfg(), registry());
             for i in 0..200u64 {
@@ -112,11 +123,15 @@ proptest! {
             e.finish()
         };
         prop_assert_eq!(run(), run());
-    }
+        Ok(())
+    });
+}
 
-    /// Widening any cache never slows the modeled machine down.
-    #[test]
-    fn bigger_caches_never_hurt(l1i_kib in prop::sample::select(vec![8u64, 16, 32, 64, 192])) {
+/// Widening any cache never slows the modeled machine down.
+#[test]
+fn bigger_caches_never_hurt() {
+    run_cases("bigger_caches_never_hurt", 10, |g| {
+        let l1i_kib = *g.pick(&[8u64, 16, 32, 64, 192]);
         let stream = |e: &mut HostEngine| {
             for i in 0..4000u64 {
                 let h = hosttrace::mix64(i);
@@ -140,5 +155,6 @@ proptest! {
         stream(&mut small);
         stream(&mut big);
         prop_assert!(big.finish().cycles <= small.finish().cycles * 1.001);
-    }
+        Ok(())
+    });
 }

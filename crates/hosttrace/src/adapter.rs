@@ -6,7 +6,7 @@ use crate::record::{DataRef, ExecRecord, TraceSink};
 use crate::registry::Registry;
 use crate::{mix2, mix64};
 use gem5sim::observe::{CompClass, ExecutionObserver, HandlerCall};
-use std::rc::Rc;
+use std::sync::Arc;
 
 /// Base host virtual address of the simulator's heap-allocated state
 /// (SimObject storage). Each component class gets a 256 MB region, each
@@ -23,7 +23,7 @@ pub const DATA_SEG_BASE: u64 = 0x10_0000_0000;
 /// call-tree shape VTune observes under each gem5 handler.
 #[derive(Debug)]
 pub struct TraceAdapter<S> {
-    registry: Rc<Registry>,
+    registry: Arc<Registry>,
     sink: S,
     profile: CallProfile,
     /// Per-component work multipliers (the Sec. VI accelerator study:
@@ -33,7 +33,7 @@ pub struct TraceAdapter<S> {
 
 impl<S: TraceSink> TraceAdapter<S> {
     /// Creates the adapter.
-    pub fn new(registry: Rc<Registry>, sink: S) -> Self {
+    pub fn new(registry: Arc<Registry>, sink: S) -> Self {
         let profile = CallProfile::new(&registry);
         TraceAdapter {
             registry,
@@ -62,7 +62,7 @@ impl<S: TraceSink> TraceAdapter<S> {
     }
 
     /// The shared binary model.
-    pub fn registry(&self) -> &Rc<Registry> {
+    pub fn registry(&self) -> &Arc<Registry> {
         &self.registry
     }
 
@@ -134,7 +134,7 @@ mod tests {
     use crate::registry::BinaryVariant;
 
     fn adapter() -> TraceAdapter<CountingSink> {
-        let reg = Rc::new(Registry::new(BinaryVariant::Base, PageBacking::Base));
+        let reg = Arc::new(Registry::new(BinaryVariant::Base, PageBacking::Base));
         TraceAdapter::new(reg, CountingSink::default())
     }
 
@@ -200,7 +200,7 @@ mod tests {
         a.call(call);
         a.call(call);
         // Primary was called twice.
-        let reg = Rc::clone(a.registry());
+        let reg = Arc::clone(a.registry());
         let pfid = reg.primary(CompClass::EventQueue, "serviceOne");
         let top = a.profile().hottest(&reg, 5);
         let name = reg.name(pfid);

@@ -43,7 +43,9 @@ impl CallProfile {
     /// The `n` hottest functions as `(name, calls, share)` sorted by
     /// descending call count.
     pub fn hottest(&self, registry: &Registry, n: usize) -> Vec<(String, u64, f64)> {
-        let mut idx: Vec<usize> = (0..self.counts.len()).filter(|&i| self.counts[i] > 0).collect();
+        let mut idx: Vec<usize> = (0..self.counts.len())
+            .filter(|&i| self.counts[i] > 0)
+            .collect();
         idx.sort_by_key(|&i| std::cmp::Reverse(self.counts[i]));
         idx.truncate(n);
         idx.into_iter()

@@ -89,6 +89,115 @@ impl<S: TraceSink> TraceSink for FanoutSink<S> {
     }
 }
 
+/// One event of the post-adapter host stream, in order. The unit of
+/// guest-trace memoization: a recorded `Vec<TraceEvent>` replays into any
+/// number of host engines without re-running the guest simulation.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TraceEvent {
+    /// A function invocation.
+    Exec(ExecRecord),
+    /// A simulator-state data touch.
+    Data(DataRef),
+}
+
+/// Records the stream into memory, up to a cap.
+///
+/// Past `cap` events the recorder stops storing (and remembers that it
+/// overflowed) instead of growing without bound — large guest simulations
+/// are simply not cached rather than exhausting memory.
+#[derive(Debug, Clone, Default)]
+pub struct RecordingSink {
+    events: Vec<TraceEvent>,
+    cap: usize,
+    overflowed: bool,
+}
+
+impl RecordingSink {
+    /// A recorder that keeps at most `cap` events.
+    pub fn with_cap(cap: usize) -> Self {
+        RecordingSink {
+            events: Vec::new(),
+            cap,
+            overflowed: false,
+        }
+    }
+
+    /// Whether the stream exceeded the cap (the recording is incomplete
+    /// and must not be replayed).
+    pub fn overflowed(&self) -> bool {
+        self.overflowed
+    }
+
+    /// The complete recorded stream, or `None` if it overflowed.
+    pub fn into_events(self) -> Option<Vec<TraceEvent>> {
+        if self.overflowed {
+            None
+        } else {
+            Some(self.events)
+        }
+    }
+
+    fn push(&mut self, ev: TraceEvent) {
+        if self.overflowed {
+            return;
+        }
+        if self.events.len() >= self.cap {
+            self.overflowed = true;
+            self.events = Vec::new();
+            return;
+        }
+        self.events.push(ev);
+    }
+}
+
+impl TraceSink for RecordingSink {
+    fn exec(&mut self, rec: ExecRecord) {
+        self.push(TraceEvent::Exec(rec));
+    }
+    fn data(&mut self, dref: DataRef) {
+        self.push(TraceEvent::Data(dref));
+    }
+}
+
+/// Duplicates one stream into two heterogeneous sinks — used to feed host
+/// engines live while simultaneously recording the stream for the
+/// memoization cache.
+#[derive(Debug)]
+pub struct TeeSink<A, B> {
+    /// First downstream sink.
+    pub a: A,
+    /// Second downstream sink.
+    pub b: B,
+}
+
+impl<A, B> TeeSink<A, B> {
+    /// Wraps the two sinks.
+    pub fn new(a: A, b: B) -> Self {
+        TeeSink { a, b }
+    }
+}
+
+impl<A: TraceSink, B: TraceSink> TraceSink for TeeSink<A, B> {
+    fn exec(&mut self, rec: ExecRecord) {
+        self.a.exec(rec);
+        self.b.exec(rec);
+    }
+    fn data(&mut self, dref: DataRef) {
+        self.a.data(dref);
+        self.b.data(dref);
+    }
+}
+
+/// Replays a recorded stream into a sink, exactly as it was emitted.
+pub fn replay<S: TraceSink>(events: &[TraceEvent], sink: &mut S) {
+    for &ev in events {
+        match ev {
+            TraceEvent::Exec(rec) => sink.exec(rec),
+            TraceEvent::Data(dref) => sink.data(dref),
+        }
+    }
+}
+
 /// Counts records (tests and sanity checks).
 #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
 pub struct CountingSink {
@@ -140,6 +249,46 @@ mod tests {
             assert_eq!(s.datas, 1);
             assert_eq!(s.uops, 10);
         }
+    }
+
+    #[test]
+    fn recording_then_replay_reproduces_the_stream() {
+        let mut r = RecordingSink::with_cap(100);
+        r.exec(rec(10));
+        r.data(DataRef {
+            addr: 0x2000,
+            bytes: 8,
+            write: true,
+        });
+        r.exec(rec(20));
+        let events = r.into_events().expect("under cap");
+        assert_eq!(events.len(), 3);
+        let mut c = CountingSink::default();
+        replay(&events, &mut c);
+        assert_eq!((c.execs, c.datas, c.uops), (2, 1, 30));
+    }
+
+    #[test]
+    fn recorder_overflow_discards_instead_of_growing() {
+        let mut r = RecordingSink::with_cap(2);
+        for _ in 0..5 {
+            r.exec(rec(1));
+        }
+        assert!(r.overflowed());
+        assert!(r.into_events().is_none());
+    }
+
+    #[test]
+    fn tee_feeds_both_sinks() {
+        let mut t = TeeSink::new(CountingSink::default(), RecordingSink::with_cap(10));
+        t.exec(rec(7));
+        t.data(DataRef {
+            addr: 0x40,
+            bytes: 4,
+            write: false,
+        });
+        assert_eq!((t.a.execs, t.a.datas), (1, 1));
+        assert_eq!(t.b.into_events().unwrap().len(), 2);
     }
 
     #[test]

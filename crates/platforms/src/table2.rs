@@ -15,7 +15,11 @@ pub enum PlatformId {
 
 impl PlatformId {
     /// All platforms in Table II order.
-    pub const ALL: [PlatformId; 3] = [PlatformId::IntelXeon, PlatformId::M1Pro, PlatformId::M1Ultra];
+    pub const ALL: [PlatformId; 3] = [
+        PlatformId::IntelXeon,
+        PlatformId::M1Pro,
+        PlatformId::M1Ultra,
+    ];
 
     /// The paper's configuration name.
     pub fn name(self) -> &'static str {
@@ -73,7 +77,10 @@ pub fn intel_xeon() -> Platform {
         l1i: CacheGeom::kib(32, 8),
         l1d: CacheGeom::kib(32, 8),
         l2: CacheGeom::mib(1, 16),
-        llc: CacheGeom { size: 35 * 1024 * 1024 + 768 * 1024, assoc: 11 },
+        llc: CacheGeom {
+            size: 35 * 1024 * 1024 + 768 * 1024,
+            assoc: 11,
+        },
         l2_lat: 14,
         llc_lat: 44,
         dram_lat: 298, // 96 ns at 3.1 GHz

@@ -58,7 +58,10 @@ impl TournamentBp {
     ///
     /// Panics if `btb_entries` is not a power of two.
     pub fn new(btb_entries: usize) -> Self {
-        assert!(btb_entries.is_power_of_two(), "BTB entries must be a power of two");
+        assert!(
+            btb_entries.is_power_of_two(),
+            "BTB entries must be a power of two"
+        );
         TournamentBp {
             local: vec![Counter2(1); 1 << LOCAL_BITS],
             global: vec![Counter2(1); 1 << GLOBAL_BITS],
@@ -133,8 +136,7 @@ impl TournamentBp {
             self.btb_tags[i] = pc;
             self.btb_targets[i] = target;
         }
-        let mispredicted =
-            predicted.taken != taken || (taken && predicted.target != Some(target));
+        let mispredicted = predicted.taken != taken || (taken && predicted.target != Some(target));
         if mispredicted {
             self.mispredicts += 1;
         }
@@ -215,14 +217,19 @@ mod tests {
         let mut x = 0x12345678u64;
         let mut wrong = 0;
         for _ in 0..1000 {
-            x = x.wrapping_mul(6364136223846793005).wrapping_add(1442695040888963407);
+            x = x
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
             let taken = (x >> 33) & 1 == 1;
             let p = bp.predict(pc, &obs, 0);
             if bp.update(pc, taken, 0x400500, p, &obs, 0) {
                 wrong += 1;
             }
         }
-        assert!(wrong > 250, "random data should defeat the predictor, got {wrong}");
+        assert!(
+            wrong > 250,
+            "random data should defeat the predictor, got {wrong}"
+        );
     }
 
     #[test]

@@ -118,13 +118,19 @@ struct Reader<'a> {
 impl<'a> Reader<'a> {
     fn u64(&mut self) -> Result<u64, CheckpointError> {
         let end = self.pos + 8;
-        let s = self.b.get(self.pos..end).ok_or(CheckpointError::Truncated)?;
+        let s = self
+            .b
+            .get(self.pos..end)
+            .ok_or(CheckpointError::Truncated)?;
         self.pos = end;
         Ok(u64::from_le_bytes(s.try_into().expect("8 bytes")))
     }
     fn bytes(&mut self, n: usize) -> Result<&'a [u8], CheckpointError> {
         let end = self.pos.checked_add(n).ok_or(CheckpointError::Truncated)?;
-        let s = self.b.get(self.pos..end).ok_or(CheckpointError::Truncated)?;
+        let s = self
+            .b
+            .get(self.pos..end)
+            .ok_or(CheckpointError::Truncated)?;
         self.pos = end;
         Ok(s)
     }
@@ -266,7 +272,10 @@ mod tests {
     use gem5sim_workloads::{Scale, Workload};
 
     fn run_straight(w: Workload, model: CpuModel) -> (u64, Vec<u8>) {
-        let mut sys = System::new(SystemConfig::new(model, SimMode::Se), w.program(Scale::Test));
+        let mut sys = System::new(
+            SystemConfig::new(model, SimMode::Se),
+            w.program(Scale::Test),
+        );
         let r = sys.run();
         (r.committed_insts, r.stdout)
     }
@@ -289,7 +298,10 @@ mod tests {
         let mut detailed = System::from_checkpoint(cfg, w.program(Scale::Test), &ckpt);
         let r = detailed.run();
 
-        assert_eq!(r.stdout, straight_out, "restored run must finish identically");
+        assert_eq!(
+            r.stdout, straight_out,
+            "restored run must finish identically"
+        );
         assert_eq!(
             ckpt.insts_before + r.committed_insts,
             straight_insts,

@@ -46,6 +46,8 @@ impl AtomicCpu {
         if d.stall_us > 0 {
             next += d.stall_us * 1_000_000; // µs in ps
         }
-        TickOutcome { next_at: Some(next) }
+        TickOutcome {
+            next_at: Some(next),
+        }
     }
 }

@@ -70,7 +70,10 @@ impl MinorCpu {
         ) {
             // Conservatively mark one FP slot; precise FP renaming lives in
             // the O3 model.
-            if matches!(d.class, InstClass::FpAlu | InstClass::FpMul | InstClass::FpDiv) {
+            if matches!(
+                d.class,
+                InstClass::FpAlu | InstClass::FpMul | InstClass::FpDiv
+            ) {
                 self.reg_ready[32] = at;
             }
         }
@@ -129,7 +132,8 @@ impl MinorCpu {
                 let pred = self.bp.predict(d.pc, &sh.obs, id);
                 let mis = self.bp.update(d.pc, c.taken, c.target, pred, &sh.obs, id);
                 if mis {
-                    sh.obs.call(CompClass::CpuMinor, "branchMispredict_squash", id, 90);
+                    sh.obs
+                        .call(CompClass::CpuMinor, "branchMispredict_squash", id, 90);
                     let redirect = exec_end + sh.cyc(2);
                     self.mispredict_stall_ticks += redirect.saturating_sub(next_fetch);
                     next_fetch = redirect;

@@ -109,7 +109,10 @@ impl O3Cpu {
         for s in d.inst.int_srcs().into_iter().flatten() {
             t = t.max(self.reg_ready[s.index()]);
         }
-        if matches!(d.class, InstClass::FpAlu | InstClass::FpMul | InstClass::FpDiv) {
+        if matches!(
+            d.class,
+            InstClass::FpAlu | InstClass::FpMul | InstClass::FpDiv
+        ) {
             // FP dependences tracked through a single renamed chain slot.
             t = t.max(self.reg_ready[33]);
         }
@@ -159,10 +162,17 @@ impl O3Cpu {
             InstClass::IntDiv | InstClass::FpDiv => sh.cyc(fu_latency(d.class)),
             _ => sh.cyc(1),
         };
-        let issue = self.fu.reserve(d.class, (dispatch + sh.cyc(1)).max(ready), occ);
+        let issue = self
+            .fu
+            .reserve(d.class, (dispatch + sh.cyc(1)).max(ready), occ);
         sh.obs.call(CompClass::CpuO3, "iew_issue", id, 50);
-        sh.obs
-            .data(CompClass::CpuO3, id, 8192 + (d.seq % 64) as u32 * 32, 32, true); // IQ entry
+        sh.obs.data(
+            CompClass::CpuO3,
+            id,
+            8192 + (d.seq % 64) as u32 * 32,
+            32,
+            true,
+        ); // IQ entry
 
         let mut exec_end = issue + sh.cyc(fu_latency(d.class));
         if let Some(m) = d.mem {
@@ -192,7 +202,10 @@ impl O3Cpu {
         if let Some(r) = d.inst.int_dest() {
             self.reg_ready[r.index()] = exec_end;
         }
-        if matches!(d.class, InstClass::FpAlu | InstClass::FpMul | InstClass::FpDiv) {
+        if matches!(
+            d.class,
+            InstClass::FpAlu | InstClass::FpMul | InstClass::FpDiv
+        ) {
             self.reg_ready[33] = exec_end;
         }
 

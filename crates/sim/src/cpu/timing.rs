@@ -60,6 +60,8 @@ impl TimingCpu {
         if d.stall_us > 0 {
             next += d.stall_us * 1_000_000;
         }
-        TickOutcome { next_at: Some(next) }
+        TickOutcome {
+            next_at: Some(next),
+        }
     }
 }

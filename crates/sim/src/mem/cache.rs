@@ -127,7 +127,10 @@ impl Cache {
             lru: self.tick,
         };
         let _ = self.line_addr(addr);
-        AccessOutcome { hit: false, writeback }
+        AccessOutcome {
+            hit: false,
+            writeback,
+        }
     }
 
     /// Whether `addr`'s line is currently resident (no state change).

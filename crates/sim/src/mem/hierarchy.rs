@@ -65,7 +65,14 @@ impl MemSystem {
     /// Performs an access for CPU `cpu`, returning the total latency in
     /// ticks. Updates cache state, occupancy and statistics, and emits
     /// observer reports for every handler on the path.
-    pub fn access(&mut self, cpu: usize, kind: AccessKind, addr: u64, now: Tick, obs: &Obs) -> Tick {
+    pub fn access(
+        &mut self,
+        cpu: usize,
+        kind: AccessKind,
+        addr: u64,
+        now: Tick,
+        obs: &Obs,
+    ) -> Tick {
         self.access_inner(cpu, kind, addr, now, obs, false)
     }
 
@@ -97,7 +104,12 @@ impl MemSystem {
             AccessKind::DataRead => (CompClass::Dcache, false),
             AccessKind::DataWrite => (CompClass::Dcache, true),
         };
-        obs.call(comp, if atomic { "recvAtomicAccess" } else { "access" }, cpu as u16, W_ACCESS);
+        obs.call(
+            comp,
+            if atomic { "recvAtomicAccess" } else { "access" },
+            cpu as u16,
+            W_ACCESS,
+        );
         let (hit, l1_wb, set, tag_bytes, l1_hit_cycles) = {
             let l1 = match kind {
                 AccessKind::InstFetch => &mut self.l1i[cpu],
@@ -106,9 +118,21 @@ impl MemSystem {
             // Tag-array touch: the host reads this cache's tag storage.
             let set = l1.set_index(addr);
             let tag_bytes = (l1.config().assoc * 8) as u16;
-            obs.data(comp, cpu as u16, (set * l1.config().assoc * 8) as u32, tag_bytes, false);
+            obs.data(
+                comp,
+                cpu as u16,
+                (set * l1.config().assoc * 8) as u32,
+                tag_bytes,
+                false,
+            );
             let out = l1.access(addr, write);
-            (out.hit, out.writeback, set, tag_bytes, l1.config().hit_latency)
+            (
+                out.hit,
+                out.writeback,
+                set,
+                tag_bytes,
+                l1.config().hit_latency,
+            )
         };
         let mut lat = self.cyc(l1_hit_cycles);
         if hit {
@@ -151,13 +175,21 @@ impl MemSystem {
         if !l2_out.hit {
             obs.call(
                 CompClass::L2,
-                if atomic { "recvAtomicMiss" } else { "handleMiss" },
+                if atomic {
+                    "recvAtomicMiss"
+                } else {
+                    "handleMiss"
+                },
                 0,
                 W_MISS,
             );
             obs.call(
                 CompClass::Dram,
-                if atomic { "recvAtomicDram" } else { "recvTimingReq" },
+                if atomic {
+                    "recvAtomicDram"
+                } else {
+                    "recvTimingReq"
+                },
                 0,
                 W_DRAM,
             );
@@ -176,8 +208,19 @@ impl MemSystem {
                 }
             }
         }
-        obs.call(comp, if atomic { "recvAtomicFill" } else { "fill" }, cpu as u16, W_FILL);
-        obs.data(comp, cpu as u16, (set as u32) * tag_bytes as u32, tag_bytes, true);
+        obs.call(
+            comp,
+            if atomic { "recvAtomicFill" } else { "fill" },
+            cpu as u16,
+            W_FILL,
+        );
+        obs.data(
+            comp,
+            cpu as u16,
+            (set as u32) * tag_bytes as u32,
+            tag_bytes,
+            true,
+        );
 
         if let Some(wb) = l1_wb {
             // L1 dirty victim written back into L2 (off the critical path).
@@ -288,9 +331,7 @@ mod tests {
         m.access(0, AccessKind::DataRead, 0x2000, 0, &obs); // hit path
         let c = ctr.borrow();
         assert!(c.calls >= 7, "miss path + hit path calls, got {}", c.calls);
-        assert!(c
-            .methods
-            .contains(&(CompClass::Dram, "recvTimingReq")));
+        assert!(c.methods.contains(&(CompClass::Dram, "recvTimingReq")));
         assert!(c.methods.contains(&(CompClass::Dcache, "access")));
     }
 

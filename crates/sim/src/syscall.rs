@@ -137,7 +137,11 @@ mod tests {
     use super::*;
 
     fn setup() -> (ArchState, PhysMem, SyscallState) {
-        (ArchState::new(0), PhysMem::new(4096), SyscallState::new(1024))
+        (
+            ArchState::new(0),
+            PhysMem::new(4096),
+            SyscallState::new(1024),
+        )
     }
 
     #[test]

@@ -61,7 +61,9 @@ impl Shared {
             let out = self.itlb[cpu].translate(pc, &self.obs, cpu as u16);
             lat += self.cyc(out.walk_cycles);
         }
-        lat + self.mem.access(cpu, AccessKind::InstFetch, pc, now + lat, &self.obs)
+        lat + self
+            .mem
+            .access(cpu, AccessKind::InstFetch, pc, now + lat, &self.obs)
     }
 
     /// Timed data access: dTLB (FS mode) + D-side hierarchy.
@@ -241,11 +243,23 @@ impl SimResult {
         d.formula("system.cpu.ipc", self.guest_ipc(), "insts/cycles");
         d.scalar("host_event_queue.events", self.host_events as f64);
         d.scalar("system.l1i.accesses", self.l1i.accesses as f64);
-        d.formula("system.l1i.miss_rate", self.l1i.miss_rate(), "misses/accesses");
+        d.formula(
+            "system.l1i.miss_rate",
+            self.l1i.miss_rate(),
+            "misses/accesses",
+        );
         d.scalar("system.l1d.accesses", self.l1d.accesses as f64);
-        d.formula("system.l1d.miss_rate", self.l1d.miss_rate(), "misses/accesses");
+        d.formula(
+            "system.l1d.miss_rate",
+            self.l1d.miss_rate(),
+            "misses/accesses",
+        );
         d.scalar("system.l2.accesses", self.l2.accesses as f64);
-        d.formula("system.l2.miss_rate", self.l2.miss_rate(), "misses/accesses");
+        d.formula(
+            "system.l2.miss_rate",
+            self.l2.miss_rate(),
+            "misses/accesses",
+        );
         d.scalar("system.mem_ctrl.accesses", self.dram_accesses as f64);
         d.scalar("system.itlb.misses", self.itlb.1 as f64);
         d.scalar("system.dtlb.misses", self.dtlb.1 as f64);

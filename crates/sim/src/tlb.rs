@@ -39,7 +39,10 @@ impl Tlb {
     /// Panics if `page_size` is not a power of two or `entries` is zero.
     pub fn new(entries: usize, page_size: u64) -> Self {
         assert!(entries > 0, "TLB needs at least one entry");
-        assert!(page_size.is_power_of_two(), "page size must be a power of two");
+        assert!(
+            page_size.is_power_of_two(),
+            "page size must be a power of two"
+        );
         Tlb {
             entries: vec![u64::MAX; entries],
             next_victim: 0,

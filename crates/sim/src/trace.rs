@@ -136,7 +136,8 @@ impl Tracer {
     #[inline]
     pub fn trace(&self, tick: Tick, cpu: u16, d: &DynInst) {
         if let Some(t) = &self.0 {
-            t.borrow_mut().trace(&TraceEntry::from_dyninst(tick, cpu, d));
+            t.borrow_mut()
+                .trace(&TraceEntry::from_dyninst(tick, cpu, d));
         }
     }
 }
@@ -172,7 +173,9 @@ mod tests {
     fn trace_captures_every_instruction_in_order() {
         let t = traced_run(CpuModel::Atomic);
         assert_eq!(t.len(), 6, "li, li, sd, ld, beq(taken), halt");
-        assert!(t.windows(2).all(|w| w[0].pc < w[1].pc || w[0].taken.is_some()));
+        assert!(t
+            .windows(2)
+            .all(|w| w[0].pc < w[1].pc || w[0].taken.is_some()));
         let st = &t[2];
         assert_eq!(st.ea, Some(0x2000));
         assert!(st.disasm.starts_with("sd"));

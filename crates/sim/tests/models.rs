@@ -105,7 +105,11 @@ fn o3_is_faster_than_timing_in_guest_time() {
         o3.sim_ticks,
         timing.sim_ticks
     );
-    assert!(o3.guest_ipc() > 1.0, "OoO IPC {} should exceed 1", o3.guest_ipc());
+    assert!(
+        o3.guest_ipc() > 1.0,
+        "OoO IPC {} should exceed 1",
+        o3.guest_ipc()
+    );
 }
 
 #[test]
@@ -114,7 +118,10 @@ fn branch_predictor_engages_on_detailed_models() {
         let r = run(m, SimMode::Se);
         let (lookups, mispredicts) = r.bp.expect("detailed models have a predictor");
         assert!(lookups > 500, "{m:?}: {lookups}");
-        assert!(mispredicts > 0, "data-dependent branches must miss sometimes");
+        assert!(
+            mispredicts > 0,
+            "data-dependent branches must miss sometimes"
+        );
         assert!(mispredicts < lookups / 2, "predictor must beat a coin flip");
     }
 }
@@ -175,7 +182,10 @@ fn fs_timer_interrupts_are_delivered() {
     let cfg = SystemConfig::new(CpuModel::Atomic, SimMode::Fs);
     let mut sys = System::new(cfg, prog);
     let r = sys.run();
-    assert!(r.irqs_taken > 0, "spin loop long enough to catch timer irqs");
+    assert!(
+        r.irqs_taken > 0,
+        "spin loop long enough to catch timer irqs"
+    );
 }
 
 #[test]

@@ -6,17 +6,16 @@ use gem5sim::system::System;
 use gem5sim_event::{EventQueue, Priority};
 use gem5sim_isa::asm::ProgramBuilder;
 use gem5sim_isa::Reg;
-use proptest::prelude::*;
 use std::cell::RefCell;
 use std::rc::Rc;
+use testkit::{prop_assert, prop_assert_eq, run_cases};
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
-
-    /// Events fire in (tick, priority, insertion) order for arbitrary
-    /// schedules.
-    #[test]
-    fn event_queue_total_order(events in prop::collection::vec((0u64..1000, -5i16..5), 1..100)) {
+/// Events fire in (tick, priority, insertion) order for arbitrary
+/// schedules.
+#[test]
+fn event_queue_total_order() {
+    run_cases("event_queue_total_order", 64, |g| {
+        let events = g.vec(1..100, |g| (g.u64_in(0..1000), g.i64_in(-5..5) as i16));
         let eq = EventQueue::new();
         let fired = Rc::new(RefCell::new(Vec::new()));
         for (i, &(t, p)) in events.iter().enumerate() {
@@ -33,16 +32,28 @@ proptest! {
             let (t1, p1, i1) = w[1];
             prop_assert!(
                 (t0, p0) < (t1, p1) || ((t0, p0) == (t1, p1) && i0 < i1),
-                "order violated: {:?} then {:?}", w[0], w[1]
+                "order violated: {:?} then {:?}",
+                w[0],
+                w[1]
             );
         }
-    }
+        Ok(())
+    });
+}
 
-    /// A cache never exceeds its capacity and always hits immediately
-    /// after an access to the same line.
-    #[test]
-    fn cache_capacity_and_rehit(addrs in prop::collection::vec(0u64..1_000_000, 1..300)) {
-        let cfg = CacheConfig { size: 2048, assoc: 4, line: 64, hit_latency: 1, mshrs: 4 };
+/// A cache never exceeds its capacity and always hits immediately
+/// after an access to the same line.
+#[test]
+fn cache_capacity_and_rehit() {
+    run_cases("cache_capacity_and_rehit", 64, |g| {
+        let addrs = g.vec(1..300, |g| g.u64_in(0..1_000_000));
+        let cfg = CacheConfig {
+            size: 2048,
+            assoc: 4,
+            line: 64,
+            hit_latency: 1,
+            mshrs: 4,
+        };
         let mut c = Cache::new(cfg);
         for &a in &addrs {
             c.access(a, a % 3 == 0);
@@ -52,12 +63,17 @@ proptest! {
         let s = c.stats();
         prop_assert_eq!(s.accesses, addrs.len() as u64);
         prop_assert!(s.misses <= s.accesses);
-    }
+        Ok(())
+    });
+}
 
-    /// Loop programs with data-dependent trip counts commit the same
-    /// instruction count on every CPU model.
-    #[test]
-    fn models_agree_on_loops(n in 1i64..60, step in 1i64..5) {
+/// Loop programs with data-dependent trip counts commit the same
+/// instruction count on every CPU model.
+#[test]
+fn models_agree_on_loops() {
+    run_cases("models_agree_on_loops", 64, |g| {
+        let n = g.i64_in(1..60);
+        let step = g.i64_in(1..5);
         let mut b = ProgramBuilder::new();
         b.li(Reg::T0, 0)
             .li(Reg::T1, n * step)
@@ -75,12 +91,16 @@ proptest! {
             .collect();
         prop_assert!(counts.iter().all(|&c| c == counts[0]), "{:?}", counts);
         prop_assert_eq!(counts[0], 2 + 2 * n as u64 + 1);
-    }
+        Ok(())
+    });
+}
 
-    /// Guest time is monotone in work: more loop iterations never take
-    /// fewer simulated ticks (checked per model).
-    #[test]
-    fn sim_time_monotone_in_work(n in 2u64..40) {
+/// Guest time is monotone in work: more loop iterations never take
+/// fewer simulated ticks (checked per model).
+#[test]
+fn sim_time_monotone_in_work() {
+    run_cases("sim_time_monotone_in_work", 38, |g| {
+        let n = g.u64_in(2..40);
         for m in [CpuModel::Timing, CpuModel::O3] {
             let run = |iters: u64| {
                 let mut b = ProgramBuilder::new();
@@ -89,13 +109,11 @@ proptest! {
                     .addi(Reg::T0, Reg::T0, -1)
                     .bne(Reg::T0, Reg::ZERO, "l")
                     .halt();
-                let mut sys = System::new(
-                    SystemConfig::new(m, SimMode::Se),
-                    b.assemble().unwrap(),
-                );
+                let mut sys = System::new(SystemConfig::new(m, SimMode::Se), b.assemble().unwrap());
                 sys.run().sim_ticks
             };
             prop_assert!(run(2 * n) > run(n), "{m:?}");
         }
-    }
+        Ok(())
+    });
 }

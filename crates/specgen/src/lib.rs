@@ -29,8 +29,11 @@ pub enum SpecBenchmark {
 
 impl SpecBenchmark {
     /// All three, in the paper's order.
-    pub const ALL: [SpecBenchmark; 3] =
-        [SpecBenchmark::X264, SpecBenchmark::Deepsjeng, SpecBenchmark::Mcf];
+    pub const ALL: [SpecBenchmark; 3] = [
+        SpecBenchmark::X264,
+        SpecBenchmark::Deepsjeng,
+        SpecBenchmark::Mcf,
+    ];
 
     /// The SPEC name.
     pub fn name(self) -> &'static str {
@@ -172,7 +175,7 @@ mod tests {
     use hosttrace::record::CountingSink;
     use hosttrace::{BinaryVariant, PageBacking};
     use platforms_test_helpers::xeonish;
-    use std::rc::Rc;
+    use std::sync::Arc;
 
     /// Minimal Xeon-like config without depending on the platforms crate
     /// (avoids a dependency cycle in tests).
@@ -215,8 +218,8 @@ mod tests {
     }
 
     fn run(b: SpecBenchmark, records: u64) -> hostmodel::HostRunStats {
-        let reg = Rc::new(Registry::new(BinaryVariant::Base, PageBacking::Base));
-        let mut engine = HostEngine::new(xeonish(), Rc::clone(&reg));
+        let reg = Arc::new(Registry::new(BinaryVariant::Base, PageBacking::Base));
+        let mut engine = HostEngine::new(xeonish(), Arc::clone(&reg));
         b.generate(&reg, &mut engine, records);
         engine.finish()
     }
@@ -238,7 +241,12 @@ mod tests {
         assert!(be > 35.0, "mcf backend {be}");
         assert!(retiring < 35.0, "mcf retiring {retiring}");
         let x = run(SpecBenchmark::X264, 60_000);
-        assert!(s.ipc() < x.ipc() / 3.0, "mcf {} vs x264 {}", s.ipc(), x.ipc());
+        assert!(
+            s.ipc() < x.ipc() / 3.0,
+            "mcf {} vs x264 {}",
+            s.ipc(),
+            x.ipc()
+        );
     }
 
     #[test]

@@ -10,9 +10,7 @@ const FW_PUTCHAR: i64 = 0x2001;
 
 fn print(b: &mut ProgramBuilder, msg: &str) {
     for ch in msg.bytes() {
-        b.li(Reg::A7, FW_PUTCHAR)
-            .li(Reg::A0, ch as i64)
-            .ecall();
+        b.li(Reg::A7, FW_PUTCHAR).li(Reg::A0, ch as i64).ecall();
     }
 }
 
@@ -50,7 +48,10 @@ pub fn boot_exit(b: &mut ProgramBuilder, scale: Scale) {
     print(b, "mm: page tables up\n");
 
     // Phase 3: device probes — firmware delays model device wait time.
-    for (i, dev) in ["virtio-blk", "virtio-net", "uart", "rtc"].iter().enumerate() {
+    for (i, dev) in ["virtio-blk", "virtio-net", "uart", "rtc"]
+        .iter()
+        .enumerate()
+    {
         print(b, &format!("probe {dev}\n"));
         b.li(Reg::A7, FW_DELAY)
             .li(Reg::A0, 20 + 10 * i as i64) // microseconds

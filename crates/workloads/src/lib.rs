@@ -116,7 +116,8 @@ impl Workload {
             Workload::Sieve => sieve::sieve(&mut b, scale),
         }
         append_irq_handler(&mut b);
-        b.assemble().unwrap_or_else(|e| panic!("workload {self}: {e}"))
+        b.assemble()
+            .unwrap_or_else(|e| panic!("workload {self}: {e}"))
     }
 }
 
@@ -202,7 +203,12 @@ mod tests {
 
     #[test]
     fn canneal_has_poor_locality_compared_to_blackscholes() {
-        let ca = run(Workload::Canneal, Scale::SimSmall, CpuModel::Timing, SimMode::Se);
+        let ca = run(
+            Workload::Canneal,
+            Scale::SimSmall,
+            CpuModel::Timing,
+            SimMode::Se,
+        );
         let bs = run(
             Workload::Blackscholes,
             Scale::SimSmall,
@@ -219,7 +225,12 @@ mod tests {
 
     #[test]
     fn boot_exit_runs_in_fs_mode_with_interrupts() {
-        let r = run(Workload::BootExit, Scale::Test, CpuModel::Atomic, SimMode::Fs);
+        let r = run(
+            Workload::BootExit,
+            Scale::Test,
+            CpuModel::Atomic,
+            SimMode::Fs,
+        );
         assert!(r.sim_ticks > 0);
         assert!(r.itlb.0 > 0);
         assert!(!r.stdout.is_empty(), "boot prints to the console");

@@ -16,14 +16,19 @@ fn main() {
 
     println!("gem5 running Sieve of Eratosthenes on a configurable RISC-V host");
     println!("(speedup relative to the 8KB/2:8KB/2:512KB/8 baseline)\n");
-    println!("{:<28} {:>8} {:>8} {:>8}", "host caches (I:D:L2)", "Atomic", "Timing", "O3");
+    println!(
+        "{:<28} {:>8} {:>8} {:>8}",
+        "host caches (I:D:L2)", "Atomic", "Timing", "O3"
+    );
 
-    let mut results = Vec::new();
-    for cpu in [CpuModel::Atomic, CpuModel::Timing, CpuModel::O3] {
+    // Fan the three CPU-model sweeps across cores; results assemble in
+    // input order, so output is identical at any thread count.
+    let cpus = [CpuModel::Atomic, CpuModel::Timing, CpuModel::O3];
+    let results: Vec<Vec<f64>> = gem5_profiling::prof::parallel_map(&cpus, |&cpu| {
         let guest = GuestSpec::new(Workload::Sieve, Scale::SimSmall, cpu, SimMode::Se);
         let run = profile(&guest, &setups);
-        results.push(run.hosts.iter().map(|h| h.seconds()).collect::<Vec<_>>());
-    }
+        run.hosts.iter().map(|h| h.seconds()).collect()
+    });
     for (ci, cfg) in sweep.iter().enumerate() {
         print!("{:<28}", cfg.name);
         for r in &results {

@@ -39,7 +39,12 @@ fn main() {
     }
 
     println!("\niTLB stall share of cycles, baseline vs THP (O3 model):");
-    let guest = GuestSpec::new(Workload::WaterNsquared, Scale::SimSmall, CpuModel::O3, SimMode::Fs);
+    let guest = GuestSpec::new(
+        Workload::WaterNsquared,
+        Scale::SimSmall,
+        CpuModel::O3,
+        SimMode::Fs,
+    );
     let run = profile(&guest, &setups);
     for (i, label) in labels.iter().enumerate().take(2) {
         let h = &run.hosts[i];

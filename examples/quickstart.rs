@@ -29,8 +29,12 @@ fn main() {
     // 3. Run the simulation and profile it.
     let run = profile(&guest, std::slice::from_ref(&host));
 
-    println!("guest: {} instructions committed, {} events, IPC {:.2}",
-        run.guest.committed_insts, run.guest.host_events, run.guest.guest_ipc());
+    println!(
+        "guest: {} instructions committed, {} events, IPC {:.2}",
+        run.guest.committed_insts,
+        run.guest.host_events,
+        run.guest.guest_ipc()
+    );
     let h = &run.hosts[0];
     println!(
         "host ({}): {:.0} cycles, IPC {:.2}, simulated in {:.4}s of host time",
@@ -40,7 +44,9 @@ fn main() {
         h.seconds()
     );
     let (r, fe, bs, be) = h.topdown.level1_pct();
-    println!("Top-Down: retiring {r:.1}%  front-end {fe:.1}%  bad-spec {bs:.1}%  back-end {be:.1}%");
+    println!(
+        "Top-Down: retiring {r:.1}%  front-end {fe:.1}%  bad-spec {bs:.1}%  back-end {be:.1}%"
+    );
     println!(
         "front-end latency detail: iCache {:.1}%  iTLB {:.1}%  unknown-branches {:.1}%",
         h.topdown.pct(h.topdown.fe_latency.icache),

@@ -1,0 +1,9 @@
+#!/usr/bin/env sh
+# Tier-1 verification: build, test, and format-check the whole workspace
+# fully offline (the workspace has zero external dependencies).
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline
+cargo test -q --offline
+cargo fmt --check

@@ -12,7 +12,10 @@ use gem5_profiling::workloads::{Scale, Workload};
 fn boot_atomic_restore_o3_via_bytes() {
     let w = Workload::Dedup;
     // Reference: run straight through on O3.
-    let mut reference = System::new(SystemConfig::new(CpuModel::O3, SimMode::Se), w.program(Scale::Test));
+    let mut reference = System::new(
+        SystemConfig::new(CpuModel::O3, SimMode::Se),
+        w.program(Scale::Test),
+    );
     let ref_result = reference.run();
 
     // Fast-forward half the run with Atomic.
@@ -46,8 +49,10 @@ fn boot_atomic_restore_o3_via_bytes() {
 fn checkpoints_work_for_every_parsec_kernel() {
     for w in Workload::PARSEC {
         let straight = {
-            let mut s =
-                System::new(SystemConfig::new(CpuModel::Timing, SimMode::Se), w.program(Scale::Test));
+            let mut s = System::new(
+                SystemConfig::new(CpuModel::Timing, SimMode::Se),
+                w.program(Scale::Test),
+            );
             s.run()
         };
         let cut = straight.committed_insts / 3;

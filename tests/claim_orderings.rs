@@ -1,0 +1,106 @@
+//! Fast paper-claim ordering tests: the directional findings of the
+//! paper, checked at the smallest scale so they run in seconds and keep
+//! the reproduction honest on every `cargo test`.
+
+use gem5_profiling::prof::experiment::{profile, profile_spec, GuestSpec, HostSetup};
+use gem5_profiling::sim::config::{CpuModel, SimMode};
+use gem5_profiling::workloads::{Scale, Workload};
+use platforms::{firesim, intel_xeon, m1_ultra, SystemKnobs};
+use specgen::SpecBenchmark;
+
+/// Fig. 1: the M1 Ultra runs the same gem5 simulation faster than the
+/// Xeon server.
+#[test]
+fn fig01_m1_ultra_outruns_xeon() {
+    let hosts = [
+        HostSetup::platform(&intel_xeon()),
+        HostSetup::platform(&m1_ultra()),
+    ];
+    let run = profile(
+        &GuestSpec::new(
+            Workload::WaterNsquared,
+            Scale::Test,
+            CpuModel::O3,
+            SimMode::Fs,
+        ),
+        &hosts,
+    );
+    let (xeon, ultra) = (&run.hosts[0], &run.hosts[1]);
+    assert!(
+        ultra.seconds() < xeon.seconds(),
+        "M1_Ultra {}s must beat Xeon {}s",
+        ultra.seconds(),
+        xeon.seconds()
+    );
+}
+
+/// Fig. 2: gem5 (O3 model) is far more front-end bound than SPEC's x264.
+#[test]
+fn fig02_gem5_more_frontend_bound_than_spec_x264() {
+    let xeon = [HostSetup::platform(&intel_xeon())];
+    let gem5 = profile(
+        &GuestSpec::new(
+            Workload::WaterNsquared,
+            Scale::Test,
+            CpuModel::O3,
+            SimMode::Fs,
+        ),
+        &xeon,
+    );
+    let (_, gem5_fe, _, _) = gem5.hosts[0].topdown.level1_pct();
+    let x264 = profile_spec(SpecBenchmark::X264, &xeon, 40_000);
+    let (_, x264_fe, _, _) = x264[0].topdown.level1_pct();
+    assert!(
+        gem5_fe > x264_fe,
+        "gem5 FE-bound {gem5_fe}% must exceed x264's {x264_fe}%"
+    );
+}
+
+/// Fig. 11: transparent huge pages reduce the iTLB overhead.
+#[test]
+fn fig11_thp_reduces_itlb_overhead() {
+    let xeon = intel_xeon();
+    let setups = [
+        HostSetup::with_knobs(&xeon, &SystemKnobs::new()),
+        HostSetup::with_knobs(&xeon, &SystemKnobs::new().with_thp()),
+    ];
+    let run = profile(
+        &GuestSpec::new(
+            Workload::WaterNsquared,
+            Scale::Test,
+            CpuModel::O3,
+            SimMode::Fs,
+        ),
+        &setups,
+    );
+    let (base, thp) = (&run.hosts[0], &run.hosts[1]);
+    assert!(
+        thp.topdown.fe_latency.itlb < base.topdown.fe_latency.itlb,
+        "THP iTLB cycles {} must undercut base {}",
+        thp.topdown.fe_latency.itlb,
+        base.topdown.fe_latency.itlb
+    );
+}
+
+/// Fig. 14: a FireSim host with 64K L1 caches beats the 8K baseline.
+#[test]
+fn fig14_bigger_host_l1_speeds_up_simulation() {
+    let sweep = firesim::fig14_sweep();
+    let base_idx = 0;
+    assert_eq!(sweep[base_idx].name, "8KB/2:8KB/2:512KB/8");
+    let big_idx = sweep
+        .iter()
+        .position(|c| c.name == "64KB/16:64KB/16:512KB/8")
+        .expect("64K point in the sweep");
+    let setups: Vec<HostSetup> = sweep.into_iter().map(HostSetup::raw).collect();
+    let run = profile(
+        &GuestSpec::new(Workload::Sieve, Scale::Test, CpuModel::Atomic, SimMode::Se),
+        &setups,
+    );
+    assert!(
+        run.hosts[big_idx].seconds() < run.hosts[base_idx].seconds(),
+        "64K L1 host {}s must beat 8K baseline {}s",
+        run.hosts[big_idx].seconds(),
+        run.hosts[base_idx].seconds()
+    );
+}

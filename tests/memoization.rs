@@ -1,0 +1,70 @@
+//! The guest-trace memoization contract: the first profile of a
+//! `GuestSpec` simulates the guest; every later profile of the same spec
+//! replays the recorded stream and performs **zero** guest simulation.
+//!
+//! "Zero simulation" is asserted through the event-queue layer itself:
+//! every serviced simulator event bumps a process-wide counter
+//! (`gem5sim_event::global_events_serviced`), so a replayed profile must
+//! leave it untouched.
+//!
+//! This lives in its own integration-test binary (single `#[test]`) so
+//! no concurrently running test can perturb the process-wide counters.
+
+use gem5_profiling::prof::experiment::{profile, GuestSpec, HostSetup};
+use gem5_profiling::prof::runner::cache_stats;
+use gem5_profiling::sim::config::{CpuModel, SimMode};
+use gem5_profiling::workloads::{Scale, Workload};
+use gem5sim_event::global_events_serviced;
+use platforms::{intel_xeon, m1_pro};
+
+#[test]
+fn second_profile_of_same_spec_runs_zero_guest_simulation() {
+    let hosts = [
+        HostSetup::platform(&intel_xeon()),
+        HostSetup::platform(&m1_pro()),
+    ];
+    let spec = GuestSpec::new(Workload::Fmm, Scale::Test, CpuModel::Timing, SimMode::Se);
+
+    // Cold: must simulate (events are serviced, a miss is recorded).
+    let stats0 = cache_stats();
+    let events0 = global_events_serviced();
+    let first = profile(&spec, &hosts);
+    let stats1 = cache_stats();
+    let events1 = global_events_serviced();
+    assert!(events1 > events0, "cold profile must service guest events");
+    assert_eq!(stats1.misses, stats0.misses + 1);
+    assert_eq!(stats1.hits, stats0.hits);
+    assert!(
+        stats1.resident_events > stats0.resident_events,
+        "the cold run's stream must now be cached"
+    );
+
+    // Warm: same spec, different call — zero guest simulation.
+    let second = profile(&spec, &hosts);
+    let stats2 = cache_stats();
+    let events2 = global_events_serviced();
+    assert_eq!(
+        events2, events1,
+        "a cached profile must not service a single simulator event"
+    );
+    assert_eq!(stats2.hits, stats1.hits + 1);
+    assert_eq!(stats2.misses, stats1.misses);
+
+    // And the replay is indistinguishable from the live run.
+    assert_eq!(first.guest, second.guest);
+    assert_eq!(first.hosts, second.hosts);
+    assert_eq!(first.profile, second.profile);
+
+    // A different spec is a fresh miss: the guest simulator runs again.
+    let other = GuestSpec::new(
+        Workload::Canneal,
+        Scale::Test,
+        CpuModel::Timing,
+        SimMode::Se,
+    );
+    let _ = profile(&other, &hosts);
+    let stats3 = cache_stats();
+    let events3 = global_events_serviced();
+    assert!(events3 > events2, "a distinct spec must simulate");
+    assert_eq!(stats3.misses, stats2.misses + 1);
+}

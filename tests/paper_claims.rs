@@ -32,7 +32,12 @@ fn claim_l1_sensitivity() {
 fn claim_front_end_bound() {
     let t = figures::fig02(Fidelity::Quick);
     let fe = |label: &str| t.get(label, "FrontEnd").unwrap();
-    for label in ["ATOMIC_PARSEC", "TIMING_PARSEC", "MINOR_PARSEC", "O3_PARSEC"] {
+    for label in [
+        "ATOMIC_PARSEC",
+        "TIMING_PARSEC",
+        "MINOR_PARSEC",
+        "O3_PARSEC",
+    ] {
         assert!(
             fe(label) > 20.0,
             "{label}: front-end bound {:.1}% too low",
@@ -86,7 +91,12 @@ fn claim_m1_speed_advantage() {
 fn claim_bottleneck_identification() {
     let xeon = [HostSetup::platform(&platforms::intel_xeon())];
     let run = profile(
-        &GuestSpec::new(Workload::WaterNsquared, Scale::Test, CpuModel::O3, SimMode::Fs),
+        &GuestSpec::new(
+            Workload::WaterNsquared,
+            Scale::Test,
+            CpuModel::O3,
+            SimMode::Fs,
+        ),
         &xeon,
     );
     let h = &run.hosts[0];

@@ -6,50 +6,56 @@ use gem5_profiling::sim::system::System;
 use gem5_profiling::workloads::{Scale, Workload};
 use gem5sim_isa::asm::ProgramBuilder;
 use gem5sim_isa::{AluOp, Reg};
-use proptest::prelude::*;
+use testkit::{prop_assert, run_cases};
 
 /// All four CPU models execute random straight-line ALU programs to the
 /// same architectural result.
 #[test]
 fn models_agree_on_random_programs() {
-    let mut runner = proptest::test_runner::TestRunner::new(proptest::test_runner::Config {
-        cases: 24,
-        ..Default::default()
-    });
-    let ops = prop::collection::vec((0u8..8, 0u8..6, 0u8..6, -64i64..64), 3..40);
-    runner
-        .run(&ops, |ops| {
-            let regs = [Reg::A0, Reg::A1, Reg::A2, Reg::A3, Reg::A4, Reg::A5];
-            let alu = [
-                AluOp::Add,
-                AluOp::Sub,
-                AluOp::Mul,
-                AluOp::And,
-                AluOp::Or,
-                AluOp::Xor,
-                AluOp::Sll,
-                AluOp::Srl,
-            ];
-            let mut b = ProgramBuilder::new();
-            for (i, r) in regs.iter().enumerate() {
-                b.li(*r, i as i64 * 7 + 1);
-            }
-            for (op, rd, rs, imm) in &ops {
-                b.alui(alu[*op as usize], regs[*rd as usize], regs[*rs as usize], *imm);
-            }
-            b.halt();
-            let prog = b.assemble().unwrap();
+    run_cases("models_agree_on_random_programs", 24, |g| {
+        let ops = g.vec(3..40, |g| {
+            (
+                g.u8_in(0..8),
+                g.u8_in(0..6),
+                g.u8_in(0..6),
+                g.i64_in(-64..64),
+            )
+        });
+        let regs = [Reg::A0, Reg::A1, Reg::A2, Reg::A3, Reg::A4, Reg::A5];
+        let alu = [
+            AluOp::Add,
+            AluOp::Sub,
+            AluOp::Mul,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Sll,
+            AluOp::Srl,
+        ];
+        let mut b = ProgramBuilder::new();
+        for (i, r) in regs.iter().enumerate() {
+            b.li(*r, i as i64 * 7 + 1);
+        }
+        for (op, rd, rs, imm) in &ops {
+            b.alui(
+                alu[*op as usize],
+                regs[*rd as usize],
+                regs[*rs as usize],
+                *imm,
+            );
+        }
+        b.halt();
+        let prog = b.assemble().unwrap();
 
-            let mut results = Vec::new();
-            for m in CpuModel::ALL {
-                let mut sys = System::new(SystemConfig::new(m, SimMode::Se), prog.clone());
-                let r = sys.run();
-                results.push((r.committed_insts, r.exit_code));
-            }
-            prop_assert!(results.windows(2).all(|w| w[0] == w[1]), "{results:?}");
-            Ok(())
-        })
-        .unwrap();
+        let mut results = Vec::new();
+        for m in CpuModel::ALL {
+            let mut sys = System::new(SystemConfig::new(m, SimMode::Se), prog.clone());
+            let r = sys.run();
+            results.push((r.committed_insts, r.exit_code));
+        }
+        prop_assert!(results.windows(2).all(|w| w[0] == w[1]), "{results:?}");
+        Ok(())
+    });
 }
 
 /// Top-Down buckets always sum to 100% across arbitrary workload/model
@@ -110,5 +116,8 @@ fn host_seconds_scale_with_frequency() {
         &[HostSetup::platform(&p), half],
     );
     let ratio = run.hosts[1].seconds() / run.hosts[0].seconds();
-    assert!((ratio - 2.0).abs() < 1e-9, "half frequency = double time, got {ratio}");
+    assert!(
+        (ratio - 2.0).abs() < 1e-9,
+        "half frequency = double time, got {ratio}"
+    );
 }

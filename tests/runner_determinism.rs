@@ -1,0 +1,23 @@
+//! The parallel runner's determinism contract: a figure built on N
+//! threads is byte-identical to the same figure built on 1 thread.
+//!
+//! The comparison is on the rendered `Table` (its `Display` output —
+//! exactly what `repro` prints), so any divergence in row order, value
+//! or formatting fails the test.
+
+use gem5_profiling::prof::figures::{fig01, fig14, Fidelity};
+use gem5_profiling::prof::with_threads;
+
+#[test]
+fn fig01_is_byte_identical_across_thread_counts() {
+    let parallel = with_threads(4, || fig01(Fidelity::Quick).to_string());
+    let single = with_threads(1, || fig01(Fidelity::Quick).to_string());
+    assert_eq!(parallel, single, "fig01 diverged between 4 and 1 threads");
+}
+
+#[test]
+fn fig14_is_byte_identical_across_thread_counts() {
+    let parallel = with_threads(4, || fig14(Fidelity::Quick).to_string());
+    let single = with_threads(1, || fig14(Fidelity::Quick).to_string());
+    assert_eq!(parallel, single, "fig14 diverged between 4 and 1 threads");
+}
