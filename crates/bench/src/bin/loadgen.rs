@@ -1,0 +1,231 @@
+//! `loadgen` — closed-loop load generator for `gem5prof-served`.
+//!
+//! ```text
+//! loadgen [--addr HOST:PORT] [--clients N] [--requests M] [--paths P1,P2,…] [--json]
+//! ```
+//!
+//! Spawns `N` concurrent clients, each holding one keep-alive
+//! connection and issuing `M` requests back-to-back (closed loop: the
+//! next request starts when the previous response lands). Clients cycle
+//! through the given paths (default `/figures/fig01`), so the default
+//! workload is repeated-spec and exercises the server's result cache.
+//!
+//! Reports throughput, latency percentiles, a status-code histogram,
+//! dropped connections (any transport error), and the server-side result
+//! cache hit rate read from `/stats` afterwards. `--json` prints the
+//! same report as a JSON object (the format stored in
+//! `BENCH_serving.json`).
+
+use gem5prof_served::http::{one_shot, ClientConn};
+use gem5prof_served::minjson::{self, Json};
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+struct Outcome {
+    latencies_us: Vec<u64>,
+    statuses: BTreeMap<u16, u64>,
+}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: loadgen [--addr HOST:PORT] [--clients N] [--requests M] [--paths P1,P2,…] [--json]"
+    );
+    std::process::exit(2);
+}
+
+fn percentile(sorted: &[u64], p: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
+    sorted[idx]
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7005".to_string();
+    let mut clients: usize = 64;
+    let mut requests: usize = 100;
+    let mut paths: Vec<String> = vec!["/figures/fig01".into()];
+    let mut json_out = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                addr = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--clients" => {
+                clients = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--requests" => {
+                requests = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--paths" => {
+                paths = args
+                    .get(i + 1)
+                    .unwrap_or_else(|| usage())
+                    .split(',')
+                    .map(|p| {
+                        if p.starts_with('/') {
+                            p.to_string()
+                        } else {
+                            format!("/{p}")
+                        }
+                    })
+                    .collect();
+                i += 2;
+            }
+            "--json" => {
+                json_out = true;
+                i += 1;
+            }
+            _ => usage(),
+        }
+    }
+
+    // Warm-up probe: fail fast (and warm the first figure) before
+    // unleashing the fleet.
+    if let Err(e) = one_shot(&addr, "GET", "/healthz", None, Duration::from_secs(10)) {
+        eprintln!("loadgen: server at {addr} unreachable: {e}");
+        std::process::exit(3);
+    }
+
+    let dropped = Arc::new(AtomicU64::new(0));
+    let outcomes: Arc<Mutex<Vec<Outcome>>> = Arc::new(Mutex::new(Vec::new()));
+    let start = Instant::now();
+
+    std::thread::scope(|scope| {
+        for c in 0..clients {
+            let addr = addr.clone();
+            let paths = paths.clone();
+            let dropped = Arc::clone(&dropped);
+            let outcomes = Arc::clone(&outcomes);
+            scope.spawn(move || {
+                let mut out = Outcome {
+                    latencies_us: Vec::with_capacity(requests),
+                    statuses: BTreeMap::new(),
+                };
+                let mut conn: Option<ClientConn> = None;
+                for r in 0..requests {
+                    let path = &paths[(c + r) % paths.len()];
+                    let t0 = Instant::now();
+                    // (Re)connect lazily; a transport error mid-request
+                    // counts as a dropped connection and forces reconnect.
+                    let result = match &mut conn {
+                        Some(cc) => cc.request("GET", path, None),
+                        None => match ClientConn::connect(&*addr, Duration::from_secs(30)) {
+                            Ok(cc) => {
+                                conn = Some(cc);
+                                conn.as_mut().unwrap().request("GET", path, None)
+                            }
+                            Err(e) => Err(e),
+                        },
+                    };
+                    match result {
+                        Ok((status, _body)) => {
+                            out.latencies_us.push(t0.elapsed().as_micros() as u64);
+                            *out.statuses.entry(status).or_insert(0) += 1;
+                        }
+                        Err(_) => {
+                            dropped.fetch_add(1, Ordering::Relaxed);
+                            conn = None;
+                        }
+                    }
+                }
+                outcomes.lock().unwrap().push(out);
+            });
+        }
+    });
+    let wall = start.elapsed();
+
+    let outcomes = std::mem::take(&mut *outcomes.lock().unwrap());
+    let mut latencies: Vec<u64> = outcomes
+        .iter()
+        .flat_map(|o| o.latencies_us.iter().copied())
+        .collect();
+    latencies.sort_unstable();
+    let mut statuses: BTreeMap<u16, u64> = BTreeMap::new();
+    for o in &outcomes {
+        for (&s, &n) in &o.statuses {
+            *statuses.entry(s).or_insert(0) += n;
+        }
+    }
+    let completed = latencies.len() as u64;
+    let dropped = dropped.load(Ordering::Relaxed);
+    let rps = completed as f64 / wall.as_secs_f64();
+    let (p50, p90, p99) = (
+        percentile(&latencies, 0.50),
+        percentile(&latencies, 0.90),
+        percentile(&latencies, 0.99),
+    );
+
+    // Server-side view: result-cache hit rate at steady state.
+    let hit_rate = one_shot(&addr, "GET", "/stats", None, Duration::from_secs(10))
+        .ok()
+        .and_then(|(_, body)| minjson::parse(&body).ok())
+        .and_then(|doc| doc.get("result_cache")?.get("hit_rate")?.as_f64());
+
+    if json_out {
+        let status_obj: Vec<(String, Json)> = statuses
+            .iter()
+            .map(|(s, n)| (s.to_string(), Json::Num(*n as f64)))
+            .collect();
+        let report = Json::obj(vec![
+            (
+                "config",
+                Json::obj(vec![
+                    ("clients", Json::Num(clients as f64)),
+                    ("requests_per_client", Json::Num(requests as f64)),
+                    ("paths", Json::Arr(paths.iter().map(Json::str).collect())),
+                ]),
+            ),
+            ("wall_seconds", Json::Num(wall.as_secs_f64())),
+            ("completed", Json::Num(completed as f64)),
+            ("dropped_connections", Json::Num(dropped as f64)),
+            ("throughput_rps", Json::Num(rps)),
+            (
+                "latency_us",
+                Json::obj(vec![
+                    ("p50", Json::Num(p50 as f64)),
+                    ("p90", Json::Num(p90 as f64)),
+                    ("p99", Json::Num(p99 as f64)),
+                ]),
+            ),
+            ("responses", Json::Obj(status_obj)),
+            (
+                "result_cache_hit_rate",
+                hit_rate.map_or(Json::Null, Json::Num),
+            ),
+        ]);
+        println!("{}", report.to_string_pretty());
+    } else {
+        println!(
+            "loadgen: {clients} clients × {requests} requests over {:.2}s",
+            wall.as_secs_f64()
+        );
+        println!("  completed:   {completed} ({rps:.0} req/s)");
+        println!("  dropped:     {dropped}");
+        println!("  latency:     p50 {p50} µs, p90 {p90} µs, p99 {p99} µs");
+        for (s, n) in &statuses {
+            println!("  status {s}:  {n}");
+        }
+        if let Some(h) = hit_rate {
+            println!("  result-cache hit rate: {:.1}%", 100.0 * h);
+        }
+    }
+    std::process::exit(if dropped == 0 { 0 } else { 1 });
+}

@@ -25,12 +25,18 @@ fn fidelity(args: &[String]) -> Fidelity {
 }
 
 /// Applies `--threads N` to the runner; exits on a malformed value.
+/// `--threads 0` is accepted as "auto": it falls back to available
+/// parallelism with a warning (matching `GEM5PROF_THREADS=0`).
 fn apply_threads(args: &[String]) {
     if let Some(i) = args.iter().position(|a| a == "--threads") {
         match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
-            Some(n) if n > 0 => gem5prof::set_threads(n),
-            _ => {
-                eprintln!("--threads requires a positive integer");
+            Some(0) => {
+                eprintln!("warning: --threads 0 — falling back to available parallelism");
+                gem5prof::set_threads(0);
+            }
+            Some(n) => gem5prof::set_threads(n),
+            None => {
+                eprintln!("--threads requires a non-negative integer");
                 std::process::exit(2);
             }
         }

@@ -1,0 +1,82 @@
+//! `servectl` — query one endpoint of a running `gem5prof-served` and
+//! pretty-print the JSON response.
+//!
+//! ```text
+//! servectl [--addr HOST:PORT] [--timeout-ms N] [--post BODY] PATH
+//!
+//! servectl healthz
+//! servectl stats
+//! servectl figures/fig01
+//! servectl --post '{"platform":"m1_pro","workload":"dedup","cpu":"o3"}' experiments
+//! ```
+//!
+//! A leading `/` on PATH is optional. Exits 0 on a 2xx response, 1 on an
+//! HTTP error status, 2 on usage errors, 3 on connection failure —
+//! which makes it usable as a smoke test (`scripts/verify.sh`).
+
+use gem5prof_served::http::one_shot;
+use gem5prof_served::minjson;
+use std::time::Duration;
+
+fn usage() -> ! {
+    eprintln!("usage: servectl [--addr HOST:PORT] [--timeout-ms N] [--post BODY] PATH");
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut addr = "127.0.0.1:7005".to_string();
+    let mut timeout = Duration::from_secs(30);
+    let mut body: Option<String> = None;
+    let mut path: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--addr" => {
+                addr = args.get(i + 1).cloned().unwrap_or_else(|| usage());
+                i += 2;
+            }
+            "--timeout-ms" => {
+                let ms: u64 = args
+                    .get(i + 1)
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or_else(|| usage());
+                timeout = Duration::from_millis(ms);
+                i += 2;
+            }
+            "--post" => {
+                body = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
+                i += 2;
+            }
+            "--help" | "-h" => usage(),
+            p if !p.starts_with("--") && path.is_none() => {
+                path = Some(p.to_string());
+                i += 1;
+            }
+            _ => usage(),
+        }
+    }
+    let Some(path) = path else { usage() };
+    let path = if path.starts_with('/') {
+        path
+    } else {
+        format!("/{path}")
+    };
+    let method = if body.is_some() { "POST" } else { "GET" };
+
+    match one_shot(&addr, method, &path, body.as_deref(), timeout) {
+        Ok((status, body)) => {
+            eprintln!("{method} {path} → {status}");
+            match minjson::parse(&body) {
+                Ok(doc) => println!("{}", doc.to_string_pretty()),
+                Err(_) => println!("{body}"),
+            }
+            std::process::exit(if (200..300).contains(&status) { 0 } else { 1 });
+        }
+        Err(e) => {
+            eprintln!("servectl: {method} http://{addr}{path} failed: {e}");
+            std::process::exit(3);
+        }
+    }
+}

@@ -1,0 +1,240 @@
+//! Reusable cache instrumentation and a bounded LRU map.
+//!
+//! Two consumers share this module: the guest-trace memoization cache in
+//! [`crate::runner`] (unbounded map, entries capped by event count) and
+//! the serving layer's result cache (`gem5prof-served`), which stores
+//! rendered responses keyed by canonicalized experiment spec. Both report
+//! through [`CacheStats`] — a set of atomic counters with a consistent
+//! [`snapshot`](CacheStats::snapshot) — so tools like `/stats` can print
+//! every cache in the process in the same shape.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Atomic hit/miss/insertion/eviction counters for one cache.
+///
+/// `const`-constructible so caches can embed it in a `static`; cheap to
+/// bump from any thread; read via [`snapshot`](CacheStats::snapshot).
+#[derive(Debug, Default)]
+pub struct CacheStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    insertions: AtomicU64,
+    evictions: AtomicU64,
+}
+
+impl CacheStats {
+    /// A zeroed counter set.
+    pub const fn new() -> Self {
+        CacheStats {
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            insertions: AtomicU64::new(0),
+            evictions: AtomicU64::new(0),
+        }
+    }
+
+    /// Records a lookup that was served from the cache.
+    pub fn record_hit(&self) {
+        self.hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a lookup that missed.
+    pub fn record_miss(&self) {
+        self.misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a new entry entering the cache.
+    pub fn record_insertion(&self) {
+        self.insertions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records an entry leaving the cache to make room.
+    pub fn record_eviction(&self) {
+        self.evictions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// A point-in-time copy of all counters.
+    pub fn snapshot(&self) -> CacheSnapshot {
+        CacheSnapshot {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+            insertions: self.insertions.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// Plain-value counters captured by [`CacheStats::snapshot`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheSnapshot {
+    /// Lookups served from the cache.
+    pub hits: u64,
+    /// Lookups that missed.
+    pub misses: u64,
+    /// Entries inserted.
+    pub insertions: u64,
+    /// Entries evicted to make room.
+    pub evictions: u64,
+}
+
+impl CacheSnapshot {
+    /// Hits over total lookups, in `[0, 1]`; `0.0` before any lookup.
+    pub fn hit_rate(&self) -> f64 {
+        let total = self.hits + self.misses;
+        if total == 0 {
+            0.0
+        } else {
+            self.hits as f64 / total as f64
+        }
+    }
+}
+
+/// A bounded least-recently-used map with embedded [`CacheStats`].
+///
+/// Recency is tracked with a monotone tick per access; eviction scans for
+/// the minimum tick. That is O(len) per eviction, which is fine at the
+/// few-hundred-entry capacities the serving layer uses — simplicity and
+/// zero dependencies beat an intrusive list here.
+#[derive(Debug)]
+pub struct LruCache<K, V> {
+    cap: usize,
+    tick: u64,
+    map: HashMap<K, (u64, V)>,
+    stats: CacheStats,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
+    /// Creates a cache holding at most `cap` entries.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(cap: usize) -> Self {
+        assert!(cap > 0, "LruCache capacity must be positive");
+        LruCache {
+            cap,
+            tick: 0,
+            map: HashMap::new(),
+            stats: CacheStats::new(),
+        }
+    }
+
+    /// Looks up `key`, refreshing its recency. Records a hit or miss.
+    pub fn get(&mut self, key: &K) -> Option<V> {
+        self.tick += 1;
+        match self.map.get_mut(key) {
+            Some((t, v)) => {
+                *t = self.tick;
+                self.stats.record_hit();
+                Some(v.clone())
+            }
+            None => {
+                self.stats.record_miss();
+                None
+            }
+        }
+    }
+
+    /// Inserts `key → value`, evicting the least-recently-used entry if
+    /// the cache is full and `key` is new.
+    pub fn insert(&mut self, key: K, value: V) {
+        self.tick += 1;
+        if !self.map.contains_key(&key) && self.map.len() >= self.cap {
+            if let Some(victim) = self
+                .map
+                .iter()
+                .min_by_key(|(_, (t, _))| *t)
+                .map(|(k, _)| k.clone())
+            {
+                self.map.remove(&victim);
+                self.stats.record_eviction();
+            }
+        }
+        if self.map.insert(key, (self.tick, value)).is_none() {
+            self.stats.record_insertion();
+        }
+    }
+
+    /// Entries currently resident.
+    pub fn len(&self) -> usize {
+        self.map.len()
+    }
+
+    /// Whether the cache is empty.
+    pub fn is_empty(&self) -> bool {
+        self.map.is_empty()
+    }
+
+    /// Maximum entries.
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// The cache's counters.
+    pub fn stats(&self) -> &CacheStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_tracks_counters() {
+        let s = CacheStats::new();
+        s.record_hit();
+        s.record_hit();
+        s.record_miss();
+        s.record_insertion();
+        s.record_eviction();
+        let snap = s.snapshot();
+        assert_eq!(
+            snap,
+            CacheSnapshot {
+                hits: 2,
+                misses: 1,
+                insertions: 1,
+                evictions: 1,
+            }
+        );
+        assert!((snap.hit_rate() - 2.0 / 3.0).abs() < 1e-12);
+        assert_eq!(CacheSnapshot::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    fn lru_evicts_least_recently_used() {
+        let mut c: LruCache<&str, u32> = LruCache::new(2);
+        c.insert("a", 1);
+        c.insert("b", 2);
+        assert_eq!(c.get(&"a"), Some(1)); // refresh a; b is now LRU
+        c.insert("c", 3);
+        assert_eq!(c.get(&"b"), None, "b should have been evicted");
+        assert_eq!(c.get(&"a"), Some(1));
+        assert_eq!(c.get(&"c"), Some(3));
+        let snap = c.stats().snapshot();
+        assert_eq!(snap.evictions, 1);
+        assert_eq!(snap.insertions, 3);
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.hits, 3);
+    }
+
+    #[test]
+    fn reinsert_updates_without_eviction() {
+        let mut c: LruCache<u32, u32> = LruCache::new(1);
+        c.insert(7, 1);
+        c.insert(7, 2);
+        assert_eq!(c.get(&7), Some(2));
+        assert_eq!(c.len(), 1);
+        assert_eq!(c.stats().snapshot().evictions, 0);
+        assert_eq!(c.stats().snapshot().insertions, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = LruCache::<u32, u32>::new(0);
+    }
+}

@@ -35,11 +35,15 @@
 //! ```
 
 pub mod ablation;
+pub mod cache;
 pub mod experiment;
 pub mod figures;
 pub mod report;
 pub mod runner;
+pub mod spec;
 
+pub use cache::{CacheSnapshot, CacheStats, LruCache};
 pub use experiment::{profile, profile_spec, GuestSpec, HostSetup, ProfileRun};
 pub use report::{geomean, Table};
 pub use runner::{parallel_map, set_threads, threads, with_threads};
+pub use spec::ExperimentSpec;

@@ -20,12 +20,13 @@
 //! [`set_threads`], then the `GEM5PROF_THREADS` environment variable,
 //! then [`std::thread::available_parallelism`].
 
+use crate::cache::CacheStats;
 use crate::experiment::GuestSpec;
 use gem5sim::system::SimResult;
 use hosttrace::record::TraceEvent;
 use hosttrace::CallProfile;
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
 // ---------------------------------------------------------------------
@@ -36,17 +37,28 @@ use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
 
 /// The thread count [`parallel_map`] will use right now.
+///
+/// `GEM5PROF_THREADS=0` is not an error: it falls back to
+/// [`std::thread::available_parallelism`] with a one-time warning, so
+/// scripts can pass `0` to mean "auto".
 pub fn threads() -> usize {
     let o = THREAD_OVERRIDE.load(Ordering::Relaxed);
     if o > 0 {
         return o;
     }
-    if let Some(n) = std::env::var("GEM5PROF_THREADS")
-        .ok()
-        .and_then(|s| s.parse::<usize>().ok())
-        .filter(|&n| n > 0)
-    {
-        return n;
+    if let Ok(s) = std::env::var("GEM5PROF_THREADS") {
+        match s.trim().parse::<usize>() {
+            Ok(0) => {
+                static WARNED: AtomicBool = AtomicBool::new(false);
+                if !WARNED.swap(true, Ordering::Relaxed) {
+                    eprintln!(
+                        "warning: GEM5PROF_THREADS=0 — falling back to available parallelism"
+                    );
+                }
+            }
+            Ok(n) => return n,
+            Err(_) => {}
+        }
     }
     std::thread::available_parallelism().map_or(1, |n| n.get())
 }
@@ -212,18 +224,23 @@ pub(crate) struct CachedGuest {
 pub(crate) const TRACE_CACHE_CAP: usize = 8_000_000;
 
 /// Running totals for the trace cache, readable by tests and tools.
+///
+/// A flattened view of the shared [`CacheStats`] counters plus the
+/// trace-cache-specific resident-event gauge.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub struct CacheStats {
+pub struct TraceCacheStats {
     /// Profiles served by replaying a cached stream (no guest simulation).
     pub hits: u64,
     /// Profiles that ran the guest simulator.
     pub misses: u64,
+    /// Streams inserted into the cache.
+    pub insertions: u64,
     /// Events currently resident across all cached streams.
     pub resident_events: u64,
 }
 
-static HITS: AtomicU64 = AtomicU64::new(0);
-static MISSES: AtomicU64 = AtomicU64::new(0);
+/// Shared counters for the guest-trace cache (see [`crate::cache`]).
+static TRACE_STATS: CacheStats = CacheStats::new();
 
 fn cache() -> &'static Mutex<HashMap<GuestSpec, Arc<CachedGuest>>> {
     static CACHE: OnceLock<Mutex<HashMap<GuestSpec, Arc<CachedGuest>>>> = OnceLock::new();
@@ -233,24 +250,28 @@ fn cache() -> &'static Mutex<HashMap<GuestSpec, Arc<CachedGuest>>> {
 pub(crate) fn cache_lookup(spec: &GuestSpec) -> Option<Arc<CachedGuest>> {
     let hit = lock(cache()).get(spec).cloned();
     match &hit {
-        Some(_) => HITS.fetch_add(1, Ordering::Relaxed),
-        None => MISSES.fetch_add(1, Ordering::Relaxed),
+        Some(_) => TRACE_STATS.record_hit(),
+        None => TRACE_STATS.record_miss(),
     };
     hit
 }
 
 pub(crate) fn cache_insert(spec: GuestSpec, entry: CachedGuest) -> Arc<CachedGuest> {
     let entry = Arc::new(entry);
-    lock(cache()).insert(spec, Arc::clone(&entry));
+    if lock(cache()).insert(spec, Arc::clone(&entry)).is_none() {
+        TRACE_STATS.record_insertion();
+    }
     entry
 }
 
 /// Current trace-cache counters.
-pub fn cache_stats() -> CacheStats {
+pub fn cache_stats() -> TraceCacheStats {
     let resident: u64 = lock(cache()).values().map(|e| e.events.len() as u64).sum();
-    CacheStats {
-        hits: HITS.load(Ordering::Relaxed),
-        misses: MISSES.load(Ordering::Relaxed),
+    let snap = TRACE_STATS.snapshot();
+    TraceCacheStats {
+        hits: snap.hits,
+        misses: snap.misses,
+        insertions: snap.insertions,
         resident_events: resident,
     }
 }

@@ -1,0 +1,264 @@
+//! Parameterized experiment specs with canonical cache keys.
+//!
+//! The serving layer (`gem5prof-served`) accepts experiments as data —
+//! platform, workload, input scale, CPU model, simulation mode, and a
+//! system-knob string — rather than as code. [`ExperimentSpec`] is that
+//! description, [`ExperimentSpec::canonical_key`] is its normalized
+//! identity (two specs that mean the same experiment produce the same
+//! key, whatever casing or knob-token order the client used), and
+//! [`ExperimentSpec::run`] executes it on the memoized [`profile`]
+//! pipeline.
+//!
+//! The string parsers here ([`parse_workload`] & friends) are the single
+//! place where wire names map onto the experiment enums; both the daemon
+//! and any future CLI front-end go through them.
+
+use crate::experiment::{profile, GuestSpec, HostSetup, ProfileRun};
+use crate::figures::Fidelity;
+use gem5sim::config::{CpuModel, SimMode};
+use gem5sim_workloads::{Scale, Workload};
+use hostmodel::CorunScenario;
+use hosttrace::{BinaryVariant, PageBacking};
+use platforms::{PlatformId, SystemKnobs};
+
+/// Every workload, in a fixed order (for parsing and enumeration).
+pub const ALL_WORKLOADS: [Workload; 11] = [
+    Workload::Blackscholes,
+    Workload::Canneal,
+    Workload::Dedup,
+    Workload::Streamcluster,
+    Workload::WaterNsquared,
+    Workload::WaterSpatial,
+    Workload::OceanCp,
+    Workload::OceanNcp,
+    Workload::Fmm,
+    Workload::BootExit,
+    Workload::Sieve,
+];
+
+/// Parses a workload by its paper name (case-insensitive; `-` ≡ `_`).
+pub fn parse_workload(s: &str) -> Option<Workload> {
+    let norm = s.trim().to_ascii_lowercase().replace('-', "_");
+    ALL_WORKLOADS.into_iter().find(|w| w.name() == norm)
+}
+
+/// Parses an input scale: `test`, `simsmall`, or `simmedium`.
+pub fn parse_scale(s: &str) -> Option<Scale> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "test" => Some(Scale::Test),
+        "simsmall" | "small" => Some(Scale::SimSmall),
+        "simmedium" | "medium" => Some(Scale::SimMedium),
+        _ => None,
+    }
+}
+
+/// Parses a CPU model: `atomic`, `timing`, `minor`, or `o3`.
+pub fn parse_cpu(s: &str) -> Option<CpuModel> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "atomic" => Some(CpuModel::Atomic),
+        "timing" => Some(CpuModel::Timing),
+        "minor" => Some(CpuModel::Minor),
+        "o3" => Some(CpuModel::O3),
+        _ => None,
+    }
+}
+
+/// Parses a simulation mode: `se` or `fs`.
+pub fn parse_mode(s: &str) -> Option<SimMode> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "se" => Some(SimMode::Se),
+        "fs" => Some(SimMode::Fs),
+        _ => None,
+    }
+}
+
+/// Parses a figure fidelity: `quick` or `paper`.
+pub fn parse_fidelity(s: &str) -> Option<Fidelity> {
+    match s.trim().to_ascii_lowercase().as_str() {
+        "quick" => Some(Fidelity::Quick),
+        "paper" => Some(Fidelity::Paper),
+        _ => None,
+    }
+}
+
+/// Canonical lower-case name of a scale (inverse of [`parse_scale`]).
+pub fn scale_name(s: Scale) -> &'static str {
+    match s {
+        Scale::Test => "test",
+        Scale::SimSmall => "simsmall",
+        Scale::SimMedium => "simmedium",
+    }
+}
+
+/// One fully-specified serving experiment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ExperimentSpec {
+    /// Host platform (Table II machine).
+    pub platform: PlatformId,
+    /// Guest workload.
+    pub workload: Workload,
+    /// Guest input scale.
+    pub scale: Scale,
+    /// Simulated CPU model.
+    pub cpu: CpuModel,
+    /// SE or FS mode.
+    pub mode: SimMode,
+    /// System tuning knobs applied to the host.
+    pub knobs: SystemKnobs,
+}
+
+impl ExperimentSpec {
+    /// A spec at default knobs.
+    pub fn new(
+        platform: PlatformId,
+        workload: Workload,
+        scale: Scale,
+        cpu: CpuModel,
+        mode: SimMode,
+    ) -> Self {
+        ExperimentSpec {
+            platform,
+            workload,
+            scale,
+            cpu,
+            mode,
+            knobs: SystemKnobs::new(),
+        }
+    }
+
+    /// The guest half of the spec (the memoization key of the trace
+    /// cache — host knobs never affect it).
+    pub fn guest(&self) -> GuestSpec {
+        GuestSpec::new(self.workload, self.scale, self.cpu, self.mode)
+    }
+
+    /// The host half: the platform with the knobs applied.
+    pub fn host(&self) -> HostSetup {
+        HostSetup::with_knobs(&self.platform.platform(), &self.knobs)
+    }
+
+    /// Runs the experiment through the memoized profiling pipeline.
+    pub fn run(&self) -> ProfileRun {
+        profile(&self.guest(), &[self.host()])
+    }
+
+    /// A normalized identity string: fixed field order, lower-case
+    /// names, knobs collapsed to a canonical token sequence. Equal specs
+    /// always produce equal keys, so this is the serving result-cache
+    /// key.
+    pub fn canonical_key(&self) -> String {
+        format!(
+            "exp:platform={}:workload={}:scale={}:cpu={}:mode={}:knobs={}",
+            self.platform.name().to_ascii_lowercase(),
+            self.workload.name(),
+            scale_name(self.scale),
+            self.cpu.label().to_ascii_lowercase(),
+            self.mode.label().to_ascii_lowercase(),
+            canonical_knobs(&self.knobs),
+        )
+    }
+}
+
+/// Canonical token form of a knob set (fixed order; defaults elided;
+/// `default` when nothing is set).
+fn canonical_knobs(k: &SystemKnobs) -> String {
+    let mut parts: Vec<String> = Vec::new();
+    match k.backing {
+        PageBacking::Base => {}
+        PageBacking::Thp { coverage_pct } => parts.push(format!("thp{coverage_pct}")),
+        PageBacking::Ehp => parts.push("ehp".into()),
+    }
+    if k.binary == BinaryVariant::O3Flag {
+        parts.push("o3".into());
+    }
+    if let Some(f) = k.freq_ghz {
+        parts.push(format!("freq={f:.3}"));
+    }
+    match k.corun {
+        CorunScenario::Single => {}
+        CorunScenario::PerPhysicalCore { procs } => parts.push(format!("corun=per_core:{procs}")),
+        CorunScenario::PerHardwareThread { procs } => {
+            parts.push(format!("corun=per_thread:{procs}"))
+        }
+    }
+    if parts.is_empty() {
+        "default".into()
+    } else {
+        parts.join(",")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn wire_names_round_trip() {
+        for w in ALL_WORKLOADS {
+            assert_eq!(parse_workload(w.name()), Some(w), "{w}");
+            assert_eq!(parse_workload(&w.name().to_uppercase()), Some(w));
+        }
+        assert_eq!(
+            parse_workload("water-nsquared"),
+            Some(Workload::WaterNsquared)
+        );
+        assert_eq!(parse_workload("nope"), None);
+        for s in [Scale::Test, Scale::SimSmall, Scale::SimMedium] {
+            assert_eq!(parse_scale(scale_name(s)), Some(s));
+        }
+        for c in CpuModel::ALL {
+            assert_eq!(parse_cpu(&c.label().to_lowercase()), Some(c));
+        }
+        assert_eq!(parse_mode("SE"), Some(SimMode::Se));
+        assert_eq!(parse_mode("fs"), Some(SimMode::Fs));
+        assert_eq!(parse_fidelity("quick"), Some(Fidelity::Quick));
+        assert_eq!(parse_fidelity("paper"), Some(Fidelity::Paper));
+        assert_eq!(parse_fidelity("slow"), None);
+    }
+
+    #[test]
+    fn canonical_key_is_normalized_and_discriminating() {
+        let base = ExperimentSpec::new(
+            PlatformId::IntelXeon,
+            Workload::Dedup,
+            Scale::Test,
+            CpuModel::O3,
+            SimMode::Se,
+        );
+        assert_eq!(
+            base.canonical_key(),
+            "exp:platform=intel_xeon:workload=dedup:scale=test:cpu=o3:mode=se:knobs=default"
+        );
+        let mut tuned = base.clone();
+        tuned.knobs = SystemKnobs::new()
+            .with_thp()
+            .with_o3_binary()
+            .with_freq(2.4);
+        assert_ne!(tuned.canonical_key(), base.canonical_key());
+        assert!(tuned.canonical_key().ends_with("knobs=thp48,o3,freq=2.400"));
+        // Equal specs, equal keys — regardless of how they were built.
+        let rebuilt = ExperimentSpec {
+            knobs: SystemKnobs::new()
+                .with_freq(2.4)
+                .with_o3_binary()
+                .with_thp(),
+            ..base.clone()
+        };
+        assert_eq!(rebuilt.canonical_key(), tuned.canonical_key());
+    }
+
+    #[test]
+    fn spec_runs_through_the_pipeline() {
+        let spec = ExperimentSpec::new(
+            PlatformId::M1Pro,
+            Workload::Dedup,
+            Scale::Test,
+            CpuModel::Atomic,
+            SimMode::Se,
+        );
+        let run = spec.run();
+        assert_eq!(run.hosts.len(), 1);
+        assert!(run.hosts[0].seconds() > 0.0);
+        assert_eq!(run.hosts[0].name, "M1_Pro");
+    }
+}

@@ -65,6 +65,56 @@ impl SystemKnobs {
         self
     }
 
+    /// Parses a comma-separated knob string as used in serving specs.
+    ///
+    /// Grammar (tokens in any order, case-insensitive):
+    ///
+    /// * `default` — no-op;
+    /// * `thp` (paper-default 48% coverage) or `thp<PCT>` (e.g. `thp75`);
+    /// * `ehp` — explicit huge pages for the whole text segment;
+    /// * `o3` — the `-O3`-compiled simulator binary;
+    /// * `freq=<GHZ>` — core-frequency override (e.g. `freq=2.4`);
+    /// * `corun=single`, `corun=per_core:<N>`, `corun=per_thread:<N>`.
+    ///
+    /// The empty string parses to the default knob set. Unknown or
+    /// malformed tokens yield an error naming the offending token.
+    pub fn parse(s: &str) -> Result<Self, String> {
+        let mut k = SystemKnobs::new();
+        for raw in s.split(',') {
+            let tok = raw.trim().to_ascii_lowercase();
+            if tok.is_empty() || tok == "default" {
+                continue;
+            }
+            if tok == "thp" {
+                k.backing = PageBacking::thp();
+            } else if let Some(pct) = tok.strip_prefix("thp") {
+                let pct: u8 =
+                    pct.parse().ok().filter(|&p| p <= 100).ok_or_else(|| {
+                        format!("bad THP coverage in `{raw}` (want thp0..thp100)")
+                    })?;
+                k.backing = PageBacking::Thp { coverage_pct: pct };
+            } else if tok == "ehp" {
+                k.backing = PageBacking::Ehp;
+            } else if tok == "o3" {
+                k.binary = BinaryVariant::O3Flag;
+            } else if let Some(ghz) = tok.strip_prefix("freq=") {
+                let ghz = ghz
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|g| g.is_finite() && *g > 0.0)
+                    .ok_or_else(|| format!("bad frequency in `{raw}` (want freq=<GHz>)"))?;
+                k.freq_ghz = Some(ghz);
+            } else if let Some(c) = tok.strip_prefix("corun=") {
+                k.corun = parse_corun(c).ok_or_else(|| {
+                    format!("bad co-run in `{raw}` (want single, per_core:<N> or per_thread:<N>)")
+                })?;
+            } else {
+                return Err(format!("unknown knob token `{raw}`"));
+            }
+        }
+        Ok(k)
+    }
+
     /// Applies the host-side knobs to a platform configuration
     /// (frequency and co-run sharing; text backing and binary variant are
     /// applied when building the `hosttrace` registry).
@@ -74,6 +124,20 @@ impl SystemKnobs {
             c = c.with_freq(f);
         }
         c
+    }
+}
+
+/// Parses the value of a `corun=` token.
+fn parse_corun(s: &str) -> Option<CorunScenario> {
+    if s == "single" {
+        return Some(CorunScenario::Single);
+    }
+    let (kind, procs) = s.split_once(':')?;
+    let procs: u64 = procs.parse().ok().filter(|&p| p > 0)?;
+    match kind {
+        "per_core" => Some(CorunScenario::PerPhysicalCore { procs }),
+        "per_thread" => Some(CorunScenario::PerHardwareThread { procs }),
+        _ => None,
     }
 }
 
@@ -101,6 +165,50 @@ mod tests {
         let c = k.apply(&intel_xeon().config);
         assert_eq!(c.freq_ghz, 1.2);
         assert!(c.l1i.size < intel_xeon().config.l1i.size);
+    }
+
+    #[test]
+    fn parse_round_trips_the_builders() {
+        assert_eq!(SystemKnobs::parse("").unwrap(), SystemKnobs::new());
+        assert_eq!(SystemKnobs::parse("default").unwrap(), SystemKnobs::new());
+        assert_eq!(
+            SystemKnobs::parse("thp").unwrap(),
+            SystemKnobs::new().with_thp()
+        );
+        assert_eq!(
+            SystemKnobs::parse("THP75").unwrap().backing,
+            PageBacking::Thp { coverage_pct: 75 }
+        );
+        assert_eq!(
+            SystemKnobs::parse("ehp, o3, freq=2.4").unwrap(),
+            SystemKnobs::new()
+                .with_ehp()
+                .with_o3_binary()
+                .with_freq(2.4)
+        );
+        assert_eq!(
+            SystemKnobs::parse("corun=per_thread:40").unwrap().corun,
+            CorunScenario::PerHardwareThread { procs: 40 }
+        );
+        assert_eq!(
+            SystemKnobs::parse("corun=single").unwrap().corun,
+            CorunScenario::Single
+        );
+    }
+
+    #[test]
+    fn parse_rejects_malformed_tokens() {
+        for bad in [
+            "warp",
+            "thp999",
+            "freq=fast",
+            "freq=-1",
+            "corun=per_core",
+            "corun=per_core:0",
+            "corun=sideways:3",
+        ] {
+            assert!(SystemKnobs::parse(bad).is_err(), "`{bad}` should fail");
+        }
     }
 
     #[test]

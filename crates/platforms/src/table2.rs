@@ -30,6 +30,15 @@ impl PlatformId {
         }
     }
 
+    /// Parses a platform name as used on the wire (case-insensitive:
+    /// `intel_xeon`, `m1_pro`, `m1_ultra`).
+    pub fn from_name(s: &str) -> Option<Self> {
+        let norm = s.trim().to_ascii_lowercase().replace('-', "_");
+        PlatformId::ALL
+            .into_iter()
+            .find(|p| p.name().to_ascii_lowercase() == norm)
+    }
+
     /// Builds the platform description.
     pub fn platform(self) -> Platform {
         match self {
@@ -185,6 +194,16 @@ pub fn m1_ultra() -> Platform {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn names_parse_back() {
+        for id in PlatformId::ALL {
+            assert_eq!(PlatformId::from_name(id.name()), Some(id));
+            assert_eq!(PlatformId::from_name(&id.name().to_uppercase()), Some(id));
+        }
+        assert_eq!(PlatformId::from_name("m1-pro"), Some(PlatformId::M1Pro));
+        assert_eq!(PlatformId::from_name("xeon"), None);
+    }
 
     #[test]
     fn all_platforms_validate() {

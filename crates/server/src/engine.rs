@@ -1,0 +1,344 @@
+//! The compute engine behind the daemon: a bounded admission queue in
+//! front of a worker pool, with a shared LRU result cache.
+//!
+//! Request flow for a compute endpoint:
+//!
+//! ```text
+//! connection thread ──► result cache ──hit──► respond immediately
+//!        │ miss
+//!        ▼
+//! bounded admission queue ──full──► 429 + Retry-After (backpressure)
+//!        │
+//!        ▼
+//! worker pool (N threads) ──► compute (memoized profile pipeline)
+//!        │                         │
+//!        ▼                         ▼
+//! reply channel (deadline)   insert into result cache
+//! ```
+//!
+//! Workers insert into the cache *before* replying, so even a request
+//! that times out against its deadline still warms the cache for the
+//! next identical spec. The queue is a `sync_channel`, whose `try_send`
+//! gives the non-blocking full check the 429 path needs.
+
+use crate::routes;
+use gem5prof::cache::LruCache;
+use gem5prof::figures::Fidelity;
+use gem5prof::spec::ExperimentSpec;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+/// One unit of compute: everything a worker needs to produce a response
+/// body. Cheap to clone into the queue.
+#[derive(Debug, Clone, PartialEq)]
+pub(crate) enum Work {
+    /// A paper figure (1..=15) at a fidelity.
+    Figure(usize, Fidelity),
+    /// A configuration table (1 or 2).
+    Table(usize),
+    /// A parameterized experiment.
+    Experiment(ExperimentSpec),
+}
+
+impl Work {
+    /// The canonical result-cache key.
+    pub(crate) fn key(&self) -> String {
+        match self {
+            Work::Figure(n, f) => format!(
+                "figure:fig{n:02}:{}",
+                match f {
+                    Fidelity::Quick => "quick",
+                    Fidelity::Paper => "paper",
+                }
+            ),
+            Work::Table(n) => format!("table:table{n}"),
+            Work::Experiment(spec) => spec.canonical_key(),
+        }
+    }
+
+    /// Runs the computation and renders the JSON body.
+    fn compute(&self) -> String {
+        match self {
+            Work::Figure(n, f) => routes::figure_json(*n, *f),
+            Work::Table(n) => routes::table_json_by_index(*n),
+            Work::Experiment(spec) => routes::experiment_json(spec),
+        }
+    }
+}
+
+/// A queued job: the work plus the channel the requester waits on.
+struct Job {
+    work: Work,
+    key: String,
+    reply: mpsc::Sender<Result<Arc<String>, String>>,
+}
+
+/// Outcome of submitting work to the engine.
+pub(crate) enum Submission {
+    /// Served from the result cache.
+    Hit(Arc<String>),
+    /// Enqueued; await the receiver (subject to the caller's deadline).
+    Pending(Receiver<Result<Arc<String>, String>>),
+    /// Admission queue full — answer 429.
+    Busy,
+    /// Engine is draining — answer 503.
+    Draining,
+}
+
+/// Counters the `/stats` endpoint reports for the serving layer itself.
+#[derive(Debug, Default)]
+pub(crate) struct ServerStats {
+    /// Requests parsed (any route, any outcome).
+    pub requests: AtomicU64,
+    /// Responses by status: 200/400/404/405/429/500/503/504/other.
+    pub st_200: AtomicU64,
+    pub st_400: AtomicU64,
+    pub st_404: AtomicU64,
+    pub st_405: AtomicU64,
+    pub st_429: AtomicU64,
+    pub st_500: AtomicU64,
+    pub st_503: AtomicU64,
+    pub st_504: AtomicU64,
+    pub st_other: AtomicU64,
+}
+
+impl ServerStats {
+    /// Records one response with the given status.
+    pub fn count(&self, status: u16) {
+        let slot = match status {
+            200 => &self.st_200,
+            400 => &self.st_400,
+            404 => &self.st_404,
+            405 => &self.st_405,
+            429 => &self.st_429,
+            500 => &self.st_500,
+            503 => &self.st_503,
+            504 => &self.st_504,
+            _ => &self.st_other,
+        };
+        slot.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// The admission queue + worker pool + result cache.
+pub(crate) struct Engine {
+    /// Queue sender; taken (dropped) on drain so workers exit.
+    tx: Mutex<Option<SyncSender<Job>>>,
+    /// Rendered responses keyed by canonical spec.
+    cache: Mutex<LruCache<String, Arc<String>>>,
+    /// Jobs waiting in the queue.
+    depth: AtomicUsize,
+    /// Jobs queued or running.
+    in_flight: AtomicUsize,
+    /// Queue capacity (for `/stats`).
+    queue_cap: usize,
+    /// Worker count (for `/stats`).
+    workers: usize,
+    /// Worker threads, joined on drain.
+    handles: Mutex<Vec<JoinHandle<()>>>,
+}
+
+impl Engine {
+    /// Starts `workers` worker threads behind a queue of `queue_cap`.
+    ///
+    /// `worker_delay` is a test hook: an artificial pause before each
+    /// job, letting integration tests create queue-full conditions
+    /// deterministically. Zero in production.
+    pub fn start(
+        workers: usize,
+        queue_cap: usize,
+        cache_cap: usize,
+        worker_delay: Duration,
+    ) -> Arc<Engine> {
+        let (tx, rx) = mpsc::sync_channel::<Job>(queue_cap);
+        let rx = Arc::new(Mutex::new(rx));
+        let engine = Arc::new(Engine {
+            tx: Mutex::new(Some(tx)),
+            cache: Mutex::new(LruCache::new(cache_cap)),
+            depth: AtomicUsize::new(0),
+            in_flight: AtomicUsize::new(0),
+            queue_cap,
+            workers,
+            handles: Mutex::new(Vec::new()),
+        });
+        let mut handles = Vec::with_capacity(workers);
+        for i in 0..workers {
+            let rx = Arc::clone(&rx);
+            let engine_w = Arc::clone(&engine);
+            handles.push(
+                std::thread::Builder::new()
+                    .name(format!("served-worker-{i}"))
+                    .spawn(move || loop {
+                        // Hold the receiver lock only while dequeuing.
+                        let job = match rx.lock().unwrap_or_else(|e| e.into_inner()).recv() {
+                            Ok(job) => job,
+                            Err(_) => break, // sender dropped: drain complete
+                        };
+                        engine_w.depth.fetch_sub(1, Ordering::Relaxed);
+                        if !worker_delay.is_zero() {
+                            std::thread::sleep(worker_delay);
+                        }
+                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            job.work.compute()
+                        }));
+                        let reply = match result {
+                            Ok(body) => {
+                                let body = Arc::new(body);
+                                engine_w
+                                    .cache
+                                    .lock()
+                                    .unwrap_or_else(|e| e.into_inner())
+                                    .insert(job.key.clone(), Arc::clone(&body));
+                                Ok(body)
+                            }
+                            Err(_) => Err(format!("computation for `{}` panicked", job.key)),
+                        };
+                        engine_w.in_flight.fetch_sub(1, Ordering::Relaxed);
+                        let _ = job.reply.send(reply); // requester may have timed out
+                    })
+                    .expect("spawn worker"),
+            );
+        }
+        *engine.handles.lock().unwrap_or_else(|e| e.into_inner()) = handles;
+        engine
+    }
+
+    /// Submits work: cache lookup, then bounded enqueue.
+    pub fn submit(&self, work: Work) -> Submission {
+        let key = work.key();
+        if let Some(body) = self
+            .cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&key)
+        {
+            return Submission::Hit(body);
+        }
+        let (reply_tx, reply_rx) = mpsc::channel();
+        let guard = self.tx.lock().unwrap_or_else(|e| e.into_inner());
+        let Some(tx) = guard.as_ref() else {
+            return Submission::Draining;
+        };
+        // Count before the send so `depth`/`in_flight` never under-read.
+        self.depth.fetch_add(1, Ordering::Relaxed);
+        self.in_flight.fetch_add(1, Ordering::Relaxed);
+        match tx.try_send(Job {
+            work,
+            key,
+            reply: reply_tx,
+        }) {
+            Ok(()) => Submission::Pending(reply_rx),
+            Err(TrySendError::Full(_)) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                self.in_flight.fetch_sub(1, Ordering::Relaxed);
+                Submission::Busy
+            }
+            Err(TrySendError::Disconnected(_)) => {
+                self.depth.fetch_sub(1, Ordering::Relaxed);
+                self.in_flight.fetch_sub(1, Ordering::Relaxed);
+                Submission::Draining
+            }
+        }
+    }
+
+    /// Drains the engine: stops admitting, lets queued and running jobs
+    /// complete, joins the workers.
+    pub fn drain(&self) {
+        drop(self.tx.lock().unwrap_or_else(|e| e.into_inner()).take());
+        let handles: Vec<_> = self
+            .handles
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .drain(..)
+            .collect();
+        for h in handles {
+            let _ = h.join();
+        }
+    }
+
+    /// Jobs waiting in the queue right now.
+    pub fn queue_depth(&self) -> usize {
+        self.depth.load(Ordering::Relaxed)
+    }
+
+    /// Jobs queued or running right now.
+    pub fn in_flight(&self) -> usize {
+        self.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Queue capacity.
+    pub fn queue_cap(&self) -> usize {
+        self.queue_cap
+    }
+
+    /// Worker-thread count.
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Snapshot + length of the result cache.
+    pub fn cache_view(&self) -> (gem5prof::cache::CacheSnapshot, usize, usize) {
+        let c = self.cache.lock().unwrap_or_else(|e| e.into_inner());
+        (c.stats().snapshot(), c.len(), c.capacity())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cached_submission_is_a_hit() {
+        let engine = Engine::start(2, 4, 16, Duration::ZERO);
+        let work = Work::Table(1);
+        let rx = match engine.submit(work.clone()) {
+            Submission::Pending(rx) => rx,
+            _ => panic!("first submission must enqueue"),
+        };
+        let body = rx
+            .recv_timeout(Duration::from_secs(30))
+            .expect("worker reply")
+            .expect("table1 computes");
+        assert!(body.contains("Table I"));
+        match engine.submit(work) {
+            Submission::Hit(b) => assert_eq!(*b, *body),
+            _ => panic!("second submission must hit the cache"),
+        }
+        let (snap, len, _) = engine.cache_view();
+        assert_eq!(snap.hits, 1);
+        assert_eq!(snap.insertions, 1);
+        assert_eq!(len, 1);
+        engine.drain();
+    }
+
+    #[test]
+    fn full_queue_reports_busy_and_drain_rejects() {
+        // One very slow worker, queue of one: the second distinct job
+        // sits in the queue, the third must bounce.
+        let engine = Engine::start(1, 1, 16, Duration::from_millis(300));
+        let _rx1 = match engine.submit(Work::Table(1)) {
+            Submission::Pending(rx) => rx,
+            _ => panic!("job 1 should enqueue"),
+        };
+        // Give the worker a moment to pick up job 1, freeing the queue slot.
+        std::thread::sleep(Duration::from_millis(100));
+        let _rx2 = match engine.submit(Work::Table(2)) {
+            Submission::Pending(rx) => rx,
+            _ => panic!("job 2 should enqueue"),
+        };
+        match engine.submit(Work::Figure(1, Fidelity::Quick)) {
+            Submission::Busy => {}
+            _ => panic!("job 3 should bounce off the full queue"),
+        }
+        engine.drain();
+        assert_eq!(engine.in_flight(), 0, "drain must complete all work");
+        match engine.submit(Work::Table(1)) {
+            // Table 1 was computed during drain, so the cache may serve it.
+            Submission::Hit(_) | Submission::Draining => {}
+            _ => panic!("post-drain submissions must not enqueue"),
+        }
+    }
+}

@@ -1,0 +1,378 @@
+//! A deliberately small HTTP/1.1 implementation over std TCP.
+//!
+//! Server side: [`read_request`] parses one request from a buffered
+//! stream (with hard limits on line length, header count and body size)
+//! and [`write_response`] emits a `Content-Length`-framed response.
+//! Client side: [`ClientConn`] is a keep-alive connection used by
+//! `servectl`, `loadgen` and the integration tests.
+//!
+//! Only what the serving layer needs is implemented: no chunked
+//! encoding, no multipart, no TLS. Every response carries an explicit
+//! `Content-Length`, which keeps both directions of the parser trivial.
+
+use std::io::{self, BufRead, BufReader, Read, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// Longest accepted request/header line.
+const MAX_LINE: usize = 8 * 1024;
+/// Most headers accepted per message.
+const MAX_HEADERS: usize = 64;
+/// Largest accepted request body.
+const MAX_BODY: usize = 1024 * 1024;
+
+/// One parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// Upper-case method (`GET`, `POST`, …).
+    pub method: String,
+    /// Path without the query string (e.g. `/figures/fig01`).
+    pub path: String,
+    /// Raw query string, if any (without the `?`).
+    pub query: Option<String>,
+    /// Headers with lower-cased names, in arrival order.
+    pub headers: Vec<(String, String)>,
+    /// Request body (empty unless `Content-Length` was given).
+    pub body: Vec<u8>,
+    /// Whether the client asked to close the connection.
+    pub close: bool,
+}
+
+impl Request {
+    /// First header with the given (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(k, _)| k == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The value of a `k=v` query parameter.
+    pub fn query_param(&self, key: &str) -> Option<&str> {
+        self.query.as_deref()?.split('&').find_map(|pair| {
+            let (k, v) = pair.split_once('=')?;
+            (k == key).then_some(v)
+        })
+    }
+}
+
+/// Reads one line terminated by `\r\n` (tolerating bare `\n`), bounded
+/// by [`MAX_LINE`].
+fn read_line(r: &mut impl BufRead) -> io::Result<Option<String>> {
+    let mut buf = Vec::new();
+    loop {
+        let mut byte = [0u8; 1];
+        match r.read(&mut byte) {
+            Ok(0) => {
+                return if buf.is_empty() {
+                    Ok(None) // clean EOF between requests
+                } else {
+                    Err(io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "truncated line",
+                    ))
+                };
+            }
+            Ok(_) => {
+                if byte[0] == b'\n' {
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    let s = String::from_utf8(buf).map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 header line")
+                    })?;
+                    return Ok(Some(s));
+                }
+                buf.push(byte[0]);
+                if buf.len() > MAX_LINE {
+                    return Err(io::Error::new(io::ErrorKind::InvalidData, "line too long"));
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Parses one request. `Ok(None)` means the peer closed the connection
+/// cleanly before sending another request; `Err(InvalidData)` means the
+/// bytes were not a well-formed request (the caller should answer 400
+/// and close).
+pub fn read_request(r: &mut impl BufRead) -> io::Result<Option<Request>> {
+    let line = match read_line(r)? {
+        None => return Ok(None),
+        Some(l) => l,
+    };
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && t.starts_with('/') => (m, t, v),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed request line `{line}`"),
+            ))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unsupported HTTP version",
+        ));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = read_line(r)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "EOF inside headers"))?;
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "too many headers",
+            ));
+        }
+        let (k, v) = line
+            .split_once(':')
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed header line"))?;
+        headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+    }
+
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+    }
+    let mut body = vec![0u8; content_length];
+    r.read_exact(&mut body)?;
+
+    let close = headers
+        .iter()
+        .find(|(k, _)| k == "connection")
+        .map(|(_, v)| v.eq_ignore_ascii_case("close"))
+        .unwrap_or(version == "HTTP/1.0");
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+
+    Ok(Some(Request {
+        method: method.to_ascii_uppercase(),
+        path,
+        query,
+        headers,
+        body,
+        close,
+    }))
+}
+
+/// Reason phrase for the status codes this server emits.
+pub fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "Unknown",
+    }
+}
+
+/// Writes a complete `Content-Length`-framed response.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    body: &[u8],
+    extra_headers: &[(String, String)],
+    close: bool,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
+        reason(status),
+        body.len()
+    );
+    for (k, v) in extra_headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str(if close {
+        "connection: close\r\n\r\n"
+    } else {
+        "connection: keep-alive\r\n\r\n"
+    });
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+// ---------------------------------------------------------------------
+// Client
+// ---------------------------------------------------------------------
+
+/// A keep-alive HTTP/1.1 client connection.
+#[derive(Debug)]
+pub struct ClientConn {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl ClientConn {
+    /// Connects with the given connect/read/write timeout.
+    pub fn connect(addr: impl ToSocketAddrs, timeout: Duration) -> io::Result<Self> {
+        let sockaddr = addr
+            .to_socket_addrs()?
+            .next()
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidInput, "no address"))?;
+        let stream = TcpStream::connect_timeout(&sockaddr, timeout)?;
+        stream.set_read_timeout(Some(timeout))?;
+        stream.set_write_timeout(Some(timeout))?;
+        stream.set_nodelay(true)?;
+        Ok(ClientConn {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+        })
+    }
+
+    /// Sends one request and reads the response: `(status, body)`.
+    pub fn request(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<(u16, String)> {
+        let body = body.unwrap_or("");
+        let msg = format!(
+            "{method} {path} HTTP/1.1\r\nhost: gem5prof\r\ncontent-length: {}\r\n\r\n{body}",
+            body.len()
+        );
+        self.writer.write_all(msg.as_bytes())?;
+        self.writer.flush()?;
+
+        let status_line = read_line(&mut self.reader)?
+            .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "server closed"))?;
+        let status: u16 = status_line
+            .split(' ')
+            .nth(1)
+            .and_then(|s| s.parse().ok())
+            .ok_or_else(|| {
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad status line `{status_line}`"),
+                )
+            })?;
+        let mut content_length = 0usize;
+        loop {
+            let line = read_line(&mut self.reader)?.ok_or_else(|| {
+                io::Error::new(io::ErrorKind::UnexpectedEof, "EOF in response headers")
+            })?;
+            if line.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = line.split_once(':') {
+                if k.trim().eq_ignore_ascii_case("content-length") {
+                    content_length = v.trim().parse().map_err(|_| {
+                        io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length")
+                    })?;
+                }
+            }
+        }
+        let mut body = vec![0u8; content_length];
+        self.reader.read_exact(&mut body)?;
+        let body = String::from_utf8(body)
+            .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
+        Ok((status, body))
+    }
+}
+
+/// One-shot convenience: connect, request, return `(status, body)`.
+pub fn one_shot(
+    addr: &str,
+    method: &str,
+    path: &str,
+    body: Option<&str>,
+    timeout: Duration,
+) -> io::Result<(u16, String)> {
+    ClientConn::connect(addr, timeout)?.request(method, path, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    #[test]
+    fn parses_a_request_with_body_and_query() {
+        let raw = b"POST /experiments?x=1&y=2 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nabcd";
+        let req = read_request(&mut Cursor::new(&raw[..])).unwrap().unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.path, "/experiments");
+        assert_eq!(req.query_param("y"), Some("2"));
+        assert_eq!(req.body, b"abcd");
+        assert!(!req.close);
+        assert_eq!(req.header("host"), Some("h"));
+    }
+
+    #[test]
+    fn eof_between_requests_is_clean() {
+        assert!(read_request(&mut Cursor::new(&b""[..])).unwrap().is_none());
+    }
+
+    #[test]
+    fn malformed_requests_are_invalid_data() {
+        for raw in [
+            &b"GARBAGE\r\n\r\n"[..],
+            &b"GET /x HTTP/2.0\r\n\r\n"[..],
+            &b"GET noslash HTTP/1.1\r\n\r\n"[..],
+            &b"GET /x HTTP/1.1\r\nbadheader\r\n\r\n"[..],
+            &b"GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n"[..],
+        ] {
+            let err = read_request(&mut Cursor::new(raw)).unwrap_err();
+            assert_eq!(err.kind(), io::ErrorKind::InvalidData, "{raw:?}");
+        }
+    }
+
+    #[test]
+    fn connection_close_and_http10_are_detected() {
+        let raw = b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n";
+        assert!(
+            read_request(&mut Cursor::new(&raw[..]))
+                .unwrap()
+                .unwrap()
+                .close
+        );
+        let raw = b"GET /x HTTP/1.0\r\n\r\n";
+        assert!(
+            read_request(&mut Cursor::new(&raw[..]))
+                .unwrap()
+                .unwrap()
+                .close
+        );
+    }
+
+    #[test]
+    fn response_wire_format() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            429,
+            b"{}",
+            &[("retry-after".into(), "1".into())],
+            false,
+        )
+        .unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(s.contains("content-length: 2\r\n"));
+        assert!(s.contains("retry-after: 1\r\n"));
+        assert!(s.ends_with("\r\n\r\n{}"));
+    }
+}

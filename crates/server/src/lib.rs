@@ -1,0 +1,212 @@
+//! `gem5prof-served` — a std-only experiment-serving daemon.
+//!
+//! Turns the repository's batch experiment engine into long-lived
+//! infrastructure: every figure and table of the paper, plus arbitrary
+//! parameterized experiments, served over HTTP/1.1 from a shared,
+//! memoizing process.
+//!
+//! ```text
+//! GET  /healthz                    liveness + drain state
+//! GET  /stats                      queue, result-cache and trace-cache counters
+//! GET  /figures/fig01..fig15       one figure (?fidelity=quick|paper)
+//! GET  /tables/table1|table2       configuration tables
+//! POST /experiments                parameterized spec (platform, cpu, workload, knobs)
+//! ```
+//!
+//! Requests flow through a bounded admission queue (backpressure: 429 +
+//! `Retry-After` when full) onto a worker pool; results land in an LRU
+//! cache keyed by canonicalized spec, layered on top of the guest-trace
+//! memoization in `gem5prof::runner`. Graceful shutdown drains in-flight
+//! work while rejecting new requests with 503.
+//!
+//! Everything is std-only — `TcpListener`, `sync_channel`, scoped
+//! threads — consistent with the offline substrate (`testkit`,
+//! `minjson`).
+
+pub mod http;
+pub mod minjson;
+
+mod engine;
+mod routes;
+
+use engine::{Engine, ServerStats};
+use routes::Shared;
+use std::io::{self, BufReader};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Daemon configuration.
+#[derive(Debug, Clone)]
+pub struct ServeConfig {
+    /// Bind address; port `0` picks an ephemeral port (see
+    /// [`ServerHandle::addr`]).
+    pub addr: String,
+    /// Worker threads; `0` means [`gem5prof::threads`].
+    pub workers: usize,
+    /// Admission-queue capacity.
+    pub queue_cap: usize,
+    /// Result-cache capacity (entries).
+    pub cache_cap: usize,
+    /// Per-request deadline (queue wait + compute).
+    pub deadline: Duration,
+    /// Test hook: artificial delay before each job, for deterministic
+    /// queue-full conditions in integration tests. Zero in production.
+    pub worker_delay: Duration,
+}
+
+impl Default for ServeConfig {
+    fn default() -> Self {
+        ServeConfig {
+            addr: "127.0.0.1:7005".into(),
+            workers: 0,
+            queue_cap: 64,
+            cache_cap: 256,
+            deadline: Duration::from_secs(30),
+            worker_delay: Duration::ZERO,
+        }
+    }
+}
+
+/// A running daemon. Dropping the handle leaves the daemon running
+/// (threads are detached from the handle's lifetime); call
+/// [`shutdown`](ServerHandle::shutdown) for a graceful drain.
+pub struct ServerHandle {
+    addr: SocketAddr,
+    draining: Arc<AtomicBool>,
+    engine: Arc<Engine>,
+    acceptor: Option<JoinHandle<()>>,
+}
+
+impl ServerHandle {
+    /// The actually-bound address (resolves port `0`).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// Graceful shutdown: stop accepting, answer in-progress
+    /// connections with 503, drain queued and running jobs, join the
+    /// workers. Returns when the engine is idle.
+    pub fn shutdown(mut self) {
+        self.draining.store(true, Ordering::SeqCst);
+        if let Some(a) = self.acceptor.take() {
+            let _ = a.join();
+        }
+        self.engine.drain();
+    }
+}
+
+/// Binds the listener and starts acceptor + workers. Returns once the
+/// socket is listening — the daemon then runs on background threads.
+pub fn serve(cfg: ServeConfig) -> io::Result<ServerHandle> {
+    let workers = if cfg.workers == 0 {
+        gem5prof::threads()
+    } else {
+        cfg.workers
+    };
+    let listener = TcpListener::bind(&cfg.addr)?;
+    let addr = listener.local_addr()?;
+    // Non-blocking accept so the acceptor can observe the drain flag.
+    listener.set_nonblocking(true)?;
+
+    let engine = Engine::start(workers, cfg.queue_cap, cfg.cache_cap, cfg.worker_delay);
+    let draining = Arc::new(AtomicBool::new(false));
+    let shared = Arc::new(Shared {
+        engine: Arc::clone(&engine),
+        stats: Arc::new(ServerStats::default()),
+        draining: Arc::clone(&draining),
+        deadline: cfg.deadline,
+        started: Instant::now(),
+    });
+
+    let draining_a = Arc::clone(&draining);
+    let acceptor = std::thread::Builder::new()
+        .name("served-acceptor".into())
+        .spawn(move || loop {
+            if draining_a.load(Ordering::Relaxed) {
+                break;
+            }
+            match listener.accept() {
+                Ok((stream, _)) => {
+                    let shared = Arc::clone(&shared);
+                    let _ = std::thread::Builder::new()
+                        .name("served-conn".into())
+                        .spawn(move || serve_connection(stream, &shared));
+                }
+                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                    std::thread::sleep(Duration::from_millis(10));
+                }
+                Err(_) => std::thread::sleep(Duration::from_millis(10)),
+            }
+        })?;
+
+    Ok(ServerHandle {
+        addr,
+        draining,
+        engine,
+        acceptor: Some(acceptor),
+    })
+}
+
+/// Idle keep-alive timeout: a connection with no request for this long
+/// is closed so connection threads cannot accumulate.
+const IDLE_TIMEOUT: Duration = Duration::from_secs(5);
+
+/// Serves one connection: a keep-alive loop of request → route →
+/// response. Returns (closing the connection) on EOF, idle timeout,
+/// malformed input, drain, or an explicit `Connection: close`.
+fn serve_connection(stream: TcpStream, shared: &Shared) {
+    let _ = stream.set_nodelay(true);
+    let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
+    let mut writer = match stream.try_clone() {
+        Ok(w) => w,
+        Err(_) => return,
+    };
+    let mut reader = BufReader::new(stream);
+    loop {
+        match http::read_request(&mut reader) {
+            Ok(Some(req)) => {
+                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                let draining = shared.draining.load(Ordering::Relaxed);
+                let (status, body, extra) = if draining {
+                    (
+                        503,
+                        minjson::Json::obj(vec![("error", minjson::Json::str("draining"))])
+                            .to_string_compact(),
+                        Vec::new(),
+                    )
+                } else {
+                    routes::handle(&req, shared)
+                };
+                shared.stats.count(status);
+                let close = req.close || draining;
+                if http::write_response(&mut writer, status, body.as_bytes(), &extra, close)
+                    .is_err()
+                    || close
+                {
+                    break;
+                }
+            }
+            Ok(None) => break, // peer closed between requests
+            Err(e)
+                if matches!(
+                    e.kind(),
+                    io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut
+                ) =>
+            {
+                break; // idle keep-alive expiry
+            }
+            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
+                shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                shared.stats.count(400);
+                let body = minjson::Json::obj(vec![("error", minjson::Json::str(&e.to_string()))])
+                    .to_string_compact();
+                let _ = http::write_response(&mut writer, 400, body.as_bytes(), &[], true);
+                break;
+            }
+            Err(_) => break, // connection-level failure
+        }
+    }
+}

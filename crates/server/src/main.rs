@@ -1,0 +1,111 @@
+//! The `gem5prof-served` daemon binary.
+//!
+//! ```text
+//! gem5prof-served [--addr HOST:PORT] [--workers N] [--threads N]
+//!                 [--queue N] [--cache-cap N] [--deadline-ms N]
+//!                 [--port-file PATH]
+//! ```
+//!
+//! `--addr 127.0.0.1:0` binds an ephemeral port; `--port-file` writes
+//! the actually-bound `host:port` to a file once listening, which is how
+//! scripts (`scripts/verify.sh`) find the daemon without racing on a
+//! fixed port. SIGINT/SIGTERM trigger a graceful drain: stop accepting,
+//! finish in-flight work, reject new requests with 503, then exit.
+
+use gem5prof_served::{serve, ServeConfig};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::time::Duration;
+
+/// Set by the signal handler; polled by the main loop.
+static SHUTDOWN: AtomicBool = AtomicBool::new(false);
+
+#[cfg(unix)]
+fn install_signal_handlers() {
+    extern "C" fn on_signal(_sig: i32) {
+        // Only an atomic store: async-signal-safe.
+        SHUTDOWN.store(true, Ordering::SeqCst);
+    }
+    extern "C" {
+        fn signal(signum: i32, handler: usize) -> usize;
+    }
+    const SIGINT: i32 = 2;
+    const SIGTERM: i32 = 15;
+    unsafe {
+        signal(SIGINT, on_signal as extern "C" fn(i32) as usize);
+        signal(SIGTERM, on_signal as extern "C" fn(i32) as usize);
+    }
+}
+
+#[cfg(not(unix))]
+fn install_signal_handlers() {}
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: gem5prof-served [--addr HOST:PORT] [--workers N] [--threads N] \
+         [--queue N] [--cache-cap N] [--deadline-ms N] [--port-file PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = ServeConfig::default();
+    let mut port_file: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        let parse_usize = |i: usize| -> usize { value(i).parse().unwrap_or_else(|_| usage()) };
+        match args[i].as_str() {
+            "--addr" => cfg.addr = value(i),
+            "--workers" => cfg.workers = parse_usize(i),
+            "--threads" => {
+                // Mirrors `repro --threads`: 0 falls back to available
+                // parallelism with a warning.
+                let n = parse_usize(i);
+                if n == 0 {
+                    eprintln!("warning: --threads 0 — falling back to available parallelism");
+                }
+                gem5prof::set_threads(n);
+            }
+            "--queue" => cfg.queue_cap = parse_usize(i).max(1),
+            "--cache-cap" => cfg.cache_cap = parse_usize(i).max(1),
+            "--deadline-ms" => cfg.deadline = Duration::from_millis(parse_usize(i) as u64),
+            "--port-file" => port_file = Some(value(i)),
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 2;
+    }
+
+    install_signal_handlers();
+
+    let handle = match serve(cfg.clone()) {
+        Ok(h) => h,
+        Err(e) => {
+            eprintln!("gem5prof-served: cannot bind {}: {e}", cfg.addr);
+            std::process::exit(1);
+        }
+    };
+    let addr = handle.addr();
+    if let Some(path) = &port_file {
+        if let Err(e) = std::fs::write(path, addr.to_string()) {
+            eprintln!("gem5prof-served: cannot write port file {path}: {e}");
+            std::process::exit(1);
+        }
+    }
+    eprintln!(
+        "gem5prof-served: listening on http://{addr} \
+         (queue={}, cache={}, deadline={}ms)",
+        cfg.queue_cap,
+        cfg.cache_cap,
+        cfg.deadline.as_millis()
+    );
+
+    while !SHUTDOWN.load(Ordering::SeqCst) {
+        std::thread::sleep(Duration::from_millis(100));
+    }
+    eprintln!("gem5prof-served: draining…");
+    handle.shutdown();
+    eprintln!("gem5prof-served: drained, exiting");
+}

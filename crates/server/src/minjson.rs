@@ -1,0 +1,521 @@
+//! Minimal JSON: a value type, a writer, and a recursive-descent parser.
+//!
+//! The build environment is offline, so the serving layer cannot depend
+//! on `serde`. This module is the same philosophy as `testkit` replacing
+//! `proptest`: the small subset the repository actually needs, std-only.
+//!
+//! Objects preserve insertion order (they are `Vec<(String, Json)>`), so
+//! a parse → write round trip of output *we* produced is byte-stable.
+//! Numbers are `f64`; integers up to 2⁵³ round-trip exactly, which
+//! covers every counter this codebase serves.
+
+use std::fmt;
+
+/// A JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any number (integers render without a fractional part).
+    Num(f64),
+    /// A string.
+    Str(String),
+    /// An array.
+    Arr(Vec<Json>),
+    /// An object, in insertion order.
+    Obj(Vec<(String, Json)>),
+}
+
+impl Json {
+    /// Builds an object from key/value pairs.
+    pub fn obj(pairs: Vec<(&str, Json)>) -> Json {
+        Json::Obj(pairs.into_iter().map(|(k, v)| (k.to_string(), v)).collect())
+    }
+
+    /// A string value.
+    pub fn str(s: impl Into<String>) -> Json {
+        Json::Str(s.into())
+    }
+
+    /// Member lookup on an object (first match).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Obj(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a number, if it is one.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is one exactly.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) if *n >= 0.0 && n.fract() == 0.0 && *n <= 9.007_199_254_740_992e15 => {
+                Some(*n as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Compact serialization.
+    pub fn to_string_compact(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, None, 0);
+        out
+    }
+
+    /// Pretty serialization with two-space indentation.
+    pub fn to_string_pretty(&self) -> String {
+        let mut out = String::new();
+        write_value(&mut out, self, Some(2), 0);
+        out
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_string_compact())
+    }
+}
+
+fn write_value(out: &mut String, v: &Json, indent: Option<usize>, depth: usize) {
+    match v {
+        Json::Null => out.push_str("null"),
+        Json::Bool(true) => out.push_str("true"),
+        Json::Bool(false) => out.push_str("false"),
+        Json::Num(n) => write_number(out, *n),
+        Json::Str(s) => write_string(out, s),
+        Json::Arr(items) => write_seq(out, items.iter(), indent, depth, '[', ']', |o, x, i, d| {
+            write_value(o, x, i, d)
+        }),
+        Json::Obj(pairs) => write_seq(
+            out,
+            pairs.iter(),
+            indent,
+            depth,
+            '{',
+            '}',
+            |o, (k, x), i, d| {
+                write_string(o, k);
+                o.push(':');
+                if i.is_some() {
+                    o.push(' ');
+                }
+                write_value(o, x, i, d);
+            },
+        ),
+    }
+}
+
+fn write_seq<T>(
+    out: &mut String,
+    items: impl ExactSizeIterator<Item = T>,
+    indent: Option<usize>,
+    depth: usize,
+    open: char,
+    close: char,
+    mut each: impl FnMut(&mut String, T, Option<usize>, usize),
+) {
+    out.push(open);
+    let n = items.len();
+    for (i, item) in items.enumerate() {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat(' ').take(w * (depth + 1)));
+        }
+        each(out, item, indent, depth + 1);
+        if i + 1 < n {
+            out.push(',');
+        }
+    }
+    if n > 0 {
+        if let Some(w) = indent {
+            out.push('\n');
+            out.extend(std::iter::repeat(' ').take(w * depth));
+        }
+    }
+    out.push(close);
+}
+
+fn write_number(out: &mut String, n: f64) {
+    if !n.is_finite() {
+        // JSON has no NaN/Inf; null is the least-surprising encoding.
+        out.push_str("null");
+    } else if n.fract() == 0.0 && n.abs() < 9.007_199_254_740_992e15 {
+        out.push_str(&format!("{}", n as i64));
+    } else {
+        // Rust's shortest-round-trip Display: parses back to the same bits.
+        out.push_str(&format!("{n}"));
+    }
+}
+
+fn write_string(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Parses a JSON document (a single value with optional surrounding
+/// whitespace). Errors carry the byte offset of the problem.
+pub fn parse(input: &str) -> Result<Json, String> {
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
+    p.skip_ws();
+    let v = p.value(0)?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(format!("trailing bytes at offset {}", p.pos));
+    }
+    Ok(v)
+}
+
+/// Nesting depth limit — a request body is not a place for a stack test.
+const MAX_DEPTH: usize = 64;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn err<T>(&self, msg: &str) -> Result<T, String> {
+        Err(format!("{msg} at offset {}", self.pos))
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn eat(&mut self, lit: &str) -> bool {
+        if self.bytes[self.pos..].starts_with(lit.as_bytes()) {
+            self.pos += lit.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn value(&mut self, depth: usize) -> Result<Json, String> {
+        if depth > MAX_DEPTH {
+            return self.err("nesting too deep");
+        }
+        match self.peek() {
+            None => self.err("unexpected end of input"),
+            Some(b'n') => {
+                if self.eat("null") {
+                    Ok(Json::Null)
+                } else {
+                    self.err("invalid literal")
+                }
+            }
+            Some(b't') => {
+                if self.eat("true") {
+                    Ok(Json::Bool(true))
+                } else {
+                    self.err("invalid literal")
+                }
+            }
+            Some(b'f') => {
+                if self.eat("false") {
+                    Ok(Json::Bool(false))
+                } else {
+                    self.err("invalid literal")
+                }
+            }
+            Some(b'"') => Ok(Json::Str(self.string()?)),
+            Some(b'[') => {
+                self.pos += 1;
+                let mut items = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b']') {
+                    self.pos += 1;
+                    return Ok(Json::Arr(items));
+                }
+                loop {
+                    self.skip_ws();
+                    items.push(self.value(depth + 1)?);
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b']') => {
+                            self.pos += 1;
+                            return Ok(Json::Arr(items));
+                        }
+                        _ => return self.err("expected `,` or `]`"),
+                    }
+                }
+            }
+            Some(b'{') => {
+                self.pos += 1;
+                let mut pairs = Vec::new();
+                self.skip_ws();
+                if self.peek() == Some(b'}') {
+                    self.pos += 1;
+                    return Ok(Json::Obj(pairs));
+                }
+                loop {
+                    self.skip_ws();
+                    if self.peek() != Some(b'"') {
+                        return self.err("expected object key");
+                    }
+                    let k = self.string()?;
+                    self.skip_ws();
+                    if self.peek() != Some(b':') {
+                        return self.err("expected `:`");
+                    }
+                    self.pos += 1;
+                    self.skip_ws();
+                    let v = self.value(depth + 1)?;
+                    pairs.push((k, v));
+                    self.skip_ws();
+                    match self.peek() {
+                        Some(b',') => self.pos += 1,
+                        Some(b'}') => {
+                            self.pos += 1;
+                            return Ok(Json::Obj(pairs));
+                        }
+                        _ => return self.err("expected `,` or `}`"),
+                    }
+                }
+            }
+            Some(c) if c == b'-' || c.is_ascii_digit() => self.number(),
+            Some(_) => self.err("unexpected character"),
+        }
+    }
+
+    fn number(&mut self) -> Result<Json, String> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.pos += 1;
+        }
+        if self.peek() == Some(b'.') {
+            self.pos += 1;
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).unwrap();
+        text.parse::<f64>()
+            .map(Json::Num)
+            .map_err(|_| format!("invalid number `{text}` at offset {start}"))
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        debug_assert_eq!(self.peek(), Some(b'"'));
+        self.pos += 1;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return self.err("unterminated string"),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let hi = self.hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&hi) {
+                                // Surrogate pair: expect \uXXXX low half.
+                                if !(self.eat("\\u")) {
+                                    return self.err("lone high surrogate");
+                                }
+                                let lo = self.hex4()?;
+                                if !(0xDC00..0xE000).contains(&lo) {
+                                    return self.err("invalid low surrogate");
+                                }
+                                let code = 0x10000 + ((hi - 0xD800) << 10) + (lo - 0xDC00);
+                                char::from_u32(code)
+                            } else {
+                                char::from_u32(hi)
+                            };
+                            match c {
+                                Some(c) => out.push(c),
+                                None => return self.err("invalid \\u escape"),
+                            }
+                            continue; // hex4 advanced past the digits
+                        }
+                        _ => return self.err("invalid escape"),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (input is &str, so this is
+                    // always a valid boundary walk).
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..]).unwrap();
+                    let c = rest.chars().next().unwrap();
+                    if (c as u32) < 0x20 {
+                        return self.err("unescaped control character");
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    /// Reads four hex digits, advancing past them.
+    fn hex4(&mut self) -> Result<u32, String> {
+        if self.pos + 4 > self.bytes.len() {
+            return self.err("truncated \\u escape");
+        }
+        let s = std::str::from_utf8(&self.bytes[self.pos..self.pos + 4])
+            .map_err(|_| format!("invalid \\u escape at offset {}", self.pos))?;
+        let v = u32::from_str_radix(s, 16)
+            .map_err(|_| format!("invalid \\u escape at offset {}", self.pos))?;
+        self.pos += 4;
+        Ok(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writes_compact_and_pretty() {
+        let v = Json::obj(vec![
+            ("a", Json::Num(1.0)),
+            ("b", Json::Arr(vec![Json::Bool(true), Json::Null])),
+            ("c", Json::str("x\"y\n")),
+        ]);
+        assert_eq!(
+            v.to_string_compact(),
+            r#"{"a":1,"b":[true,null],"c":"x\"y\n"}"#
+        );
+        let pretty = v.to_string_pretty();
+        assert!(pretty.contains("\n  \"a\": 1,"));
+    }
+
+    #[test]
+    fn parses_documents() {
+        let v = parse(r#" {"n": -2.5e2, "s": "h\u00e9\t", "a": [1,2,3], "e": {}} "#).unwrap();
+        assert_eq!(v.get("n").unwrap().as_f64(), Some(-250.0));
+        assert_eq!(v.get("s").unwrap().as_str(), Some("hé\t"));
+        assert_eq!(v.get("a").unwrap().as_arr().unwrap().len(), 3);
+        assert_eq!(v.get("e"), Some(&Json::Obj(vec![])));
+        assert_eq!(parse("[]").unwrap(), Json::Arr(vec![]));
+        assert_eq!(parse("42").unwrap().as_u64(), Some(42));
+    }
+
+    #[test]
+    fn parses_surrogate_pairs() {
+        assert_eq!(
+            parse(r#""\ud83d\ude00""#).unwrap(),
+            Json::Str("\u{1F600}".into())
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "tru",
+            "{\"a\" 1}",
+            "\"\\q\"",
+            "1 2",
+            "{'a':1}",
+            "\"\u{1}\"",
+            "[1]]",
+            r#""\ud83d""#,
+        ] {
+            assert!(parse(bad).is_err(), "`{bad}` should not parse");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_bounded() {
+        let deep = "[".repeat(100) + &"]".repeat(100);
+        assert!(parse(&deep).is_err());
+    }
+
+    #[test]
+    fn round_trips_itself() {
+        let v = Json::obj(vec![
+            ("pi", Json::Num(3.141592653589793)),
+            ("big", Json::Num(9007199254740991.0)),
+            ("neg", Json::Num(-17.0)),
+            ("unicode", Json::str("héllo ✓")),
+            (
+                "nested",
+                Json::Arr(vec![Json::obj(vec![("k", Json::Null)])]),
+            ),
+        ]);
+        assert_eq!(parse(&v.to_string_compact()).unwrap(), v);
+        assert_eq!(parse(&v.to_string_pretty()).unwrap(), v);
+    }
+}

@@ -1,0 +1,463 @@
+//! Route dispatch and JSON rendering.
+//!
+//! Cheap endpoints (`/healthz`, `/stats`) are answered inline on the
+//! connection thread; compute endpoints (`/figures/*`, `/tables/*`,
+//! `POST /experiments`) go through the engine's cache + admission queue.
+
+use crate::engine::{Engine, ServerStats, Submission, Work};
+use crate::http::Request;
+use crate::minjson::{self, Json};
+use gem5prof::figures::{self, Fidelity};
+use gem5prof::report::Table;
+use gem5prof::spec::{self, ExperimentSpec};
+use gem5prof::ProfileRun;
+use platforms::{PlatformId, SystemKnobs};
+use std::sync::atomic::Ordering;
+use std::time::{Duration, Instant};
+
+/// A finished response: status, JSON body, extra headers.
+pub(crate) type Reply = (u16, String, Vec<(String, String)>);
+
+/// Shared server state every connection thread sees.
+pub(crate) struct Shared {
+    pub engine: std::sync::Arc<Engine>,
+    pub stats: std::sync::Arc<ServerStats>,
+    pub draining: std::sync::Arc<std::sync::atomic::AtomicBool>,
+    pub deadline: Duration,
+    pub started: Instant,
+}
+
+fn error_body(msg: &str) -> String {
+    Json::obj(vec![("error", Json::str(msg))]).to_string_compact()
+}
+
+fn plain(status: u16, msg: &str) -> Reply {
+    (status, error_body(msg), Vec::new())
+}
+
+/// Dispatches one parsed request to its route.
+pub(crate) fn handle(req: &Request, shared: &Shared) -> Reply {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", "/healthz") => (200, healthz_json(shared), Vec::new()),
+        ("GET", "/stats") => (200, stats_json(shared), Vec::new()),
+        ("GET", path) if path.starts_with("/figures/") => {
+            match parse_figure_path(&path["/figures/".len()..], req) {
+                Ok(work) => run_work(work, shared),
+                Err((status, msg)) => plain(status, &msg),
+            }
+        }
+        ("GET", "/tables/table1") => run_work(Work::Table(1), shared),
+        ("GET", "/tables/table2") => run_work(Work::Table(2), shared),
+        // `/tables/<anything else>` is a missing resource, not a bad request.
+        ("GET", path) if path.starts_with("/tables/") => plain(404, "not found"),
+        ("POST", "/experiments") => match parse_experiment(&req.body) {
+            Ok(spec) => run_work(Work::Experiment(spec), shared),
+            Err(msg) => plain(400, &msg),
+        },
+        // Known paths with the wrong method get a 405, not a 404.
+        (_, "/healthz" | "/stats" | "/experiments") => plain(405, "method not allowed"),
+        (_, path) if path.starts_with("/figures/") || path.starts_with("/tables/") => {
+            plain(405, "method not allowed")
+        }
+        _ => plain(404, "not found"),
+    }
+}
+
+/// Runs compute work through the cache + admission queue, bounded by the
+/// per-request deadline.
+fn run_work(work: Work, shared: &Shared) -> Reply {
+    if shared.draining.load(Ordering::Relaxed) {
+        return plain(503, "draining");
+    }
+    match shared.engine.submit(work) {
+        Submission::Hit(body) => (200, (*body).clone(), Vec::new()),
+        Submission::Busy => (
+            429,
+            error_body("admission queue full"),
+            vec![("retry-after".into(), "1".into())],
+        ),
+        Submission::Draining => plain(503, "draining"),
+        Submission::Pending(rx) => match rx.recv_timeout(shared.deadline) {
+            Ok(Ok(body)) => (200, (*body).clone(), Vec::new()),
+            Ok(Err(msg)) => plain(500, &msg),
+            Err(_) => plain(504, "deadline exceeded (result will be cached)"),
+        },
+    }
+}
+
+/// Parses `figNN` (accepting `fig1` and `fig01`) plus an optional
+/// `?fidelity=quick|paper` query parameter. An unknown figure is a
+/// missing resource (404); a bad query on a real figure is a bad
+/// request (400).
+fn parse_figure_path(name: &str, req: &Request) -> Result<Work, (u16, String)> {
+    let n: usize = name
+        .strip_prefix("fig")
+        .and_then(|d| d.parse().ok())
+        .filter(|&n| (1..=15).contains(&n))
+        .ok_or_else(|| (404, format!("unknown figure `{name}` (want fig01..fig15)")))?;
+    let fidelity = match req.query_param("fidelity") {
+        None => Fidelity::Quick,
+        Some(f) => spec::parse_fidelity(f)
+            .ok_or_else(|| (400, format!("bad fidelity `{f}` (quick|paper)")))?,
+    };
+    Ok(Work::Figure(n, fidelity))
+}
+
+/// Parses a `POST /experiments` body into a canonical spec.
+///
+/// ```json
+/// {"platform": "intel_xeon", "workload": "dedup", "scale": "test",
+///  "cpu": "o3", "mode": "se", "knobs": "thp,freq=2.4"}
+/// ```
+///
+/// `scale`, `mode` and `knobs` are optional (`test`, `se`, default).
+fn parse_experiment(body: &[u8]) -> Result<ExperimentSpec, String> {
+    let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
+    let doc = minjson::parse(text).map_err(|e| format!("malformed JSON: {e}"))?;
+    if !matches!(doc, Json::Obj(_)) {
+        return Err("experiment spec must be a JSON object".into());
+    }
+    let field = |name: &str| -> Result<&str, String> {
+        doc.get(name)
+            .and_then(Json::as_str)
+            .ok_or_else(|| format!("missing or non-string field `{name}`"))
+    };
+    let platform = PlatformId::from_name(field("platform")?)
+        .ok_or_else(|| "unknown platform (intel_xeon|m1_pro|m1_ultra)".to_string())?;
+    let workload =
+        spec::parse_workload(field("workload")?).ok_or_else(|| "unknown workload".to_string())?;
+    let scale = match doc.get("scale") {
+        None => gem5sim_workloads::Scale::Test,
+        Some(v) => v
+            .as_str()
+            .and_then(spec::parse_scale)
+            .ok_or_else(|| "bad scale (test|simsmall|simmedium)".to_string())?,
+    };
+    let cpu = spec::parse_cpu(field("cpu")?)
+        .ok_or_else(|| "unknown cpu (atomic|timing|minor|o3)".to_string())?;
+    let mode = match doc.get("mode") {
+        None => gem5sim::config::SimMode::Se,
+        Some(v) => v
+            .as_str()
+            .and_then(spec::parse_mode)
+            .ok_or_else(|| "bad mode (se|fs)".to_string())?,
+    };
+    let knobs = match doc.get("knobs") {
+        None => SystemKnobs::new(),
+        Some(v) => {
+            let s = v
+                .as_str()
+                .ok_or_else(|| "field `knobs` must be a string".to_string())?;
+            SystemKnobs::parse(s)?
+        }
+    };
+    Ok(ExperimentSpec {
+        platform,
+        workload,
+        scale,
+        cpu,
+        mode,
+        knobs,
+    })
+}
+
+// ---------------------------------------------------------------------
+// JSON rendering (called from engine workers)
+// ---------------------------------------------------------------------
+
+/// Renders a [`Table`] as JSON.
+fn table_to_json(t: &Table) -> Json {
+    Json::obj(vec![
+        ("title", Json::str(&t.title)),
+        (
+            "columns",
+            Json::Arr(t.columns.iter().map(Json::str).collect()),
+        ),
+        (
+            "rows",
+            Json::Arr(
+                t.rows
+                    .iter()
+                    .map(|r| {
+                        Json::obj(vec![
+                            ("label", Json::str(&r.label)),
+                            (
+                                "values",
+                                Json::Arr(r.values.iter().map(|&v| Json::Num(v)).collect()),
+                            ),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("notes", Json::Arr(t.notes.iter().map(Json::str).collect())),
+    ])
+}
+
+/// Computes figure `n` and renders it.
+pub(crate) fn figure_json(n: usize, f: Fidelity) -> String {
+    let table = match n {
+        1 => figures::fig01(f),
+        2 => figures::fig02(f),
+        3 => figures::fig03(f),
+        4 => figures::fig04(f),
+        5 => figures::fig05(f),
+        6 => figures::fig06(f),
+        7 => figures::fig07(f),
+        8 => figures::fig08(f),
+        9 => figures::fig09(f),
+        10 => figures::fig10(f),
+        11 => figures::fig11(f),
+        12 => figures::fig12(f),
+        13 => figures::fig13(f),
+        14 => figures::fig14(f),
+        15 => figures::fig15(f),
+        _ => unreachable!("figure index validated at parse time"),
+    };
+    table_to_json(&table).to_string_compact()
+}
+
+/// Computes table `n` (1 or 2) and renders it.
+pub(crate) fn table_json_by_index(n: usize) -> String {
+    let table = match n {
+        1 => figures::table1(),
+        2 => figures::table2(),
+        _ => unreachable!("table index validated at parse time"),
+    };
+    table_to_json(&table).to_string_compact()
+}
+
+/// Runs an experiment spec and renders the profile.
+pub(crate) fn experiment_json(spec: &ExperimentSpec) -> String {
+    let run: ProfileRun = spec.run();
+    let host = &run.hosts[0];
+    let (retiring, frontend, bad_spec, backend) = host.topdown.level1_pct();
+    Json::obj(vec![
+        ("key", Json::str(spec.canonical_key())),
+        (
+            "spec",
+            Json::obj(vec![
+                ("platform", Json::str(spec.platform.name())),
+                ("workload", Json::str(spec.workload.name())),
+                ("scale", Json::str(spec::scale_name(spec.scale))),
+                ("cpu", Json::str(spec.cpu.label())),
+                ("mode", Json::str(spec.mode.label())),
+            ]),
+        ),
+        (
+            "guest",
+            Json::obj(vec![
+                ("sim_ticks", Json::Num(run.guest.sim_ticks as f64)),
+                (
+                    "committed_insts",
+                    Json::Num(run.guest.committed_insts as f64),
+                ),
+                ("host_events", Json::Num(run.guest.host_events as f64)),
+            ]),
+        ),
+        (
+            "host",
+            Json::obj(vec![
+                ("name", Json::str(&host.name)),
+                ("seconds", Json::Num(host.seconds())),
+                ("cycles", Json::Num(host.cycles)),
+                ("instructions", Json::Num(host.instructions)),
+                ("ipc", Json::Num(host.ipc())),
+                (
+                    "topdown",
+                    Json::obj(vec![
+                        ("retiring_pct", Json::Num(retiring)),
+                        ("frontend_pct", Json::Num(frontend)),
+                        ("bad_speculation_pct", Json::Num(bad_spec)),
+                        ("backend_pct", Json::Num(backend)),
+                    ]),
+                ),
+                ("l1i_miss_rate", Json::Num(host.l1i_miss_rate)),
+                ("l1d_miss_rate", Json::Num(host.l1d_miss_rate)),
+                ("itlb_miss_rate", Json::Num(host.itlb_miss_rate)),
+                ("dtlb_miss_rate", Json::Num(host.dtlb_miss_rate)),
+                (
+                    "branch_mispredict_rate",
+                    Json::Num(host.branch_mispredict_rate),
+                ),
+                ("dsb_coverage", Json::Num(host.dsb_coverage)),
+            ]),
+        ),
+        (
+            "functions_touched",
+            Json::Num(run.profile.functions_touched() as f64),
+        ),
+    ])
+    .to_string_compact()
+}
+
+// ---------------------------------------------------------------------
+// Inline endpoints
+// ---------------------------------------------------------------------
+
+fn healthz_json(shared: &Shared) -> String {
+    Json::obj(vec![
+        ("status", Json::str("ok")),
+        (
+            "draining",
+            Json::Bool(shared.draining.load(Ordering::Relaxed)),
+        ),
+        (
+            "uptime_ms",
+            Json::Num(shared.started.elapsed().as_millis() as f64),
+        ),
+    ])
+    .to_string_compact()
+}
+
+fn stats_json(shared: &Shared) -> String {
+    let s = &shared.stats;
+    let (cache_snap, cache_len, cache_cap) = shared.engine.cache_view();
+    let trace = gem5prof::runner::cache_stats();
+    let load = |a: &std::sync::atomic::AtomicU64| Json::Num(a.load(Ordering::Relaxed) as f64);
+    Json::obj(vec![
+        (
+            "server",
+            Json::obj(vec![
+                (
+                    "uptime_ms",
+                    Json::Num(shared.started.elapsed().as_millis() as f64),
+                ),
+                (
+                    "draining",
+                    Json::Bool(shared.draining.load(Ordering::Relaxed)),
+                ),
+                ("workers", Json::Num(shared.engine.workers() as f64)),
+                ("requests", load(&s.requests)),
+                (
+                    "responses",
+                    Json::obj(vec![
+                        ("200", load(&s.st_200)),
+                        ("400", load(&s.st_400)),
+                        ("404", load(&s.st_404)),
+                        ("405", load(&s.st_405)),
+                        ("429", load(&s.st_429)),
+                        ("500", load(&s.st_500)),
+                        ("503", load(&s.st_503)),
+                        ("504", load(&s.st_504)),
+                        ("other", load(&s.st_other)),
+                    ]),
+                ),
+                (
+                    "queue",
+                    Json::obj(vec![
+                        ("depth", Json::Num(shared.engine.queue_depth() as f64)),
+                        ("capacity", Json::Num(shared.engine.queue_cap() as f64)),
+                        ("in_flight", Json::Num(shared.engine.in_flight() as f64)),
+                        ("rejected", load(&s.st_429)),
+                    ]),
+                ),
+            ]),
+        ),
+        (
+            "result_cache",
+            Json::obj(vec![
+                ("hits", Json::Num(cache_snap.hits as f64)),
+                ("misses", Json::Num(cache_snap.misses as f64)),
+                ("insertions", Json::Num(cache_snap.insertions as f64)),
+                ("evictions", Json::Num(cache_snap.evictions as f64)),
+                ("entries", Json::Num(cache_len as f64)),
+                ("capacity", Json::Num(cache_cap as f64)),
+                ("hit_rate", Json::Num(cache_snap.hit_rate())),
+            ]),
+        ),
+        (
+            "trace_cache",
+            Json::obj(vec![
+                ("hits", Json::Num(trace.hits as f64)),
+                ("misses", Json::Num(trace.misses as f64)),
+                ("insertions", Json::Num(trace.insertions as f64)),
+                ("resident_events", Json::Num(trace.resident_events as f64)),
+            ]),
+        ),
+    ])
+    .to_string_compact()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn experiment_specs_parse_and_reject() {
+        let ok = parse_experiment(
+            br#"{"platform":"m1_pro","workload":"dedup","cpu":"atomic","knobs":"thp"}"#,
+        )
+        .unwrap();
+        assert_eq!(ok.platform, PlatformId::M1Pro);
+        assert_eq!(ok.scale, gem5sim_workloads::Scale::Test, "scale defaults");
+        assert!(ok.canonical_key().contains("knobs=thp48"));
+
+        for (body, needle) in [
+            (&b"not json"[..], "malformed JSON"),
+            (&b"[1,2]"[..], "must be a JSON object"),
+            (&br#"{"workload":"dedup","cpu":"o3"}"#[..], "platform"),
+            (
+                &br#"{"platform":"intel_xeon","workload":"quake","cpu":"o3"}"#[..],
+                "workload",
+            ),
+            (
+                &br#"{"platform":"intel_xeon","workload":"dedup","cpu":"486"}"#[..],
+                "cpu",
+            ),
+            (
+                &br#"{"platform":"intel_xeon","workload":"dedup","cpu":"o3","knobs":"warp"}"#[..],
+                "knob",
+            ),
+        ] {
+            let err = parse_experiment(body).unwrap_err();
+            assert!(err.contains(needle), "`{err}` should mention {needle}");
+        }
+    }
+
+    #[test]
+    fn figure_paths_parse() {
+        let req = |path: &str, q: Option<&str>| Request {
+            method: "GET".into(),
+            path: path.into(),
+            query: q.map(String::from),
+            headers: vec![],
+            body: vec![],
+            close: false,
+        };
+        let r = req("/figures/fig01", None);
+        assert_eq!(
+            parse_figure_path("fig01", &r).unwrap(),
+            Work::Figure(1, Fidelity::Quick)
+        );
+        let r = req("/figures/fig15", Some("fidelity=paper"));
+        assert_eq!(
+            parse_figure_path("fig15", &r).unwrap(),
+            Work::Figure(15, Fidelity::Paper)
+        );
+        let r = req("/figures/fig7", None);
+        assert_eq!(
+            parse_figure_path("fig7", &r).unwrap(),
+            Work::Figure(7, Fidelity::Quick)
+        );
+        for bad in ["fig0", "fig16", "table1", ""] {
+            let r = req("/figures/x", None);
+            assert_eq!(parse_figure_path(bad, &r).unwrap_err().0, 404, "{bad}");
+        }
+        let r = req("/figures/fig01", Some("fidelity=warp"));
+        assert_eq!(parse_figure_path("fig01", &r).unwrap_err().0, 400);
+    }
+
+    #[test]
+    fn table_json_has_paper_shape() {
+        let body = table_json_by_index(2);
+        let doc = minjson::parse(&body).unwrap();
+        assert!(doc
+            .get("title")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .contains("Table II"));
+        assert!(!doc.get("rows").unwrap().as_arr().unwrap().is_empty());
+    }
+}

@@ -1,0 +1,119 @@
+//! Property tests for `minjson`: any value the writer can produce must
+//! parse back to an equal value (compact and pretty), and a parse →
+//! write cycle must be byte-stable.
+
+use gem5prof_served::minjson::{parse, Json};
+use testkit::{prop_assert, prop_assert_eq, run_cases, Gen};
+
+/// A string mixing printable ASCII, control characters (which the writer
+/// must escape), arbitrary non-surrogate scalars, and the characters the
+/// escape table special-cases.
+fn gen_string(g: &mut Gen) -> String {
+    g.vec(0..12, |g| match g.u8_in(0..4) {
+        0 => char::from(g.u8_in(0x20..0x7f)),
+        1 => char::from_u32(g.u32_in(0..0x20)).unwrap(),
+        2 => {
+            // Any Unicode scalar: draw from the code space minus the
+            // 0x800-wide surrogate gap, then skip over it.
+            let mut c = g.u32_in(0..0x11_0000 - 0x800);
+            if c >= 0xD800 {
+                c += 0x800;
+            }
+            char::from_u32(c).unwrap()
+        }
+        _ => *g.pick(&['"', '\\', '/', '\n', '\t', 'é', '✓', '\u{1F600}']),
+    })
+    .into_iter()
+    .collect()
+}
+
+/// Finite numbers across the regimes the writer distinguishes: small
+/// integers (written without a fraction), dyadic fractions (exact in
+/// binary), integers up to 2⁵³, and raw bit patterns (shortest-round-trip
+/// `Display` must survive reparsing for *any* finite f64).
+fn gen_number(g: &mut Gen) -> f64 {
+    let n = match g.u8_in(0..4) {
+        0 => g.i64_in(-1_000_000..1_000_000) as f64,
+        1 => g.i64_in(-1_000_000_000..1_000_000_000) as f64 / 1024.0,
+        2 => f64::from_bits(g.next_u64()),
+        _ => g.i64_in(0..9_007_199_254_740_992) as f64,
+    };
+    if n.is_finite() {
+        n
+    } else {
+        0.0
+    }
+}
+
+fn gen_json(g: &mut Gen, depth: usize) -> Json {
+    // Leaves only once the tree is deep enough to stay cheap.
+    let variants = if depth >= 3 { 4 } else { 6 };
+    match g.u8_in(0..variants) {
+        0 => Json::Null,
+        1 => Json::Bool(g.bool()),
+        2 => Json::Num(gen_number(g)),
+        3 => Json::Str(gen_string(g)),
+        4 => Json::Arr(g.vec(0..5, |g| gen_json(g, depth + 1))),
+        _ => Json::Obj(g.vec(0..5, |g| (gen_string(g), gen_json(g, depth + 1)))),
+    }
+}
+
+#[test]
+fn compact_round_trips() {
+    run_cases("minjson_compact_round_trip", 256, |g| {
+        let v = gen_json(g, 0);
+        let text = v.to_string_compact();
+        let back = parse(&text).map_err(|e| format!("reparse of `{text}` failed: {e}"))?;
+        prop_assert_eq!(back, v);
+        Ok(())
+    });
+}
+
+#[test]
+fn pretty_round_trips() {
+    run_cases("minjson_pretty_round_trip", 256, |g| {
+        let v = gen_json(g, 0);
+        let text = v.to_string_pretty();
+        let back = parse(&text).map_err(|e| format!("reparse of `{text}` failed: {e}"))?;
+        prop_assert_eq!(back, v);
+        Ok(())
+    });
+}
+
+#[test]
+fn parse_then_write_is_byte_stable() {
+    // Objects preserve insertion order and the number/string writers are
+    // canonical, so writing what we just parsed reproduces the bytes.
+    run_cases("minjson_write_stable", 128, |g| {
+        let first = gen_json(g, 0).to_string_compact();
+        let second = parse(&first)
+            .map_err(|e| format!("reparse failed: {e}"))?
+            .to_string_compact();
+        prop_assert_eq!(first, second);
+        Ok(())
+    });
+}
+
+#[test]
+fn parser_never_panics_on_mutated_documents() {
+    // Flip bytes in valid documents: the parser must return Ok or Err,
+    // never panic, and anything it accepts must survive a round trip.
+    run_cases("minjson_mutation_safety", 256, |g| {
+        let mut bytes = gen_json(g, 0).to_string_compact().into_bytes();
+        for _ in 0..g.usize_in(1..4) {
+            let i = g.usize_in(0..bytes.len());
+            bytes[i] = g.u8_in(0..128);
+        }
+        let Ok(text) = String::from_utf8(bytes) else {
+            return Ok(()); // mutation broke UTF-8; parse takes &str only
+        };
+        if let Ok(v) = parse(&text) {
+            let rewritten = v.to_string_compact();
+            prop_assert!(
+                parse(&rewritten).as_ref() == Ok(&v),
+                "accepted `{text}` but round trip changed it"
+            );
+        }
+        Ok(())
+    });
+}

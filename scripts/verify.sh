@@ -1,9 +1,50 @@
 #!/usr/bin/env sh
 # Tier-1 verification: build, test, and format-check the whole workspace
-# fully offline (the workspace has zero external dependencies).
+# fully offline (the workspace has zero external dependencies), then
+# smoke-test the serving daemon end to end.
 set -eu
 cd "$(dirname "$0")/.."
 
-cargo build --release --offline
+# --workspace so member binaries (gem5prof-served, servectl, loadgen)
+# are built too — the root package alone does not pull them in.
+cargo build --release --offline --workspace
 cargo test -q --offline
+cargo test -q --offline -p gem5prof-served
 cargo fmt --check
+
+# Serving smoke test: boot the daemon on an ephemeral port, probe it
+# with servectl, then drain it gracefully with SIGTERM.
+PORT_FILE="$(mktemp)"
+SERVED_PID=""
+cleanup() {
+    if [ -n "$SERVED_PID" ]; then
+        kill "$SERVED_PID" 2>/dev/null || true
+    fi
+    rm -f "$PORT_FILE"
+}
+trap cleanup EXIT INT TERM
+
+rm -f "$PORT_FILE"
+target/release/gem5prof-served --addr 127.0.0.1:0 --port-file "$PORT_FILE" &
+SERVED_PID=$!
+
+i=0
+while [ ! -s "$PORT_FILE" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "verify: daemon never wrote its port file" >&2
+        exit 1
+    fi
+    if ! kill -0 "$SERVED_PID" 2>/dev/null; then
+        echo "verify: daemon exited before binding" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+target/release/servectl --addr "$(cat "$PORT_FILE")" --timeout-ms 5000 healthz
+
+kill -TERM "$SERVED_PID"
+wait "$SERVED_PID"
+SERVED_PID=""
+echo "verify: serving smoke test passed"

@@ -6,7 +6,7 @@
 //! or formatting fails the test.
 
 use gem5_profiling::prof::figures::{fig01, fig14, Fidelity};
-use gem5_profiling::prof::with_threads;
+use gem5_profiling::prof::{threads, with_threads};
 
 #[test]
 fn fig01_is_byte_identical_across_thread_counts() {
@@ -20,4 +20,29 @@ fn fig14_is_byte_identical_across_thread_counts() {
     let parallel = with_threads(4, || fig14(Fidelity::Quick).to_string());
     let single = with_threads(1, || fig14(Fidelity::Quick).to_string());
     assert_eq!(parallel, single, "fig14 diverged between 4 and 1 threads");
+}
+
+#[test]
+fn threads_zero_falls_back_to_available_parallelism() {
+    // `GEM5PROF_THREADS=0` (and `set_threads(0)`, which `with_threads(0, …)`
+    // pins here) means "auto", not "zero workers". The other tests in this
+    // file are immune to the env var: they pin a non-zero override, which
+    // takes precedence.
+    std::env::set_var("GEM5PROF_THREADS", "0");
+    let resolved = with_threads(0, threads);
+    std::env::remove_var("GEM5PROF_THREADS");
+    let auto = std::thread::available_parallelism().map_or(1, |n| n.get());
+    assert_eq!(
+        resolved, auto,
+        "GEM5PROF_THREADS=0 must fall back to available parallelism"
+    );
+    assert!(resolved >= 1);
+}
+
+#[test]
+fn garbage_thread_env_is_ignored() {
+    std::env::set_var("GEM5PROF_THREADS", "lots");
+    let resolved = with_threads(0, threads);
+    std::env::remove_var("GEM5PROF_THREADS");
+    assert!(resolved >= 1, "unparseable env var must not zero the pool");
 }

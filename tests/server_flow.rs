@@ -1,0 +1,159 @@
+//! End-to-end flow through `gem5prof-served`: boot the daemon on an
+//! ephemeral port, exercise every endpoint class over real TCP, check
+//! the result cache via `/stats`, drive the queue into backpressure,
+//! and shut down gracefully.
+
+use gem5prof_served::http::one_shot;
+use gem5prof_served::minjson;
+use gem5prof_served::{serve, ServeConfig};
+use std::time::Duration;
+
+/// Generous transport/deadline budget: the cold `/figures/fig01` render
+/// simulates every workload × CPU point on however many cores CI has.
+const LONG: Duration = Duration::from_secs(900);
+
+fn get(addr: &str, path: &str) -> (u16, String) {
+    one_shot(addr, "GET", path, None, LONG).expect("GET transport")
+}
+
+fn post(addr: &str, path: &str, body: &str) -> (u16, String) {
+    one_shot(addr, "POST", path, Some(body), LONG).expect("POST transport")
+}
+
+fn parse(body: &str) -> minjson::Json {
+    minjson::parse(body).unwrap_or_else(|e| panic!("response is not JSON ({e}): {body}"))
+}
+
+#[test]
+fn server_flow_end_to_end() {
+    let handle = serve(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_cap: 32,
+        cache_cap: 64,
+        deadline: LONG,
+        worker_delay: Duration::ZERO,
+    })
+    .expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+
+    // Liveness.
+    let (status, body) = get(&addr, "/healthz");
+    assert_eq!(status, 200);
+    let doc = parse(&body);
+    assert_eq!(doc.get("status").and_then(|v| v.as_str()), Some("ok"));
+    assert_eq!(doc.get("draining").and_then(|v| v.as_bool()), Some(false));
+
+    // Unknown paths and wrong methods.
+    assert_eq!(get(&addr, "/nope").0, 404);
+    assert_eq!(get(&addr, "/figures/fig99").0, 404);
+    assert_eq!(get(&addr, "/experiments").0, 405);
+
+    // Invalid experiment bodies: malformed JSON, then an unknown workload.
+    assert_eq!(post(&addr, "/experiments", "{not json").0, 400);
+    let bad_spec = r#"{"platform":"intel_xeon","workload":"not_a_workload","cpu":"o3"}"#;
+    assert_eq!(post(&addr, "/experiments", bad_spec).0, 400);
+
+    // A real parameterized experiment.
+    let spec = r#"{"platform":"intel_xeon","workload":"dedup","cpu":"o3"}"#;
+    let (status, body) = post(&addr, "/experiments", spec);
+    assert_eq!(status, 200, "experiment failed: {body}");
+    let doc = parse(&body);
+    let seconds = doc
+        .get("host")
+        .and_then(|h| h.get("seconds"))
+        .and_then(|v| v.as_f64())
+        .expect("host.seconds in experiment response");
+    assert!(
+        seconds > 0.0,
+        "host.seconds must be positive, got {seconds}"
+    );
+
+    // The identical spec again must be served from the result cache.
+    assert_eq!(post(&addr, "/experiments", spec).0, 200);
+    let (_, stats) = get(&addr, "/stats");
+    let stats = parse(&stats);
+    let hits = stats
+        .get("result_cache")
+        .and_then(|c| c.get("hits"))
+        .and_then(|v| v.as_u64())
+        .expect("result_cache.hits in /stats");
+    assert!(
+        hits >= 1,
+        "second identical experiment should hit the cache: {}",
+        stats.to_string_compact()
+    );
+
+    // A figure renders, parses, and the repeat is the cached bytes.
+    let (status, body) = get(&addr, "/figures/fig01");
+    assert_eq!(status, 200, "fig01 failed: {body}");
+    let fig = parse(&body);
+    let title = fig
+        .get("title")
+        .and_then(|v| v.as_str())
+        .expect("figure title");
+    assert!(title.contains("Fig. 1"), "unexpected title: {title}");
+    let (status, body_again) = get(&addr, "/figures/fig01");
+    assert_eq!(status, 200);
+    assert_eq!(body, body_again, "cached figure must be byte-identical");
+    assert_eq!(get(&addr, "/tables/table2").0, 200);
+
+    // Graceful shutdown: the daemon drains and stops listening.
+    handle.shutdown();
+    assert!(
+        one_shot(&addr, "GET", "/healthz", None, Duration::from_secs(5)).is_err(),
+        "daemon still reachable after shutdown"
+    );
+}
+
+#[test]
+fn queue_full_answers_429_never_hangs() {
+    // One worker, a one-slot queue, and an artificial 400 ms of work per
+    // job: a burst of 8 concurrent requests must see some 200s and some
+    // 429s, and every request must get *an* answer.
+    let handle = serve(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_cap: 1,
+        cache_cap: 16,
+        deadline: Duration::from_secs(30),
+        worker_delay: Duration::from_millis(400),
+    })
+    .expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+    const BURST: usize = 8;
+
+    let barrier = std::sync::Barrier::new(BURST);
+    let statuses: Vec<u16> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..BURST)
+            .map(|_| {
+                let addr = &addr;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    one_shot(addr, "GET", "/tables/table1", None, Duration::from_secs(20))
+                        .expect("request must complete, not hang")
+                        .0
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let ok = statuses.iter().filter(|&&s| s == 200).count();
+    let busy = statuses.iter().filter(|&&s| s == 429).count();
+    assert_eq!(ok + busy, BURST, "unexpected statuses: {statuses:?}");
+    assert!(ok >= 1, "no request got through: {statuses:?}");
+    assert!(busy >= 1, "queue never reported full: {statuses:?}");
+
+    let (_, stats) = get(&addr, "/stats");
+    let rejected = parse(&stats)
+        .get("server")
+        .and_then(|s| s.get("queue"))
+        .and_then(|q| q.get("rejected"))
+        .and_then(|v| v.as_u64())
+        .expect("queue.rejected in /stats");
+    assert!(rejected >= busy as u64, "rejected={rejected} < busy={busy}");
+
+    handle.shutdown();
+}
