@@ -15,7 +15,15 @@
 //! cache hit rate read from `/stats` afterwards. `--json` prints the
 //! same report as a JSON object (the format stored in
 //! `BENCH_serving.json`).
+//!
+//! Latencies are recorded into one lock-free gem5prof-obs histogram
+//! shared by every client thread (relaxed atomics, no contention on the
+//! hot path); percentiles are histogram quantiles — the same estimate a
+//! Prometheus `histogram_quantile` over the server's own request-path
+//! histograms would give.
 
+use gem5prof_obs::metrics::duration_buckets;
+use gem5prof_obs::HistogramSnapshot;
 use gem5prof_served::http::{one_shot, ClientConn};
 use gem5prof_served::minjson::{self, Json};
 use std::collections::BTreeMap;
@@ -24,7 +32,6 @@ use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 struct Outcome {
-    latencies_us: Vec<u64>,
     statuses: BTreeMap<u16, u64>,
 }
 
@@ -35,12 +42,9 @@ fn usage() -> ! {
     std::process::exit(2);
 }
 
-fn percentile(sorted: &[u64], p: f64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let idx = ((sorted.len() as f64 - 1.0) * p).round() as usize;
-    sorted[idx]
+/// A histogram quantile in whole microseconds.
+fn quantile_us(snap: &HistogramSnapshot, q: f64) -> u64 {
+    snap.quantile(q).map_or(0, |s| (s * 1e6).round() as u64)
 }
 
 fn main() {
@@ -106,6 +110,11 @@ fn main() {
 
     let dropped = Arc::new(AtomicU64::new(0));
     let outcomes: Arc<Mutex<Vec<Outcome>>> = Arc::new(Mutex::new(Vec::new()));
+    let latency = gem5prof_obs::global().histogram(
+        "loadgen_request_seconds",
+        "client-observed request latency (connect + request + response)",
+        duration_buckets(),
+    );
     let start = Instant::now();
 
     std::thread::scope(|scope| {
@@ -114,9 +123,9 @@ fn main() {
             let paths = paths.clone();
             let dropped = Arc::clone(&dropped);
             let outcomes = Arc::clone(&outcomes);
+            let latency = Arc::clone(&latency);
             scope.spawn(move || {
                 let mut out = Outcome {
-                    latencies_us: Vec::with_capacity(requests),
                     statuses: BTreeMap::new(),
                 };
                 let mut conn: Option<ClientConn> = None;
@@ -137,7 +146,7 @@ fn main() {
                     };
                     match result {
                         Ok((status, _body)) => {
-                            out.latencies_us.push(t0.elapsed().as_micros() as u64);
+                            latency.observe_duration(t0.elapsed());
                             *out.statuses.entry(status).or_insert(0) += 1;
                         }
                         Err(_) => {
@@ -153,24 +162,21 @@ fn main() {
     let wall = start.elapsed();
 
     let outcomes = std::mem::take(&mut *outcomes.lock().unwrap());
-    let mut latencies: Vec<u64> = outcomes
-        .iter()
-        .flat_map(|o| o.latencies_us.iter().copied())
-        .collect();
-    latencies.sort_unstable();
     let mut statuses: BTreeMap<u16, u64> = BTreeMap::new();
     for o in &outcomes {
         for (&s, &n) in &o.statuses {
             *statuses.entry(s).or_insert(0) += n;
         }
     }
-    let completed = latencies.len() as u64;
+    let snap = latency.snapshot();
+    let completed = snap.count();
     let dropped = dropped.load(Ordering::Relaxed);
     let rps = completed as f64 / wall.as_secs_f64();
-    let (p50, p90, p99) = (
-        percentile(&latencies, 0.50),
-        percentile(&latencies, 0.90),
-        percentile(&latencies, 0.99),
+    let (p50, p90, p95, p99) = (
+        quantile_us(&snap, 0.50),
+        quantile_us(&snap, 0.90),
+        quantile_us(&snap, 0.95),
+        quantile_us(&snap, 0.99),
     );
 
     // Server-side view: result-cache hit rate at steady state.
@@ -202,6 +208,7 @@ fn main() {
                 Json::obj(vec![
                     ("p50", Json::Num(p50 as f64)),
                     ("p90", Json::Num(p90 as f64)),
+                    ("p95", Json::Num(p95 as f64)),
                     ("p99", Json::Num(p99 as f64)),
                 ]),
             ),
@@ -219,7 +226,7 @@ fn main() {
         );
         println!("  completed:   {completed} ({rps:.0} req/s)");
         println!("  dropped:     {dropped}");
-        println!("  latency:     p50 {p50} µs, p90 {p90} µs, p99 {p99} µs");
+        println!("  latency:     p50 {p50} µs, p90 {p90} µs, p95 {p95} µs, p99 {p99} µs");
         for (s, n) in &statuses {
             println!("  status {s}:  {n}");
         }

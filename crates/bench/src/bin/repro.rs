@@ -11,6 +11,11 @@
 //! `--threads N` (or the `GEM5PROF_THREADS` environment variable) pins
 //! the parallel runner's worker count; the default is every core.
 //! Output is byte-identical at any thread count.
+//!
+//! `--self-profile` turns the paper's methodology on the tool itself:
+//! after the run it prints the gem5prof-obs span table (per-phase self
+//! time, hottest first) and the fraction of wall time the spans account
+//! for, on stderr so piped figure output stays clean.
 
 use gem5prof::ablation;
 use gem5prof::figures::{self, Fidelity};
@@ -43,11 +48,37 @@ fn apply_threads(args: &[String]) {
     }
 }
 
+/// Prints the span table and wall-time accounting for `--self-profile`.
+fn report_self_profile(wall: std::time::Duration) {
+    let nodes = gem5prof_obs::span::snapshot();
+    let root_ns: u64 = nodes
+        .iter()
+        .filter(|n| n.path == ["repro"])
+        .map(|n| n.total_ns)
+        .sum();
+    eprintln!("\n--- self-profile (gem5prof-obs span table) ---");
+    eprint!("{}", gem5prof_obs::span::render_table());
+    let wall_ns = wall.as_nanos().max(1) as u64;
+    eprintln!(
+        "spans account for {:.1}% of {:.3}s wall time",
+        100.0 * root_ns as f64 / wall_ns as f64,
+        wall.as_secs_f64()
+    );
+}
+
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
     apply_threads(&args);
     let cmd = args.first().map(String::as_str).unwrap_or("all");
     let f = fidelity(&args);
+    let self_profile = args.iter().any(|a| a == "--self-profile");
+    let wall_start = std::time::Instant::now();
+    if self_profile {
+        gem5prof_obs::span::reset();
+    }
+    // Root span: everything below (figure spans, profile/workload spans,
+    // eventq drains) nests under `repro` in the table.
+    let root = self_profile.then(|| gem5prof_obs::span("repro"));
 
     match cmd {
         "all" => {
@@ -94,5 +125,10 @@ fn main() {
             );
             std::process::exit(2);
         }
+    }
+
+    drop(root);
+    if self_profile {
+        report_self_profile(wall_start.elapsed());
     }
 }

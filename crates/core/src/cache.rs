@@ -89,6 +89,34 @@ impl CacheSnapshot {
             self.hits as f64 / total as f64
         }
     }
+
+    /// This snapshot as metric samples named `<prefix>_{hits,misses,
+    /// insertions,evictions}_total` — the bridge that lets every cache
+    /// surface in `/metrics` from the same counters `/stats` reads,
+    /// rather than maintaining a parallel counter set.
+    pub fn metric_samples(&self, prefix: &str) -> Vec<gem5prof_obs::Sample> {
+        use gem5prof_obs::{MetricKind, Sample};
+        [
+            ("hits_total", "lookups served from the cache", self.hits),
+            ("misses_total", "lookups that missed", self.misses),
+            ("insertions_total", "entries inserted", self.insertions),
+            (
+                "evictions_total",
+                "entries evicted to make room",
+                self.evictions,
+            ),
+        ]
+        .into_iter()
+        .map(|(suffix, help, v)| {
+            Sample::plain(
+                &format!("{prefix}_{suffix}"),
+                help,
+                MetricKind::Counter,
+                v as f64,
+            )
+        })
+        .collect()
+    }
 }
 
 /// A bounded least-recently-used map with embedded [`CacheStats`].

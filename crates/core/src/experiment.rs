@@ -144,9 +144,12 @@ fn engines_for(hosts: &[HostSetup]) -> Vec<HostEngine> {
 /// engines and perform zero guest simulation.
 pub fn profile(guest: &GuestSpec, hosts: &[HostSetup]) -> ProfileRun {
     assert!(!hosts.is_empty(), "at least one host setup required");
+    let _span = gem5prof_obs::span("profile");
+    let _wspan = gem5prof_obs::span(guest.workload.name());
     let canon = registry_for(BinaryVariant::Base, PageBacking::Base);
 
     if let Some(cached) = runner::cache_lookup(guest) {
+        let _replay = gem5prof_obs::span("replay");
         let mut fanout = FanoutSink::new(engines_for(hosts));
         replay(&cached.events, &mut fanout);
         return ProfileRun {
@@ -172,7 +175,10 @@ pub fn profile(guest: &GuestSpec, hosts: &[HostSetup]) -> ProfileRun {
     let program = guest.workload.program(guest.scale);
     let cfg = SystemConfig::new(guest.cpu, guest.mode);
     let mut sys = System::with_observer(cfg, program, obs);
-    let guest_result = sys.run();
+    let guest_result = {
+        let _sim = gem5prof_obs::span("guest_sim");
+        sys.run()
+    };
     drop(sys);
 
     let adapter = Rc::try_unwrap(adapter)

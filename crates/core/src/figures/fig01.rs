@@ -37,6 +37,7 @@ fn scenario_for(p: &platforms::Platform, which: usize) -> CorunScenario {
 /// SPLASH-2x workloads of each platform's simulation time normalized to
 /// `Intel_Xeon` in the same scenario (lower is better; Xeon ≡ 1).
 pub fn fig01(f: Fidelity) -> Table {
+    let _span = gem5prof_obs::span("fig01");
     let platforms: Vec<_> = PlatformId::ALL.iter().map(|p| p.platform()).collect();
     let scenarios = ["single", "per-phys-core", "per-hw-thread"];
 

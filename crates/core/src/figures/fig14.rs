@@ -12,6 +12,7 @@ use platforms::firesim;
 /// run on gem5, for each host cache configuration, relative to the
 /// `8KB/2 : 8KB/2 : 512KB/8` baseline — on the Table I FireSim host.
 pub fn fig14(f: Fidelity) -> Table {
+    let _span = gem5prof_obs::span("fig14");
     let sweep = firesim::fig14_sweep();
     let setups: Vec<HostSetup> = sweep.iter().cloned().map(HostSetup::raw).collect();
     let cpus = [CpuModel::Atomic, CpuModel::Timing, CpuModel::O3];

@@ -12,6 +12,7 @@ use platforms::intel_xeon;
 /// function, the cumulative share of the 10 and 50 hottest, and the total
 /// number of distinct functions called.
 pub fn fig15(f: Fidelity) -> Table {
+    let _span = gem5prof_obs::span("fig15");
     let xeon = [HostSetup::platform(&intel_xeon())];
     // Functions-touched counts grow with run length (cold paths keep
     // being discovered); the paper ran simmedium inputs, so Paper

@@ -63,6 +63,7 @@ fn cases(f: Fidelity) -> Vec<Case> {
 
 /// Fig. 2: Top-Down level-1 breakdown (percent of cycles).
 pub fn fig02(f: Fidelity) -> Table {
+    let _span = gem5prof_obs::span("fig02");
     let mut t = Table::new(
         "Fig. 2: Top-Down level 1 on Intel_Xeon (% of cycles)",
         ["Retiring", "FrontEnd", "BadSpec", "BackEnd"]
@@ -80,6 +81,7 @@ pub fn fig02(f: Fidelity) -> Table {
 
 /// Fig. 3: front-end bound cycles split into latency vs bandwidth.
 pub fn fig03(f: Fidelity) -> Table {
+    let _span = gem5prof_obs::span("fig03");
     let mut t = Table::new(
         "Fig. 3: front-end latency vs bandwidth (% of cycles)",
         ["FE-Latency", "FE-Bandwidth"].map(String::from).to_vec(),
@@ -100,6 +102,7 @@ pub fn fig03(f: Fidelity) -> Table {
 
 /// Fig. 4: front-end *latency* breakdown.
 pub fn fig04(f: Fidelity) -> Table {
+    let _span = gem5prof_obs::span("fig04");
     let mut t = Table::new(
         "Fig. 4: front-end latency breakdown (% of cycles)",
         [
@@ -135,6 +138,7 @@ pub fn fig04(f: Fidelity) -> Table {
 /// Fig. 5: front-end *bandwidth* breakdown (shares of bandwidth-bound
 /// cycles).
 pub fn fig05(f: Fidelity) -> Table {
+    let _span = gem5prof_obs::span("fig05");
     let mut t = Table::new(
         "Fig. 5: front-end bandwidth breakdown (% of FE-bandwidth cycles)",
         ["MITE", "DSB"].map(String::from).to_vec(),
@@ -155,6 +159,7 @@ pub fn fig05(f: Fidelity) -> Table {
 
 /// Fig. 6: DSB (µop cache) coverage.
 pub fn fig06(f: Fidelity) -> Table {
+    let _span = gem5prof_obs::span("fig06");
     let mut t = Table::new(
         "Fig. 6: DSB coverage (% of uops from the uop cache)",
         ["DSBCoverage"].map(String::from).to_vec(),

@@ -11,6 +11,7 @@ use platforms::PlatformId;
 /// Fig. 7: host IPC and stall fraction when running `water_nsquared`
 /// simulations on the three platforms.
 pub fn fig07(f: Fidelity) -> Table {
+    let _span = gem5prof_obs::span("fig07");
     let setups: Vec<HostSetup> = PlatformId::ALL
         .iter()
         .map(|p| HostSetup::platform(&p.platform()))
@@ -43,6 +44,7 @@ pub fn fig07(f: Fidelity) -> Table {
 /// Fig. 8: TLB, L1 and branch-prediction behaviour across platforms
 /// (O3 simulation of `water_nsquared`).
 pub fn fig08(f: Fidelity) -> Table {
+    let _span = gem5prof_obs::span("fig08");
     let setups: Vec<HostSetup> = PlatformId::ALL
         .iter()
         .map(|p| HostSetup::platform(&p.platform()))
@@ -81,6 +83,7 @@ pub fn fig08(f: Fidelity) -> Table {
 /// Fig. 9: LLC occupancy and DRAM bandwidth of a single gem5 process on
 /// `Intel_Xeon`, per CPU model and mode.
 pub fn fig09(f: Fidelity) -> Table {
+    let _span = gem5prof_obs::span("fig09");
     let xeon = [HostSetup::platform(&platforms::intel_xeon())];
     let mut t = Table::new(
         "Fig. 9: LLC occupancy and DRAM bandwidth on Intel_Xeon",

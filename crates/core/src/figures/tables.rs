@@ -6,6 +6,7 @@ use platforms::{firesim, PlatformId};
 
 /// Table I: the FireSim base hardware configuration.
 pub fn table1() -> Table {
+    let _span = gem5prof_obs::span("table1");
     let b = firesim::base();
     let mut t = Table::new(
         "Table I: base hardware configuration on FireSim",
@@ -26,6 +27,7 @@ pub fn table1() -> Table {
 
 /// Table II: the evaluation platforms.
 pub fn table2() -> Table {
+    let _span = gem5prof_obs::span("table2");
     let mut t = Table::new(
         "Table II: evaluation platforms",
         PlatformId::ALL

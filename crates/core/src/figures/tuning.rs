@@ -10,6 +10,7 @@ use platforms::{intel_xeon, PlatformId, SystemKnobs};
 /// Fig. 10: speedup from backing gem5's code with huge pages
 /// (THP via iodlr-style remapping, EHP via libhugetlbfs) on `Intel_Xeon`.
 pub fn fig10(f: Fidelity) -> Table {
+    let _span = gem5prof_obs::span("fig10");
     let xeon = intel_xeon();
     let setups = [
         HostSetup::with_knobs(&xeon, &SystemKnobs::new()),
@@ -38,6 +39,7 @@ pub fn fig10(f: Fidelity) -> Table {
 
 /// Fig. 11: improvement in iTLB overhead and retiring cycles with THP.
 pub fn fig11(f: Fidelity) -> Table {
+    let _span = gem5prof_obs::span("fig11");
     let xeon = intel_xeon();
     let setups = [
         HostSetup::with_knobs(&xeon, &SystemKnobs::new()),
@@ -74,6 +76,7 @@ pub fn fig11(f: Fidelity) -> Table {
 /// Fig. 12: speedup from compiling the simulator with `-O3`, per
 /// platform.
 pub fn fig12(f: Fidelity) -> Table {
+    let _span = gem5prof_obs::span("fig12");
     let mut t = Table::new(
         "Fig. 12: -O3 binary speedup (%)",
         PlatformId::ALL
@@ -108,6 +111,7 @@ pub fn fig12(f: Fidelity) -> Table {
 /// Fig. 13: simulation time vs CPU frequency on `Intel_Xeon`, normalized
 /// to the nominal 3.1 GHz (Turbo Boost as the final row).
 pub fn fig13(f: Fidelity) -> Table {
+    let _span = gem5prof_obs::span("fig13");
     let xeon = intel_xeon();
     let freqs = [1.2, 1.6, 2.0, 2.4, 2.8, 3.1];
     let mut setups: Vec<HostSetup> = freqs

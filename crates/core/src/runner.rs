@@ -119,6 +119,10 @@ where
     if workers == 1 {
         return items.iter().map(f).collect();
     }
+    // Keep logical span parentage across the fan-out: worker threads
+    // re-root their spans under the caller's current span path, so a
+    // `figure → profile → workload` chain survives the thread hop.
+    let parent = gem5prof_obs::span::current_path();
 
     let ranges: Vec<Mutex<Range>> = (0..workers)
         .map(|w| {
@@ -174,15 +178,18 @@ where
             let f = &f;
             let pop_own = &pop_own;
             let steal = &steal;
-            scope.spawn(move || loop {
-                let i = match pop_own(me) {
-                    Some(i) => i,
-                    None => match steal(me) {
+            let parent = &parent;
+            scope.spawn(move || {
+                gem5prof_obs::span::with_parent(parent, || loop {
+                    let i = match pop_own(me) {
                         Some(i) => i,
-                        None => break,
-                    },
-                };
-                *lock(&slots[i]) = Some(f(&items[i]));
+                        None => match steal(me) {
+                            Some(i) => i,
+                            None => break,
+                        },
+                    };
+                    *lock(&slots[i]) = Some(f(&items[i]));
+                })
             });
         }
     });
@@ -244,7 +251,25 @@ static TRACE_STATS: CacheStats = CacheStats::new();
 
 fn cache() -> &'static Mutex<HashMap<GuestSpec, Arc<CachedGuest>>> {
     static CACHE: OnceLock<Mutex<HashMap<GuestSpec, Arc<CachedGuest>>>> = OnceLock::new();
-    CACHE.get_or_init(|| Mutex::new(HashMap::new()))
+    CACHE.get_or_init(|| {
+        // First touch of the trace cache: surface its counters in the
+        // metrics registry. The collector reads the same `CacheStats`
+        // the `/stats` endpoint reports, so there is exactly one set of
+        // counters behind both views.
+        gem5prof_obs::global().register_collector(Box::new(|| {
+            let stats = cache_stats();
+            let snap = TRACE_STATS.snapshot();
+            let mut samples = snap.metric_samples("gem5prof_trace_cache");
+            samples.push(gem5prof_obs::Sample::plain(
+                "gem5prof_trace_cache_resident_events",
+                "events currently resident across all cached guest streams",
+                gem5prof_obs::MetricKind::Gauge,
+                stats.resident_events as f64,
+            ));
+            samples
+        }));
+        Mutex::new(HashMap::new())
+    })
 }
 
 pub(crate) fn cache_lookup(spec: &GuestSpec) -> Option<Arc<CachedGuest>> {

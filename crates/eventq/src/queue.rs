@@ -130,6 +130,37 @@ pub fn global_events_serviced() -> u64 {
     GLOBAL_EVENTS_SERVICED.load(std::sync::atomic::Ordering::Relaxed)
 }
 
+/// Metrics for the drain loop, registered once and then updated with
+/// plain atomics (per *drain*, not per event — the per-event hot path
+/// stays untouched).
+struct DrainMetrics {
+    events: std::sync::Arc<gem5prof_obs::Counter>,
+    drains: std::sync::Arc<gem5prof_obs::Counter>,
+    seconds: std::sync::Arc<gem5prof_obs::Histogram>,
+}
+
+fn drain_metrics() -> &'static DrainMetrics {
+    static M: std::sync::OnceLock<DrainMetrics> = std::sync::OnceLock::new();
+    M.get_or_init(|| {
+        let r = gem5prof_obs::global();
+        DrainMetrics {
+            events: r.counter(
+                "gem5prof_eventq_events_serviced_total",
+                "events serviced by completed event-queue drain loops",
+            ),
+            drains: r.counter(
+                "gem5prof_eventq_drains_total",
+                "completed event-queue drain loops",
+            ),
+            seconds: r.histogram(
+                "gem5prof_eventq_drain_seconds",
+                "wall time of one event-queue drain loop",
+                gem5prof_obs::metrics::duration_buckets(),
+            ),
+        }
+    })
+}
+
 /// The global event queue.
 ///
 /// See the [module docs](self) for the design rationale. All methods take
@@ -279,6 +310,20 @@ impl EventQueue {
     /// Runs until exit is requested, the queue drains, or `max_tick`
     /// (if given) would be exceeded.
     pub fn run(&self, max_tick: Option<Tick>) -> ExitStatus {
+        let _span = gem5prof_obs::span("eventq_drain");
+        let started = std::time::Instant::now();
+        let serviced_before = self.events_serviced();
+        struct Record<'a>(&'a EventQueue, std::time::Instant, u64);
+        impl Drop for Record<'_> {
+            fn drop(&mut self) {
+                let m = drain_metrics();
+                m.drains.inc();
+                m.events
+                    .add(self.0.events_serviced().saturating_sub(self.2));
+                m.seconds.observe_duration(self.1.elapsed());
+            }
+        }
+        let _record = Record(self, started, serviced_before);
         loop {
             if let Some((reason, code)) = self.inner.borrow_mut().exit.take() {
                 return ExitStatus::Exited { reason, code };

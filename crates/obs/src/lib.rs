@@ -1,0 +1,56 @@
+//! `gem5prof-obs` — the repository's self-profiling and metrics
+//! subsystem: the paper's lens (*profile the simulator as an ordinary
+//! application*) turned on gem5prof itself.
+//!
+//! Three layers, all std-only:
+//!
+//! * [`metrics`] — an instrumentation core: a process-wide registry of
+//!   [`Counter`]s, [`Gauge`]s and fixed-bucket [`Histogram`]s. The hot
+//!   path is atomics only — registration takes a short lock once, after
+//!   which callers hold an `Arc` and never touch the registry again.
+//!   External counter sets (e.g. cache statistics that already exist
+//!   elsewhere) plug in as scrape-time [`Collector`]s, so `/stats` and
+//!   `/metrics` report from one source of truth.
+//! * [`span`] — lightweight span timers with a thread-local span stack:
+//!   nested phases (figure → experiment → workload → event-loop drain)
+//!   attribute wall time hierarchically, with per-path call counts,
+//!   total time and *self* time (total minus child time). Snapshots
+//!   render as a self-time table, a hot-span CDF (mirroring the paper's
+//!   "no hot function" Fig. 15 methodology), or a collapsed-stack text
+//!   export consumable by flamegraph tooling.
+//! * [`prom`] — Prometheus text exposition (version 0.0.4): `# HELP` /
+//!   `# TYPE` metadata, label escaping, and `_bucket`/`_sum`/`_count`
+//!   series for histograms.
+//!
+//! # Example
+//!
+//! ```
+//! use gem5prof_obs as obs;
+//!
+//! let reqs = obs::global().counter("doc_requests_total", "requests served");
+//! let lat = obs::global().histogram(
+//!     "doc_request_seconds",
+//!     "request latency",
+//!     obs::metrics::duration_buckets(),
+//! );
+//! {
+//!     let _outer = obs::span("request");
+//!     let _inner = obs::span("compute");
+//!     reqs.inc();
+//!     lat.observe(0.002);
+//! }
+//! let text = obs::global().render_prometheus();
+//! assert!(text.contains("doc_requests_total"));
+//! assert!(text.contains("doc_request_seconds_bucket"));
+//! let tree = obs::span::snapshot();
+//! assert!(tree.iter().any(|n| n.path == ["request", "compute"]));
+//! ```
+
+pub mod metrics;
+pub mod prom;
+pub mod span;
+
+pub use metrics::{
+    global, Collector, Counter, Gauge, Histogram, HistogramSnapshot, MetricKind, Registry, Sample,
+};
+pub use span::{span, SpanGuard, SpanNode};

@@ -1,0 +1,582 @@
+//! The instrumentation core: counters, gauges, fixed-bucket histograms
+//! and the process-wide registry.
+//!
+//! Hot-path contract: once a metric handle (`Arc<Counter>` etc.) is
+//! obtained, every update is a single relaxed atomic operation — no
+//! locks, no allocation. The registry's internal mutex is touched only
+//! at registration and at scrape time.
+
+use std::sync::atomic::{AtomicI64, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+/// A monotonically increasing counter.
+#[derive(Debug, Default)]
+pub struct Counter {
+    value: AtomicU64,
+}
+
+impl Counter {
+    /// A zeroed counter (usable standalone, outside any registry).
+    pub const fn new() -> Self {
+        Counter {
+            value: AtomicU64::new(0),
+        }
+    }
+
+    /// Adds one.
+    pub fn inc(&self) {
+        self.value.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A gauge: a value that can go up and down.
+#[derive(Debug, Default)]
+pub struct Gauge {
+    value: AtomicI64,
+}
+
+impl Gauge {
+    /// A zeroed gauge.
+    pub const fn new() -> Self {
+        Gauge {
+            value: AtomicI64::new(0),
+        }
+    }
+
+    /// Sets the gauge.
+    pub fn set(&self, v: i64) {
+        self.value.store(v, Ordering::Relaxed);
+    }
+
+    /// Adds `n` (may be negative).
+    pub fn add(&self, n: i64) {
+        self.value.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> i64 {
+        self.value.load(Ordering::Relaxed)
+    }
+}
+
+/// A fixed-bucket latency/size histogram with lock-free observation.
+///
+/// Buckets are cumulative-at-scrape, Prometheus style: bucket `i` counts
+/// observations `<= bounds[i]`, with an implicit `+Inf` bucket at the
+/// end. The running sum is an `f64` maintained with a CAS loop — still
+/// lock-free, and contention is negligible at the coarse rates the
+/// subsystem observes.
+#[derive(Debug)]
+pub struct Histogram {
+    bounds: Vec<f64>,
+    /// Per-bucket (non-cumulative) counts; `len() == bounds.len() + 1`,
+    /// the last slot being the `+Inf` overflow bucket.
+    counts: Vec<AtomicU64>,
+    sum_bits: AtomicU64,
+}
+
+impl Histogram {
+    /// Creates a histogram with the given strictly increasing upper
+    /// bounds (the `+Inf` bucket is implicit).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bounds` is empty or not strictly increasing.
+    pub fn new(bounds: &[f64]) -> Self {
+        assert!(!bounds.is_empty(), "histogram needs at least one bound");
+        assert!(
+            bounds.windows(2).all(|w| w[0] < w[1]),
+            "histogram bounds must be strictly increasing: {bounds:?}"
+        );
+        Histogram {
+            bounds: bounds.to_vec(),
+            counts: (0..bounds.len() + 1).map(|_| AtomicU64::new(0)).collect(),
+            sum_bits: AtomicU64::new(0f64.to_bits()),
+        }
+    }
+
+    /// Records one observation.
+    pub fn observe(&self, v: f64) {
+        let idx = self.bounds.partition_point(|&b| b < v);
+        self.counts[idx].fetch_add(1, Ordering::Relaxed);
+        let mut cur = self.sum_bits.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + v).to_bits();
+            match self.sum_bits.compare_exchange_weak(
+                cur,
+                next,
+                Ordering::Relaxed,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => break,
+                Err(actual) => cur = actual,
+            }
+        }
+    }
+
+    /// Records a [`std::time::Duration`] in seconds.
+    pub fn observe_duration(&self, d: std::time::Duration) {
+        self.observe(d.as_secs_f64());
+    }
+
+    /// Upper bounds (excluding the implicit `+Inf`).
+    pub fn bounds(&self) -> &[f64] {
+        &self.bounds
+    }
+
+    /// A point-in-time copy of counts and sum.
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        HistogramSnapshot {
+            bounds: self.bounds.clone(),
+            counts: self
+                .counts
+                .iter()
+                .map(|c| c.load(Ordering::Relaxed))
+                .collect(),
+            sum: f64::from_bits(self.sum_bits.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+/// Plain-value histogram state: the bucket math (CDF, quantiles, merge)
+/// lives here so it is testable without atomics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Upper bounds, strictly increasing, `+Inf` implicit.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; one longer than `bounds` (`+Inf` last).
+    pub counts: Vec<u64>,
+    /// Sum of all observed values.
+    pub sum: f64,
+}
+
+impl HistogramSnapshot {
+    /// Total observations.
+    pub fn count(&self) -> u64 {
+        self.counts.iter().sum()
+    }
+
+    /// Cumulative bucket counts, Prometheus `_bucket` style: entry `i`
+    /// is the number of observations `<= bounds[i]`, and the final entry
+    /// (`+Inf`) equals [`count`](Self::count). Monotone by construction.
+    pub fn cumulative(&self) -> Vec<u64> {
+        let mut acc = 0u64;
+        self.counts
+            .iter()
+            .map(|&c| {
+                acc += c;
+                acc
+            })
+            .collect()
+    }
+
+    /// Estimates the `q`-quantile (`0.0..=1.0`) by linear interpolation
+    /// within the bucket containing the target rank, like Prometheus'
+    /// `histogram_quantile`. Returns `None` for an empty histogram.
+    /// Observations in the `+Inf` bucket clamp to the largest bound.
+    pub fn quantile(&self, q: f64) -> Option<f64> {
+        let total = self.count();
+        if total == 0 {
+            return None;
+        }
+        let q = q.clamp(0.0, 1.0);
+        let rank = q * total as f64;
+        let mut cum = 0u64;
+        for (i, &c) in self.counts.iter().enumerate() {
+            let prev = cum;
+            cum += c;
+            if (cum as f64) >= rank && c > 0 {
+                let hi = match self.bounds.get(i) {
+                    Some(&b) => b,
+                    None => return Some(*self.bounds.last().unwrap()),
+                };
+                let lo = if i == 0 { 0.0 } else { self.bounds[i - 1] };
+                let frac = (rank - prev as f64) / c as f64;
+                return Some(lo + (hi - lo) * frac.clamp(0.0, 1.0));
+            }
+        }
+        Some(*self.bounds.last().unwrap())
+    }
+
+    /// Merges `other` into `self` (counts and sums add).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket bounds differ.
+    pub fn merge(&mut self, other: &HistogramSnapshot) {
+        assert_eq!(
+            self.bounds, other.bounds,
+            "cannot merge histograms with different bounds"
+        );
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        self.sum += other.sum;
+    }
+}
+
+/// Default duration buckets (seconds): 1 µs .. ~100 s, log-spaced.
+pub fn duration_buckets() -> &'static [f64] {
+    &[
+        1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2,
+        2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+    ]
+}
+
+/// What a metric is, for the `# TYPE` exposition line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum MetricKind {
+    /// Monotonically increasing.
+    Counter,
+    /// Goes up and down.
+    Gauge,
+}
+
+/// One scrape-time value contributed by a [`Collector`].
+#[derive(Debug, Clone)]
+pub struct Sample {
+    /// Full metric name (e.g. `gem5prof_trace_cache_hits_total`).
+    pub name: String,
+    /// `# HELP` text.
+    pub help: String,
+    /// Counter or gauge.
+    pub kind: MetricKind,
+    /// Label pairs, `(name, value)`.
+    pub labels: Vec<(String, String)>,
+    /// Current value.
+    pub value: f64,
+}
+
+impl Sample {
+    /// A labelless sample.
+    pub fn plain(name: &str, help: &str, kind: MetricKind, value: f64) -> Self {
+        Sample {
+            name: name.to_string(),
+            help: help.to_string(),
+            kind,
+            labels: Vec::new(),
+            value,
+        }
+    }
+}
+
+/// A scrape-time source of samples: lets counter sets that already live
+/// elsewhere (cache statistics, server status counts) surface in
+/// `/metrics` without maintaining a second set of counters.
+pub type Collector = Box<dyn Fn() -> Vec<Sample> + Send + Sync>;
+
+enum Instrument {
+    Counter(Arc<Counter>),
+    Gauge(Arc<Gauge>),
+    Histogram(Arc<Histogram>),
+}
+
+struct Entry {
+    name: String,
+    help: String,
+    labels: Vec<(String, String)>,
+    instrument: Instrument,
+}
+
+/// The metric registry: registration and scraping only — never on the
+/// update path.
+#[derive(Default)]
+pub struct Registry {
+    entries: Mutex<Vec<Entry>>,
+    collectors: Mutex<Vec<Collector>>,
+}
+
+impl Registry {
+    /// An empty registry (tests; production code uses [`global`]).
+    pub fn new() -> Self {
+        Registry::default()
+    }
+
+    fn intern<T, F: FnOnce() -> Instrument>(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        make: F,
+        extract: impl Fn(&Instrument) -> Option<Arc<T>>,
+    ) -> Arc<T> {
+        let labels: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        let mut entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(e) = entries
+            .iter()
+            .find(|e| e.name == name && e.labels == labels)
+        {
+            return extract(&e.instrument).unwrap_or_else(|| {
+                panic!("metric `{name}` already registered with a different type")
+            });
+        }
+        let instrument = make();
+        let out = extract(&instrument).expect("freshly made instrument matches");
+        entries.push(Entry {
+            name: name.to_string(),
+            help: help.to_string(),
+            labels,
+            instrument,
+        });
+        out
+    }
+
+    /// Registers (or returns the existing) counter `name`.
+    pub fn counter(&self, name: &str, help: &str) -> Arc<Counter> {
+        self.counter_with(name, help, &[])
+    }
+
+    /// A labeled counter; one series per distinct label set.
+    pub fn counter_with(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Arc<Counter> {
+        self.intern(
+            name,
+            help,
+            labels,
+            || Instrument::Counter(Arc::new(Counter::new())),
+            |i| match i {
+                Instrument::Counter(c) => Some(Arc::clone(c)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registers (or returns the existing) gauge `name`.
+    pub fn gauge(&self, name: &str, help: &str) -> Arc<Gauge> {
+        self.intern(
+            name,
+            help,
+            &[],
+            || Instrument::Gauge(Arc::new(Gauge::new())),
+            |i| match i {
+                Instrument::Gauge(g) => Some(Arc::clone(g)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Registers (or returns the existing) histogram `name`.
+    pub fn histogram(&self, name: &str, help: &str, bounds: &[f64]) -> Arc<Histogram> {
+        self.histogram_with(name, help, bounds, &[])
+    }
+
+    /// A labeled histogram; one series per distinct label set.
+    pub fn histogram_with(
+        &self,
+        name: &str,
+        help: &str,
+        bounds: &[f64],
+        labels: &[(&str, &str)],
+    ) -> Arc<Histogram> {
+        self.intern(
+            name,
+            help,
+            labels,
+            || Instrument::Histogram(Arc::new(Histogram::new(bounds))),
+            |i| match i {
+                Instrument::Histogram(h) => Some(Arc::clone(h)),
+                _ => None,
+            },
+        )
+    }
+
+    /// Adds a scrape-time [`Collector`].
+    pub fn register_collector(&self, c: Collector) {
+        self.collectors
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .push(c);
+    }
+
+    /// Renders the full Prometheus text exposition (see [`crate::prom`]).
+    pub fn render_prometheus(&self) -> String {
+        crate::prom::render(self)
+    }
+
+    /// Flat scrape of every registered instrument and collector.
+    /// Histograms expand into `_bucket`/`_sum`/`_count` samples in
+    /// [`crate::prom`]; here they stay structured.
+    pub(crate) fn scrape(&self) -> (Vec<ScrapedMetric>, Vec<Sample>) {
+        let entries = self.entries.lock().unwrap_or_else(|e| e.into_inner());
+        let scraped = entries
+            .iter()
+            .map(|e| ScrapedMetric {
+                name: e.name.clone(),
+                help: e.help.clone(),
+                labels: e.labels.clone(),
+                value: match &e.instrument {
+                    Instrument::Counter(c) => ScrapedValue::Counter(c.get()),
+                    Instrument::Gauge(g) => ScrapedValue::Gauge(g.get()),
+                    Instrument::Histogram(h) => ScrapedValue::Histogram(h.snapshot()),
+                },
+            })
+            .collect();
+        let collectors = self.collectors.lock().unwrap_or_else(|e| e.into_inner());
+        let extra = collectors.iter().flat_map(|c| c()).collect();
+        (scraped, extra)
+    }
+}
+
+pub(crate) enum ScrapedValue {
+    Counter(u64),
+    Gauge(i64),
+    Histogram(HistogramSnapshot),
+}
+
+pub(crate) struct ScrapedMetric {
+    pub name: String,
+    pub help: String,
+    pub labels: Vec<(String, String)>,
+    pub value: ScrapedValue,
+}
+
+/// The process-wide registry every subsystem reports into.
+pub fn global() -> &'static Registry {
+    static GLOBAL: OnceLock<Registry> = OnceLock::new();
+    GLOBAL.get_or_init(Registry::new)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counter_and_gauge_roundtrip() {
+        let r = Registry::new();
+        let c = r.counter("c_total", "a counter");
+        c.inc();
+        c.add(4);
+        assert_eq!(c.get(), 5);
+        // Same name returns the same instance.
+        assert_eq!(r.counter("c_total", "a counter").get(), 5);
+        let g = r.gauge("g", "a gauge");
+        g.set(7);
+        g.add(-3);
+        assert_eq!(g.get(), 4);
+    }
+
+    #[test]
+    fn labeled_series_are_distinct() {
+        let r = Registry::new();
+        let a = r.counter_with("reqs_total", "by status", &[("status", "200")]);
+        let b = r.counter_with("reqs_total", "by status", &[("status", "404")]);
+        a.inc();
+        a.inc();
+        b.inc();
+        assert_eq!(a.get(), 2);
+        assert_eq!(b.get(), 1);
+        assert_eq!(
+            r.counter_with("reqs_total", "by status", &[("status", "200")])
+                .get(),
+            2
+        );
+    }
+
+    #[test]
+    fn histogram_observes_into_correct_buckets() {
+        let h = Histogram::new(&[1.0, 10.0, 100.0]);
+        for v in [0.5, 1.0, 5.0, 50.0, 500.0] {
+            h.observe(v);
+        }
+        let s = h.snapshot();
+        // <=1: {0.5, 1.0}; <=10: {5.0}; <=100: {50.0}; +Inf: {500.0}
+        assert_eq!(s.counts, vec![2, 1, 1, 1]);
+        assert_eq!(s.cumulative(), vec![2, 3, 4, 5]);
+        assert_eq!(s.count(), 5);
+        assert!((s.sum - 556.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn quantiles_interpolate() {
+        let h = Histogram::new(&[10.0, 20.0, 40.0]);
+        for _ in 0..50 {
+            h.observe(5.0);
+        }
+        for _ in 0..50 {
+            h.observe(15.0);
+        }
+        let s = h.snapshot();
+        // Rank 50 sits exactly at the first bucket's upper bound.
+        assert!((s.quantile(0.5).unwrap() - 10.0).abs() < 1e-9);
+        // Rank 100 is the end of the second bucket.
+        assert!((s.quantile(1.0).unwrap() - 20.0).abs() < 1e-9);
+        assert_eq!(Histogram::new(&[1.0]).snapshot().quantile(0.5), None);
+    }
+
+    #[test]
+    fn quantile_clamps_overflow_to_last_bound() {
+        let h = Histogram::new(&[1.0, 2.0]);
+        h.observe(99.0);
+        assert_eq!(h.snapshot().quantile(0.99), Some(2.0));
+    }
+
+    #[test]
+    fn merge_adds_counts_and_sums() {
+        let a = Histogram::new(&[1.0, 2.0]);
+        a.observe(0.5);
+        let b = Histogram::new(&[1.0, 2.0]);
+        b.observe(1.5);
+        b.observe(9.0);
+        let mut m = a.snapshot();
+        m.merge(&b.snapshot());
+        assert_eq!(m.counts, vec![1, 1, 1]);
+        assert!((m.sum - 11.0).abs() < 1e-9);
+    }
+
+    #[test]
+    #[should_panic(expected = "strictly increasing")]
+    fn unsorted_bounds_panic() {
+        let _ = Histogram::new(&[2.0, 1.0]);
+    }
+
+    #[test]
+    fn collectors_feed_scrapes() {
+        let r = Registry::new();
+        r.register_collector(Box::new(|| {
+            vec![Sample::plain(
+                "ext_total",
+                "external",
+                MetricKind::Counter,
+                3.0,
+            )]
+        }));
+        let (_, extra) = r.scrape();
+        assert_eq!(extra.len(), 1);
+        assert_eq!(extra[0].value, 3.0);
+    }
+
+    #[test]
+    fn concurrent_observation_is_lossless() {
+        let h = Arc::new(Histogram::new(&[0.5]));
+        let c = Arc::new(Counter::new());
+        std::thread::scope(|s| {
+            for _ in 0..8 {
+                let h = Arc::clone(&h);
+                let c = Arc::clone(&c);
+                s.spawn(move || {
+                    for i in 0..10_000 {
+                        h.observe(if i % 2 == 0 { 0.25 } else { 1.0 });
+                        c.inc();
+                    }
+                });
+            }
+        });
+        let s = h.snapshot();
+        assert_eq!(s.count(), 80_000);
+        assert_eq!(s.counts, vec![40_000, 40_000]);
+        assert_eq!(c.get(), 80_000);
+        assert!((s.sum - (40_000.0 * 0.25 + 40_000.0 * 1.0)).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,268 @@
+//! Prometheus text exposition (format version 0.0.4).
+//!
+//! Renders every instrument and collector sample in the registry as
+//! `# HELP` / `# TYPE` metadata plus one line per series. Histograms
+//! expand into cumulative `_bucket{le="…"}` series, `_sum` and
+//! `_count`, exactly as scrapers expect.
+//!
+//! Duplicate series (same name and label set — possible when several
+//! short-lived components registered collectors over their lifetimes)
+//! are summed rather than emitted twice, since repeated series are a
+//! scrape-format violation.
+
+use crate::metrics::{MetricKind, Registry, Sample, ScrapedValue};
+use std::collections::BTreeMap;
+use std::fmt::Write;
+
+/// Escapes a `# HELP` text: backslash and newline.
+pub fn escape_help(s: &str) -> String {
+    s.replace('\\', "\\\\").replace('\n', "\\n")
+}
+
+/// Escapes a label value: backslash, double-quote, newline.
+pub fn escape_label(s: &str) -> String {
+    s.replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+/// Inverse of [`escape_label`] (used by the property tests to prove the
+/// escaping is lossless).
+pub fn unescape_label(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    let mut chars = s.chars();
+    while let Some(c) = chars.next() {
+        if c == '\\' {
+            match chars.next() {
+                Some('n') => out.push('\n'),
+                Some(other) => out.push(other),
+                None => out.push('\\'),
+            }
+        } else {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// Formats a sample value: integral values print without a decimal
+/// point, infinities as `+Inf`/`-Inf` (the `le` label convention).
+fn fmt_value(v: f64) -> String {
+    if v == f64::INFINITY {
+        "+Inf".into()
+    } else if v == f64::NEG_INFINITY {
+        "-Inf".into()
+    } else if v.fract() == 0.0 && v.abs() < 1e15 {
+        format!("{}", v as i64)
+    } else {
+        format!("{v}")
+    }
+}
+
+fn fmt_labels(labels: &[(String, String)]) -> String {
+    if labels.is_empty() {
+        return String::new();
+    }
+    let inner: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    format!("{{{}}}", inner.join(","))
+}
+
+/// One flattened series, pre-aggregation.
+struct Series {
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+struct Family {
+    help: String,
+    type_name: &'static str,
+    series: Vec<Series>,
+}
+
+fn push_series(
+    families: &mut BTreeMap<String, Family>,
+    name: &str,
+    help: &str,
+    type_name: &'static str,
+    labels: Vec<(String, String)>,
+    value: f64,
+) {
+    let fam = families.entry(name.to_string()).or_insert_with(|| Family {
+        help: help.to_string(),
+        type_name,
+        series: Vec::new(),
+    });
+    // Sum duplicates (same label set) instead of emitting twice.
+    if let Some(existing) = fam.series.iter_mut().find(|s| s.labels == labels) {
+        existing.value += value;
+    } else {
+        fam.series.push(Series { labels, value });
+    }
+}
+
+/// Renders the registry. Families are sorted by name; series within a
+/// family keep registration order (with `le` buckets in bound order),
+/// so output is deterministic.
+pub fn render(registry: &Registry) -> String {
+    let (scraped, extra) = registry.scrape();
+    let mut families: BTreeMap<String, Family> = BTreeMap::new();
+
+    for m in scraped {
+        match m.value {
+            ScrapedValue::Counter(v) => push_series(
+                &mut families,
+                &m.name,
+                &m.help,
+                "counter",
+                m.labels,
+                v as f64,
+            ),
+            ScrapedValue::Gauge(v) => {
+                push_series(&mut families, &m.name, &m.help, "gauge", m.labels, v as f64)
+            }
+            ScrapedValue::Histogram(snap) => {
+                let cumulative = snap.cumulative();
+                let total = snap.count();
+                for (i, cum) in cumulative.iter().enumerate() {
+                    let le = snap.bounds.get(i).copied().unwrap_or(f64::INFINITY);
+                    let mut labels = m.labels.clone();
+                    labels.push(("le".into(), fmt_value(le)));
+                    push_series(
+                        &mut families,
+                        &format!("{}_bucket", m.name),
+                        &m.help,
+                        "histogram",
+                        labels,
+                        *cum as f64,
+                    );
+                }
+                push_series(
+                    &mut families,
+                    &format!("{}_sum", m.name),
+                    &m.help,
+                    "histogram",
+                    m.labels.clone(),
+                    snap.sum,
+                );
+                push_series(
+                    &mut families,
+                    &format!("{}_count", m.name),
+                    &m.help,
+                    "histogram",
+                    m.labels,
+                    total as f64,
+                );
+            }
+        }
+    }
+    for Sample {
+        name,
+        help,
+        kind,
+        labels,
+        value,
+    } in extra
+    {
+        let type_name = match kind {
+            MetricKind::Counter => "counter",
+            MetricKind::Gauge => "gauge",
+        };
+        push_series(&mut families, &name, &help, type_name, labels, value);
+    }
+
+    // `_bucket`/`_sum`/`_count` belong to one histogram family: emit
+    // HELP/TYPE once under the base name when we hit its first part.
+    let mut out = String::new();
+    let mut histo_meta_done: std::collections::BTreeSet<String> = Default::default();
+    for (name, fam) in &families {
+        let base = name
+            .strip_suffix("_bucket")
+            .or_else(|| name.strip_suffix("_sum"))
+            .or_else(|| name.strip_suffix("_count"))
+            .filter(|_| fam.type_name == "histogram");
+        match base {
+            Some(base) => {
+                if histo_meta_done.insert(base.to_string()) {
+                    let _ = writeln!(out, "# HELP {base} {}", escape_help(&fam.help));
+                    let _ = writeln!(out, "# TYPE {base} histogram");
+                }
+            }
+            None => {
+                let _ = writeln!(out, "# HELP {name} {}", escape_help(&fam.help));
+                let _ = writeln!(out, "# TYPE {name} {}", fam.type_name);
+            }
+        }
+        for s in &fam.series {
+            let _ = writeln!(
+                out,
+                "{name}{} {}",
+                fmt_labels(&s.labels),
+                fmt_value(s.value)
+            );
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::metrics::Registry;
+
+    #[test]
+    fn escaping_roundtrips() {
+        for s in ["plain", "with\"quote", "back\\slash", "new\nline", ""] {
+            assert_eq!(unescape_label(&escape_label(s)), s, "{s:?}");
+            assert!(!escape_label(s).contains('\n'));
+        }
+        assert_eq!(escape_help("a\nb\\c"), "a\\nb\\\\c");
+    }
+
+    #[test]
+    fn renders_counter_gauge_histogram() {
+        let r = Registry::new();
+        r.counter("reqs_total", "requests").add(3);
+        r.gauge("depth", "queue depth").set(-2);
+        let h = r.histogram("lat_seconds", "latency", &[0.1, 1.0]);
+        h.observe(0.05);
+        h.observe(0.5);
+        h.observe(5.0);
+        let text = r.render_prometheus();
+        assert!(text.contains("# TYPE reqs_total counter"));
+        assert!(text.contains("reqs_total 3"));
+        assert!(text.contains("# TYPE depth gauge"));
+        assert!(text.contains("depth -2"));
+        assert!(text.contains("# TYPE lat_seconds histogram"));
+        assert!(text.contains("lat_seconds_bucket{le=\"0.1\"} 1"));
+        assert!(text.contains("lat_seconds_bucket{le=\"1\"} 2"));
+        assert!(text.contains("lat_seconds_bucket{le=\"+Inf\"} 3"));
+        assert!(text.contains("lat_seconds_count 3"));
+        assert!(text.contains("lat_seconds_sum 5.55"));
+    }
+
+    #[test]
+    fn duplicate_series_are_summed() {
+        let r = Registry::new();
+        r.register_collector(Box::new(|| {
+            vec![Sample::plain("dup_total", "d", MetricKind::Counter, 1.0)]
+        }));
+        r.register_collector(Box::new(|| {
+            vec![Sample::plain("dup_total", "d", MetricKind::Counter, 2.0)]
+        }));
+        let text = r.render_prometheus();
+        assert!(text.contains("dup_total 3"));
+        let series_lines = text.lines().filter(|l| l.starts_with("dup_total ")).count();
+        assert_eq!(series_lines, 1);
+    }
+
+    #[test]
+    fn labeled_series_render_with_escapes() {
+        let r = Registry::new();
+        r.counter_with("odd_total", "odd", &[("k", "a\"b")]).inc();
+        let text = r.render_prometheus();
+        assert!(text.contains("odd_total{k=\"a\\\"b\"} 1"));
+    }
+}

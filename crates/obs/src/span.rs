@@ -1,0 +1,416 @@
+//! Hierarchical span timers: the self-profiler's data source.
+//!
+//! [`span`] pushes a named frame onto a thread-local stack and returns a
+//! guard; when the guard drops, the elapsed wall time is attributed to
+//! the frame's *path* (the stack of enclosing span names), split into
+//! total time and *self* time (total minus time spent in child spans).
+//! Per-path statistics accumulate thread-locally and flush into a
+//! process-wide table whenever a thread's stack empties, so the hot
+//! path never takes the global lock mid-phase.
+//!
+//! Work fanned out by the parallel runner keeps its logical parentage:
+//! [`current_path`] captures the caller's stack and [`with_parent`]
+//! re-roots a worker thread under it, so `figure → profile → workload`
+//! chains survive crossing a thread boundary. (With parallel children a
+//! parent's children may sum to more than the parent's wall time; the
+//! table reports what each path actually spent.)
+//!
+//! Snapshots export three ways, mirroring the paper's own artifacts:
+//! [`snapshot`] (the raw per-path table), [`render_table`] (per-span
+//! self-time table sorted hottest-first), [`hot_span_cdf`] (the Fig. 15
+//! "no hot function" CDF methodology applied to our own phases) and
+//! [`collapsed`] (collapsed-stack text for flamegraph tooling).
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::{Mutex, OnceLock};
+use std::time::Instant;
+
+/// One span path: the names of the enclosing spans, outermost first.
+type Path = Vec<&'static str>;
+
+#[derive(Debug, Clone, Copy, Default)]
+struct Stat {
+    count: u64,
+    total_ns: u64,
+    self_ns: u64,
+}
+
+struct Frame {
+    name: &'static str,
+    start: Instant,
+    child_ns: u64,
+}
+
+#[derive(Default)]
+struct ThreadState {
+    /// Synthetic ancestry installed by [`with_parent`].
+    prefix: Path,
+    frames: Vec<Frame>,
+    /// Locally accumulated stats, flushed when `frames` empties.
+    local: HashMap<Path, Stat>,
+}
+
+thread_local! {
+    static STATE: RefCell<ThreadState> = RefCell::new(ThreadState::default());
+}
+
+fn table() -> &'static Mutex<HashMap<Path, Stat>> {
+    static TABLE: OnceLock<Mutex<HashMap<Path, Stat>>> = OnceLock::new();
+    TABLE.get_or_init(|| Mutex::new(HashMap::new()))
+}
+
+/// Starts a span named `name`. Drop the guard to end it. Guards must
+/// end in LIFO order (the natural result of holding them in scopes);
+/// a guard dropped out of order ends the spans nested inside it too.
+pub fn span(name: &'static str) -> SpanGuard {
+    let depth = STATE.with(|s| {
+        let mut s = s.borrow_mut();
+        s.frames.push(Frame {
+            name,
+            start: Instant::now(),
+            child_ns: 0,
+        });
+        s.frames.len()
+    });
+    SpanGuard {
+        depth,
+        _not_send: std::marker::PhantomData,
+    }
+}
+
+/// Ends the innermost span; returns true if the stack is now empty.
+fn end_innermost(s: &mut ThreadState) -> bool {
+    let Some(frame) = s.frames.pop() else {
+        return true;
+    };
+    let total_ns = frame.start.elapsed().as_nanos() as u64;
+    let self_ns = total_ns.saturating_sub(frame.child_ns);
+    let mut path: Path = s.prefix.clone();
+    path.extend(s.frames.iter().map(|f| f.name));
+    path.push(frame.name);
+    let stat = s.local.entry(path).or_default();
+    stat.count += 1;
+    stat.total_ns += total_ns;
+    stat.self_ns += self_ns;
+    if let Some(parent) = s.frames.last_mut() {
+        parent.child_ns += total_ns;
+        false
+    } else {
+        true
+    }
+}
+
+fn flush_local(s: &mut ThreadState) {
+    if s.local.is_empty() {
+        return;
+    }
+    let mut global = table().lock().unwrap_or_else(|e| e.into_inner());
+    for (path, stat) in s.local.drain() {
+        let g = global.entry(path).or_default();
+        g.count += stat.count;
+        g.total_ns += stat.total_ns;
+        g.self_ns += stat.self_ns;
+    }
+}
+
+/// Guard returned by [`span`]; ends the span on drop.
+#[must_use = "a span guard that is dropped immediately times nothing"]
+pub struct SpanGuard {
+    /// Stack depth right after this span was pushed; drop pops back to
+    /// `depth - 1`, closing any child guards leaked out of order.
+    depth: usize,
+    _not_send: std::marker::PhantomData<*const ()>,
+}
+
+impl Drop for SpanGuard {
+    fn drop(&mut self) {
+        STATE.with(|s| {
+            let mut s = s.borrow_mut();
+            let mut emptied = false;
+            while s.frames.len() >= self.depth {
+                emptied = end_innermost(&mut s);
+            }
+            if emptied {
+                flush_local(&mut s);
+            }
+        });
+    }
+}
+
+/// The caller's current span path (prefix + live frames), outermost
+/// first. Capture this before fanning work out to other threads and
+/// re-root them with [`with_parent`].
+pub fn current_path() -> Vec<&'static str> {
+    STATE.with(|s| {
+        let s = s.borrow();
+        let mut p = s.prefix.clone();
+        p.extend(s.frames.iter().map(|f| f.name));
+        p
+    })
+}
+
+/// Runs `f` with the thread's span ancestry set to `parent`, restoring
+/// the previous ancestry afterwards. Spans started inside `f` report
+/// paths under `parent`.
+pub fn with_parent<R>(parent: &[&'static str], f: impl FnOnce() -> R) -> R {
+    let prev = STATE.with(|s| {
+        let mut s = s.borrow_mut();
+        std::mem::replace(&mut s.prefix, parent.to_vec())
+    });
+    struct Restore(Path);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            STATE.with(|s| {
+                let mut s = s.borrow_mut();
+                s.prefix = std::mem::take(&mut self.0);
+                // The prefix change invalidates locally keyed paths only
+                // going forward; already-accumulated stats keep the
+                // ancestry they ran under, which is what we want.
+            });
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+/// One aggregated span path.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanNode {
+    /// Span names, outermost first.
+    pub path: Vec<&'static str>,
+    /// Times this exact path completed.
+    pub count: u64,
+    /// Wall time spent in this path, including children.
+    pub total_ns: u64,
+    /// Wall time spent in this path excluding child spans.
+    pub self_ns: u64,
+}
+
+/// A snapshot of every completed span path, sorted by path. Includes
+/// this thread's not-yet-flushed local spans; spans still running (or
+/// local to other threads mid-phase) are not yet visible.
+pub fn snapshot() -> Vec<SpanNode> {
+    STATE.with(|s| flush_local(&mut s.borrow_mut()));
+    let global = table().lock().unwrap_or_else(|e| e.into_inner());
+    let mut nodes: Vec<SpanNode> = global
+        .iter()
+        .map(|(path, stat)| SpanNode {
+            path: path.clone(),
+            count: stat.count,
+            total_ns: stat.total_ns,
+            self_ns: stat.self_ns,
+        })
+        .collect();
+    nodes.sort_by(|a, b| a.path.cmp(&b.path));
+    nodes
+}
+
+/// Clears all accumulated span statistics (tests, and the start of a
+/// `--self-profile` run).
+pub fn reset() {
+    STATE.with(|s| {
+        let mut s = s.borrow_mut();
+        s.local.clear();
+    });
+    table().lock().unwrap_or_else(|e| e.into_inner()).clear();
+}
+
+/// Collapsed-stack export: one line per path, `a;b;c <self-µs>`,
+/// hottest first — directly consumable by `flamegraph.pl` /
+/// `inferno-flamegraph`.
+pub fn collapsed() -> String {
+    let mut nodes = snapshot();
+    nodes.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.path.cmp(&b.path)));
+    let mut out = String::new();
+    for n in nodes {
+        out.push_str(&n.path.join(";"));
+        out.push(' ');
+        out.push_str(&(n.self_ns / 1_000).to_string());
+        out.push('\n');
+    }
+    out
+}
+
+/// Hot-span CDF: paths sorted by self time (hottest first) with each
+/// one's share and the cumulative share of total self time — the
+/// paper's Fig. 15 hot-function-CDF methodology applied to our own
+/// phases. Returns `(path, self_ns, share, cumulative_share)`.
+pub fn hot_span_cdf() -> Vec<(String, u64, f64, f64)> {
+    let mut nodes = snapshot();
+    nodes.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.path.cmp(&b.path)));
+    let total: u64 = nodes.iter().map(|n| n.self_ns).sum();
+    let mut cum = 0u64;
+    nodes
+        .into_iter()
+        .map(|n| {
+            cum += n.self_ns;
+            let share = if total == 0 {
+                0.0
+            } else {
+                n.self_ns as f64 / total as f64
+            };
+            let cshare = if total == 0 {
+                0.0
+            } else {
+                cum as f64 / total as f64
+            };
+            (n.path.join(";"), n.self_ns, share, cshare)
+        })
+        .collect()
+}
+
+/// Renders the per-span self-time table, hottest self time first.
+pub fn render_table() -> String {
+    let mut nodes = snapshot();
+    nodes.sort_by(|a, b| b.self_ns.cmp(&a.self_ns).then(a.path.cmp(&b.path)));
+    let total_self: u64 = nodes.iter().map(|n| n.self_ns).sum();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{:<52} {:>8} {:>12} {:>12} {:>7}\n",
+        "span path", "count", "total ms", "self ms", "self%"
+    ));
+    for n in &nodes {
+        let pct = if total_self == 0 {
+            0.0
+        } else {
+            100.0 * n.self_ns as f64 / total_self as f64
+        };
+        out.push_str(&format!(
+            "{:<52} {:>8} {:>12.3} {:>12.3} {:>6.2}%\n",
+            n.path.join(";"),
+            n.count,
+            n.total_ns as f64 / 1e6,
+            n.self_ns as f64 / 1e6,
+            pct
+        ));
+    }
+    out.push_str(&format!(
+        "{:<52} {:>8} {:>12} {:>12.3} {:>6.2}%\n",
+        "(total self)",
+        "",
+        "",
+        total_self as f64 / 1e6,
+        100.0
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::MutexGuard;
+
+    /// The span table is process-global; serialize tests that reset it.
+    fn serial() -> MutexGuard<'static, ()> {
+        static LOCK: Mutex<()> = Mutex::new(());
+        LOCK.lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    fn node<'a>(nodes: &'a [SpanNode], path: &[&str]) -> &'a SpanNode {
+        nodes
+            .iter()
+            .find(|n| n.path == path)
+            .unwrap_or_else(|| panic!("missing path {path:?} in {nodes:?}"))
+    }
+
+    #[test]
+    fn nesting_attributes_self_and_total() {
+        let _g = serial();
+        reset();
+        {
+            let _a = span("outer");
+            std::thread::sleep(std::time::Duration::from_millis(4));
+            {
+                let _b = span("inner");
+                std::thread::sleep(std::time::Duration::from_millis(4));
+            }
+        }
+        let nodes = snapshot();
+        let outer = node(&nodes, &["outer"]);
+        let inner = node(&nodes, &["outer", "inner"]);
+        assert_eq!(outer.count, 1);
+        assert_eq!(inner.count, 1);
+        assert!(outer.total_ns >= inner.total_ns);
+        assert!(
+            outer.self_ns < outer.total_ns,
+            "outer self must exclude inner: {outer:?}"
+        );
+        assert!(inner.self_ns >= 3_000_000);
+        assert!(outer.self_ns >= 3_000_000);
+        assert!(outer.total_ns >= outer.self_ns + inner.total_ns - 1_000_000);
+    }
+
+    #[test]
+    fn repeated_spans_accumulate_counts() {
+        let _g = serial();
+        reset();
+        for _ in 0..5 {
+            let _s = span("tick");
+        }
+        let nodes = snapshot();
+        assert_eq!(node(&nodes, &["tick"]).count, 5);
+    }
+
+    #[test]
+    fn parent_propagates_across_threads() {
+        let _g = serial();
+        reset();
+        let parent = {
+            let _f = span("figure");
+            let p = current_path();
+            std::thread::scope(|s| {
+                let p2 = p.clone();
+                s.spawn(move || {
+                    with_parent(&p2, || {
+                        let _w = span("work");
+                    })
+                });
+            });
+            p
+        };
+        assert_eq!(parent, vec!["figure"]);
+        let nodes = snapshot();
+        assert!(nodes.iter().any(|n| n.path == ["figure", "work"]));
+        // The worker thread's prefix was restored after with_parent.
+        std::thread::scope(|s| {
+            s.spawn(|| assert!(current_path().is_empty()));
+        });
+    }
+
+    #[test]
+    fn out_of_order_drop_closes_children() {
+        let _g = serial();
+        reset();
+        let a = span("a");
+        let _b = span("b");
+        drop(a); // closes b too
+        let nodes = snapshot();
+        assert_eq!(node(&nodes, &["a"]).count, 1);
+        assert_eq!(node(&nodes, &["a", "b"]).count, 1);
+    }
+
+    #[test]
+    fn cdf_is_monotone_and_ends_at_one() {
+        let _g = serial();
+        reset();
+        {
+            let _a = span("x");
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        {
+            let _a = span("y");
+            std::thread::sleep(std::time::Duration::from_millis(1));
+        }
+        let cdf = hot_span_cdf();
+        assert_eq!(cdf.len(), 2);
+        assert!(cdf.windows(2).all(|w| w[0].3 <= w[1].3 + 1e-12));
+        assert!((cdf.last().unwrap().3 - 1.0).abs() < 1e-9);
+        assert!(cdf[0].1 >= cdf[1].1, "sorted hottest first");
+        let table = render_table();
+        assert!(table.contains("span path"));
+        assert!(table.contains('x'));
+        let collapsed = collapsed();
+        assert!(collapsed.lines().count() == 2);
+    }
+}

@@ -1,0 +1,167 @@
+//! Property tests for the metrics subsystem: histogram bucket math
+//! (monotone CDF, correct bucket placement, merge associativity and
+//! commutativity, quantile monotonicity) and Prometheus label escaping.
+
+use gem5prof_obs::prom::{escape_help, escape_label, unescape_label};
+use gem5prof_obs::{Histogram, HistogramSnapshot};
+use testkit::{prop_assert, prop_assert_eq, run_cases, Gen};
+
+/// Strictly increasing bounds drawn from dyadic rationals, so every
+/// bound and every observation is exact in binary and `f64` sums add
+/// without rounding (making merge associativity exactly testable).
+fn gen_bounds(g: &mut Gen) -> Vec<f64> {
+    let len = g.usize_in(1..8);
+    let mut cur = 0i64;
+    (0..len)
+        .map(|_| {
+            cur += g.i64_in(1..1000);
+            cur as f64 / 1024.0
+        })
+        .collect()
+}
+
+/// An observation landing below, between, or past the bounds.
+fn gen_value(g: &mut Gen, bounds: &[f64]) -> f64 {
+    let last = *bounds.last().unwrap();
+    match g.u8_in(0..4) {
+        0 => *g.pick(bounds), // exactly on a bound (the `<=` edge)
+        1 => last + g.i64_in(1..1000) as f64 / 1024.0, // +Inf bucket
+        _ => g.i64_in(-100..(last * 1024.0) as i64 + 100) as f64 / 1024.0,
+    }
+}
+
+fn snapshot_of(bounds: &[f64], values: &[f64]) -> HistogramSnapshot {
+    let h = Histogram::new(bounds);
+    for &v in values {
+        h.observe(v);
+    }
+    h.snapshot()
+}
+
+#[test]
+fn cdf_is_monotone_and_ends_at_count() {
+    run_cases("obs_hist_cdf_monotone", 256, |g| {
+        let bounds = gen_bounds(g);
+        let values = g.vec(0..64, |g| gen_value(g, &bounds));
+        let snap = snapshot_of(&bounds, &values);
+        let cum = snap.cumulative();
+        prop_assert_eq!(cum.len(), bounds.len() + 1);
+        prop_assert!(cum.windows(2).all(|w| w[0] <= w[1]), "CDF must be monotone");
+        prop_assert_eq!(*cum.last().unwrap(), values.len() as u64);
+        prop_assert_eq!(snap.count(), values.len() as u64);
+        Ok(())
+    });
+}
+
+#[test]
+fn observations_land_in_the_first_bucket_whose_bound_admits_them() {
+    run_cases("obs_hist_bucket_placement", 256, |g| {
+        let bounds = gen_bounds(g);
+        let values = g.vec(0..64, |g| gen_value(g, &bounds));
+        let snap = snapshot_of(&bounds, &values);
+        // Oracle: cumulative `_bucket{le=b}` is |{v : v <= b}|.
+        let cum = snap.cumulative();
+        for (i, &b) in bounds.iter().enumerate() {
+            let expect = values.iter().filter(|&&v| v <= b).count() as u64;
+            prop_assert_eq!(cum[i], expect);
+        }
+        let dyadic_sum: f64 = values.iter().sum();
+        prop_assert_eq!(snap.sum, dyadic_sum);
+        Ok(())
+    });
+}
+
+#[test]
+fn merge_is_associative_and_commutative() {
+    run_cases("obs_hist_merge_assoc", 256, |g| {
+        let bounds = gen_bounds(g);
+        let mut snaps = (0..3)
+            .map(|_| {
+                let values = g.vec(0..32, |g| gen_value(g, &bounds));
+                snapshot_of(&bounds, &values)
+            })
+            .collect::<Vec<_>>();
+        let (c, b, a) = (
+            snaps.pop().unwrap(),
+            snaps.pop().unwrap(),
+            snaps.pop().unwrap(),
+        );
+
+        // (a ⊕ b) ⊕ c
+        let mut left = a.clone();
+        left.merge(&b);
+        left.merge(&c);
+        // a ⊕ (b ⊕ c)
+        let mut bc = b.clone();
+        bc.merge(&c);
+        let mut right = a.clone();
+        right.merge(&bc);
+        // Dyadic values of bounded magnitude: f64 addition is exact, so
+        // equality is exact, not approximate.
+        prop_assert_eq!(&left, &right);
+
+        let mut ab = a.clone();
+        ab.merge(&b);
+        let mut ba = b.clone();
+        ba.merge(&a);
+        prop_assert_eq!(ab, ba);
+
+        prop_assert_eq!(left.count(), a.count() + b.count() + c.count());
+        Ok(())
+    });
+}
+
+#[test]
+fn quantiles_are_monotone_and_within_range() {
+    run_cases("obs_hist_quantile_monotone", 256, |g| {
+        let bounds = gen_bounds(g);
+        let values = g.vec(1..64, |g| gen_value(g, &bounds));
+        let snap = snapshot_of(&bounds, &values);
+        let qs = [0.0, 0.25, 0.5, 0.75, 0.9, 0.99, 1.0];
+        let est: Vec<f64> = qs.iter().map(|&q| snap.quantile(q).unwrap()).collect();
+        prop_assert!(
+            est.windows(2).all(|w| w[0] <= w[1] + 1e-12),
+            "quantiles must be monotone in q: {est:?}"
+        );
+        let last = *snap.bounds.last().unwrap();
+        for &e in &est {
+            prop_assert!(e >= 0.0 && e <= last, "estimate {e} outside [0, {last}]");
+        }
+        Ok(())
+    });
+}
+
+/// Arbitrary strings mixing plain text with the characters the escape
+/// table special-cases.
+fn gen_label(g: &mut Gen) -> String {
+    g.vec(0..16, |g| match g.u8_in(0..3) {
+        0 => char::from(g.u8_in(0x20..0x7f)),
+        1 => *g.pick(&['\\', '"', '\n']),
+        _ => *g.pick(&['é', '✓', '\u{1F600}', '\t']),
+    })
+    .into_iter()
+    .collect()
+}
+
+#[test]
+fn label_escaping_is_lossless_and_single_line() {
+    run_cases("obs_prom_escape_roundtrip", 512, |g| {
+        let s = gen_label(g);
+        let escaped = escape_label(&s);
+        prop_assert_eq!(unescape_label(&escaped), s.clone());
+        prop_assert!(!escaped.contains('\n'), "escaped labels are single-line");
+        // Every `"` left in the escaped form is preceded by a backslash.
+        let bytes = escaped.as_bytes();
+        for (i, &b) in bytes.iter().enumerate() {
+            if b == b'"' {
+                prop_assert!(
+                    i > 0 && bytes[i - 1] == b'\\',
+                    "unescaped quote in {escaped:?}"
+                );
+            }
+        }
+        let help = escape_help(&s);
+        prop_assert!(!help.contains('\n'), "escaped help is single-line");
+        Ok(())
+    });
+}

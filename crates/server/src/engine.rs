@@ -25,11 +25,12 @@ use crate::routes;
 use gem5prof::cache::LruCache;
 use gem5prof::figures::Fidelity;
 use gem5prof::spec::ExperimentSpec;
+use gem5prof_obs as obs;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, Weak};
 use std::thread::JoinHandle;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// One unit of compute: everything a worker needs to produce a response
 /// body. Cheap to clone into the queue.
@@ -74,6 +75,49 @@ struct Job {
     work: Work,
     key: String,
     reply: mpsc::Sender<Result<Arc<String>, String>>,
+    /// When the job entered the admission queue (queue-wait metric).
+    enqueued: Instant,
+}
+
+/// Request-path instrumentation, registered in the process-wide metrics
+/// registry. Names are interned there, so every engine in the process
+/// shares the same series.
+struct EngineMetrics {
+    queue_wait: Arc<obs::Histogram>,
+    compute: Arc<obs::Histogram>,
+    lookup_hit: Arc<obs::Histogram>,
+    lookup_miss: Arc<obs::Histogram>,
+}
+
+impl EngineMetrics {
+    fn new() -> Self {
+        let r = obs::global();
+        let b = obs::metrics::duration_buckets();
+        EngineMetrics {
+            queue_wait: r.histogram(
+                "served_queue_wait_seconds",
+                "time a job spent in the admission queue before a worker picked it up",
+                b,
+            ),
+            compute: r.histogram(
+                "served_compute_seconds",
+                "time a worker spent computing one job",
+                b,
+            ),
+            lookup_hit: r.histogram_with(
+                "served_cache_lookup_seconds",
+                "result-cache lookup latency by outcome",
+                b,
+                &[("outcome", "hit")],
+            ),
+            lookup_miss: r.histogram_with(
+                "served_cache_lookup_seconds",
+                "result-cache lookup latency by outcome",
+                b,
+                &[("outcome", "miss")],
+            ),
+        }
+    }
 }
 
 /// Outcome of submitting work to the engine.
@@ -106,6 +150,38 @@ pub(crate) struct ServerStats {
 }
 
 impl ServerStats {
+    /// `/metrics` samples, read from the same atomics `/stats` reports:
+    /// `gem5prof_served_requests_total` plus one
+    /// `gem5prof_served_responses_total{status=…}` series per bucket.
+    pub fn metric_samples(&self) -> Vec<obs::Sample> {
+        let mut v = vec![obs::Sample::plain(
+            "gem5prof_served_requests_total",
+            "HTTP requests parsed (any route, any outcome)",
+            obs::MetricKind::Counter,
+            self.requests.load(Ordering::Relaxed) as f64,
+        )];
+        for (code, counter) in [
+            ("200", &self.st_200),
+            ("400", &self.st_400),
+            ("404", &self.st_404),
+            ("405", &self.st_405),
+            ("429", &self.st_429),
+            ("500", &self.st_500),
+            ("503", &self.st_503),
+            ("504", &self.st_504),
+            ("other", &self.st_other),
+        ] {
+            v.push(obs::Sample {
+                name: "gem5prof_served_responses_total".into(),
+                help: "HTTP responses by status code".into(),
+                kind: obs::MetricKind::Counter,
+                labels: vec![("status".into(), code.into())],
+                value: counter.load(Ordering::Relaxed) as f64,
+            });
+        }
+        v
+    }
+
     /// Records one response with the given status.
     pub fn count(&self, status: u16) {
         let slot = match status {
@@ -139,6 +215,8 @@ pub(crate) struct Engine {
     workers: usize,
     /// Worker threads, joined on drain.
     handles: Mutex<Vec<JoinHandle<()>>>,
+    /// Request-path histograms (shared series in the global registry).
+    metrics: EngineMetrics,
 }
 
 impl Engine {
@@ -163,7 +241,32 @@ impl Engine {
             queue_cap,
             workers,
             handles: Mutex::new(Vec::new()),
+            metrics: EngineMetrics::new(),
         });
+        // Surface the result cache's counters in `/metrics` from the
+        // same `CacheStats` the `/stats` endpoint reads. A `Weak` keeps
+        // the forever-lived registry from pinning drained engines.
+        let weak: Weak<Engine> = Arc::downgrade(&engine);
+        obs::global().register_collector(Box::new(move || {
+            let Some(engine) = weak.upgrade() else {
+                return Vec::new();
+            };
+            let (snap, len, cap) = engine.cache_view();
+            let mut samples = snap.metric_samples("gem5prof_result_cache");
+            samples.push(obs::Sample::plain(
+                "gem5prof_result_cache_entries",
+                "rendered responses currently resident",
+                obs::MetricKind::Gauge,
+                len as f64,
+            ));
+            samples.push(obs::Sample::plain(
+                "gem5prof_result_cache_capacity",
+                "result-cache capacity in entries",
+                obs::MetricKind::Gauge,
+                cap as f64,
+            ));
+            samples
+        }));
         let mut handles = Vec::with_capacity(workers);
         for i in 0..workers {
             let rx = Arc::clone(&rx);
@@ -178,12 +281,37 @@ impl Engine {
                             Err(_) => break, // sender dropped: drain complete
                         };
                         engine_w.depth.fetch_sub(1, Ordering::Relaxed);
+                        engine_w
+                            .metrics
+                            .queue_wait
+                            .observe_duration(job.enqueued.elapsed());
+                        // Duplicate-key jobs pile up while the first one
+                        // computes (every concurrent miss enqueues); serve
+                        // them from the cache instead of recomputing, so a
+                        // burst of identical cold requests costs one compute
+                        // and a drain never grinds through stale duplicates.
+                        let cached = engine_w
+                            .cache
+                            .lock()
+                            .unwrap_or_else(|e| e.into_inner())
+                            .get(&job.key);
+                        if let Some(body) = cached {
+                            engine_w.in_flight.fetch_sub(1, Ordering::Relaxed);
+                            let _ = job.reply.send(Ok(body));
+                            continue;
+                        }
                         if !worker_delay.is_zero() {
                             std::thread::sleep(worker_delay);
                         }
+                        let compute_started = Instant::now();
                         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                            let _span = obs::span("serve_compute");
                             job.work.compute()
                         }));
+                        engine_w
+                            .metrics
+                            .compute
+                            .observe_duration(compute_started.elapsed());
                         let reply = match result {
                             Ok(body) => {
                                 let body = Arc::new(body);
@@ -209,12 +337,18 @@ impl Engine {
     /// Submits work: cache lookup, then bounded enqueue.
     pub fn submit(&self, work: Work) -> Submission {
         let key = work.key();
-        if let Some(body) = self
+        let lookup_started = Instant::now();
+        let hit = self
             .cache
             .lock()
             .unwrap_or_else(|e| e.into_inner())
-            .get(&key)
-        {
+            .get(&key);
+        match &hit {
+            Some(_) => &self.metrics.lookup_hit,
+            None => &self.metrics.lookup_miss,
+        }
+        .observe_duration(lookup_started.elapsed());
+        if let Some(body) = hit {
             return Submission::Hit(body);
         }
         let (reply_tx, reply_rx) = mpsc::channel();
@@ -229,6 +363,7 @@ impl Engine {
             work,
             key,
             reply: reply_tx,
+            enqueued: Instant::now(),
         }) {
             Ok(()) => Submission::Pending(reply_rx),
             Err(TrySendError::Full(_)) => {

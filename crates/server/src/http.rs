@@ -189,6 +189,10 @@ pub fn reason(status: u16) -> &'static str {
 }
 
 /// Writes a complete `Content-Length`-framed response.
+///
+/// The content type defaults to `application/json`; an extra header
+/// named `content-type` overrides it (used by the Prometheus `/metrics`
+/// exposition, which is plain text).
 pub fn write_response(
     w: &mut impl Write,
     status: u16,
@@ -196,11 +200,14 @@ pub fn write_response(
     extra_headers: &[(String, String)],
     close: bool,
 ) -> io::Result<()> {
-    let mut head = format!(
-        "HTTP/1.1 {status} {}\r\ncontent-type: application/json\r\ncontent-length: {}\r\n",
-        reason(status),
-        body.len()
-    );
+    let has_content_type = extra_headers
+        .iter()
+        .any(|(k, _)| k.eq_ignore_ascii_case("content-type"));
+    let mut head = format!("HTTP/1.1 {status} {}\r\n", reason(status));
+    if !has_content_type {
+        head.push_str("content-type: application/json\r\n");
+    }
+    head.push_str(&format!("content-length: {}\r\n", body.len()));
     for (k, v) in extra_headers {
         head.push_str(&format!("{k}: {v}\r\n"));
     }
@@ -371,8 +378,28 @@ mod tests {
         .unwrap();
         let s = String::from_utf8(out).unwrap();
         assert!(s.starts_with("HTTP/1.1 429 Too Many Requests\r\n"));
+        assert!(s.contains("content-type: application/json\r\n"));
         assert!(s.contains("content-length: 2\r\n"));
         assert!(s.contains("retry-after: 1\r\n"));
         assert!(s.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn content_type_header_overrides_default() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            200,
+            b"x 1\n",
+            &[("content-type".into(), "text/plain; version=0.0.4".into())],
+            false,
+        )
+        .unwrap();
+        let s = String::from_utf8(out).unwrap();
+        assert!(s.contains("content-type: text/plain; version=0.0.4\r\n"));
+        assert!(
+            !s.contains("application/json"),
+            "default content type must be suppressed: {s}"
+        );
     }
 }

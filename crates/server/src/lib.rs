@@ -8,6 +8,8 @@
 //! ```text
 //! GET  /healthz                    liveness + drain state
 //! GET  /stats                      queue, result-cache and trace-cache counters
+//! GET  /metrics                    Prometheus text exposition (gem5prof-obs registry)
+//! GET  /profile                    self-profiler span table (JSON + collapsed stacks)
 //! GET  /figures/fig01..fig15       one figure (?fidelity=quick|paper)
 //! GET  /tables/table1|table2       configuration tables
 //! POST /experiments                parameterized spec (platform, cpu, workload, knobs)
@@ -113,9 +115,15 @@ pub fn serve(cfg: ServeConfig) -> io::Result<ServerHandle> {
 
     let engine = Engine::start(workers, cfg.queue_cap, cfg.cache_cap, cfg.worker_delay);
     let draining = Arc::new(AtomicBool::new(false));
+    let stats = Arc::new(ServerStats::default());
+    // Surface request/response counters in `/metrics` from the same
+    // atomics `/stats` reads. The Arc (not a Weak) keeps a shut-down
+    // server's counts visible, so the summed series stays monotone.
+    let stats_m = Arc::clone(&stats);
+    gem5prof_obs::global().register_collector(Box::new(move || stats_m.metric_samples()));
     let shared = Arc::new(Shared {
         engine: Arc::clone(&engine),
-        stats: Arc::new(ServerStats::default()),
+        stats,
         draining: Arc::clone(&draining),
         deadline: cfg.deadline,
         started: Instant::now(),
@@ -168,6 +176,8 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
     loop {
         match http::read_request(&mut reader) {
             Ok(Some(req)) => {
+                // One span per request: routing + compute wait + write.
+                let _span = gem5prof_obs::span("http_request");
                 shared.stats.requests.fetch_add(1, Ordering::Relaxed);
                 let draining = shared.draining.load(Ordering::Relaxed);
                 let (status, body, extra) = if draining {

@@ -1,8 +1,9 @@
 //! Route dispatch and JSON rendering.
 //!
-//! Cheap endpoints (`/healthz`, `/stats`) are answered inline on the
-//! connection thread; compute endpoints (`/figures/*`, `/tables/*`,
-//! `POST /experiments`) go through the engine's cache + admission queue.
+//! Cheap endpoints (`/healthz`, `/stats`, `/metrics`, `/profile`) are
+//! answered inline on the connection thread; compute endpoints
+//! (`/figures/*`, `/tables/*`, `POST /experiments`) go through the
+//! engine's cache + admission queue.
 
 use crate::engine::{Engine, ServerStats, Submission, Work};
 use crate::http::Request;
@@ -40,6 +41,15 @@ pub(crate) fn handle(req: &Request, shared: &Shared) -> Reply {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => (200, healthz_json(shared), Vec::new()),
         ("GET", "/stats") => (200, stats_json(shared), Vec::new()),
+        ("GET", "/metrics") => (
+            200,
+            gem5prof_obs::global().render_prometheus(),
+            vec![(
+                "content-type".into(),
+                "text/plain; version=0.0.4; charset=utf-8".into(),
+            )],
+        ),
+        ("GET", "/profile") => (200, profile_json(), Vec::new()),
         ("GET", path) if path.starts_with("/figures/") => {
             match parse_figure_path(&path["/figures/".len()..], req) {
                 Ok(work) => run_work(work, shared),
@@ -55,7 +65,9 @@ pub(crate) fn handle(req: &Request, shared: &Shared) -> Reply {
             Err(msg) => plain(400, &msg),
         },
         // Known paths with the wrong method get a 405, not a 404.
-        (_, "/healthz" | "/stats" | "/experiments") => plain(405, "method not allowed"),
+        (_, "/healthz" | "/stats" | "/metrics" | "/profile" | "/experiments") => {
+            plain(405, "method not allowed")
+        }
         (_, path) if path.starts_with("/figures/") || path.starts_with("/tables/") => {
             plain(405, "method not allowed")
         }
@@ -88,13 +100,26 @@ fn run_work(work: Work, shared: &Shared) -> Reply {
 /// Parses `figNN` (accepting `fig1` and `fig01`) plus an optional
 /// `?fidelity=quick|paper` query parameter. An unknown figure is a
 /// missing resource (404); a bad query on a real figure is a bad
-/// request (400).
+/// request (400) — including any query key other than `fidelity`, so
+/// typos (`?fidelty=paper`) fail loudly instead of silently running at
+/// the default fidelity.
 fn parse_figure_path(name: &str, req: &Request) -> Result<Work, (u16, String)> {
     let n: usize = name
         .strip_prefix("fig")
         .and_then(|d| d.parse().ok())
         .filter(|&n| (1..=15).contains(&n))
         .ok_or_else(|| (404, format!("unknown figure `{name}` (want fig01..fig15)")))?;
+    if let Some(q) = req.query.as_deref() {
+        for pair in q.split('&').filter(|p| !p.is_empty()) {
+            let key = pair.split_once('=').map_or(pair, |(k, _)| k);
+            if key != "fidelity" {
+                return Err((
+                    400,
+                    format!("unknown query parameter `{key}` (only `fidelity` is accepted)"),
+                ));
+            }
+        }
+    }
     let fidelity = match req.query_param("fidelity") {
         None => Fidelity::Quick,
         Some(f) => spec::parse_fidelity(f)
@@ -310,6 +335,38 @@ fn healthz_json(shared: &Shared) -> String {
     .to_string_compact()
 }
 
+/// Renders the self-profiler's span table as JSON: one node per
+/// aggregated span path with total and self wall time, plus the
+/// collapsed-stack export for flamegraph tooling.
+fn profile_json() -> String {
+    let nodes = gem5prof_obs::span::snapshot();
+    let total_self: u64 = nodes.iter().map(|n| n.self_ns).sum();
+    Json::obj(vec![
+        ("total_self_ns", Json::Num(total_self as f64)),
+        (
+            "spans",
+            Json::Arr(
+                nodes
+                    .iter()
+                    .map(|n| {
+                        Json::obj(vec![
+                            (
+                                "path",
+                                Json::Arr(n.path.iter().map(|s| Json::str(*s)).collect()),
+                            ),
+                            ("count", Json::Num(n.count as f64)),
+                            ("total_ns", Json::Num(n.total_ns as f64)),
+                            ("self_ns", Json::Num(n.self_ns as f64)),
+                        ])
+                    })
+                    .collect(),
+            ),
+        ),
+        ("collapsed", Json::str(&gem5prof_obs::span::collapsed())),
+    ])
+    .to_string_compact()
+}
+
 fn stats_json(shared: &Shared) -> String {
     let s = &shared.stats;
     let (cache_snap, cache_len, cache_cap) = shared.engine.cache_view();
@@ -446,6 +503,57 @@ mod tests {
         }
         let r = req("/figures/fig01", Some("fidelity=warp"));
         assert_eq!(parse_figure_path("fig01", &r).unwrap_err().0, 400);
+    }
+
+    #[test]
+    fn unknown_query_parameters_are_rejected_by_name() {
+        let req = |q: &str| Request {
+            method: "GET".into(),
+            path: "/figures/fig01".into(),
+            query: Some(q.into()),
+            headers: vec![],
+            body: vec![],
+            close: false,
+        };
+        for (q, offender) in [
+            ("fidelty=paper", "fidelty"),        // typo'd key
+            ("fidelity=quick&depth=3", "depth"), // extra key after a valid one
+            ("verbose", "verbose"),              // bare key without a value
+        ] {
+            let (status, msg) = parse_figure_path("fig01", &req(q)).unwrap_err();
+            assert_eq!(status, 400, "{q}");
+            assert!(
+                msg.contains(&format!("`{offender}`")),
+                "`{msg}` must name the offending key for {q}"
+            );
+        }
+        // A valid query still parses, including a duplicate valid key.
+        assert!(parse_figure_path("fig01", &req("fidelity=paper")).is_ok());
+        assert!(parse_figure_path("fig01", &req("fidelity=paper&fidelity=quick")).is_ok());
+    }
+
+    #[test]
+    fn profile_json_is_well_formed() {
+        {
+            let _s = gem5prof_obs::span("routes_profile_test");
+        }
+        let doc = minjson::parse(&profile_json()).unwrap();
+        let spans = doc.get("spans").unwrap().as_arr().unwrap();
+        assert!(!spans.is_empty());
+        let seen = spans.iter().any(|s| {
+            s.get("path")
+                .unwrap()
+                .as_arr()
+                .unwrap()
+                .iter()
+                .any(|p| p.as_str() == Some("routes_profile_test"))
+        });
+        assert!(seen, "the span recorded above must appear in /profile");
+        for s in spans {
+            let total = s.get("total_ns").unwrap().as_f64().unwrap();
+            let own = s.get("self_ns").unwrap().as_f64().unwrap();
+            assert!(own <= total, "self time cannot exceed total");
+        }
     }
 
     #[test]

@@ -42,7 +42,28 @@ while [ ! -s "$PORT_FILE" ]; do
     sleep 0.1
 done
 
-target/release/servectl --addr "$(cat "$PORT_FILE")" --timeout-ms 5000 healthz
+ADDR="$(cat "$PORT_FILE")"
+target/release/servectl --addr "$ADDR" --timeout-ms 5000 healthz
+
+# Observability smoke: scrape /metrics before and after a figure
+# request and check the served-request counter actually incremented.
+scrape_requests() {
+    target/release/servectl --addr "$ADDR" --timeout-ms 5000 metrics \
+        | awk '$1 == "gem5prof_served_requests_total" { print $2 }'
+}
+BEFORE="$(scrape_requests)"
+if [ -z "$BEFORE" ]; then
+    echo "verify: /metrics is missing gem5prof_served_requests_total" >&2
+    exit 1
+fi
+target/release/servectl --addr "$ADDR" --timeout-ms 900000 \
+    'figures/fig01?fidelity=quick' > /dev/null
+AFTER="$(scrape_requests)"
+if [ "$AFTER" -le "$BEFORE" ]; then
+    echo "verify: request counter did not increment ($BEFORE -> $AFTER)" >&2
+    exit 1
+fi
+echo "verify: /metrics counter incremented ($BEFORE -> $AFTER)"
 
 kill -TERM "$SERVED_PID"
 wait "$SERVED_PID"

@@ -84,6 +84,14 @@ fn server_flow_end_to_end() {
         stats.to_string_compact()
     );
 
+    // Unknown query parameters on /figures/* are a 400 naming the key.
+    let (status, body) = get(&addr, "/figures/fig01?fidelty=paper");
+    assert_eq!(status, 400, "typo'd query key must be rejected: {body}");
+    assert!(
+        body.contains("`fidelty`"),
+        "400 body must name the offending key: {body}"
+    );
+
     // A figure renders, parses, and the repeat is the cached bytes.
     let (status, body) = get(&addr, "/figures/fig01");
     assert_eq!(status, 200, "fig01 failed: {body}");
@@ -97,6 +105,71 @@ fn server_flow_end_to_end() {
     assert_eq!(status, 200);
     assert_eq!(body, body_again, "cached figure must be byte-identical");
     assert_eq!(get(&addr, "/tables/table2").0, 200);
+
+    // /metrics: valid Prometheus exposition fed by the same counters
+    // /stats reads, including request-path histograms and cache series.
+    let (status, text) = get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    assert!(
+        text.contains("# TYPE gem5prof_served_requests_total counter"),
+        "missing request counter TYPE line:\n{text}"
+    );
+    assert!(
+        text.lines()
+            .any(|l| l.starts_with("gem5prof_served_responses_total{status=\"200\"}")),
+        "missing status-labeled response series:\n{text}"
+    );
+    assert!(text.contains("# TYPE served_compute_seconds histogram"));
+    assert!(text.contains("served_compute_seconds_bucket{le=\"+Inf\"}"));
+    assert!(text.contains("served_compute_seconds_count"));
+    assert!(text.contains("served_queue_wait_seconds_sum"));
+    assert!(text
+        .lines()
+        .any(|l| l.starts_with("gem5prof_result_cache_hits_total")));
+    assert!(text
+        .lines()
+        .any(|l| l.starts_with("gem5prof_trace_cache_hits_total")));
+    // One source of truth: the result-cache hit count /metrics reports
+    // matches what /stats reported a moment ago (both only grow).
+    let metrics_hits = text
+        .lines()
+        .find(|l| l.starts_with("gem5prof_result_cache_hits_total"))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse::<f64>().ok())
+        .expect("parse result-cache hit count from /metrics");
+    assert!(
+        metrics_hits >= hits as f64,
+        "/metrics hits {metrics_hits} < /stats hits {hits}"
+    );
+
+    // /profile: span tree with self/total times covering the requests
+    // this test just made.
+    let (status, body) = get(&addr, "/profile");
+    assert_eq!(status, 200);
+    let prof = parse(&body);
+    let spans = prof
+        .get("spans")
+        .and_then(|s| s.as_arr())
+        .expect("/profile spans array");
+    let compute = spans
+        .iter()
+        .find(|s| {
+            s.get("path")
+                .and_then(|p| p.as_arr())
+                .is_some_and(|p| p.iter().any(|seg| seg.as_str() == Some("serve_compute")))
+        })
+        .expect("serve_compute span must appear after compute requests");
+    let total = compute.get("total_ns").and_then(|v| v.as_f64()).unwrap();
+    let own = compute.get("self_ns").and_then(|v| v.as_f64()).unwrap();
+    assert!(total > 0.0 && own <= total, "total={total} self={own}");
+    assert!(
+        prof.get("collapsed").and_then(|v| v.as_str()).is_some(),
+        "collapsed-stack export missing"
+    );
+
+    // Wrong methods on the observability endpoints are 405, not 404.
+    assert_eq!(post(&addr, "/metrics", "").0, 405);
+    assert_eq!(post(&addr, "/profile", "").0, 405);
 
     // Graceful shutdown: the daemon drains and stops listening.
     handle.shutdown();
