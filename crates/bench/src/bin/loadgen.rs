@@ -10,11 +10,17 @@
 //! through the given paths (default `/figures/fig01`), so the default
 //! workload is repeated-spec and exercises the server's result cache.
 //!
-//! Reports throughput, latency percentiles, a status-code histogram,
-//! dropped connections (any transport error), and the server-side result
-//! cache hit rate read from `/stats` afterwards. `--json` prints the
-//! same report as a JSON object (the format stored in
-//! `BENCH_serving.json`).
+//! Reports throughput, latency percentiles (plus the +Inf overflow
+//! count, so a saturated histogram is visible instead of silently
+//! clamping), a status-code histogram, retries, dropped connections
+//! (any transport error that survives its retries), and the
+//! server-side result cache hit rate read from `/stats` afterwards.
+//! `--json` prints the same report as a JSON object (the format stored
+//! in `BENCH_serving.json`).
+//!
+//! Clients are well-behaved: 429s honor the server's `Retry-After` and
+//! transport errors reconnect with jittered exponential backoff (see
+//! `bench::retry`); retries are reported separately from drops.
 //!
 //! Latencies are recorded into one lock-free gem5prof-obs histogram
 //! shared by every client thread (relaxed atomics, no contention on the
@@ -22,6 +28,7 @@
 //! Prometheus `histogram_quantile` over the server's own request-path
 //! histograms would give.
 
+use bench::retry::{request_with_retry, RetryPolicy};
 use gem5prof_obs::metrics::duration_buckets;
 use gem5prof_obs::HistogramSnapshot;
 use gem5prof_served::http::{one_shot, ClientConn};
@@ -109,6 +116,7 @@ fn main() {
     }
 
     let dropped = Arc::new(AtomicU64::new(0));
+    let retried = Arc::new(AtomicU64::new(0));
     let outcomes: Arc<Mutex<Vec<Outcome>>> = Arc::new(Mutex::new(Vec::new()));
     let latency = gem5prof_obs::global().histogram(
         "loadgen_request_seconds",
@@ -122,36 +130,40 @@ fn main() {
             let addr = addr.clone();
             let paths = paths.clone();
             let dropped = Arc::clone(&dropped);
+            let retried = Arc::clone(&retried);
             let outcomes = Arc::clone(&outcomes);
             let latency = Arc::clone(&latency);
             scope.spawn(move || {
                 let mut out = Outcome {
                     statuses: BTreeMap::new(),
                 };
+                let policy = RetryPolicy {
+                    seed: c as u64,
+                    ..RetryPolicy::default()
+                };
                 let mut conn: Option<ClientConn> = None;
                 for r in 0..requests {
                     let path = &paths[(c + r) % paths.len()];
                     let t0 = Instant::now();
-                    // (Re)connect lazily; a transport error mid-request
-                    // counts as a dropped connection and forces reconnect.
-                    let result = match &mut conn {
-                        Some(cc) => cc.request("GET", path, None),
-                        None => match ClientConn::connect(&*addr, Duration::from_secs(30)) {
-                            Ok(cc) => {
-                                conn = Some(cc);
-                                conn.as_mut().unwrap().request("GET", path, None)
-                            }
-                            Err(e) => Err(e),
-                        },
-                    };
-                    match result {
+                    // Latency covers the whole logical request, retries
+                    // and backoff included — what a caller would feel.
+                    let attempt = request_with_retry(
+                        &mut conn,
+                        &addr,
+                        "GET",
+                        path,
+                        None,
+                        &policy,
+                        ((c as u64) << 32) | r as u64,
+                    );
+                    retried.fetch_add(attempt.retries as u64, Ordering::Relaxed);
+                    match attempt.result {
                         Ok((status, _body)) => {
                             latency.observe_duration(t0.elapsed());
                             *out.statuses.entry(status).or_insert(0) += 1;
                         }
                         Err(_) => {
                             dropped.fetch_add(1, Ordering::Relaxed);
-                            conn = None;
                         }
                     }
                 }
@@ -170,7 +182,9 @@ fn main() {
     }
     let snap = latency.snapshot();
     let completed = snap.count();
+    let overflow = snap.overflow();
     let dropped = dropped.load(Ordering::Relaxed);
+    let retried = retried.load(Ordering::Relaxed);
     let rps = completed as f64 / wall.as_secs_f64();
     let (p50, p90, p95, p99) = (
         quantile_us(&snap, 0.50),
@@ -202,6 +216,7 @@ fn main() {
             ("wall_seconds", Json::Num(wall.as_secs_f64())),
             ("completed", Json::Num(completed as f64)),
             ("dropped_connections", Json::Num(dropped as f64)),
+            ("retries", Json::Num(retried as f64)),
             ("throughput_rps", Json::Num(rps)),
             (
                 "latency_us",
@@ -210,6 +225,10 @@ fn main() {
                     ("p90", Json::Num(p90 as f64)),
                     ("p95", Json::Num(p95 as f64)),
                     ("p99", Json::Num(p99 as f64)),
+                    // Samples past the last finite bucket bound: if this
+                    // is nonzero the percentiles above are floors, not
+                    // estimates.
+                    ("overflow", Json::Num(overflow as f64)),
                 ]),
             ),
             ("responses", Json::Obj(status_obj)),
@@ -226,7 +245,11 @@ fn main() {
         );
         println!("  completed:   {completed} ({rps:.0} req/s)");
         println!("  dropped:     {dropped}");
+        println!("  retries:     {retried}");
         println!("  latency:     p50 {p50} µs, p90 {p90} µs, p95 {p95} µs, p99 {p99} µs");
+        if overflow > 0 {
+            println!("  overflow:    {overflow} samples past the last histogram bound");
+        }
         for (s, n) in &statuses {
             println!("  status {s}:  {n}");
         }

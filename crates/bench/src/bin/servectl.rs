@@ -13,8 +13,13 @@
 //! A leading `/` on PATH is optional. Exits 0 on a 2xx response, 1 on an
 //! HTTP error status, 2 on usage errors, 3 on connection failure —
 //! which makes it usable as a smoke test (`scripts/verify.sh`).
+//!
+//! The request rides the shared retry policy (`bench::retry`): 429s
+//! honor `Retry-After`, connect refusal backs off exponentially — so a
+//! daemon still binding its port, or momentarily saturated, does not
+//! flake the smoke test.
 
-use gem5prof_served::http::one_shot;
+use bench::retry::{request_with_retry, RetryPolicy};
 use gem5prof_served::minjson;
 use std::time::Duration;
 
@@ -65,7 +70,19 @@ fn main() {
     };
     let method = if body.is_some() { "POST" } else { "GET" };
 
-    match one_shot(&addr, method, &path, body.as_deref(), timeout) {
+    let policy = RetryPolicy {
+        max_retries: 3,
+        base: Duration::from_millis(50),
+        cap: Duration::from_secs(2),
+        seed: 0,
+        timeout,
+    };
+    let mut conn = None;
+    let attempt = request_with_retry(&mut conn, &addr, method, &path, body.as_deref(), &policy, 0);
+    if attempt.retries > 0 {
+        eprintln!("servectl: {} retries before an answer", attempt.retries);
+    }
+    match attempt.result {
         Ok((status, body)) => {
             eprintln!("{method} {path} → {status}");
             match minjson::parse(&body) {

@@ -1,0 +1,169 @@
+//! `soak` — deterministic chaos soak for `gem5prof-served`.
+//!
+//! ```text
+//! soak [--seeds N] [--seed S]... [--secs T] [--requests M]
+//!      [--clients N] [--prob P]
+//! ```
+//!
+//! Runs one in-process soak episode per seed (see `bench::soak`): an
+//! ephemeral server with `gem5prof-chaos` armed, a fixed traffic mix
+//! from concurrent clients, then invariant probes and a watchdogged
+//! graceful drain. `--seeds N` runs seeds `1..=N`; explicit `--seed S`
+//! flags (repeatable) override that. `--requests M` switches from a
+//! time budget to a fixed per-client request count, which makes an
+//! episode exactly replayable.
+//!
+//! Exits 0 when every seed holds every invariant AND, across all seeds
+//! combined, every fault class (I/O, delay, panic, poison) actually
+//! injected at least once — a soak that injects nothing proves nothing.
+//! A failing seed prints a one-line reproduction command.
+
+use bench::soak::{soak_seed, SoakConfig};
+use std::collections::BTreeMap;
+
+/// Fault classes that must each fire at least once across the run.
+const CLASSES: &[(&str, &[&str])] = &[
+    (
+        "io",
+        &[
+            "http.read",
+            "http.short_read",
+            "http.torn_write",
+            "server.conn_drop",
+        ],
+    ),
+    (
+        "delay",
+        &[
+            "engine.job_delay",
+            "runner.slow_worker",
+            "runner.queue_stall",
+        ],
+    ),
+    ("panic", &["engine.worker_panic", "engine.job_panic"]),
+    ("poison", &["engine.job_poison"]),
+];
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: soak [--seeds N] [--seed S]... [--secs T] [--requests M] [--clients N] [--prob P]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut cfg = SoakConfig::default();
+    let mut seeds: Vec<u64> = Vec::new();
+    let mut nseeds: u64 = 3;
+
+    let mut i = 0;
+    while i < args.len() {
+        let value = |i: usize| args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        match args[i].as_str() {
+            "--seeds" => {
+                nseeds = value(i)
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--seed" => seeds.push(value(i).parse().unwrap_or_else(|_| usage())),
+            "--secs" => {
+                cfg.secs = value(i)
+                    .parse()
+                    .ok()
+                    .filter(|s: &f64| *s > 0.0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--requests" => cfg.requests = value(i).parse().unwrap_or_else(|_| usage()),
+            "--clients" => {
+                cfg.clients = value(i)
+                    .parse()
+                    .ok()
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage())
+            }
+            "--prob" => {
+                cfg.prob = value(i)
+                    .parse()
+                    .ok()
+                    .filter(|p: &f64| (0.0..=1.0).contains(p))
+                    .unwrap_or_else(|| usage())
+            }
+            "--help" | "-h" => usage(),
+            _ => usage(),
+        }
+        i += 2;
+    }
+    if seeds.is_empty() {
+        seeds = (1..=nseeds).collect();
+    }
+
+    let mut injected_by_point: BTreeMap<String, u64> = BTreeMap::new();
+    let mut failed: Vec<u64> = Vec::new();
+
+    for &seed in &seeds {
+        let out = soak_seed(seed, &cfg);
+        println!(
+            "soak: seed {seed} — issued {} completed {} dropped {} retries {} \
+             injected {} recovered {}",
+            out.issued,
+            out.completed,
+            out.dropped,
+            out.retries,
+            out.injected(),
+            out.recovered()
+        );
+        let statuses: Vec<String> = out
+            .statuses
+            .iter()
+            .map(|(s, n)| format!("{s}×{n}"))
+            .collect();
+        println!("  statuses: {}", statuses.join(" "));
+        for p in out.all_points() {
+            *injected_by_point.entry(p.point.to_string()).or_insert(0) += p.injected;
+        }
+        if !out.passed() {
+            for v in &out.violations {
+                println!("  VIOLATION: {v}");
+            }
+            let mode = if cfg.requests > 0 {
+                format!("--requests {}", cfg.requests)
+            } else {
+                format!("--secs {}", cfg.secs)
+            };
+            println!(
+                "soak: seed {seed} FAILED — rerun: cargo run --release -p bench --bin soak -- \
+                 --seed {seed} {mode} --clients {} --prob {}",
+                cfg.clients, cfg.prob
+            );
+            failed.push(seed);
+        }
+    }
+
+    let mut uncovered: Vec<&str> = Vec::new();
+    for (class, points) in CLASSES {
+        let total: u64 = points
+            .iter()
+            .map(|p| injected_by_point.get(*p).copied().unwrap_or(0))
+            .sum();
+        if total == 0 {
+            uncovered.push(class);
+        }
+    }
+    if !uncovered.is_empty() {
+        println!(
+            "soak: fault classes never injected across {} seed(s): {} — \
+             lengthen the run or raise --prob",
+            seeds.len(),
+            uncovered.join(", ")
+        );
+    }
+
+    if failed.is_empty() && uncovered.is_empty() {
+        println!("soak: all {} seed(s) passed", seeds.len());
+        std::process::exit(0);
+    }
+    std::process::exit(1);
+}

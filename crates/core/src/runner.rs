@@ -146,6 +146,13 @@ where
         }
     };
     let steal = |me: usize| -> Option<usize> {
+        // Chaos point: a stalled queue hand-off. Timing only — the
+        // determinism contract (input-order results) must hold through
+        // arbitrary scheduling delays.
+        if let Some(d) = gem5prof_chaos::delay("runner.queue_stall") {
+            std::thread::sleep(d);
+            gem5prof_chaos::recovered("runner.queue_stall");
+        }
         // Pick the victim with the most remaining work, take its upper
         // half, then serve the first stolen index.
         let victim = (0..ranges.len()).filter(|&v| v != me).max_by_key(|&v| {
@@ -188,6 +195,12 @@ where
                             None => break,
                         },
                     };
+                    // Chaos point: one worker runs slow; the others must
+                    // cover its tail via steals without reordering.
+                    if let Some(d) = gem5prof_chaos::delay("runner.slow_worker") {
+                        std::thread::sleep(d);
+                        gem5prof_chaos::recovered("runner.slow_worker");
+                    }
                     *lock(&slots[i]) = Some(f(&items[i]));
                 })
             });
@@ -347,5 +360,29 @@ mod tests {
     #[test]
     fn thread_override_wins_over_env() {
         with_threads(3, || assert_eq!(threads(), 3));
+    }
+
+    #[test]
+    fn parallel_map_is_correct_under_chaos_stalls() {
+        // Injected stalls and slow workers perturb scheduling only; the
+        // input-order determinism contract must survive them.
+        gem5prof_chaos::arm(
+            gem5prof_chaos::Plan::new(11)
+                .with_prob(0.0)
+                .with_point("runner.slow_worker", 0.25)
+                .with_point("runner.queue_stall", 0.5),
+        );
+        let items: Vec<u64> = (0..97).collect();
+        let expect: Vec<u64> = items.iter().map(|x| x * 3 + 1).collect();
+        let got = with_threads(4, || parallel_map(&items, |x| x * 3 + 1));
+        gem5prof_chaos::disarm();
+        assert_eq!(got, expect);
+        let rep = gem5prof_chaos::report();
+        let stalls: u64 = rep
+            .iter()
+            .filter(|r| r.point.starts_with("runner."))
+            .map(|r| r.injected)
+            .sum();
+        assert!(stalls > 0, "97 items at p=0.25 must inject at least once");
     }
 }

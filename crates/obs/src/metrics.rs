@@ -180,6 +180,14 @@ impl HistogramSnapshot {
             .collect()
     }
 
+    /// Observations beyond the largest bound (the implicit `+Inf`
+    /// bucket). A nonzero overflow means every quantile that lands in
+    /// the tail is clamped to the last bound — report this next to the
+    /// quantiles so a saturated histogram is visible, not silent.
+    pub fn overflow(&self) -> u64 {
+        *self.counts.last().unwrap_or(&0)
+    }
+
     /// Estimates the `q`-quantile (`0.0..=1.0`) by linear interpolation
     /// within the bucket containing the target rank, like Prometheus'
     /// `histogram_quantile`. Returns `None` for an empty histogram.
@@ -225,11 +233,19 @@ impl HistogramSnapshot {
     }
 }
 
-/// Default duration buckets (seconds): 1 µs .. ~100 s, log-spaced.
+/// Default duration buckets (seconds): 1 µs .. 250 s, log-spaced, with
+/// extra resolution through the 0.1–25 ms band where serving latencies
+/// live. The old, coarser grid made a saturated tail invisible: with
+/// nothing between 5 ms and 10 ms, a p99 interpolating inside that
+/// bucket pinned to the 10 ms bound exactly (`BENCH_serving.json`
+/// reported `p99: 10000` µs), which reads as a measurement rather than
+/// a clamp. Callers that care should also surface
+/// [`HistogramSnapshot::overflow`].
 pub fn duration_buckets() -> &'static [f64] {
     &[
-        1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 2.5e-4, 5e-4, 1e-3, 2.5e-3, 5e-3, 1e-2,
-        2.5e-2, 5e-2, 0.1, 0.25, 0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0,
+        1e-6, 2.5e-6, 5e-6, 1e-5, 2.5e-5, 5e-5, 1e-4, 1.5e-4, 2.5e-4, 4e-4, 5e-4, 7.5e-4, 1e-3,
+        1.5e-3, 2e-3, 3e-3, 4e-3, 5e-3, 6.5e-3, 8e-3, 1e-2, 1.5e-2, 2e-2, 2.5e-2, 5e-2, 0.1, 0.25,
+        0.5, 1.0, 2.5, 5.0, 10.0, 25.0, 50.0, 100.0, 250.0,
     ]
 }
 
@@ -519,7 +535,32 @@ mod tests {
     fn quantile_clamps_overflow_to_last_bound() {
         let h = Histogram::new(&[1.0, 2.0]);
         h.observe(99.0);
-        assert_eq!(h.snapshot().quantile(0.99), Some(2.0));
+        let s = h.snapshot();
+        assert_eq!(s.quantile(0.99), Some(2.0));
+        // …but the clamp is visible: the overflow count says how many
+        // observations sit beyond every bound.
+        assert_eq!(s.overflow(), 1);
+        h.observe(0.5);
+        assert_eq!(h.snapshot().overflow(), 1);
+        assert_eq!(Histogram::new(&[1.0]).snapshot().overflow(), 0);
+    }
+
+    #[test]
+    fn duration_buckets_are_strictly_increasing_and_fine_grained() {
+        let b = duration_buckets();
+        assert!(b.windows(2).all(|w| w[0] < w[1]));
+        // The serving band (0.1 ms .. 25 ms) must have sub-2x spacing so
+        // tail quantiles interpolate instead of pinning to a bound.
+        for w in b.windows(2) {
+            if w[0] >= 1e-4 && w[1] <= 2.5e-2 {
+                assert!(
+                    w[1] / w[0] <= 2.0 + 1e-9,
+                    "bucket gap {} -> {} too coarse for serving latencies",
+                    w[0],
+                    w[1]
+                );
+            }
+        }
     }
 
     #[test]

@@ -25,6 +25,7 @@ use crate::routes;
 use gem5prof::cache::LruCache;
 use gem5prof::figures::Fidelity;
 use gem5prof::spec::ExperimentSpec;
+use gem5prof_chaos as chaos;
 use gem5prof_obs as obs;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
@@ -199,6 +200,16 @@ impl ServerStats {
     }
 }
 
+/// Corrupts a rendered body the way a torn buffer would: half the bytes
+/// (on a char boundary) plus a marker, guaranteed not to parse as JSON.
+fn poisoned(body: &str) -> String {
+    let mut cut = body.len() / 2;
+    while cut > 0 && !body.is_char_boundary(cut) {
+        cut -= 1;
+    }
+    format!("{}<<chaos-poison>>", &body[..cut])
+}
+
 /// The admission queue + worker pool + result cache.
 pub(crate) struct Engine {
     /// Queue sender; taken (dropped) on drain so workers exit.
@@ -280,58 +291,115 @@ impl Engine {
                             Ok(job) => job,
                             Err(_) => break, // sender dropped: drain complete
                         };
-                        engine_w.depth.fetch_sub(1, Ordering::Relaxed);
-                        engine_w
-                            .metrics
-                            .queue_wait
-                            .observe_duration(job.enqueued.elapsed());
-                        // Duplicate-key jobs pile up while the first one
-                        // computes (every concurrent miss enqueues); serve
-                        // them from the cache instead of recomputing, so a
-                        // burst of identical cold requests costs one compute
-                        // and a drain never grinds through stale duplicates.
-                        let cached = engine_w
-                            .cache
-                            .lock()
-                            .unwrap_or_else(|e| e.into_inner())
-                            .get(&job.key);
-                        if let Some(body) = cached {
-                            engine_w.in_flight.fetch_sub(1, Ordering::Relaxed);
-                            let _ = job.reply.send(Ok(body));
-                            continue;
-                        }
-                        if !worker_delay.is_zero() {
-                            std::thread::sleep(worker_delay);
-                        }
-                        let compute_started = Instant::now();
-                        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                            let _span = obs::span("serve_compute");
-                            job.work.compute()
-                        }));
-                        engine_w
-                            .metrics
-                            .compute
-                            .observe_duration(compute_started.elapsed());
-                        let reply = match result {
-                            Ok(body) => {
-                                let body = Arc::new(body);
-                                engine_w
-                                    .cache
-                                    .lock()
-                                    .unwrap_or_else(|e| e.into_inner())
-                                    .insert(job.key.clone(), Arc::clone(&body));
-                                Ok(body)
+                        // The whole job scope is panic-isolated: a panic
+                        // anywhere inside still decrements `in_flight`
+                        // (drop guard in `process`) and drops the reply
+                        // sender — which the requester observes as a 500 —
+                        // and the worker thread survives to take the next
+                        // job, so the pool never shrinks permanently.
+                        let outcome =
+                            std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                                engine_w.process(job, worker_delay)
+                            }));
+                        if let Err(payload) = outcome {
+                            if chaos::is_chaos_panic(payload.as_ref()) {
+                                chaos::recovered("engine.worker_panic");
                             }
-                            Err(_) => Err(format!("computation for `{}` panicked", job.key)),
-                        };
-                        engine_w.in_flight.fetch_sub(1, Ordering::Relaxed);
-                        let _ = job.reply.send(reply); // requester may have timed out
+                        }
                     })
                     .expect("spawn worker"),
             );
         }
         *engine.handles.lock().unwrap_or_else(|e| e.into_inner()) = handles;
         engine
+    }
+
+    /// Handles one dequeued job on a worker thread. Runs inside the
+    /// worker's `catch_unwind`; the drop guard keeps `in_flight` honest
+    /// even if this panics mid-job.
+    fn process(&self, job: Job, worker_delay: Duration) {
+        struct InFlightGuard<'a>(&'a AtomicUsize);
+        impl Drop for InFlightGuard<'_> {
+            fn drop(&mut self) {
+                self.0.fetch_sub(1, Ordering::Relaxed);
+            }
+        }
+        let _in_flight = InFlightGuard(&self.in_flight);
+        self.depth.fetch_sub(1, Ordering::Relaxed);
+        self.metrics
+            .queue_wait
+            .observe_duration(job.enqueued.elapsed());
+        // Duplicate-key jobs pile up while the first one computes (every
+        // concurrent miss enqueues); serve them from the cache instead of
+        // recomputing, so a burst of identical cold requests costs one
+        // compute and a drain never grinds through stale duplicates.
+        let cached = self
+            .cache
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .get(&job.key);
+        if let Some(body) = cached {
+            let _ = job.reply.send(Ok(body));
+            return;
+        }
+        if chaos::inject("engine.worker_panic") {
+            // Deliberately outside the compute `catch_unwind`: proves the
+            // worker loop survives panics on its own paths too.
+            panic!("chaos: injected worker panic");
+        }
+        if let Some(d) = chaos::delay("engine.job_delay") {
+            std::thread::sleep(d);
+            chaos::recovered("engine.job_delay");
+        }
+        if !worker_delay.is_zero() {
+            std::thread::sleep(worker_delay);
+        }
+        let compute_started = Instant::now();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+            let _span = obs::span("serve_compute");
+            if chaos::inject("engine.job_panic") {
+                panic!("chaos: injected job panic");
+            }
+            let body = job.work.compute();
+            if chaos::inject("engine.job_poison") {
+                poisoned(&body)
+            } else {
+                body
+            }
+        }));
+        self.metrics
+            .compute
+            .observe_duration(compute_started.elapsed());
+        let reply = match result {
+            Ok(body) => {
+                // Validate before caching: every compute endpoint renders
+                // JSON, so a body that does not parse is a torn/poisoned
+                // result and must never become a cache entry other
+                // requests would then be served. The parse only runs with
+                // chaos armed — production pays nothing.
+                if chaos::enabled() && crate::minjson::parse(&body).is_err() {
+                    chaos::recovered("engine.job_poison");
+                    Err(format!(
+                        "poisoned result for `{}` detected and discarded",
+                        job.key
+                    ))
+                } else {
+                    let body = Arc::new(body);
+                    self.cache
+                        .lock()
+                        .unwrap_or_else(|e| e.into_inner())
+                        .insert(job.key.clone(), Arc::clone(&body));
+                    Ok(body)
+                }
+            }
+            Err(payload) => {
+                if chaos::is_chaos_panic(payload.as_ref()) {
+                    chaos::recovered("engine.job_panic");
+                }
+                Err(format!("computation for `{}` panicked", job.key))
+            }
+        };
+        let _ = job.reply.send(reply); // requester may have timed out
     }
 
     /// Submits work: cache lookup, then bounded enqueue.

@@ -10,6 +10,7 @@
 //! encoding, no multipart, no TLS. Every response carries an explicit
 //! `Content-Length`, which keeps both directions of the parser trivial.
 
+use gem5prof_chaos as chaos;
 use std::io::{self, BufRead, BufReader, Read, Write};
 use std::net::{TcpStream, ToSocketAddrs};
 use std::time::Duration;
@@ -47,12 +48,16 @@ impl Request {
             .map(|(_, v)| v.as_str())
     }
 
-    /// The value of a `k=v` query parameter.
+    /// The value of a `k=v` query parameter. A bare key without `=`
+    /// (`?quick`) is a flag-style parameter and yields `Some("")`.
     pub fn query_param(&self, key: &str) -> Option<&str> {
-        self.query.as_deref()?.split('&').find_map(|pair| {
-            let (k, v) = pair.split_once('=')?;
-            (k == key).then_some(v)
-        })
+        self.query
+            .as_deref()?
+            .split('&')
+            .find_map(|pair| match pair.split_once('=') {
+                Some((k, v)) => (k == key).then_some(v),
+                None => (pair == key).then_some(""),
+            })
     }
 }
 
@@ -98,6 +103,9 @@ fn read_line(r: &mut impl BufRead) -> io::Result<Option<String>> {
 /// bytes were not a well-formed request (the caller should answer 400
 /// and close).
 pub fn read_request(r: &mut impl BufRead) -> io::Result<Option<Request>> {
+    if let Some(e) = chaos::io_error("http.read") {
+        return Err(e);
+    }
     let line = match read_line(r)? {
         None => return Ok(None),
         Some(l) => l,
@@ -138,6 +146,19 @@ pub fn read_request(r: &mut impl BufRead) -> io::Result<Option<Request>> {
         headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
     }
 
+    // Duplicate `Content-Length` headers are a request-smuggling vector:
+    // reject outright instead of silently trusting the first one.
+    if headers
+        .iter()
+        .filter(|(k, _)| k == "content-length")
+        .count()
+        > 1
+    {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "duplicate Content-Length headers",
+        ));
+    }
     let content_length = headers
         .iter()
         .find(|(k, _)| k == "content-length")
@@ -149,6 +170,16 @@ pub fn read_request(r: &mut impl BufRead) -> io::Result<Option<Request>> {
         .unwrap_or(0);
     if content_length > MAX_BODY {
         return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+    }
+    if content_length > 0 && chaos::inject("http.short_read") {
+        // A peer that dies mid-body: consume part of it, then fail the
+        // read the way a closed socket would.
+        let mut partial = vec![0u8; content_length / 2];
+        r.read_exact(&mut partial)?;
+        return Err(io::Error::new(
+            io::ErrorKind::UnexpectedEof,
+            "chaos: short body read",
+        ));
     }
     let mut body = vec![0u8; content_length];
     r.read_exact(&mut body)?;
@@ -216,6 +247,18 @@ pub fn write_response(
     } else {
         "connection: keep-alive\r\n\r\n"
     });
+    if chaos::inject("http.torn_write") {
+        // A torn response: full header (advertising the real length) but
+        // only half the body, then the connection errors out. The client
+        // must detect the truncation, not hang on it.
+        w.write_all(head.as_bytes())?;
+        w.write_all(&body[..body.len() / 2])?;
+        let _ = w.flush();
+        return Err(io::Error::new(
+            io::ErrorKind::BrokenPipe,
+            "chaos: torn response write",
+        ));
+    }
     w.write_all(head.as_bytes())?;
     w.write_all(body)?;
     w.flush()
@@ -256,6 +299,19 @@ impl ClientConn {
         path: &str,
         body: Option<&str>,
     ) -> io::Result<(u16, String)> {
+        self.request_with_headers(method, path, body)
+            .map(|(status, _headers, body)| (status, body))
+    }
+
+    /// Like [`request`](Self::request) but also returns the response
+    /// headers (lower-cased names), which retrying clients need for
+    /// `Retry-After`.
+    pub fn request_with_headers(
+        &mut self,
+        method: &str,
+        path: &str,
+        body: Option<&str>,
+    ) -> io::Result<(u16, Vec<(String, String)>, String)> {
         let body = body.unwrap_or("");
         let msg = format!(
             "{method} {path} HTTP/1.1\r\nhost: gem5prof\r\ncontent-length: {}\r\n\r\n{body}",
@@ -277,6 +333,7 @@ impl ClientConn {
                 )
             })?;
         let mut content_length = 0usize;
+        let mut headers = Vec::new();
         loop {
             let line = read_line(&mut self.reader)?.ok_or_else(|| {
                 io::Error::new(io::ErrorKind::UnexpectedEof, "EOF in response headers")
@@ -285,18 +342,20 @@ impl ClientConn {
                 break;
             }
             if let Some((k, v)) = line.split_once(':') {
-                if k.trim().eq_ignore_ascii_case("content-length") {
-                    content_length = v.trim().parse().map_err(|_| {
+                let (k, v) = (k.trim().to_ascii_lowercase(), v.trim().to_string());
+                if k == "content-length" {
+                    content_length = v.parse().map_err(|_| {
                         io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length")
                     })?;
                 }
+                headers.push((k, v));
             }
         }
         let mut body = vec![0u8; content_length];
         self.reader.read_exact(&mut body)?;
         let body = String::from_utf8(body)
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
-        Ok((status, body))
+        Ok((status, headers, body))
     }
 }
 
@@ -326,6 +385,23 @@ mod tests {
         assert_eq!(req.body, b"abcd");
         assert!(!req.close);
         assert_eq!(req.header("host"), Some("h"));
+    }
+
+    #[test]
+    fn bare_query_keys_are_flag_parameters() {
+        let raw = b"GET /x?quick&depth=3 HTTP/1.1\r\n\r\n";
+        let req = read_request(&mut Cursor::new(&raw[..])).unwrap().unwrap();
+        assert_eq!(req.query_param("quick"), Some(""));
+        assert_eq!(req.query_param("depth"), Some("3"));
+        assert_eq!(req.query_param("missing"), None);
+    }
+
+    #[test]
+    fn duplicate_content_length_is_rejected() {
+        let raw = b"POST /x HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nabcd";
+        let err = read_request(&mut Cursor::new(&raw[..])).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+        assert!(err.to_string().contains("duplicate Content-Length"));
     }
 
     #[test]

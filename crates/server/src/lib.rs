@@ -32,6 +32,7 @@ mod engine;
 mod routes;
 
 use engine::{Engine, ServerStats};
+use gem5prof_chaos as chaos;
 use routes::Shared;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
@@ -179,6 +180,16 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
                 // One span per request: routing + compute wait + write.
                 let _span = gem5prof_obs::span("http_request");
                 shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+                if chaos::inject("server.conn_drop") {
+                    // The connection dies after the request is parsed but
+                    // before any response: the client must see a clean
+                    // transport error, never a wedged thread. Count it as
+                    // an "other" response so `/stats` accounting stays
+                    // exact (every parsed request gets an outcome).
+                    shared.stats.count(0);
+                    chaos::recovered("server.conn_drop");
+                    break;
+                }
                 let draining = shared.draining.load(Ordering::Relaxed);
                 let (status, body, extra) = if draining {
                     (
@@ -192,11 +203,17 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
                 };
                 shared.stats.count(status);
                 let close = req.close || draining;
-                if http::write_response(&mut writer, status, body.as_bytes(), &extra, close)
-                    .is_err()
-                    || close
-                {
-                    break;
+                match http::write_response(&mut writer, status, body.as_bytes(), &extra, close) {
+                    Ok(()) if !close => {}
+                    Ok(()) => break,
+                    Err(e) => {
+                        // A torn/failed write is survived by dropping the
+                        // connection; the response was already counted.
+                        if chaos::is_chaos_error(&e) {
+                            chaos::recovered("http.torn_write");
+                        }
+                        break;
+                    }
                 }
             }
             Ok(None) => break, // peer closed between requests
@@ -216,7 +233,18 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
                 let _ = http::write_response(&mut writer, 400, body.as_bytes(), &[], true);
                 break;
             }
-            Err(_) => break, // connection-level failure
+            Err(e) => {
+                // Connection-level failure (including injected read
+                // errors and short reads): survived by closing cleanly.
+                if chaos::is_chaos_error(&e) {
+                    chaos::recovered(if e.kind() == io::ErrorKind::UnexpectedEof {
+                        "http.short_read"
+                    } else {
+                        "http.read"
+                    });
+                }
+                break;
+            }
         }
     }
 }

@@ -80,6 +80,17 @@ fn main() {
 
     install_signal_handlers();
 
+    // Opt-in fault injection: a production daemon pays nothing unless
+    // GEM5PROF_CHAOS is set, and an armed one says so loudly.
+    if let Some(plan) = gem5prof_chaos::arm_from_env() {
+        gem5prof_chaos::install_quiet_panic_hook();
+        eprintln!(
+            "gem5prof-served: CHAOS ARMED (seed={}, default probability {}) — \
+             this daemon will inject faults into itself",
+            plan.seed, plan.default_prob
+        );
+    }
+
     let handle = match serve(cfg.clone()) {
         Ok(h) => h,
         Err(e) => {

@@ -14,6 +14,7 @@ use gem5prof::spec::{self, ExperimentSpec};
 use gem5prof::ProfileRun;
 use platforms::{PlatformId, SystemKnobs};
 use std::sync::atomic::Ordering;
+use std::sync::mpsc;
 use std::time::{Duration, Instant};
 
 /// A finished response: status, JSON body, extra headers.
@@ -92,7 +93,15 @@ fn run_work(work: Work, shared: &Shared) -> Reply {
         Submission::Pending(rx) => match rx.recv_timeout(shared.deadline) {
             Ok(Ok(body)) => (200, (*body).clone(), Vec::new()),
             Ok(Err(msg)) => plain(500, &msg),
-            Err(_) => plain(504, "deadline exceeded (result will be cached)"),
+            Err(mpsc::RecvTimeoutError::Timeout) => {
+                plain(504, "deadline exceeded (result will be cached)")
+            }
+            // The worker dropped the reply sender without answering (it
+            // panicked mid-job): a server fault, reported immediately —
+            // not a deadline expiry after a pointless full wait.
+            Err(mpsc::RecvTimeoutError::Disconnected) => {
+                plain(500, "worker failed before replying")
+            }
         },
     }
 }

@@ -25,7 +25,11 @@ cleanup() {
 trap cleanup EXIT INT TERM
 
 rm -f "$PORT_FILE"
-target/release/gem5prof-served --addr 127.0.0.1:0 --port-file "$PORT_FILE" &
+# A cold quick-fidelity fig01 can exceed the default 30 s request
+# deadline on a slow single-core machine; the smoke test is about
+# correctness, not latency, so give the daemon a generous deadline.
+target/release/gem5prof-served --addr 127.0.0.1:0 --deadline-ms 900000 \
+    --port-file "$PORT_FILE" &
 SERVED_PID=$!
 
 i=0
@@ -69,3 +73,9 @@ kill -TERM "$SERVED_PID"
 wait "$SERVED_PID"
 SERVED_PID=""
 echo "verify: serving smoke test passed"
+
+# Chaos soak: three seeded fault-injection episodes against an
+# in-process server; exits nonzero (with a one-line repro) if any
+# serving invariant breaks or a fault class never fires.
+target/release/soak --seeds 3 --secs 5
+echo "verify: chaos soak passed"

@@ -1,0 +1,157 @@
+//! End-to-end hardening tests for the failure paths the chaos harness
+//! shakes out: injected panics must surface as 500s (never hangs), the
+//! worker pool must survive them, and an expired deadline must return
+//! 504 while the engine still finishes and caches the result.
+//!
+//! The chaos plan is process-global, so the tests serialize on a mutex.
+
+use gem5prof_chaos::{self as chaos, Plan};
+use gem5prof_served::http::one_shot;
+use gem5prof_served::{serve, ServeConfig};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+static SERIAL: Mutex<()> = Mutex::new(());
+
+const LONG: Duration = Duration::from_secs(900);
+
+fn post(addr: &str, path: &str, body: &str) -> (u16, String) {
+    one_shot(addr, "POST", path, Some(body), LONG).expect("POST transport")
+}
+
+/// A plan that fires nothing except the named point, every time.
+fn only(seed: u64, point: &str) -> Plan {
+    Plan::new(seed).with_prob(0.0).with_point(point, 1.0)
+}
+
+#[test]
+fn injected_panics_return_500_and_the_worker_pool_survives() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    chaos::install_quiet_panic_hook();
+
+    // One worker: if an injected panic killed it, every later request
+    // would hang or error — surviving twice proves the pool recovers.
+    let handle = serve(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_cap: 8,
+        cache_cap: 16,
+        deadline: LONG,
+        worker_delay: Duration::ZERO,
+    })
+    .expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+    let spec = r#"{"platform":"intel_xeon","workload":"dedup","cpu":"atomic"}"#;
+
+    // A panic inside the compute closure: the client gets a 500 naming
+    // the panicked computation, immediately (not a deadline expiry).
+    chaos::arm(only(1, "engine.job_panic"));
+    let (status, body) = post(&addr, "/experiments", spec);
+    assert_eq!(status, 500, "compute panic must be a 500: {body}");
+    assert!(body.contains("panicked"), "unexpected 500 body: {body}");
+
+    // A panic outside the compute path (the reply sender is dropped
+    // without an answer): still a prompt 500, not a hang or a wait for
+    // the full deadline.
+    chaos::arm(only(2, "engine.worker_panic"));
+    let t0 = Instant::now();
+    let (status, body) = post(&addr, "/experiments", spec);
+    assert_eq!(status, 500, "worker panic must be a 500: {body}");
+    assert!(
+        body.contains("worker failed"),
+        "the 500 must say the worker died, not that a deadline expired: {body}"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(60),
+        "a dead worker's request must fail fast"
+    );
+
+    // With chaos off, the same single worker computes the same spec:
+    // the pool survived both panics and no failure was cached.
+    chaos::disarm();
+    let (status, body) = post(&addr, "/experiments", spec);
+    assert_eq!(status, 200, "worker pool dead after panics: {body}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn poisoned_results_are_discarded_not_cached() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    chaos::install_quiet_panic_hook();
+
+    let handle = serve(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_cap: 8,
+        cache_cap: 16,
+        deadline: LONG,
+        worker_delay: Duration::ZERO,
+    })
+    .expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+    let spec = r#"{"platform":"m1_pro","workload":"dedup","cpu":"atomic"}"#;
+
+    // Every rendered body is torn before the cache sees it: the client
+    // must get a 500, never the corrupted bytes.
+    chaos::arm(only(3, "engine.job_poison"));
+    let (status, body) = post(&addr, "/experiments", spec);
+    assert_eq!(status, 500, "poisoned render must be discarded: {body}");
+    assert!(
+        !body.contains("<<chaos-poison>>"),
+        "corrupted bytes reached the client: {body}"
+    );
+
+    // Chaos off: a clean recompute, which also proves the poisoned
+    // entry was never cached (a cache hit would skip the recompute).
+    chaos::disarm();
+    let (status, body) = post(&addr, "/experiments", spec);
+    assert_eq!(status, 200, "recompute after poison failed: {body}");
+    gem5prof_served::minjson::parse(&body).expect("clean body must parse");
+
+    handle.shutdown();
+}
+
+#[test]
+fn deadline_expiry_returns_504_and_the_result_is_still_cached() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+
+    // 400 ms of artificial work against a 150 ms deadline: the first
+    // request must time out with a 504.
+    let handle = serve(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_cap: 8,
+        cache_cap: 16,
+        deadline: Duration::from_millis(150),
+        worker_delay: Duration::from_millis(400),
+    })
+    .expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+
+    let (status, body) =
+        one_shot(&addr, "GET", "/tables/table1", None, LONG).expect("GET transport");
+    assert_eq!(status, 504, "short deadline must expire: {body}");
+
+    // The abandoned job keeps running and caches its result; once it
+    // lands, the same request is a cache hit — which is the only way it
+    // can answer 200 here, since any recompute would again out-sleep
+    // the deadline.
+    let patience = Instant::now() + Duration::from_secs(10);
+    loop {
+        let (status, body) =
+            one_shot(&addr, "GET", "/tables/table1", None, LONG).expect("GET transport");
+        if status == 200 {
+            gem5prof_served::minjson::parse(&body).expect("cached body must parse");
+            break;
+        }
+        assert_eq!(status, 504, "only 504-until-cached is acceptable: {body}");
+        assert!(
+            Instant::now() < patience,
+            "result never landed in the cache after deadline expiry"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    }
+
+    handle.shutdown();
+}

@@ -1,0 +1,78 @@
+//! A failing soak seed must be replayable: with one client and a fixed
+//! request count, the same seed must produce the same traffic outcome
+//! and the same per-point injection schedule, run to run. This is the
+//! regression test for the chaos determinism contract — if it breaks,
+//! the one-line repro the `soak` binary prints stops reproducing.
+
+use bench::soak::{soak_seed, SoakConfig};
+
+#[test]
+fn same_seed_replays_the_same_soak_episode() {
+    // Pre-warm the guest-trace cache so both runs see the same compute
+    // timings (milliseconds, far under the soak deadline): without
+    // this, a cold first run could 504 where the warm second run
+    // answers 200, which would be a timing artifact, not a
+    // determinism bug.
+    for cpu in [
+        gem5sim::config::CpuModel::Atomic,
+        gem5sim::config::CpuModel::Timing,
+        gem5sim::config::CpuModel::Minor,
+    ] {
+        let spec = gem5prof::spec::ExperimentSpec {
+            platform: platforms::PlatformId::IntelXeon,
+            workload: gem5sim_workloads::Workload::Dedup,
+            scale: gem5sim_workloads::Scale::Test,
+            cpu,
+            mode: gem5sim::config::SimMode::Se,
+            knobs: platforms::SystemKnobs::new(),
+        };
+        spec.run();
+    }
+
+    let cfg = SoakConfig {
+        requests: 36,
+        clients: 1,
+        prob: 0.15,
+        secs: 0.0, // unused in fixed-request mode
+    };
+    let first = soak_seed(42, &cfg);
+    let second = soak_seed(42, &cfg);
+
+    assert!(
+        first.passed(),
+        "seed 42 violated invariants: {:?}",
+        first.violations
+    );
+    assert!(
+        second.passed(),
+        "seed 42 violated invariants on replay: {:?}",
+        second.violations
+    );
+
+    // The client-visible episode is identical…
+    assert_eq!(first.issued, second.issued);
+    assert_eq!(first.completed, second.completed, "completed diverged");
+    assert_eq!(first.dropped, second.dropped, "dropped diverged");
+    assert_eq!(first.retries, second.retries, "retries diverged");
+    assert_eq!(first.statuses, second.statuses, "status histogram diverged");
+    assert!(
+        first.injected() > 0,
+        "a soak that injects nothing proves nothing"
+    );
+
+    // …and so is the injection schedule. `runner.queue_stall` is
+    // excluded: its visit count depends on how often idle runner
+    // threads poll the work queue, which thread scheduling decides.
+    let schedule = |out: &bench::soak::SeedOutcome| -> Vec<(&'static str, u64, u64)> {
+        out.points
+            .iter()
+            .filter(|p| p.point != "runner.queue_stall")
+            .map(|p| (p.point, p.hits, p.injected))
+            .collect()
+    };
+    assert_eq!(
+        schedule(&first),
+        schedule(&second),
+        "per-point injection schedule diverged for the same seed"
+    );
+}
