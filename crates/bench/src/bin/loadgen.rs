@@ -1,7 +1,8 @@
 //! `loadgen` — closed-loop load generator for `gem5prof-served`.
 //!
 //! ```text
-//! loadgen [--addr HOST:PORT] [--clients N] [--requests M] [--paths P1,P2,…] [--json]
+//! loadgen [--addr HOST:PORT] [--clients N] [--requests M] [--paths P1,P2,…]
+//!         [--duplicate-fraction F] [--json]
 //! ```
 //!
 //! Spawns `N` concurrent clients, each holding one keep-alive
@@ -9,6 +10,14 @@
 //! next request starts when the previous response lands). Clients cycle
 //! through the given paths (default `/figures/fig01`), so the default
 //! workload is repeated-spec and exercises the server's result cache.
+//!
+//! `--duplicate-fraction F` switches to a duplicate-heavy mix: each
+//! request goes to the first path (the shared hot key) with probability
+//! `F`, deterministically in the (client, request) pair, and cycles
+//! through the remaining paths otherwise. With `F` near 1 every client
+//! hammers one key at once — the workload single-flight coalescing is
+//! built for: a coalescing server computes the hot key once, a
+//! `--no-coalesce` server once per concurrent duplicate.
 //!
 //! Reports throughput, latency percentiles (plus the +Inf overflow
 //! count, so a saturated histogram is visible instead of silently
@@ -44,9 +53,19 @@ struct Outcome {
 
 fn usage() -> ! {
     eprintln!(
-        "usage: loadgen [--addr HOST:PORT] [--clients N] [--requests M] [--paths P1,P2,…] [--json]"
+        "usage: loadgen [--addr HOST:PORT] [--clients N] [--requests M] [--paths P1,P2,…] \
+         [--duplicate-fraction F] [--json]"
     );
     std::process::exit(2);
+}
+
+/// splitmix64: the deterministic per-(client, request) coin for
+/// `--duplicate-fraction` (same generator the chaos plan uses).
+fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E3779B97F4A7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D049BB133111EB);
+    x ^ (x >> 31)
 }
 
 /// A histogram quantile in whole microseconds.
@@ -60,6 +79,7 @@ fn main() {
     let mut clients: usize = 64;
     let mut requests: usize = 100;
     let mut paths: Vec<String> = vec!["/figures/fig01".into()];
+    let mut duplicate_fraction: Option<f64> = None;
     let mut json_out = false;
 
     let mut i = 0;
@@ -98,6 +118,15 @@ fn main() {
                         }
                     })
                     .collect();
+                i += 2;
+            }
+            "--duplicate-fraction" => {
+                duplicate_fraction = Some(
+                    args.get(i + 1)
+                        .and_then(|v| v.parse().ok())
+                        .filter(|f: &f64| (0.0..=1.0).contains(f))
+                        .unwrap_or_else(|| usage()),
+                );
                 i += 2;
             }
             "--json" => {
@@ -143,7 +172,22 @@ fn main() {
                 };
                 let mut conn: Option<ClientConn> = None;
                 for r in 0..requests {
-                    let path = &paths[(c + r) % paths.len()];
+                    let path = match duplicate_fraction {
+                        // Hot-key coin flip, deterministic in (client,
+                        // request): heads goes to the shared first path,
+                        // tails cycles through the rest (or the whole
+                        // list when there is no rest).
+                        Some(f) => {
+                            let coin =
+                                splitmix64(((c as u64) << 32) | r as u64) as f64 / u64::MAX as f64;
+                            if coin < f || paths.len() == 1 {
+                                &paths[0]
+                            } else {
+                                &paths[1 + (c + r) % (paths.len() - 1)]
+                            }
+                        }
+                        None => &paths[(c + r) % paths.len()],
+                    };
                     let t0 = Instant::now();
                     // Latency covers the whole logical request, retries
                     // and backoff included — what a caller would feel.
@@ -211,6 +255,10 @@ fn main() {
                     ("clients", Json::Num(clients as f64)),
                     ("requests_per_client", Json::Num(requests as f64)),
                     ("paths", Json::Arr(paths.iter().map(Json::str).collect())),
+                    (
+                        "duplicate_fraction",
+                        duplicate_fraction.map_or(Json::Null, Json::Num),
+                    ),
                 ]),
             ),
             ("wall_seconds", Json::Num(wall.as_secs_f64())),

@@ -30,6 +30,7 @@ const CLASSES: &[(&str, &[&str])] = &[
             "http.short_read",
             "http.torn_write",
             "server.conn_drop",
+            "cache.disk_write",
         ],
     ),
     (
@@ -40,7 +41,14 @@ const CLASSES: &[(&str, &[&str])] = &[
             "runner.queue_stall",
         ],
     ),
-    ("panic", &["engine.worker_panic", "engine.job_panic"]),
+    (
+        "panic",
+        &[
+            "engine.worker_panic",
+            "engine.job_panic",
+            "engine.leader_panic",
+        ],
+    ),
     ("poison", &["engine.job_poison"]),
 ];
 

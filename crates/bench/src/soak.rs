@@ -108,6 +108,8 @@ pub fn plan_for(seed: u64, prob: f64) -> Plan {
         .with_point("engine.job_panic", hot)
         .with_point("engine.job_poison", hot)
         .with_point("engine.worker_panic", hot)
+        .with_point("engine.leader_panic", hot)
+        .with_point("cache.disk_write", hot)
         .with_point("runner.slow_worker", hot)
         .with_point("runner.queue_stall", hot)
 }
@@ -264,11 +266,17 @@ pub fn soak_seed(seed: u64, cfg: &SoakConfig) -> SeedOutcome {
     chaos::install_quiet_panic_hook();
     let mut violations = Vec::new();
 
+    // A per-episode disk tier so `cache.disk_write` faults and the
+    // corrupt-entry scrubbing run under soak load too.
+    let cache_dir =
+        std::env::temp_dir().join(format!("gem5prof-soak-{}-{seed:x}", std::process::id()));
     let handle = serve(ServeConfig {
         addr: "127.0.0.1:0".into(),
         workers: 2,
         queue_cap: 16,
         cache_cap: 64,
+        cache_dir: Some(cache_dir.clone()),
+        coalesce: true,
         deadline: Duration::from_secs(5),
         worker_delay: Duration::ZERO,
     })
@@ -438,6 +446,7 @@ pub fn soak_seed(seed: u64, cfg: &SoakConfig) -> SeedOutcome {
     });
     let drain_points = chaos::report();
     chaos::disarm();
+    let _ = std::fs::remove_dir_all(&cache_dir);
 
     SeedOutcome {
         seed,

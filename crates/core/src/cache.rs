@@ -9,8 +9,9 @@
 //! every cache in the process in the same shape.
 
 use std::collections::HashMap;
-use std::hash::Hash;
+use std::hash::{Hash, Hasher};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, MutexGuard};
 
 /// Atomic hit/miss/insertion/eviction counters for one cache.
 ///
@@ -88,6 +89,15 @@ impl CacheSnapshot {
         } else {
             self.hits as f64 / total as f64
         }
+    }
+
+    /// Adds another snapshot's counters into this one (used to
+    /// aggregate per-shard snapshots into a cache-wide view).
+    pub fn merge(&mut self, other: &CacheSnapshot) {
+        self.hits += other.hits;
+        self.misses += other.misses;
+        self.insertions += other.insertions;
+        self.evictions += other.evictions;
     }
 
     /// This snapshot as metric samples named `<prefix>_{hits,misses,
@@ -204,6 +214,169 @@ impl<K: Eq + Hash + Clone, V: Clone> LruCache<K, V> {
     pub fn stats(&self) -> &CacheStats {
         &self.stats
     }
+
+    /// Visits every resident entry (recency untouched, no hit/miss
+    /// accounting). Iteration order is unspecified.
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        for (k, (_, v)) in &self.map {
+            f(k, v);
+        }
+    }
+
+    /// Empties the cache. Counters keep their running totals and the
+    /// removed entries do not count as evictions (nothing was displaced
+    /// to make room).
+    pub fn clear(&mut self) {
+        self.map.clear();
+    }
+}
+
+// ---------------------------------------------------------------------
+// Sharded LRU
+// ---------------------------------------------------------------------
+
+/// Picks a shard count for a cache of `cap` entries: one shard per
+/// available core, rounded up to a power of two, capped at 64 and never
+/// more than `cap` (every shard must be able to hold at least one
+/// entry). More shards than cores only adds memory overhead; fewer
+/// serializes independent lookups behind one mutex.
+pub fn default_shards(cap: usize) -> usize {
+    let cores = std::thread::available_parallelism().map_or(1, |n| n.get());
+    cores.next_power_of_two().min(64).min(cap).max(1)
+}
+
+/// A concurrent LRU: `N` independently-mutexed [`LruCache`] shards,
+/// keys distributed by hash. A lookup or insert locks exactly one
+/// shard, so the single-`Mutex<LruCache>` convoy the serving layer's
+/// result cache used to bottleneck on becomes per-shard contention
+/// only between keys that actually collide.
+///
+/// Capacity is partitioned across shards (summing exactly to `cap`),
+/// so the total resident count can never exceed `cap`. Eviction is
+/// per-shard LRU: a skewed key distribution can evict from a full
+/// shard while another has room, which is the standard sharding
+/// trade-off — bounded memory and bounded lock hold times in exchange
+/// for approximate global recency.
+///
+/// With one shard this is behaviorally identical to [`LruCache`]
+/// (the property suite in `crates/core/tests/cache_props.rs` pins
+/// that, plus the capacity and stats-aggregation invariants).
+#[derive(Debug)]
+pub struct ShardedLru<K, V> {
+    shards: Vec<Mutex<LruCache<K, V>>>,
+    cap: usize,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> ShardedLru<K, V> {
+    /// Creates a cache of at most `cap` entries across `shards` shards.
+    /// `shards` is clamped to `[1, cap]`; capacity is split as evenly
+    /// as possible (the first `cap % shards` shards hold one extra).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cap` is zero.
+    pub fn new(shards: usize, cap: usize) -> Self {
+        assert!(cap > 0, "ShardedLru capacity must be positive");
+        let n = shards.clamp(1, cap);
+        let shards = (0..n)
+            .map(|i| {
+                let shard_cap = cap / n + usize::from(i < cap % n);
+                Mutex::new(LruCache::new(shard_cap))
+            })
+            .collect();
+        ShardedLru { shards, cap }
+    }
+
+    /// Creates a cache with [`default_shards`] shards.
+    pub fn with_default_shards(cap: usize) -> Self {
+        Self::new(default_shards(cap), cap)
+    }
+
+    /// The shard `key` lives in. SipHash via the std default hasher,
+    /// deterministically keyed, so shard assignment is stable for the
+    /// process lifetime (which is all the disk tier's promote path and
+    /// the property tests need).
+    fn shard(&self, key: &K) -> MutexGuard<'_, LruCache<K, V>> {
+        let mut h = std::collections::hash_map::DefaultHasher::new();
+        key.hash(&mut h);
+        let i = (h.finish() % self.shards.len() as u64) as usize;
+        self.shards[i].lock().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Looks up `key`, refreshing its recency within its shard.
+    pub fn get(&self, key: &K) -> Option<V> {
+        self.shard(key).get(key)
+    }
+
+    /// Inserts `key → value`, evicting within the key's shard if full.
+    pub fn insert(&self, key: K, value: V) {
+        self.shard(&key).insert(key, value);
+    }
+
+    /// Entries resident across all shards.
+    pub fn len(&self) -> usize {
+        self.shards
+            .iter()
+            .map(|s| s.lock().unwrap_or_else(|e| e.into_inner()).len())
+            .sum()
+    }
+
+    /// Whether every shard is empty.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Total capacity (the sum of per-shard capacities).
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Number of shards.
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Cache-wide counters: the sum of every shard's [`CacheStats`].
+    pub fn snapshot(&self) -> CacheSnapshot {
+        let mut total = CacheSnapshot::default();
+        for s in &self.shards {
+            total.merge(
+                &s.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .stats()
+                    .snapshot(),
+            );
+        }
+        total
+    }
+
+    /// Per-shard snapshots, in shard order (for tests and debugging).
+    pub fn shard_snapshots(&self) -> Vec<CacheSnapshot> {
+        self.shards
+            .iter()
+            .map(|s| {
+                s.lock()
+                    .unwrap_or_else(|e| e.into_inner())
+                    .stats()
+                    .snapshot()
+            })
+            .collect()
+    }
+
+    /// Visits every resident entry across all shards (recency and
+    /// counters untouched). Shards are locked one at a time.
+    pub fn for_each(&self, mut f: impl FnMut(&K, &V)) {
+        for s in &self.shards {
+            s.lock().unwrap_or_else(|e| e.into_inner()).for_each(&mut f);
+        }
+    }
+
+    /// Empties every shard (counters keep running totals).
+    pub fn clear(&self) {
+        for s in &self.shards {
+            s.lock().unwrap_or_else(|e| e.into_inner()).clear();
+        }
+    }
 }
 
 #[cfg(test)]
@@ -264,5 +437,62 @@ mod tests {
     #[should_panic(expected = "capacity must be positive")]
     fn zero_capacity_panics() {
         let _ = LruCache::<u32, u32>::new(0);
+    }
+
+    #[test]
+    fn sharded_capacity_partitions_exactly() {
+        for (shards, cap) in [(1, 1), (4, 10), (8, 8), (16, 7), (64, 100)] {
+            let c: ShardedLru<u64, u64> = ShardedLru::new(shards, cap);
+            assert_eq!(c.capacity(), cap, "shards={shards} cap={cap}");
+            assert!(c.shard_count() <= cap, "a shard must hold ≥ 1 entry");
+            assert_eq!(c.shard_count(), shards.min(cap));
+        }
+    }
+
+    #[test]
+    fn sharded_get_insert_and_aggregate_stats() {
+        let c: ShardedLru<u64, u64> = ShardedLru::new(4, 64);
+        for k in 0..32u64 {
+            c.insert(k, k * 10);
+        }
+        assert_eq!(c.len(), 32);
+        for k in 0..32u64 {
+            assert_eq!(c.get(&k), Some(k * 10));
+        }
+        assert_eq!(c.get(&999), None);
+        let snap = c.snapshot();
+        assert_eq!(snap.hits, 32);
+        assert_eq!(snap.misses, 1);
+        assert_eq!(snap.insertions, 32);
+        assert_eq!(snap.evictions, 0);
+        // The aggregate is exactly the sum of the per-shard snapshots.
+        let mut summed = CacheSnapshot::default();
+        for s in c.shard_snapshots() {
+            summed.merge(&s);
+        }
+        assert_eq!(snap, summed);
+        c.clear();
+        assert!(c.is_empty());
+        assert_eq!(c.snapshot().insertions, 32, "counters survive clear");
+    }
+
+    #[test]
+    fn sharded_len_never_exceeds_capacity() {
+        let c: ShardedLru<u64, u64> = ShardedLru::new(4, 10);
+        for k in 0..1000u64 {
+            c.insert(k, k);
+            assert!(c.len() <= c.capacity(), "len {} > cap {}", c.len(), 10);
+        }
+        let snap = c.snapshot();
+        assert_eq!(snap.insertions - snap.evictions, c.len() as u64);
+    }
+
+    #[test]
+    fn default_shard_heuristic_is_bounded() {
+        for cap in [1, 2, 7, 256, 100_000] {
+            let n = default_shards(cap);
+            assert!((1..=64).contains(&n));
+            assert!(n <= cap);
+        }
     }
 }

@@ -42,7 +42,7 @@ pub mod report;
 pub mod runner;
 pub mod spec;
 
-pub use cache::{CacheSnapshot, CacheStats, LruCache};
+pub use cache::{CacheSnapshot, CacheStats, LruCache, ShardedLru};
 pub use experiment::{profile, profile_spec, GuestSpec, HostSetup, ProfileRun};
 pub use report::{geomean, Table};
 pub use runner::{parallel_map, set_threads, threads, with_threads};

@@ -20,12 +20,11 @@
 //! [`set_threads`], then the `GEM5PROF_THREADS` environment variable,
 //! then [`std::thread::available_parallelism`].
 
-use crate::cache::CacheStats;
+use crate::cache::ShardedLru;
 use crate::experiment::GuestSpec;
 use gem5sim::system::SimResult;
 use hosttrace::record::TraceEvent;
 use hosttrace::CallProfile;
-use std::collections::HashMap;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, OnceLock};
 
@@ -259,20 +258,27 @@ pub struct TraceCacheStats {
     pub resident_events: u64,
 }
 
-/// Shared counters for the guest-trace cache (see [`crate::cache`]).
-static TRACE_STATS: CacheStats = CacheStats::new();
+/// Entry bound for the trace cache. The spec space (workloads × scales
+/// × CPU models × modes) is a few hundred points, so this never evicts
+/// in practice; the bound exists so a pathological caller cannot grow
+/// the cache without limit.
+const TRACE_CACHE_ENTRIES: usize = 4096;
 
-fn cache() -> &'static Mutex<HashMap<GuestSpec, Arc<CachedGuest>>> {
-    static CACHE: OnceLock<Mutex<HashMap<GuestSpec, Arc<CachedGuest>>>> = OnceLock::new();
+/// The memoized guest streams, sharded by spec hash so concurrent
+/// profiles (the serving daemon's worker pool, `parallel_map` fan-outs)
+/// stop serializing on one cache mutex. The embedded per-shard
+/// [`crate::cache::CacheStats`] are the single source of truth for
+/// [`cache_stats`], `/stats`, and `/metrics`.
+fn cache() -> &'static ShardedLru<GuestSpec, Arc<CachedGuest>> {
+    static CACHE: OnceLock<ShardedLru<GuestSpec, Arc<CachedGuest>>> = OnceLock::new();
     CACHE.get_or_init(|| {
         // First touch of the trace cache: surface its counters in the
-        // metrics registry. The collector reads the same `CacheStats`
-        // the `/stats` endpoint reports, so there is exactly one set of
-        // counters behind both views.
+        // metrics registry. The collector reads the same sharded-cache
+        // counters the `/stats` endpoint reports, so there is exactly
+        // one set of counters behind both views.
         gem5prof_obs::global().register_collector(Box::new(|| {
             let stats = cache_stats();
-            let snap = TRACE_STATS.snapshot();
-            let mut samples = snap.metric_samples("gem5prof_trace_cache");
+            let mut samples = cache().snapshot().metric_samples("gem5prof_trace_cache");
             samples.push(gem5prof_obs::Sample::plain(
                 "gem5prof_trace_cache_resident_events",
                 "events currently resident across all cached guest streams",
@@ -281,31 +287,25 @@ fn cache() -> &'static Mutex<HashMap<GuestSpec, Arc<CachedGuest>>> {
             ));
             samples
         }));
-        Mutex::new(HashMap::new())
+        ShardedLru::with_default_shards(TRACE_CACHE_ENTRIES)
     })
 }
 
 pub(crate) fn cache_lookup(spec: &GuestSpec) -> Option<Arc<CachedGuest>> {
-    let hit = lock(cache()).get(spec).cloned();
-    match &hit {
-        Some(_) => TRACE_STATS.record_hit(),
-        None => TRACE_STATS.record_miss(),
-    };
-    hit
+    cache().get(spec)
 }
 
 pub(crate) fn cache_insert(spec: GuestSpec, entry: CachedGuest) -> Arc<CachedGuest> {
     let entry = Arc::new(entry);
-    if lock(cache()).insert(spec, Arc::clone(&entry)).is_none() {
-        TRACE_STATS.record_insertion();
-    }
+    cache().insert(spec, Arc::clone(&entry));
     entry
 }
 
 /// Current trace-cache counters.
 pub fn cache_stats() -> TraceCacheStats {
-    let resident: u64 = lock(cache()).values().map(|e| e.events.len() as u64).sum();
-    let snap = TRACE_STATS.snapshot();
+    let mut resident: u64 = 0;
+    cache().for_each(|_, e| resident += e.events.len() as u64);
+    let snap = cache().snapshot();
     TraceCacheStats {
         hits: snap.hits,
         misses: snap.misses,
@@ -316,7 +316,7 @@ pub fn cache_stats() -> TraceCacheStats {
 
 /// Empties the trace cache (counters keep running totals).
 pub fn clear_cache() {
-    lock(cache()).clear();
+    cache().clear();
 }
 
 #[cfg(test)]

@@ -1,11 +1,15 @@
 //! The compute engine behind the daemon: a bounded admission queue in
-//! front of a worker pool, with a shared LRU result cache.
+//! front of a worker pool, with a tiered (sharded-memory + optional
+//! disk) result cache and single-flight request coalescing.
 //!
 //! Request flow for a compute endpoint:
 //!
 //! ```text
-//! connection thread ──► result cache ──hit──► respond immediately
+//! connection thread ──► tiered cache (mem ► disk+promote) ──hit──► respond
 //!        │ miss
+//!        ▼
+//! single-flight map ──key already in flight──► join waiter list,
+//!        │ leader                              await the shared result
 //!        ▼
 //! bounded admission queue ──full──► 429 + Retry-After (backpressure)
 //!        │
@@ -13,22 +17,45 @@
 //! worker pool (N threads) ──► compute (memoized profile pipeline)
 //!        │                         │
 //!        ▼                         ▼
-//! reply channel (deadline)   insert into result cache
+//! reply channels (one per     warm mem tier, answer leader + every
+//! leader/waiter, deadline)    waiter, then write-behind to disk
 //! ```
 //!
-//! Workers insert into the cache *before* replying, so even a request
-//! that times out against its deadline still warms the cache for the
-//! next identical spec. The queue is a `sync_channel`, whose `try_send`
-//! gives the non-blocking full check the 429 path needs.
+//! **Coalescing protocol.** The first requester to miss on a key
+//! becomes its *leader*: it registers the key in the in-flight map and
+//! enqueues exactly one job. Every concurrent requester for the same
+//! key *joins* instead — its reply sender is appended to the key's
+//! waiter list and no job is enqueued, so K identical cold requests
+//! cost one compute and K responses. Each requester keeps its own
+//! reply channel and its own deadline: a slow follower times out (504)
+//! without affecting the others, and the abandoned result still lands
+//! in both cache tiers. Completion order is load-bearing: the worker
+//! warms the memory tier *before* clearing the in-flight entry, so a
+//! requester that finds the map empty and re-checks the cache (under
+//! the in-flight lock) can never miss a result that already finished.
+//! If the leader's job dies without finishing — an injected panic, a
+//! poisoned render — a drop guard clears the entry and drops every
+//! waiter's sender, which each waiter observes as a prompt 500, never
+//! a hang.
+//!
+//! Workers answer every waiter *before* the disk write-behind, so even
+//! a request that times out against its deadline still warms both
+//! tiers for the next identical spec (`finish` is the single exit path
+//! for worker-side cache re-checks, fresh computes, and drain-expired
+//! jobs alike). The queue is a `sync_channel`, whose `try_send` gives
+//! the non-blocking full check the 429 path needs.
 
 use crate::routes;
-use gem5prof::cache::LruCache;
+use crate::tier::{DiskSnapshot, TieredCache};
+use gem5prof::cache::CacheSnapshot;
 use gem5prof::figures::Fidelity;
 use gem5prof::spec::ExperimentSpec;
 use gem5prof_chaos as chaos;
 use gem5prof_obs as obs;
+use std::collections::HashMap;
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::mpsc::{self, Receiver, SyncSender, TrySendError};
+use std::sync::mpsc::{self, Receiver, Sender, SyncSender, TrySendError};
 use std::sync::{Arc, Mutex, Weak};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
@@ -71,13 +98,51 @@ impl Work {
     }
 }
 
-/// A queued job: the work plus the channel the requester waits on.
+/// The channel a requester waits on for its job's outcome.
+type ReplyTx = Sender<Result<Arc<String>, String>>;
+
+/// A queued job: the work plus the leader's reply channel. Coalesced
+/// followers' channels live in the engine's in-flight map, keyed by
+/// `key`, until the job finishes.
 struct Job {
     work: Work,
     key: String,
-    reply: mpsc::Sender<Result<Arc<String>, String>>,
+    reply: ReplyTx,
     /// When the job entered the admission queue (queue-wait metric).
     enqueued: Instant,
+}
+
+/// Engine construction parameters (a subset of `ServeConfig`).
+pub(crate) struct EngineConfig {
+    /// Worker-thread count.
+    pub workers: usize,
+    /// Admission-queue capacity.
+    pub queue_cap: usize,
+    /// Memory-tier capacity in entries.
+    pub cache_cap: usize,
+    /// Disk warm tier directory; `None` disables the tier.
+    pub cache_dir: Option<PathBuf>,
+    /// Single-flight coalescing of identical in-flight keys. On in
+    /// production; `false` exists so benchmarks can measure the
+    /// thundering-herd baseline.
+    pub coalesce: bool,
+    /// Test hook: artificial pause before each job. Zero in production.
+    pub worker_delay: Duration,
+}
+
+impl EngineConfig {
+    /// A small all-default config for unit tests.
+    #[cfg(test)]
+    fn test(workers: usize, queue_cap: usize, cache_cap: usize) -> EngineConfig {
+        EngineConfig {
+            workers,
+            queue_cap,
+            cache_cap,
+            cache_dir: None,
+            coalesce: true,
+            worker_delay: Duration::ZERO,
+        }
+    }
 }
 
 /// Request-path instrumentation, registered in the process-wide metrics
@@ -121,11 +186,20 @@ impl EngineMetrics {
     }
 }
 
+/// Outcome of a bounded enqueue attempt (the caller holds the reply
+/// receiver, so this carries no channel).
+enum Enqueue {
+    Queued,
+    Busy,
+    Draining,
+}
+
 /// Outcome of submitting work to the engine.
 pub(crate) enum Submission {
     /// Served from the result cache.
     Hit(Arc<String>),
-    /// Enqueued; await the receiver (subject to the caller's deadline).
+    /// Enqueued (or coalesced onto an in-flight job); await the
+    /// receiver (subject to the caller's deadline).
     Pending(Receiver<Result<Arc<String>, String>>),
     /// Admission queue full — answer 429.
     Busy,
@@ -210,12 +284,29 @@ fn poisoned(body: &str) -> String {
     format!("{}<<chaos-poison>>", &body[..cut])
 }
 
-/// The admission queue + worker pool + result cache.
+/// Monotone engine id, so per-engine metric series from multiple
+/// engines in one process (tests, soak episodes) stay distinguishable.
+static NEXT_ENGINE_ID: AtomicU64 = AtomicU64::new(0);
+
+/// The admission queue + worker pool + tiered result cache +
+/// single-flight map.
 pub(crate) struct Engine {
     /// Queue sender; taken (dropped) on drain so workers exit.
     tx: Mutex<Option<SyncSender<Job>>>,
-    /// Rendered responses keyed by canonical spec.
-    cache: Mutex<LruCache<String, Arc<String>>>,
+    /// Rendered responses keyed by canonical spec: sharded memory tier
+    /// over an optional disk warm tier.
+    cache: TieredCache,
+    /// Single-flight map: canonical key → reply senders of the
+    /// coalesced followers (the leader's sender rides in its [`Job`]).
+    /// An entry exists exactly while one job for the key is queued or
+    /// running.
+    inflight: Mutex<HashMap<String, Vec<ReplyTx>>>,
+    /// Whether submissions coalesce onto in-flight keys.
+    coalesce: bool,
+    /// Actual compute executions (cache re-check hits excluded).
+    computes: AtomicU64,
+    /// Requests that joined an in-flight key instead of enqueuing.
+    coalesced: AtomicU64,
     /// Jobs waiting in the queue.
     depth: AtomicUsize,
     /// Jobs queued or running.
@@ -224,6 +315,8 @@ pub(crate) struct Engine {
     queue_cap: usize,
     /// Worker count (for `/stats`).
     workers: usize,
+    /// This engine's id (labels its per-engine metric series).
+    id: u64,
     /// Worker threads, joined on drain.
     handles: Mutex<Vec<JoinHandle<()>>>,
     /// Request-path histograms (shared series in the global registry).
@@ -231,55 +324,41 @@ pub(crate) struct Engine {
 }
 
 impl Engine {
-    /// Starts `workers` worker threads behind a queue of `queue_cap`.
-    ///
-    /// `worker_delay` is a test hook: an artificial pause before each
-    /// job, letting integration tests create queue-full conditions
-    /// deterministically. Zero in production.
-    pub fn start(
-        workers: usize,
-        queue_cap: usize,
-        cache_cap: usize,
-        worker_delay: Duration,
-    ) -> Arc<Engine> {
-        let (tx, rx) = mpsc::sync_channel::<Job>(queue_cap);
+    /// Starts `cfg.workers` worker threads behind a queue of
+    /// `cfg.queue_cap`, over a tiered cache of `cfg.cache_cap` memory
+    /// entries (plus the disk tier when `cfg.cache_dir` is set).
+    pub fn start(cfg: EngineConfig) -> Arc<Engine> {
+        let (tx, rx) = mpsc::sync_channel::<Job>(cfg.queue_cap);
         let rx = Arc::new(Mutex::new(rx));
         let engine = Arc::new(Engine {
             tx: Mutex::new(Some(tx)),
-            cache: Mutex::new(LruCache::new(cache_cap)),
+            cache: TieredCache::new(cfg.cache_cap, cfg.cache_dir.as_deref()),
+            inflight: Mutex::new(HashMap::new()),
+            coalesce: cfg.coalesce,
+            computes: AtomicU64::new(0),
+            coalesced: AtomicU64::new(0),
             depth: AtomicUsize::new(0),
             in_flight: AtomicUsize::new(0),
-            queue_cap,
-            workers,
+            queue_cap: cfg.queue_cap,
+            workers: cfg.workers,
+            id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
             handles: Mutex::new(Vec::new()),
             metrics: EngineMetrics::new(),
         });
         // Surface the result cache's counters in `/metrics` from the
-        // same `CacheStats` the `/stats` endpoint reads. A `Weak` keeps
-        // the forever-lived registry from pinning drained engines.
+        // same counters the `/stats` endpoint reads. A `Weak` keeps the
+        // forever-lived registry from pinning drained engines; the
+        // `engine` label keeps series from concurrent engines apart.
         let weak: Weak<Engine> = Arc::downgrade(&engine);
         obs::global().register_collector(Box::new(move || {
             let Some(engine) = weak.upgrade() else {
                 return Vec::new();
             };
-            let (snap, len, cap) = engine.cache_view();
-            let mut samples = snap.metric_samples("gem5prof_result_cache");
-            samples.push(obs::Sample::plain(
-                "gem5prof_result_cache_entries",
-                "rendered responses currently resident",
-                obs::MetricKind::Gauge,
-                len as f64,
-            ));
-            samples.push(obs::Sample::plain(
-                "gem5prof_result_cache_capacity",
-                "result-cache capacity in entries",
-                obs::MetricKind::Gauge,
-                cap as f64,
-            ));
-            samples
+            engine.metric_samples()
         }));
-        let mut handles = Vec::with_capacity(workers);
-        for i in 0..workers {
+        let worker_delay = cfg.worker_delay;
+        let mut handles = Vec::with_capacity(cfg.workers);
+        for i in 0..cfg.workers {
             let rx = Arc::clone(&rx);
             let engine_w = Arc::clone(&engine);
             handles.push(
@@ -293,17 +372,28 @@ impl Engine {
                         };
                         // The whole job scope is panic-isolated: a panic
                         // anywhere inside still decrements `in_flight`
-                        // (drop guard in `process`) and drops the reply
-                        // sender — which the requester observes as a 500 —
-                        // and the worker thread survives to take the next
-                        // job, so the pool never shrinks permanently.
+                        // (drop guard in `process`), clears the key's
+                        // single-flight entry (leader guard), and drops
+                        // the reply senders — which the leader and every
+                        // coalesced follower observe as a 500 — and the
+                        // worker thread survives to take the next job,
+                        // so the pool never shrinks permanently.
                         let outcome =
                             std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
                                 engine_w.process(job, worker_delay)
                             }));
                         if let Err(payload) = outcome {
                             if chaos::is_chaos_panic(payload.as_ref()) {
-                                chaos::recovered("engine.worker_panic");
+                                // Two injection points unwind to here;
+                                // credit the one that actually fired.
+                                let leader = payload
+                                    .downcast_ref::<&str>()
+                                    .is_some_and(|m| m.contains("coalesced-leader"));
+                                chaos::recovered(if leader {
+                                    "engine.leader_panic"
+                                } else {
+                                    "engine.worker_panic"
+                                });
                             }
                         }
                     })
@@ -314,9 +404,102 @@ impl Engine {
         engine
     }
 
+    /// Per-engine metric samples: memory-tier counters, single-flight
+    /// counters, and (when armed) disk-tier counters, all labeled with
+    /// this engine's id.
+    fn metric_samples(&self) -> Vec<obs::Sample> {
+        let id = self.id.to_string();
+        let snap = self.cache.mem_snapshot();
+        let mut samples = snap.metric_samples("gem5prof_result_cache");
+        let gauge = |name: &str, help: &str, v: f64| obs::Sample {
+            name: name.into(),
+            help: help.into(),
+            kind: obs::MetricKind::Gauge,
+            labels: Vec::new(),
+            value: v,
+        };
+        let counter = |name: &str, help: &str, v: f64| obs::Sample {
+            name: name.into(),
+            help: help.into(),
+            kind: obs::MetricKind::Counter,
+            labels: Vec::new(),
+            value: v,
+        };
+        samples.push(gauge(
+            "gem5prof_result_cache_entries",
+            "rendered responses currently resident in the memory tier",
+            self.cache.len() as f64,
+        ));
+        samples.push(gauge(
+            "gem5prof_result_cache_capacity",
+            "memory-tier capacity in entries",
+            self.cache.capacity() as f64,
+        ));
+        samples.push(gauge(
+            "gem5prof_result_cache_shards",
+            "memory-tier shard count",
+            self.cache.shard_count() as f64,
+        ));
+        samples.push(counter(
+            "gem5prof_result_cache_computes_total",
+            "jobs that actually computed (cache re-check hits excluded)",
+            self.computes.load(Ordering::Relaxed) as f64,
+        ));
+        samples.push(counter(
+            "gem5prof_result_cache_coalesced_total",
+            "requests coalesced onto an already-in-flight identical key",
+            self.coalesced.load(Ordering::Relaxed) as f64,
+        ));
+        if let Some((disk, entries)) = self.cache.disk_view() {
+            for (name, help, v) in [
+                (
+                    "gem5prof_disk_cache_hits_total",
+                    "disk-tier lookups that served (and promoted) an entry",
+                    disk.hits,
+                ),
+                (
+                    "gem5prof_disk_cache_misses_total",
+                    "disk-tier lookups that found no usable entry",
+                    disk.misses,
+                ),
+                (
+                    "gem5prof_disk_cache_writes_total",
+                    "entries persisted by write-behind",
+                    disk.writes,
+                ),
+                (
+                    "gem5prof_disk_cache_write_errors_total",
+                    "failed write-behinds (entry stays memory-only)",
+                    disk.write_errors,
+                ),
+                (
+                    "gem5prof_disk_cache_corrupt_total",
+                    "disk entries ignored for failing validation",
+                    disk.corrupt,
+                ),
+                (
+                    "gem5prof_disk_cache_stale_total",
+                    "disk entries ignored for an older schema version",
+                    disk.stale,
+                ),
+            ] {
+                samples.push(counter(name, help, v as f64));
+            }
+            samples.push(gauge(
+                "gem5prof_disk_cache_entries",
+                "entry files resident in the cache directory",
+                entries as f64,
+            ));
+        }
+        for s in &mut samples {
+            s.labels.push(("engine".into(), id.clone()));
+        }
+        samples
+    }
+
     /// Handles one dequeued job on a worker thread. Runs inside the
-    /// worker's `catch_unwind`; the drop guard keeps `in_flight` honest
-    /// even if this panics mid-job.
+    /// worker's `catch_unwind`; the drop guards keep `in_flight` and
+    /// the single-flight map honest even if this panics mid-job.
     fn process(&self, job: Job, worker_delay: Duration) {
         struct InFlightGuard<'a>(&'a AtomicUsize);
         impl Drop for InFlightGuard<'_> {
@@ -325,22 +508,47 @@ impl Engine {
             }
         }
         let _in_flight = InFlightGuard(&self.in_flight);
+        // Leader guard: if this job unwinds before `finish` runs, the
+        // key's in-flight entry is cleared and every follower's sender
+        // dropped — each follower observes a prompt disconnect (500),
+        // never a wait on a job nobody owns. Defused on the `finish`
+        // path, which clears the entry itself.
+        struct LeaderGuard<'a> {
+            engine: &'a Engine,
+            key: &'a str,
+            armed: bool,
+        }
+        impl Drop for LeaderGuard<'_> {
+            fn drop(&mut self) {
+                if self.armed {
+                    drop(self.engine.take_waiters(self.key));
+                }
+            }
+        }
+        let mut leader = LeaderGuard {
+            engine: self,
+            key: &job.key,
+            armed: true,
+        };
         self.depth.fetch_sub(1, Ordering::Relaxed);
         self.metrics
             .queue_wait
             .observe_duration(job.enqueued.elapsed());
-        // Duplicate-key jobs pile up while the first one computes (every
-        // concurrent miss enqueues); serve them from the cache instead of
-        // recomputing, so a burst of identical cold requests costs one
-        // compute and a drain never grinds through stale duplicates.
-        let cached = self
-            .cache
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(&job.key);
-        if let Some(body) = cached {
-            let _ = job.reply.send(Ok(body));
-            return;
+        // Worker-side re-check against the full tiered cache. With
+        // coalescing on this fires only on races (an entry that landed
+        // between the submit-time lookup and the inflight registration,
+        // or a disk entry written by another process); the hit flows
+        // through the same `finish` path as a fresh compute, so both
+        // tiers are (re)warmed and every waiter is answered. With
+        // coalescing off the whole duplicate-suppression machinery is
+        // off — every dequeued job recomputes — so `--no-coalesce`
+        // measures the naive pre-coalescing engine in benchmarks.
+        if self.coalesce {
+            if let Some(body) = self.cache.get(&job.key) {
+                leader.armed = false;
+                self.finish(&job.key, &job.reply, Ok(body));
+                return;
+            }
         }
         if chaos::inject("engine.worker_panic") {
             // Deliberately outside the compute `catch_unwind`: proves the
@@ -354,6 +562,14 @@ impl Engine {
         if !worker_delay.is_zero() {
             std::thread::sleep(worker_delay);
         }
+        if chaos::inject("engine.leader_panic") {
+            // The coalesced-leader failure mode: the job dies owning the
+            // key, *after* the delay window in which followers piled
+            // onto it. The leader guard must fail every one of them
+            // fast.
+            panic!("chaos: injected coalesced-leader panic");
+        }
+        self.computes.fetch_add(1, Ordering::Relaxed);
         let compute_started = Instant::now();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
             let _span = obs::span("serve_compute");
@@ -384,12 +600,7 @@ impl Engine {
                         job.key
                     ))
                 } else {
-                    let body = Arc::new(body);
-                    self.cache
-                        .lock()
-                        .unwrap_or_else(|e| e.into_inner())
-                        .insert(job.key.clone(), Arc::clone(&body));
-                    Ok(body)
+                    Ok(Arc::new(body))
                 }
             }
             Err(payload) => {
@@ -399,18 +610,51 @@ impl Engine {
                 Err(format!("computation for `{}` panicked", job.key))
             }
         };
-        let _ = job.reply.send(reply); // requester may have timed out
+        leader.armed = false;
+        self.finish(&job.key, &job.reply, reply);
     }
 
-    /// Submits work: cache lookup, then bounded enqueue.
+    /// The single completion path for every job outcome: warm the
+    /// memory tier, clear the single-flight entry, answer the leader
+    /// and every coalesced waiter, then write-behind to the disk tier.
+    ///
+    /// Ordering is the coalescing protocol's backbone:
+    /// 1. memory-tier insert *before* clearing the in-flight entry —
+    ///    a requester that misses the map re-checks the cache under the
+    ///    in-flight lock, so it either joins the entry or hits the tier;
+    /// 2. replies *before* the disk write — the filesystem is never on
+    ///    a requester's critical path (requesters may already be gone:
+    ///    a 504'd deadline still warms both tiers for the next spec).
+    fn finish(&self, key: &str, leader_reply: &ReplyTx, outcome: Result<Arc<String>, String>) {
+        if let Ok(body) = &outcome {
+            self.cache.insert_mem(key, body);
+        }
+        let waiters = self.take_waiters(key);
+        let _ = leader_reply.send(outcome.clone()); // requester may have timed out
+        for w in &waiters {
+            let _ = w.send(outcome.clone());
+        }
+        if let Ok(body) = &outcome {
+            self.cache.write_behind(key, body);
+        }
+    }
+
+    /// Removes and returns `key`'s coalesced waiter list (empty when
+    /// the key was never registered — non-coalescing mode).
+    fn take_waiters(&self, key: &str) -> Vec<ReplyTx> {
+        self.inflight
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .remove(key)
+            .unwrap_or_default()
+    }
+
+    /// Submits work: tiered cache lookup, then single-flight join or
+    /// bounded enqueue.
     pub fn submit(&self, work: Work) -> Submission {
         let key = work.key();
         let lookup_started = Instant::now();
-        let hit = self
-            .cache
-            .lock()
-            .unwrap_or_else(|e| e.into_inner())
-            .get(&key);
+        let hit = self.cache.get(&key);
         match &hit {
             Some(_) => &self.metrics.lookup_hit,
             None => &self.metrics.lookup_miss,
@@ -420,29 +664,69 @@ impl Engine {
             return Submission::Hit(body);
         }
         let (reply_tx, reply_rx) = mpsc::channel();
+        if self.coalesce {
+            let mut inflight = self.inflight.lock().unwrap_or_else(|e| e.into_inner());
+            if let Some(waiters) = inflight.get_mut(&key) {
+                // Join: one compute is already queued or running for
+                // this key; await its result on our own channel (and
+                // our own deadline).
+                waiters.push(reply_tx);
+                self.coalesced.fetch_add(1, Ordering::Relaxed);
+                return Submission::Pending(reply_rx);
+            }
+            // Not in flight. Re-check the memory tier while holding the
+            // in-flight lock: completion warms the tier *before*
+            // clearing the map entry, so a finish between our lookup
+            // above and this lock cannot slip past both checks.
+            if let Some(body) = self.cache.get_mem(&key) {
+                return Submission::Hit(body);
+            }
+            // Become the leader: enqueue exactly one job, and register
+            // the key (still under the in-flight lock, so no follower
+            // can observe a half-registered leader, and a Busy queue
+            // never leaves a stale entry behind).
+            match self.enqueue(work, &key, reply_tx) {
+                Enqueue::Queued => {
+                    inflight.insert(key, Vec::new());
+                    Submission::Pending(reply_rx)
+                }
+                Enqueue::Busy => Submission::Busy,
+                Enqueue::Draining => Submission::Draining,
+            }
+        } else {
+            match self.enqueue(work, &key, reply_tx) {
+                Enqueue::Queued => Submission::Pending(reply_rx),
+                Enqueue::Busy => Submission::Busy,
+                Enqueue::Draining => Submission::Draining,
+            }
+        }
+    }
+
+    /// Bounded enqueue of one job (the 429 backpressure point).
+    fn enqueue(&self, work: Work, key: &str, reply: ReplyTx) -> Enqueue {
         let guard = self.tx.lock().unwrap_or_else(|e| e.into_inner());
         let Some(tx) = guard.as_ref() else {
-            return Submission::Draining;
+            return Enqueue::Draining;
         };
         // Count before the send so `depth`/`in_flight` never under-read.
         self.depth.fetch_add(1, Ordering::Relaxed);
         self.in_flight.fetch_add(1, Ordering::Relaxed);
         match tx.try_send(Job {
             work,
-            key,
-            reply: reply_tx,
+            key: key.to_string(),
+            reply,
             enqueued: Instant::now(),
         }) {
-            Ok(()) => Submission::Pending(reply_rx),
+            Ok(()) => Enqueue::Queued,
             Err(TrySendError::Full(_)) => {
                 self.depth.fetch_sub(1, Ordering::Relaxed);
                 self.in_flight.fetch_sub(1, Ordering::Relaxed);
-                Submission::Busy
+                Enqueue::Busy
             }
             Err(TrySendError::Disconnected(_)) => {
                 self.depth.fetch_sub(1, Ordering::Relaxed);
                 self.in_flight.fetch_sub(1, Ordering::Relaxed);
-                Submission::Draining
+                Enqueue::Draining
             }
         }
     }
@@ -482,10 +766,38 @@ impl Engine {
         self.workers
     }
 
-    /// Snapshot + length of the result cache.
-    pub fn cache_view(&self) -> (gem5prof::cache::CacheSnapshot, usize, usize) {
-        let c = self.cache.lock().unwrap_or_else(|e| e.into_inner());
-        (c.stats().snapshot(), c.len(), c.capacity())
+    /// This engine's metric-label id.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Jobs that actually computed.
+    pub fn computes(&self) -> u64 {
+        self.computes.load(Ordering::Relaxed)
+    }
+
+    /// Requests coalesced onto in-flight keys.
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Memory-tier shard count.
+    pub fn shards(&self) -> usize {
+        self.cache.shard_count()
+    }
+
+    /// Snapshot + length + capacity of the memory tier.
+    pub fn cache_view(&self) -> (CacheSnapshot, usize, usize) {
+        (
+            self.cache.mem_snapshot(),
+            self.cache.len(),
+            self.cache.capacity(),
+        )
+    }
+
+    /// Disk-tier counters + resident entry files, when armed.
+    pub fn disk_view(&self) -> Option<(DiskSnapshot, u64)> {
+        self.cache.disk_view()
     }
 }
 
@@ -493,55 +805,68 @@ impl Engine {
 mod tests {
     use super::*;
 
-    #[test]
-    fn cached_submission_is_a_hit() {
-        let engine = Engine::start(2, 4, 16, Duration::ZERO);
-        let work = Work::Table(1);
-        let rx = match engine.submit(work.clone()) {
-            Submission::Pending(rx) => rx,
-            _ => panic!("first submission must enqueue"),
-        };
-        let body = rx
-            .recv_timeout(Duration::from_secs(30))
-            .expect("worker reply")
-            .expect("table1 computes");
-        assert!(body.contains("Table I"));
-        match engine.submit(work) {
-            Submission::Hit(b) => assert_eq!(*b, *body),
-            _ => panic!("second submission must hit the cache"),
+    fn await_body(sub: Submission) -> Arc<String> {
+        match sub {
+            Submission::Hit(body) => body,
+            Submission::Pending(rx) => rx
+                .recv_timeout(Duration::from_secs(30))
+                .expect("worker reply")
+                .expect("compute ok"),
+            Submission::Busy => panic!("unexpected 429"),
+            Submission::Draining => panic!("unexpected 503"),
         }
-        let (snap, len, _) = engine.cache_view();
-        assert_eq!(snap.hits, 1);
-        assert_eq!(snap.insertions, 1);
-        assert_eq!(len, 1);
+    }
+
+    #[test]
+    fn second_submission_hits_the_cache() {
+        let engine = Engine::start(EngineConfig::test(2, 4, 16));
+        let first = await_body(engine.submit(Work::Table(1)));
+        assert!(first.contains("Table"), "body: {first}");
+        match engine.submit(Work::Table(1)) {
+            Submission::Hit(body) => assert_eq!(body, first),
+            _ => panic!("expected a cache hit on the second submission"),
+        }
+        assert_eq!(engine.computes(), 1);
         engine.drain();
     }
 
     #[test]
-    fn full_queue_reports_busy_and_drain_rejects() {
-        // One very slow worker, queue of one: the second distinct job
-        // sits in the queue, the third must bounce.
-        let engine = Engine::start(1, 1, 16, Duration::from_millis(300));
-        let _rx1 = match engine.submit(Work::Table(1)) {
-            Submission::Pending(rx) => rx,
-            _ => panic!("job 1 should enqueue"),
-        };
-        // Give the worker a moment to pick up job 1, freeing the queue slot.
-        std::thread::sleep(Duration::from_millis(100));
-        let _rx2 = match engine.submit(Work::Table(2)) {
-            Submission::Pending(rx) => rx,
-            _ => panic!("job 2 should enqueue"),
-        };
-        match engine.submit(Work::Figure(1, Fidelity::Quick)) {
-            Submission::Busy => {}
-            _ => panic!("job 3 should bounce off the full queue"),
+    fn identical_concurrent_submissions_coalesce_to_one_compute() {
+        let mut cfg = EngineConfig::test(1, 8, 16);
+        cfg.worker_delay = Duration::from_millis(150);
+        let engine = Engine::start(cfg);
+        let leader = engine.submit(Work::Table(2));
+        assert!(matches!(leader, Submission::Pending(_)));
+        // While the single worker sleeps in the delay, identical
+        // submissions must join the in-flight key, not enqueue.
+        let followers: Vec<_> = (0..3).map(|_| engine.submit(Work::Table(2))).collect();
+        assert_eq!(engine.coalesced(), 3);
+        let body = await_body(leader);
+        for f in followers {
+            assert_eq!(await_body(f), body);
         }
+        assert_eq!(engine.computes(), 1, "one compute for four submissions");
         engine.drain();
-        assert_eq!(engine.in_flight(), 0, "drain must complete all work");
-        match engine.submit(Work::Table(1)) {
-            // Table 1 was computed during drain, so the cache may serve it.
-            Submission::Hit(_) | Submission::Draining => {}
-            _ => panic!("post-drain submissions must not enqueue"),
-        }
+    }
+
+    #[test]
+    fn full_queue_reports_busy() {
+        let mut cfg = EngineConfig::test(1, 1, 16);
+        cfg.worker_delay = Duration::from_millis(300);
+        let engine = Engine::start(cfg);
+        // Distinct keys so coalescing cannot absorb the burst: one job
+        // occupies the worker, one fills the queue, the next bounces.
+        let a = engine.submit(Work::Table(1));
+        std::thread::sleep(Duration::from_millis(50)); // let the worker dequeue
+        let b = engine.submit(Work::Table(2));
+        let c = engine.submit(Work::Figure(1, Fidelity::Quick));
+        assert!(matches!(a, Submission::Pending(_)));
+        assert!(matches!(b, Submission::Pending(_)));
+        assert!(
+            matches!(c, Submission::Busy),
+            "third submission must bounce"
+        );
+        drop((a, b));
+        engine.drain();
     }
 }

@@ -30,12 +30,14 @@ pub mod minjson;
 
 mod engine;
 mod routes;
+mod tier;
 
-use engine::{Engine, ServerStats};
+use engine::{Engine, EngineConfig, ServerStats};
 use gem5prof_chaos as chaos;
 use routes::Shared;
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
 use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -51,8 +53,15 @@ pub struct ServeConfig {
     pub workers: usize,
     /// Admission-queue capacity.
     pub queue_cap: usize,
-    /// Result-cache capacity (entries).
+    /// Result-cache memory-tier capacity (entries).
     pub cache_cap: usize,
+    /// Disk warm tier for the result cache: rendered responses persist
+    /// here (write-behind) and survive restarts. `None` disables it.
+    pub cache_dir: Option<PathBuf>,
+    /// Single-flight coalescing of identical concurrent requests.
+    /// `false` exists only for benchmarking the thundering-herd
+    /// baseline (`--no-coalesce`).
+    pub coalesce: bool,
     /// Per-request deadline (queue wait + compute).
     pub deadline: Duration,
     /// Test hook: artificial delay before each job, for deterministic
@@ -67,6 +76,8 @@ impl Default for ServeConfig {
             workers: 0,
             queue_cap: 64,
             cache_cap: 256,
+            cache_dir: None,
+            coalesce: true,
             deadline: Duration::from_secs(30),
             worker_delay: Duration::ZERO,
         }
@@ -114,7 +125,14 @@ pub fn serve(cfg: ServeConfig) -> io::Result<ServerHandle> {
     // Non-blocking accept so the acceptor can observe the drain flag.
     listener.set_nonblocking(true)?;
 
-    let engine = Engine::start(workers, cfg.queue_cap, cfg.cache_cap, cfg.worker_delay);
+    let engine = Engine::start(EngineConfig {
+        workers,
+        queue_cap: cfg.queue_cap,
+        cache_cap: cfg.cache_cap,
+        cache_dir: cfg.cache_dir.clone(),
+        coalesce: cfg.coalesce,
+        worker_delay: cfg.worker_delay,
+    });
     let draining = Arc::new(AtomicBool::new(false));
     let stats = Arc::new(ServerStats::default());
     // Surface request/response counters in `/metrics` from the same

@@ -2,14 +2,22 @@
 //!
 //! ```text
 //! gem5prof-served [--addr HOST:PORT] [--workers N] [--threads N]
-//!                 [--queue N] [--cache-cap N] [--deadline-ms N]
+//!                 [--queue N] [--cache-cap N] [--cache-dir PATH]
+//!                 [--deadline-ms N] [--no-coalesce] [--worker-delay-ms N]
 //!                 [--port-file PATH]
 //! ```
 //!
 //! `--addr 127.0.0.1:0` binds an ephemeral port; `--port-file` writes
 //! the actually-bound `host:port` to a file once listening, which is how
 //! scripts (`scripts/verify.sh`) find the daemon without racing on a
-//! fixed port. SIGINT/SIGTERM trigger a graceful drain: stop accepting,
+//! fixed port. `--cache-dir` arms the disk warm tier: rendered responses
+//! persist across restarts, so a rebooted daemon serves figures without
+//! recompute. `--no-coalesce` disables duplicate suppression entirely —
+//! no single-flight joins, no worker-side cache re-check — restoring
+//! the naive thundering-herd engine (benchmark baseline only);
+//! `--worker-delay-ms`
+//! adds an artificial pause before each job (benchmarks and tests).
+//! SIGINT/SIGTERM trigger a graceful drain: stop accepting,
 //! finish in-flight work, reject new requests with 503, then exit.
 
 use gem5prof_served::{serve, ServeConfig};
@@ -42,7 +50,8 @@ fn install_signal_handlers() {}
 fn usage() -> ! {
     eprintln!(
         "usage: gem5prof-served [--addr HOST:PORT] [--workers N] [--threads N] \
-         [--queue N] [--cache-cap N] [--deadline-ms N] [--port-file PATH]"
+         [--queue N] [--cache-cap N] [--cache-dir PATH] [--deadline-ms N] \
+         [--no-coalesce] [--worker-delay-ms N] [--port-file PATH]"
     );
     std::process::exit(2);
 }
@@ -56,6 +65,8 @@ fn main() {
     while i < args.len() {
         let value = |i: usize| args.get(i + 1).cloned().unwrap_or_else(|| usage());
         let parse_usize = |i: usize| -> usize { value(i).parse().unwrap_or_else(|_| usage()) };
+        // Boolean flags advance by 1; value-taking flags by 2.
+        let mut step = 2;
         match args[i].as_str() {
             "--addr" => cfg.addr = value(i),
             "--workers" => cfg.workers = parse_usize(i),
@@ -70,12 +81,18 @@ fn main() {
             }
             "--queue" => cfg.queue_cap = parse_usize(i).max(1),
             "--cache-cap" => cfg.cache_cap = parse_usize(i).max(1),
+            "--cache-dir" => cfg.cache_dir = Some(value(i).into()),
             "--deadline-ms" => cfg.deadline = Duration::from_millis(parse_usize(i) as u64),
+            "--no-coalesce" => {
+                cfg.coalesce = false;
+                step = 1;
+            }
+            "--worker-delay-ms" => cfg.worker_delay = Duration::from_millis(parse_usize(i) as u64),
             "--port-file" => port_file = Some(value(i)),
             "--help" | "-h" => usage(),
             _ => usage(),
         }
-        i += 2;
+        i += step;
     }
 
     install_signal_handlers();
@@ -107,10 +124,14 @@ fn main() {
     }
     eprintln!(
         "gem5prof-served: listening on http://{addr} \
-         (queue={}, cache={}, deadline={}ms)",
+         (queue={}, cache={}, deadline={}ms, coalesce={}, disk-tier={})",
         cfg.queue_cap,
         cfg.cache_cap,
-        cfg.deadline.as_millis()
+        cfg.deadline.as_millis(),
+        cfg.coalesce,
+        cfg.cache_dir
+            .as_deref()
+            .map_or("off".into(), |p| p.display().to_string()),
     );
 
     while !SHUTDOWN.load(Ordering::SeqCst) {

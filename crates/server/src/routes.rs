@@ -422,15 +422,36 @@ fn stats_json(shared: &Shared) -> String {
         ),
         (
             "result_cache",
-            Json::obj(vec![
-                ("hits", Json::Num(cache_snap.hits as f64)),
-                ("misses", Json::Num(cache_snap.misses as f64)),
-                ("insertions", Json::Num(cache_snap.insertions as f64)),
-                ("evictions", Json::Num(cache_snap.evictions as f64)),
-                ("entries", Json::Num(cache_len as f64)),
-                ("capacity", Json::Num(cache_cap as f64)),
-                ("hit_rate", Json::Num(cache_snap.hit_rate())),
-            ]),
+            Json::obj({
+                let mut fields = vec![
+                    ("engine_id", Json::Num(shared.engine.id() as f64)),
+                    ("hits", Json::Num(cache_snap.hits as f64)),
+                    ("misses", Json::Num(cache_snap.misses as f64)),
+                    ("insertions", Json::Num(cache_snap.insertions as f64)),
+                    ("evictions", Json::Num(cache_snap.evictions as f64)),
+                    ("entries", Json::Num(cache_len as f64)),
+                    ("capacity", Json::Num(cache_cap as f64)),
+                    ("shards", Json::Num(shared.engine.shards() as f64)),
+                    ("hit_rate", Json::Num(cache_snap.hit_rate())),
+                    ("computes", Json::Num(shared.engine.computes() as f64)),
+                    ("coalesced", Json::Num(shared.engine.coalesced() as f64)),
+                ];
+                if let Some((disk, entries)) = shared.engine.disk_view() {
+                    fields.push((
+                        "disk",
+                        Json::obj(vec![
+                            ("hits", Json::Num(disk.hits as f64)),
+                            ("misses", Json::Num(disk.misses as f64)),
+                            ("writes", Json::Num(disk.writes as f64)),
+                            ("write_errors", Json::Num(disk.write_errors as f64)),
+                            ("corrupt", Json::Num(disk.corrupt as f64)),
+                            ("stale", Json::Num(disk.stale as f64)),
+                            ("entries", Json::Num(entries as f64)),
+                        ]),
+                    ));
+                }
+                fields
+            }),
         ),
         (
             "trace_cache",

@@ -202,6 +202,21 @@ macro_rules! prop_assert_eq {
             ));
         }
     }};
+    ($left:expr, $right:expr, $($fmt:tt)+) => {{
+        let (l, r) = (&$left, &$right);
+        if l != r {
+            return Err(format!(
+                "assertion failed: {} == {} ({}:{}): left = {:?}, right = {:?}: {}",
+                stringify!($left),
+                stringify!($right),
+                file!(),
+                line!(),
+                l,
+                r,
+                format!($($fmt)+)
+            ));
+        }
+    }};
 }
 
 #[cfg(test)]

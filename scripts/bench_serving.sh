@@ -1,0 +1,115 @@
+#!/usr/bin/env sh
+# Regenerates BENCH_serving.json: the repeated-spec steady-state
+# baseline plus the cold-cache duplicate-heavy comparison of
+# single-flight coalescing vs. --no-coalesce.
+#
+# The duplicate-heavy pair uses --worker-delay-ms 1000 (an artificial
+# 1 s compute) so the measured effect is queueing, not render noise:
+# without coalescing every concurrent duplicate of the cold hot key
+# computes independently and the herd serializes over the 2 workers;
+# with coalescing the herd costs one compute.
+set -eu
+cd "$(dirname "$0")/.."
+
+cargo build --release --offline --workspace
+
+PORT_FILE="$(mktemp)"
+OUT_DIR="$(mktemp -d)"
+SERVED_PID=""
+cleanup() {
+    if [ -n "$SERVED_PID" ]; then
+        kill "$SERVED_PID" 2>/dev/null || true
+        wait "$SERVED_PID" 2>/dev/null || true
+    fi
+    rm -rf "$PORT_FILE" "$OUT_DIR"
+}
+trap cleanup EXIT INT TERM
+
+# start_daemon <extra flags...> — boots a fresh daemon on an ephemeral
+# port and sets ADDR.
+start_daemon() {
+    rm -f "$PORT_FILE"
+    target/release/gem5prof-served --addr 127.0.0.1:0 --deadline-ms 900000 \
+        --port-file "$PORT_FILE" "$@" &
+    SERVED_PID=$!
+    i=0
+    while [ ! -s "$PORT_FILE" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "bench_serving: daemon never wrote its port file" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    ADDR="$(cat "$PORT_FILE")"
+}
+
+stop_daemon() {
+    kill -TERM "$SERVED_PID"
+    wait "$SERVED_PID" || true
+    SERVED_PID=""
+}
+
+# --- steady state: repeated-spec workload against a warm cache --------
+start_daemon
+# Prime fig01 so the run measures cache-served throughput, not one cold
+# render amortized over the fleet.
+target/release/servectl --addr "$ADDR" --timeout-ms 900000 \
+    'figures/fig01?fidelity=quick' > /dev/null
+target/release/loadgen --addr "$ADDR" --clients 64 --requests 100 \
+    --json > "$OUT_DIR/steady.json"
+stop_daemon
+
+# --- duplicate-heavy cold cache: coalescing on, then off --------------
+start_daemon --workers 2 --worker-delay-ms 1000
+target/release/loadgen --addr "$ADDR" --clients 32 --requests 3 \
+    --paths /tables/table1,/tables/table2 --duplicate-fraction 0.9 \
+    --json > "$OUT_DIR/coalesced.json"
+stop_daemon
+
+start_daemon --workers 2 --worker-delay-ms 1000 --no-coalesce
+target/release/loadgen --addr "$ADDR" --clients 32 --requests 3 \
+    --paths /tables/table1,/tables/table2 --duplicate-fraction 0.9 \
+    --json > "$OUT_DIR/no_coalesce.json"
+stop_daemon
+
+# --- stitch the three reports into BENCH_serving.json -----------------
+awk '
+function slurp(path, indent,   line, first, out) {
+    first = 1
+    out = ""
+    while ((getline line < path) > 0) {
+        if (first) { out = line; first = 0 }
+        else { out = out "\n" indent line }
+    }
+    close(path)
+    return out
+}
+function rps(path,   line, v) {
+    while ((getline line < path) > 0) {
+        if (line ~ /"throughput_rps"/) {
+            gsub(/[^0-9.]/, "", line)
+            v = line + 0
+        }
+    }
+    close(path)
+    return v
+}
+BEGIN {
+    dir = ARGV[1]
+    steady = slurp(dir "/steady.json", "  ")
+    co = slurp(dir "/coalesced.json", "    ")
+    nc = slurp(dir "/no_coalesce.json", "    ")
+    speedup = rps(dir "/coalesced.json") / rps(dir "/no_coalesce.json")
+    print "{"
+    print "  \"steady_state\": " steady ","
+    print "  \"duplicate_heavy_cold\": {"
+    print "    \"coalesced\": " co ","
+    print "    \"no_coalesce\": " nc ","
+    printf "    \"coalescing_speedup\": %.2f\n", speedup
+    print "  }"
+    print "}"
+}' "$OUT_DIR" > BENCH_serving.json
+
+echo "bench_serving: wrote BENCH_serving.json"
+grep coalescing_speedup BENCH_serving.json

@@ -8,6 +8,9 @@ cd "$(dirname "$0")/.."
 # --workspace so member binaries (gem5prof-served, servectl, loadgen)
 # are built too — the root package alone does not pull them in.
 cargo build --release --offline --workspace
+# The root suite includes the golden-output regression tests
+# (tests/golden_repro.rs): every quick-fidelity figure/table diffed
+# byte-for-byte against tests/golden/.
 cargo test -q --offline
 cargo test -q --offline -p gem5prof-served
 cargo fmt --check
@@ -79,3 +82,39 @@ echo "verify: serving smoke test passed"
 # serving invariant breaks or a fault class never fires.
 target/release/soak --seeds 3 --secs 5
 echo "verify: chaos soak passed"
+
+# Single-flight coalescing check: a fresh daemon (so the compute
+# counter starts at zero) with slow workers and a disk tier, hit with a
+# duplicate-heavy burst. Coalescing must collapse the herd: the number
+# of actual computes can never exceed the number of unique keys (2).
+CACHE_DIR="$(mktemp -d)"
+rm -f "$PORT_FILE"
+target/release/gem5prof-served --addr 127.0.0.1:0 --deadline-ms 900000 \
+    --workers 2 --worker-delay-ms 300 --cache-dir "$CACHE_DIR" \
+    --port-file "$PORT_FILE" &
+SERVED_PID=$!
+i=0
+while [ ! -s "$PORT_FILE" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "verify: coalescing daemon never wrote its port file" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+ADDR="$(cat "$PORT_FILE")"
+target/release/loadgen --addr "$ADDR" --clients 8 --requests 4 \
+    --paths /tables/table1,/tables/table2 --duplicate-fraction 0.9
+# Sum across engine labels (a fresh daemon has exactly one engine).
+COMPUTES="$(target/release/servectl --addr "$ADDR" --timeout-ms 5000 metrics \
+    | awk '/^gem5prof_result_cache_computes_total/ { s += $2 } END { print s+0 }')"
+if [ -z "$COMPUTES" ] || [ "$COMPUTES" -gt 2 ]; then
+    echo "verify: coalescing failed — $COMPUTES computes for 2 unique keys" >&2
+    exit 1
+fi
+echo "verify: coalescing collapsed the duplicate burst ($COMPUTES computes for 2 keys)"
+kill -TERM "$SERVED_PID"
+wait "$SERVED_PID"
+SERVED_PID=""
+rm -rf "$CACHE_DIR"
+echo "verify: coalescing check passed"

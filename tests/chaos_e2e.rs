@@ -37,7 +37,7 @@ fn injected_panics_return_500_and_the_worker_pool_survives() {
         queue_cap: 8,
         cache_cap: 16,
         deadline: LONG,
-        worker_delay: Duration::ZERO,
+        ..ServeConfig::default()
     })
     .expect("bind ephemeral port");
     let addr = handle.addr().to_string();
@@ -86,7 +86,7 @@ fn poisoned_results_are_discarded_not_cached() {
         queue_cap: 8,
         cache_cap: 16,
         deadline: LONG,
-        worker_delay: Duration::ZERO,
+        ..ServeConfig::default()
     })
     .expect("bind ephemeral port");
     let addr = handle.addr().to_string();
@@ -125,6 +125,7 @@ fn deadline_expiry_returns_504_and_the_result_is_still_cached() {
         cache_cap: 16,
         deadline: Duration::from_millis(150),
         worker_delay: Duration::from_millis(400),
+        ..ServeConfig::default()
     })
     .expect("bind ephemeral port");
     let addr = handle.addr().to_string();
@@ -154,4 +155,137 @@ fn deadline_expiry_returns_504_and_the_result_is_still_cached() {
     }
 
     handle.shutdown();
+}
+
+#[test]
+fn coalesced_leader_panic_fails_every_follower_fast() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    chaos::install_quiet_panic_hook();
+
+    // The leader dies after the 300 ms delay window in which the other
+    // requests coalesce onto its key. Every follower's reply sender is
+    // dropped by the leader guard, so all of them — and the leader —
+    // must get a prompt 500, never a hang or a full-deadline wait.
+    chaos::arm(only(4, "engine.leader_panic"));
+    let handle = serve(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_cap: 8,
+        cache_cap: 16,
+        deadline: Duration::from_secs(120),
+        worker_delay: Duration::from_millis(300),
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+    const BURST: usize = 6;
+
+    let barrier = std::sync::Barrier::new(BURST);
+    let t0 = Instant::now();
+    let statuses: Vec<(u16, String)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..BURST)
+            .map(|_| {
+                let addr = &addr;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    one_shot(addr, "GET", "/tables/table2", None, LONG)
+                        .expect("request must complete, not hang")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+    for (status, body) in &statuses {
+        assert_eq!(
+            *status, 500,
+            "a dead leader must fail its followers: {body}"
+        );
+        assert!(
+            body.contains("worker failed"),
+            "the 500 must say the worker died, not that a deadline expired: {body}"
+        );
+    }
+    assert!(
+        t0.elapsed() < Duration::from_secs(60),
+        "follower failures must be prompt, not deadline expiries"
+    );
+
+    // Chaos off: the pool survived every panic and the key was left
+    // unowned (a stale in-flight entry would strand this request).
+    chaos::disarm();
+    let (status, body) = one_shot(&addr, "GET", "/tables/table2", None, LONG).expect("GET");
+    assert_eq!(
+        status, 200,
+        "pool or in-flight map broken after leader panics: {body}"
+    );
+
+    handle.shutdown();
+}
+
+#[test]
+fn deadline_abandoned_results_warm_the_disk_tier_across_restarts() {
+    let _serial = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+
+    let cache_dir =
+        std::env::temp_dir().join(format!("gem5prof-chaos-disk-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&cache_dir);
+    let slow = |dir: &std::path::Path| ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_cap: 8,
+        cache_cap: 16,
+        cache_dir: Some(dir.to_path_buf()),
+        deadline: Duration::from_millis(150),
+        worker_delay: Duration::from_millis(400),
+        ..ServeConfig::default()
+    };
+
+    // First daemon: the request 504s against its deadline, but the
+    // abandoned job must still land the result in BOTH tiers.
+    let handle = serve(slow(&cache_dir)).expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+    let (status, body) =
+        one_shot(&addr, "GET", "/tables/table1", None, LONG).expect("GET transport");
+    assert_eq!(status, 504, "short deadline must expire: {body}");
+    let patience = Instant::now() + Duration::from_secs(10);
+    let reference = loop {
+        let (status, body) =
+            one_shot(&addr, "GET", "/tables/table1", None, LONG).expect("GET transport");
+        if status == 200 {
+            break body;
+        }
+        assert!(
+            Instant::now() < patience,
+            "result never landed in the memory tier after deadline expiry"
+        );
+        std::thread::sleep(Duration::from_millis(100));
+    };
+    // Shutdown joins the worker, so the write-behind is on disk by now.
+    handle.shutdown();
+
+    // Second daemon, same directory, cold memory tier: the only way it
+    // can answer inside the 150 ms deadline is a disk hit — a recompute
+    // would again out-sleep the deadline and 504.
+    let handle = serve(slow(&cache_dir)).expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+    let (status, body) =
+        one_shot(&addr, "GET", "/tables/table1", None, LONG).expect("GET transport");
+    assert_eq!(
+        status, 200,
+        "restarted daemon must serve from the disk warm tier: {body}"
+    );
+    assert_eq!(body, reference, "disk tier must round-trip the exact bytes");
+    let (_, stats) = one_shot(&addr, "GET", "/stats", None, LONG).expect("GET transport");
+    let doc = gem5prof_served::minjson::parse(&stats).expect("stats JSON");
+    let disk_hits = doc
+        .get("result_cache")
+        .and_then(|c| c.get("disk"))
+        .and_then(|d| d.get("hits"))
+        .and_then(|v| v.as_u64())
+        .expect("result_cache.disk.hits in /stats");
+    assert!(disk_hits >= 1, "no disk hit recorded: {stats}");
+
+    handle.shutdown();
+    let _ = std::fs::remove_dir_all(&cache_dir);
 }

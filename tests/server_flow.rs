@@ -32,7 +32,7 @@ fn server_flow_end_to_end() {
         queue_cap: 32,
         cache_cap: 64,
         deadline: LONG,
-        worker_delay: Duration::ZERO,
+        ..ServeConfig::default()
     })
     .expect("bind ephemeral port");
     let addr = handle.addr().to_string();
@@ -183,14 +183,19 @@ fn server_flow_end_to_end() {
 fn queue_full_answers_429_never_hangs() {
     // One worker, a one-slot queue, and an artificial 400 ms of work per
     // job: a burst of 8 concurrent requests must see some 200s and some
-    // 429s, and every request must get *an* answer.
+    // 429s, and every request must get *an* answer. Coalescing is off —
+    // with it on, identical requests merge onto one job and the queue
+    // can never fill (which `coalescing_collapses_identical_requests`
+    // asserts); this test pins the backpressure path itself.
     let handle = serve(ServeConfig {
         addr: "127.0.0.1:0".into(),
         workers: 1,
         queue_cap: 1,
         cache_cap: 16,
+        coalesce: false,
         deadline: Duration::from_secs(30),
         worker_delay: Duration::from_millis(400),
+        ..ServeConfig::default()
     })
     .expect("bind ephemeral port");
     let addr = handle.addr().to_string();
@@ -227,6 +232,94 @@ fn queue_full_answers_429_never_hangs() {
         .and_then(|v| v.as_u64())
         .expect("queue.rejected in /stats");
     assert!(rejected >= busy as u64, "rejected={rejected} < busy={busy}");
+
+    handle.shutdown();
+}
+
+#[test]
+fn coalescing_collapses_identical_requests_to_one_compute() {
+    // The single-flight guarantee, end to end over real TCP: K
+    // concurrent requests for one cold key are one compute and K
+    // identical 200s. The one-slot queue doubles as a proof that the
+    // coalesced followers never touched the queue — a second enqueue
+    // would have answered 429.
+    let handle = serve(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 1,
+        queue_cap: 1,
+        cache_cap: 16,
+        deadline: Duration::from_secs(30),
+        worker_delay: Duration::from_millis(400),
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral port");
+    let addr = handle.addr().to_string();
+    const BURST: usize = 8;
+
+    let barrier = std::sync::Barrier::new(BURST);
+    let responses: Vec<(u16, String)> = std::thread::scope(|s| {
+        let handles: Vec<_> = (0..BURST)
+            .map(|_| {
+                let addr = &addr;
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    one_shot(addr, "GET", "/tables/table1", None, Duration::from_secs(20))
+                        .expect("request must complete, not hang")
+                })
+            })
+            .collect();
+        handles.into_iter().map(|h| h.join().unwrap()).collect()
+    });
+
+    let first = &responses[0].1;
+    for (status, body) in &responses {
+        assert_eq!(*status, 200, "every coalesced request gets the result");
+        assert_eq!(body, first, "every response carries the same bytes");
+    }
+
+    let (_, stats) = get(&addr, "/stats");
+    let stats = parse(&stats);
+    let cache = stats.get("result_cache").expect("result_cache in /stats");
+    let field = |name: &str| {
+        cache
+            .get(name)
+            .and_then(|v| v.as_u64())
+            .unwrap_or_else(|| panic!("result_cache.{name} in /stats"))
+    };
+    assert_eq!(
+        field("computes"),
+        1,
+        "{BURST} identical requests must cost exactly one compute: {}",
+        stats.to_string_compact()
+    );
+    // Every request that neither computed nor hit the warm cache joined
+    // the in-flight key (late arrivals may legitimately hit the cache).
+    assert!(
+        field("coalesced") >= 1,
+        "no request coalesced: {}",
+        stats.to_string_compact()
+    );
+    assert_eq!(
+        field("coalesced") + field("hits") + field("computes"),
+        BURST as u64,
+        "every request is a compute, a join, or a hit: {}",
+        stats.to_string_compact()
+    );
+
+    // The same counters on /metrics, under this engine's label (other
+    // tests in this binary run their own engines concurrently).
+    let engine_id = field("engine_id");
+    let (status, text) = get(&addr, "/metrics");
+    assert_eq!(status, 200);
+    let series = format!("gem5prof_result_cache_computes_total{{engine=\"{engine_id}\"}}");
+    let computes_metric = text
+        .lines()
+        .find(|l| l.starts_with(&series))
+        .and_then(|l| l.split_whitespace().last())
+        .and_then(|v| v.parse::<f64>().ok())
+        .unwrap_or_else(|| panic!("{series} missing from /metrics:\n{text}"));
+    assert_eq!(computes_metric, 1.0);
 
     handle.shutdown();
 }
