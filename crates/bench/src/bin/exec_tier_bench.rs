@@ -1,0 +1,192 @@
+//! `exec_tier_bench` — cold-compute wall-clock comparison of the interp
+//! and block execution tiers on the bare simulation engine.
+//!
+//! Runs each (workload, CPU model) cell under both tiers with no
+//! observer attached — the configuration where per-instruction event
+//! scheduling dominates host time — asserts the two tiers produce
+//! identical [`SimResult`]s, and reports per-cell and geomean speedups.
+//!
+//! ```text
+//! exec_tier_bench [--json] [--scale test|simsmall|simmedium] [--reps N]
+//! ```
+//!
+//! `--json` emits a machine-readable summary on stdout (consumed by
+//! `scripts/bench_serving.sh` to refresh `BENCH_serving.json`); the
+//! human-readable table always goes to stderr.
+
+use gem5sim::config::{CpuModel, ExecTier, SimMode, SystemConfig};
+use gem5sim::system::{SimResult, System};
+use gem5sim_workloads::{Scale, Workload};
+use std::time::Instant;
+
+const WORKLOADS: [Workload; 3] = [Workload::WaterNsquared, Workload::Canneal, Workload::Dedup];
+const MODELS: [CpuModel; 2] = [CpuModel::Atomic, CpuModel::Timing];
+
+struct Cell {
+    workload: &'static str,
+    cpu: &'static str,
+    insts: u64,
+    interp_s: f64,
+    block_s: f64,
+    identical: bool,
+}
+
+impl Cell {
+    fn speedup(&self) -> f64 {
+        self.interp_s / self.block_s
+    }
+}
+
+/// Best-of-`reps` wall time for one tier (best-of defeats host noise;
+/// results are checked on every rep).
+fn time_tier(
+    w: Workload,
+    scale: Scale,
+    model: CpuModel,
+    tier: ExecTier,
+    reps: u32,
+) -> (f64, SimResult) {
+    let mut best = f64::INFINITY;
+    let mut result = None;
+    for _ in 0..reps {
+        let cfg = SystemConfig::new(model, SimMode::Se).with_exec_tier(tier);
+        let mut sys = System::new(cfg, w.program(scale));
+        let start = Instant::now();
+        let r = sys.run();
+        best = best.min(start.elapsed().as_secs_f64());
+        if let Some(prev) = &result {
+            assert_eq!(prev, &r, "{w}/{model:?}/{tier:?}: nondeterministic run");
+        }
+        result = Some(r);
+    }
+    (best, result.expect("reps >= 1"))
+}
+
+fn geomean(xs: impl Iterator<Item = f64>) -> f64 {
+    let (mut log_sum, mut n) = (0.0f64, 0u32);
+    for x in xs {
+        log_sum += x.ln();
+        n += 1;
+    }
+    if n == 0 {
+        0.0
+    } else {
+        (log_sum / n as f64).exp()
+    }
+}
+
+fn main() {
+    let mut json = false;
+    let mut scale = Scale::SimMedium;
+    let mut reps: u32 = 3;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--json" => json = true,
+            "--scale" => {
+                i += 1;
+                scale = match argv.get(i).map(String::as_str) {
+                    Some("test") => Scale::Test,
+                    Some("simsmall") => Scale::SimSmall,
+                    Some("simmedium") => Scale::SimMedium,
+                    _ => {
+                        eprintln!("usage: exec_tier_bench [--json] [--scale S] [--reps N]");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            "--reps" => {
+                i += 1;
+                reps = argv
+                    .get(i)
+                    .and_then(|s| s.parse().ok())
+                    .filter(|&n| n >= 1)
+                    .unwrap_or_else(|| {
+                        eprintln!("--reps wants a positive integer");
+                        std::process::exit(2);
+                    });
+            }
+            _ => {
+                eprintln!("usage: exec_tier_bench [--json] [--scale S] [--reps N]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+
+    let scale_name = match scale {
+        Scale::Test => "test",
+        Scale::SimSmall => "simsmall",
+        Scale::SimMedium => "simmedium",
+    };
+    eprintln!(
+        "exec-tier bench: scale={scale_name}, best of {reps} reps, bare engine (no observer)"
+    );
+
+    let mut cells = Vec::new();
+    for w in WORKLOADS {
+        for model in MODELS {
+            let (interp_s, ri) = time_tier(w, scale, model, ExecTier::Interp, reps);
+            let (block_s, rb) = time_tier(w, scale, model, ExecTier::Block, reps);
+            let identical = ri == rb;
+            let cell = Cell {
+                workload: w.name(),
+                cpu: model.label(),
+                insts: rb.committed_insts,
+                interp_s,
+                block_s,
+                identical,
+            };
+            eprintln!(
+                "  {:<16} {:<7} {:>9} insts  interp {:>8.4}s  block {:>8.4}s  speedup {:>5.2}x  {}",
+                cell.workload,
+                cell.cpu,
+                cell.insts,
+                cell.interp_s,
+                cell.block_s,
+                cell.speedup(),
+                if identical { "identical" } else { "DIVERGED" }
+            );
+            cells.push(cell);
+        }
+    }
+
+    let all_identical = cells.iter().all(|c| c.identical);
+    let geo = |label: &str| geomean(cells.iter().filter(|c| c.cpu == label).map(|c| c.speedup()));
+    let (geo_atomic, geo_timing) = (geo("ATOMIC"), geo("TIMING"));
+    eprintln!("  geomean speedup: ATOMIC {geo_atomic:.2}x, TIMING {geo_timing:.2}x");
+
+    if json {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
+        out.push_str(&format!("  \"reps\": {reps},\n"));
+        out.push_str("  \"runs\": [\n");
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"cpu\": \"{}\", \"insts\": {}, \
+                 \"interp_seconds\": {:.6}, \"block_seconds\": {:.6}, \
+                 \"speedup\": {:.3}, \"identical\": {}}}{}\n",
+                c.workload,
+                c.cpu,
+                c.insts,
+                c.interp_s,
+                c.block_s,
+                c.speedup(),
+                c.identical,
+                if i + 1 == cells.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!("  \"geomean_speedup_atomic\": {geo_atomic:.3},\n"));
+        out.push_str(&format!("  \"geomean_speedup_timing\": {geo_timing:.3},\n"));
+        out.push_str(&format!("  \"all_identical\": {all_identical}\n"));
+        out.push('}');
+        println!("{out}");
+    }
+
+    if !all_identical {
+        eprintln!("error: tiers diverged — the block tier is broken");
+        std::process::exit(1);
+    }
+}

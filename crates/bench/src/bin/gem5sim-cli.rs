@@ -7,7 +7,7 @@
 //!             [--cpus N] [--trace] [--stats]
 //! ```
 
-use gem5sim::config::{CpuModel, SimMode, SystemConfig};
+use gem5sim::config::{CpuModel, ExecTier, SimMode, SystemConfig};
 use gem5sim::system::System;
 use gem5sim::trace::{Tracer, WriteTracer};
 use gem5sim_workloads::{Scale, Workload};
@@ -19,6 +19,7 @@ struct Args {
     cpu: CpuModel,
     mode: SimMode,
     scale: Scale,
+    exec_tier: ExecTier,
     cpus: usize,
     l1_kib: Option<u64>,
     l2_kib: Option<u64>,
@@ -31,7 +32,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: gem5sim-cli [--workload NAME] [--cpu atomic|timing|minor|o3] \
          [--mode se|fs] [--scale test|simsmall|simmedium] [--cpus N] \
-         [--l1 KiB] [--l2 KiB] [--max-insts N] [--trace] [--stats]\n\
+         [--exec-tier interp|block] [--l1 KiB] [--l2 KiB] [--max-insts N] \
+         [--trace] [--stats]\n\
          workloads: {}",
         Workload::PARSEC
             .iter()
@@ -56,6 +58,7 @@ fn parse() -> Args {
         cpu: CpuModel::Atomic,
         mode: SimMode::Se,
         scale: Scale::SimSmall,
+        exec_tier: ExecTier::Block,
         cpus: 1,
         l1_kib: None,
         l2_kib: None,
@@ -99,6 +102,9 @@ fn parse() -> Args {
                     _ => usage(),
                 };
             }
+            "--exec-tier" | "-t" => {
+                args.exec_tier = value(&mut i).parse().unwrap_or_else(|_| usage())
+            }
             "--cpus" | "-n" => args.cpus = value(&mut i).parse().unwrap_or_else(|_| usage()),
             "--l1" => args.l1_kib = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
             "--l2" => args.l2_kib = Some(value(&mut i).parse().unwrap_or_else(|_| usage())),
@@ -118,7 +124,9 @@ fn parse() -> Args {
 
 fn main() {
     let a = parse();
-    let mut cfg = SystemConfig::new(a.cpu, a.mode).with_cpus(a.cpus);
+    let mut cfg = SystemConfig::new(a.cpu, a.mode)
+        .with_cpus(a.cpus)
+        .with_exec_tier(a.exec_tier);
     if let Some(kib) = a.l1_kib {
         cfg.l1i.size = kib * 1024;
         cfg.l1d.size = kib * 1024;
@@ -131,12 +139,13 @@ fn main() {
     }
 
     eprintln!(
-        "gem5sim: {} on {} ({:?}, {} hart{})",
+        "gem5sim: {} on {} ({:?}, {} hart{}, {} tier)",
         a.workload,
         a.cpu.label(),
         a.mode,
         a.cpus,
-        if a.cpus == 1 { "" } else { "s" }
+        if a.cpus == 1 { "" } else { "s" },
+        a.exec_tier.label()
     );
     let program = a.workload.program(a.scale);
     let mut sys = System::new(cfg, program);

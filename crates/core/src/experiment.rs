@@ -173,7 +173,7 @@ pub fn profile(guest: &GuestSpec, hosts: &[HostSetup]) -> ProfileRun {
     let obs = Obs::new(Rc::clone(&adapter) as Rc<RefCell<dyn ExecutionObserver>>);
 
     let program = guest.workload.program(guest.scale);
-    let cfg = SystemConfig::new(guest.cpu, guest.mode);
+    let cfg = SystemConfig::new(guest.cpu, guest.mode).with_exec_tier(crate::runner::exec_tier());
     let mut sys = System::with_observer(cfg, program, obs);
     let guest_result = {
         let _sim = gem5prof_obs::span("guest_sim");

@@ -45,5 +45,7 @@ pub mod spec;
 pub use cache::{CacheSnapshot, CacheStats, LruCache, ShardedLru};
 pub use experiment::{profile, profile_spec, GuestSpec, HostSetup, ProfileRun};
 pub use report::{geomean, Table};
-pub use runner::{parallel_map, set_threads, threads, with_threads};
+pub use runner::{
+    exec_tier, parallel_map, set_exec_tier, set_threads, threads, with_exec_tier, with_threads,
+};
 pub use spec::ExperimentSpec;

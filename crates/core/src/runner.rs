@@ -23,6 +23,7 @@
 use crate::cache::ShardedLru;
 use crate::experiment::GuestSpec;
 use gem5sim::system::SimResult;
+use gem5sim::ExecTier;
 use hosttrace::record::TraceEvent;
 use hosttrace::CallProfile;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
@@ -78,6 +79,69 @@ pub fn with_threads<R>(n: usize, f: impl FnOnce() -> R) -> R {
     impl Drop for Restore {
         fn drop(&mut self) {
             THREAD_OVERRIDE.store(self.0, Ordering::Relaxed);
+        }
+    }
+    let _restore = Restore(prev);
+    f()
+}
+
+// ---------------------------------------------------------------------
+// Execution-tier configuration
+// ---------------------------------------------------------------------
+
+/// Process-wide exec-tier override: 0 = unset, 1 = interp, 2 = block.
+static TIER_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// The guest execution tier [`crate::profile`] will configure right now.
+///
+/// Resolution order: [`with_exec_tier`] / [`set_exec_tier`] override,
+/// then the `GEM5PROF_EXEC_TIER` environment variable (`interp` |
+/// `block`), then the block tier. The tier never changes simulation
+/// results — stats, traces and artifacts are byte-identical — so it is
+/// deliberately *not* part of the memoization key.
+pub fn exec_tier() -> ExecTier {
+    match TIER_OVERRIDE.load(Ordering::Relaxed) {
+        1 => return ExecTier::Interp,
+        2 => return ExecTier::Block,
+        _ => {}
+    }
+    if let Ok(s) = std::env::var("GEM5PROF_EXEC_TIER") {
+        match s.trim().parse::<ExecTier>() {
+            Ok(t) => return t,
+            Err(e) => {
+                static WARNED: AtomicBool = AtomicBool::new(false);
+                if !WARNED.swap(true, Ordering::Relaxed) {
+                    eprintln!("warning: {e}; using the block tier");
+                }
+            }
+        }
+    }
+    ExecTier::Block
+}
+
+fn encode_tier(t: ExecTier) -> usize {
+    match t {
+        ExecTier::Interp => 1,
+        ExecTier::Block => 2,
+    }
+}
+
+/// Sets the process-wide execution tier.
+pub fn set_exec_tier(t: ExecTier) {
+    TIER_OVERRIDE.store(encode_tier(t), Ordering::Relaxed);
+}
+
+/// Runs `f` with the execution tier pinned to `t`, restoring the
+/// previous setting afterwards. Calls are serialized process-wide so
+/// concurrent tests cannot observe each other's override.
+pub fn with_exec_tier<R>(t: ExecTier, f: impl FnOnce() -> R) -> R {
+    static SERIAL: Mutex<()> = Mutex::new(());
+    let _guard = SERIAL.lock().unwrap_or_else(|e| e.into_inner());
+    let prev = TIER_OVERRIDE.swap(encode_tier(t), Ordering::Relaxed);
+    struct Restore(usize);
+    impl Drop for Restore {
+        fn drop(&mut self) {
+            TIER_OVERRIDE.store(self.0, Ordering::Relaxed);
         }
     }
     let _restore = Restore(prev);

@@ -215,6 +215,42 @@ impl EventQueue {
         self.inner.borrow().heap.len()
     }
 
+    /// `(when, prio)` of the earliest pending event, without servicing it.
+    ///
+    /// This is the guard the block execution tier batches against: an
+    /// instruction "event" at tick `t` may be folded into the current
+    /// batch only if it would still be serviced before the queue head —
+    /// `t < when`, or `t == when` with a strictly smaller priority (ties
+    /// on `(when, prio)` go to the pending event, which was inserted
+    /// first and therefore holds the smaller sequence number).
+    pub fn peek_next(&self) -> Option<(Tick, Priority)> {
+        self.inner.borrow().heap.peek().map(|e| (e.when, e.prio))
+    }
+
+    /// Credits `n` event services at `now` without any heap traffic.
+    ///
+    /// The block execution tier runs a straight-line batch of
+    /// instructions inside one serviced event; each batched instruction
+    /// stands for a `(schedule, pop, run)` round-trip the interpreter
+    /// tier would have performed. Crediting keeps `events_serviced` (and
+    /// the process-wide counter the memoization tests read) and
+    /// `cur_tick` byte-identical to the per-event path.
+    ///
+    /// # Panics
+    ///
+    /// Debug-asserts that `now` does not move time backwards.
+    pub fn credit_batched(&self, n: u64, now: Tick) {
+        let mut inner = self.inner.borrow_mut();
+        debug_assert!(
+            now >= inner.cur_tick,
+            "batched credit rewinds time ({now} < {})",
+            inner.cur_tick
+        );
+        inner.cur_tick = inner.cur_tick.max(now);
+        inner.events_serviced += n;
+        GLOBAL_EVENTS_SERVICED.fetch_add(n, std::sync::atomic::Ordering::Relaxed);
+    }
+
     /// Schedules `event` to run at tick `when` with `prio`.
     ///
     /// # Panics
@@ -457,6 +493,28 @@ mod tests {
         });
         eq.run(None);
         assert_eq!(*count.borrow(), 1);
+    }
+
+    #[test]
+    fn peek_reports_earliest_without_popping() {
+        let eq = EventQueue::new();
+        assert_eq!(eq.peek_next(), None);
+        eq.schedule(200, Priority::DEFAULT, |_| ());
+        eq.schedule(100, Priority::STAT, |_| ());
+        assert_eq!(eq.peek_next(), Some((100, Priority::STAT)));
+        assert_eq!(eq.pending(), 2, "peek must not consume");
+    }
+
+    #[test]
+    fn credit_batched_advances_counters_and_tick() {
+        let eq = EventQueue::new();
+        eq.schedule(10, Priority::DEFAULT, |eq| {
+            eq.credit_batched(5, 40);
+        });
+        eq.schedule(50, Priority::DEFAULT, |_| ());
+        eq.run(None);
+        assert_eq!(eq.events_serviced(), 2 + 5);
+        assert_eq!(eq.cur_tick(), 50);
     }
 
     #[test]

@@ -12,6 +12,8 @@
 //!   ([`Inst::class`]) used by the timing CPU models;
 //! * [`asm::ProgramBuilder`] — a label-based assembler;
 //! * [`Program`] — an assembled text segment;
+//! * [`block`] — basic-block decoding and the decoded-block cache backing
+//!   the simulator's block execution tier;
 //! * [`exec`] — the architectural executor shared by all CPU models, which
 //!   guarantees every model computes identical architectural results.
 //!
@@ -37,9 +39,11 @@
 //! ```
 
 pub mod asm;
+pub mod block;
 pub mod exec;
 pub mod inst;
 pub mod program;
 
+pub use block::{decode_block, BasicBlock, BlockCache, BlockCacheStats, MAX_BLOCK_INSTS};
 pub use inst::{AluOp, BranchCond, FCmpOp, FReg, FpuOp, Inst, InstClass, MemSize, Reg};
-pub use program::{Program, TEXT_BASE};
+pub use program::{Program, INST_BYTES, TEXT_BASE};

@@ -18,6 +18,10 @@ pub struct Program {
     text: Vec<Inst>,
     symbols: BTreeMap<String, u64>,
     entry: u64,
+    /// Bumped on every [`patch`](Self::patch); lets decoded-code caches
+    /// (the block tier's [`crate::block::BlockCache`]) detect that their
+    /// copies of the text are stale.
+    version: u64,
 }
 
 impl Program {
@@ -26,6 +30,7 @@ impl Program {
             text,
             symbols,
             entry,
+            version: 0,
         }
     }
 
@@ -63,6 +68,30 @@ impl Program {
     /// Looks up a label's PC.
     pub fn symbol(&self, name: &str) -> Option<u64> {
         self.symbols.get(name).copied()
+    }
+
+    /// Text-segment version, bumped by every [`patch`](Self::patch).
+    pub fn version(&self) -> u64 {
+        self.version
+    }
+
+    /// Overwrites the instruction at `pc` (self-modifying code).
+    ///
+    /// Returns `false` (and changes nothing) if `pc` is outside the text
+    /// segment or misaligned. Each successful patch bumps
+    /// [`version`](Self::version) so decoded-code caches can invalidate.
+    pub fn patch(&mut self, pc: u64, inst: Inst) -> bool {
+        if pc < TEXT_BASE || (pc - TEXT_BASE) % INST_BYTES != 0 {
+            return false;
+        }
+        match self.text.get_mut(((pc - TEXT_BASE) / INST_BYTES) as usize) {
+            Some(slot) => {
+                *slot = inst;
+                self.version += 1;
+                true
+            }
+            None => false,
+        }
     }
 
     /// Iterates over `(pc, inst)` pairs.
@@ -119,6 +148,20 @@ mod tests {
         assert_eq!(p.len(), 2);
         assert!(!p.is_empty());
         assert_eq!(p.text_end(), TEXT_BASE + 8);
+    }
+
+    #[test]
+    fn patch_rewrites_text_and_bumps_version() {
+        let mut p = two_inst_program();
+        assert_eq!(p.version(), 0);
+        assert!(p.patch(TEXT_BASE, Inst::Nop));
+        assert_eq!(p.fetch(TEXT_BASE), Some(Inst::Nop));
+        assert_eq!(p.version(), 1);
+        // Out-of-range and misaligned patches are rejected untouched.
+        assert!(!p.patch(TEXT_BASE + 8, Inst::Nop));
+        assert!(!p.patch(TEXT_BASE + 2, Inst::Nop));
+        assert!(!p.patch(TEXT_BASE - 4, Inst::Nop));
+        assert_eq!(p.version(), 1);
     }
 
     #[test]

@@ -49,6 +49,44 @@ impl CpuModel {
     }
 }
 
+/// How guest instructions are driven through the event queue.
+///
+/// Both tiers produce byte-identical results — stats, traces, observer
+/// streams and artifacts — by construction; the tier only changes how
+/// much host work the event loop performs per guest instruction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ExecTier {
+    /// One scheduled event per instruction (gem5's shape, and this
+    /// repository's original behavior).
+    Interp,
+    /// Cached basic blocks executed straight-line with batched
+    /// event-queue accounting. Applies to the simple models
+    /// (Atomic/Timing); Minor and O3 always run per-instruction.
+    Block,
+}
+
+impl ExecTier {
+    /// Lowercase name, matching the `GEM5PROF_EXEC_TIER` values.
+    pub fn label(self) -> &'static str {
+        match self {
+            ExecTier::Interp => "interp",
+            ExecTier::Block => "block",
+        }
+    }
+}
+
+impl std::str::FromStr for ExecTier {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "interp" => Ok(ExecTier::Interp),
+            "block" => Ok(ExecTier::Block),
+            other => Err(format!("unknown exec tier `{other}` (interp|block)")),
+        }
+    }
+}
+
 /// Simulation mode.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum SimMode {
@@ -152,6 +190,11 @@ pub struct SystemConfig {
     /// Safety valve: maximum committed instructions before forced exit
     /// (`None` = unlimited).
     pub max_insts: Option<u64>,
+    /// Guest execution tier (see [`ExecTier`]). Results are identical
+    /// either way; `Block` is the fast default.
+    pub exec_tier: ExecTier,
+    /// Per-hart decoded-block cache capacity, in blocks (block tier).
+    pub block_cache_blocks: usize,
 }
 
 impl SystemConfig {
@@ -195,6 +238,8 @@ impl SystemConfig {
             fp_phys_regs: 192,
             btb_entries: 4096,
             max_insts: None,
+            exec_tier: ExecTier::Block,
+            block_cache_blocks: 4096,
         }
     }
 
@@ -208,6 +253,18 @@ impl SystemConfig {
     /// Sets the committed-instruction limit (builder style).
     pub fn with_max_insts(mut self, n: u64) -> Self {
         self.max_insts = Some(n);
+        self
+    }
+
+    /// Sets the execution tier (builder style).
+    pub fn with_exec_tier(mut self, tier: ExecTier) -> Self {
+        self.exec_tier = tier;
+        self
+    }
+
+    /// Sets the decoded-block cache capacity (builder style).
+    pub fn with_block_cache_blocks(mut self, blocks: usize) -> Self {
+        self.block_cache_blocks = blocks;
         self
     }
 }
@@ -266,5 +323,20 @@ mod tests {
     fn labels_match_paper() {
         assert_eq!(CpuModel::O3.label(), "O3");
         assert_eq!(SimMode::Fs.label(), "FS");
+    }
+
+    #[test]
+    fn exec_tier_parses_its_own_labels() {
+        for t in [ExecTier::Interp, ExecTier::Block] {
+            assert_eq!(t.label().parse::<ExecTier>(), Ok(t));
+        }
+        assert!("jit".parse::<ExecTier>().is_err());
+        let cfg = SystemConfig::new(CpuModel::Atomic, SimMode::Se);
+        assert_eq!(cfg.exec_tier, ExecTier::Block, "block is the default");
+        let cfg = cfg
+            .with_exec_tier(ExecTier::Interp)
+            .with_block_cache_blocks(8);
+        assert_eq!(cfg.exec_tier, ExecTier::Interp);
+        assert_eq!(cfg.block_cache_blocks, 8);
     }
 }

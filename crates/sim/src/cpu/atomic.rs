@@ -4,11 +4,13 @@
 //! and TLB state is updated (so warming works, as in gem5), but no
 //! contention or queuing is modeled and latency is a flat CPI of 1.
 
+use crate::cpu::block::BlockModel;
 use crate::cpu::TickOutcome;
-use crate::dyninst::FunctionalCore;
+use crate::dyninst::{DynInst, FunctionalCore};
 use crate::observe::CompClass;
 use crate::system::Shared;
 use gem5sim_event::Tick;
+use gem5sim_isa::Inst;
 
 /// The atomic CPU model.
 #[derive(Debug)]
@@ -25,10 +27,22 @@ impl AtomicCpu {
 
     /// Executes one instruction per tick.
     pub fn tick(&mut self, sh: &mut Shared, now: Tick) -> TickOutcome {
+        self.exec_one(sh, now, None).1
+    }
+
+    /// One instruction's worth of observation, execution and timing —
+    /// the shared body of the interp tick and the block tier's
+    /// per-instruction hook.
+    fn exec_one(
+        &mut self,
+        sh: &mut Shared,
+        now: Tick,
+        hint: Option<Inst>,
+    ) -> (DynInst, TickOutcome) {
         let id = self.core.cpu_id;
         sh.obs.call(CompClass::CpuAtomic, "tick", id, 50);
 
-        let d = sh.step_core(&mut self.core, now);
+        let d = sh.step_core_hinted(&mut self.core, now, hint);
 
         // Atomic instruction fetch: warms the I-side, returns no timing.
         sh.obs.call(CompClass::CpuAtomic, "atomicFetchInst", id, 24);
@@ -40,14 +54,32 @@ impl AtomicCpu {
         }
 
         if d.is_halt {
-            return TickOutcome { next_at: None };
+            return (d, TickOutcome { next_at: None });
         }
         let mut next = now + sh.period();
         if d.stall_us > 0 {
             next += d.stall_us * 1_000_000; // µs in ps
         }
-        TickOutcome {
-            next_at: Some(next),
-        }
+        (
+            d,
+            TickOutcome {
+                next_at: Some(next),
+            },
+        )
+    }
+}
+
+impl BlockModel for AtomicCpu {
+    fn core(&self) -> &FunctionalCore {
+        &self.core
+    }
+
+    fn after_instruction(
+        &mut self,
+        sh: &mut Shared,
+        now: Tick,
+        hint: Option<Inst>,
+    ) -> (DynInst, TickOutcome) {
+        self.exec_one(sh, now, hint)
     }
 }

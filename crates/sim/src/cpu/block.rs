@@ -1,0 +1,174 @@
+//! The block execution tier: straight-line execution of cached basic
+//! blocks with batched event-queue accounting.
+//!
+//! In the interp tier every guest instruction is a scheduled event —
+//! gem5's shape, and the dominant host cost for the simple CPU models
+//! (closure allocation, heap push/pop, and dispatch per instruction).
+//! The block tier services *one* event and then keeps executing
+//! instructions from decoded [`BasicBlock`]s as long as doing so is
+//! invisible to the rest of the machine, crediting the queue afterwards
+//! ([`EventQueue::credit_batched`]) so `sim_ticks` and `host_events`
+//! come out identical to the interp tier.
+//!
+//! # Why batching is byte-invisible
+//!
+//! An instruction that the interp tier would run as an event at
+//! `(t, CPU_TICK)` may be folded into the current event iff it would be
+//! serviced *before every pending event* — that is, strictly before the
+//! queue head `(w, p)` in the `(when, priority, seq)` order. Ties at
+//! `(t, CPU_TICK)` are **not** batched: the pending event carries a
+//! smaller sequence number and would run first (this is what keeps
+//! multi-hart lockstep interleaving intact — it simply degrades to
+//! per-instruction execution). Nothing else can observe the difference:
+//! no handler reads the queue's current tick mid-event (every handler
+//! takes `now` as a parameter), and all memory/syscall work happens
+//! synchronously inside the instruction.
+//!
+//! Per-instruction observer traffic (`serviceOne`, the CPU-model calls,
+//! decode, cache and TLB events) is still emitted in the exact interp
+//! order — only the event-queue machinery between instructions is
+//! elided.
+
+use crate::cpu::{CpuBox, TickOutcome};
+use crate::dyninst::{DynInst, FunctionalCore};
+use crate::observe::CompClass;
+use crate::system::Shared;
+use gem5sim_event::{EventQueue, Priority, Tick};
+use gem5sim_isa::{BasicBlock, BlockCache, Inst, TEXT_BASE};
+use std::rc::Rc;
+
+/// Hooks a CPU model implements to run under the block driver.
+///
+/// Only the simple models (Atomic, Timing) implement this: their tick
+/// handlers are self-contained per instruction. Minor and O3 pipeline
+/// state across events and always run per-instruction.
+pub(crate) trait BlockModel {
+    /// The functional core (for `pc`, `committed`, `halted`).
+    fn core(&self) -> &FunctionalCore;
+
+    /// Called when the driver enters a freshly looked-up block.
+    fn begin_block(&mut self, _sh: &mut Shared, _block: &BasicBlock) {}
+
+    /// Executes one instruction — observer calls, architectural step and
+    /// timing — exactly as the model's interp `tick` would, taking the
+    /// block's predecoded instruction as a fetch hint.
+    fn after_instruction(
+        &mut self,
+        sh: &mut Shared,
+        now: Tick,
+        hint: Option<Inst>,
+    ) -> (DynInst, TickOutcome);
+
+    /// Called after a taken control transfer (the next instruction will
+    /// come from a different block).
+    fn after_taken_branch(&mut self, _sh: &mut Shared, _d: &DynInst) {}
+}
+
+/// What one batched event accomplished.
+pub(crate) struct BatchOutcome {
+    /// Outcome of the *last* instruction executed (drives rescheduling).
+    pub outcome: TickOutcome,
+    /// Instructions executed beyond the first — the events the interp
+    /// tier would have scheduled and serviced.
+    pub batched: u64,
+    /// Tick at which the last instruction executed.
+    pub last_now: Tick,
+}
+
+/// Whether an instruction the interp tier would schedule at
+/// `(t, CPU_TICK)` may be folded into the current event: it must order
+/// strictly before the earliest pending event. Equal `(when, priority)`
+/// loses to the pending event's smaller sequence number.
+fn can_batch(eq: &EventQueue, t: Tick) -> bool {
+    match eq.peek_next() {
+        None => true,
+        Some((when, prio)) => t < when || (t == when && Priority::CPU_TICK < prio),
+    }
+}
+
+/// Runs one event's worth of instructions for `cpu`, batching while
+/// [`can_batch`] holds. The caller credits the queue with
+/// [`BatchOutcome::batched`] synthetic events.
+///
+/// # Panics
+///
+/// Panics if `cpu` is not a block-capable model
+/// ([`CpuBox::supports_block_tier`]).
+pub(crate) fn run_batched(
+    cpu: &mut CpuBox,
+    sh: &mut Shared,
+    cache: &mut BlockCache,
+    eq: &EventQueue,
+) -> BatchOutcome {
+    match cpu {
+        CpuBox::Atomic(c) => drive(c, sh, cache, eq),
+        CpuBox::Timing(c) => drive(c, sh, cache, eq),
+        _ => panic!("block tier driver on a per-instruction CPU model"),
+    }
+}
+
+fn drive<M: BlockModel>(
+    m: &mut M,
+    sh: &mut Shared,
+    cache: &mut BlockCache,
+    eq: &EventQueue,
+) -> BatchOutcome {
+    let mut now = eq.cur_tick();
+    let mut batched = 0u64;
+    // The block the hart is currently executing from; the instruction
+    // index is derived from `pc`, so interrupt redirects and branches
+    // need no bookkeeping — they simply miss `inst_at` and look up the
+    // target's block.
+    let mut cursor: Option<Rc<BasicBlock>> = None;
+    loop {
+        let pc = m.core().arch.pc;
+        let hint = match cursor.as_ref().and_then(|b| b.inst_at(pc)) {
+            Some(i) => Some(i),
+            None => {
+                cursor = cache.lookup(&sh.program, pc);
+                if let Some(b) = &cursor {
+                    let b = Rc::clone(b);
+                    m.begin_block(sh, &b);
+                }
+                cursor.as_ref().and_then(|b| b.inst_at(pc))
+            }
+        };
+
+        let (d, outcome) = m.after_instruction(sh, now, hint);
+        if d.control.is_some_and(|c| c.taken) {
+            m.after_taken_branch(sh, &d);
+        }
+
+        // A store into the text segment drops overlapping decoded blocks.
+        // (Execution stays correct either way — fetches read the program
+        // text — but the cache must not serve blocks it knows are stale.)
+        if let Some(mr) = d.mem {
+            let hi = mr.addr + mr.size.bytes();
+            if mr.write && mr.addr < sh.program.text_end() && hi > TEXT_BASE {
+                cache.invalidate_range(mr.addr, hi);
+                cursor = None;
+            }
+        }
+
+        let limit_hit = sh
+            .cfg
+            .max_insts
+            .is_some_and(|max| m.core().committed >= max && !m.core().halted);
+        match outcome.next_at {
+            Some(t) if !limit_hit && can_batch(eq, t) => {
+                // This instruction would have been its own serviced event;
+                // keep the observer stream identical.
+                sh.obs.call(CompClass::EventQueue, "serviceOne", 0, 22);
+                batched += 1;
+                now = t;
+            }
+            _ => {
+                return BatchOutcome {
+                    outcome,
+                    batched,
+                    last_now: now,
+                }
+            }
+        }
+    }
+}

@@ -8,6 +8,7 @@
 //! the CPU model complexity").
 
 pub mod atomic;
+pub mod block;
 pub mod minor;
 pub mod o3;
 pub mod timing;
@@ -109,6 +110,13 @@ impl CpuBox {
             CpuBox::Minor(c) => &mut c.core,
             CpuBox::O3(c) => &mut c.core,
         }
+    }
+
+    /// Whether this model can run under the block execution tier.
+    /// The simple models execute one self-contained instruction per tick;
+    /// Minor and O3 pipeline state across events and stay per-instruction.
+    pub fn supports_block_tier(&self) -> bool {
+        matches!(self, CpuBox::Atomic(_) | CpuBox::Timing(_))
     }
 
     /// Guest branch-predictor statistics `(lookups, mispredicts)`, if the

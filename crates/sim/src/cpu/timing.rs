@@ -4,11 +4,13 @@
 //! issue timed requests through the cache hierarchy and the CPU blocks
 //! until the response (the real `TimingSimpleCPU` is also blocking).
 
+use crate::cpu::block::BlockModel;
 use crate::cpu::TickOutcome;
-use crate::dyninst::FunctionalCore;
+use crate::dyninst::{DynInst, FunctionalCore};
 use crate::observe::CompClass;
 use crate::system::Shared;
 use gem5sim_event::Tick;
+use gem5sim_isa::Inst;
 
 /// The timing-simple CPU model.
 #[derive(Debug)]
@@ -26,6 +28,18 @@ impl TimingCpu {
     /// Fetches, executes and (for memory ops) waits for the hierarchy;
     /// one instruction per tick event.
     pub fn tick(&mut self, sh: &mut Shared, now: Tick) -> TickOutcome {
+        self.exec_one(sh, now, None).1
+    }
+
+    /// One instruction's worth of observation, execution and timing —
+    /// the shared body of the interp tick and the block tier's
+    /// per-instruction hook.
+    fn exec_one(
+        &mut self,
+        sh: &mut Shared,
+        now: Tick,
+        hint: Option<Inst>,
+    ) -> (DynInst, TickOutcome) {
         let id = self.core.cpu_id;
         sh.obs.call(CompClass::CpuTiming, "fetch", id, 45);
 
@@ -33,7 +47,7 @@ impl TimingCpu {
         let pc = self.core.arch.pc;
         let fetch_lat = sh.fetch_access(id as usize, pc, now);
 
-        let d = sh.step_core(&mut self.core, now);
+        let d = sh.step_core_hinted(&mut self.core, now, hint);
         sh.obs.call(CompClass::CpuTiming, "completeIfetch", id, 35);
         sh.obs.call(CompClass::CpuTiming, "executeInst", id, 40);
 
@@ -54,14 +68,32 @@ impl TimingCpu {
         }
 
         if d.is_halt {
-            return TickOutcome { next_at: None };
+            return (d, TickOutcome { next_at: None });
         }
         let mut next = now + lat;
         if d.stall_us > 0 {
             next += d.stall_us * 1_000_000;
         }
-        TickOutcome {
-            next_at: Some(next),
-        }
+        (
+            d,
+            TickOutcome {
+                next_at: Some(next),
+            },
+        )
+    }
+}
+
+impl BlockModel for TimingCpu {
+    fn core(&self) -> &FunctionalCore {
+        &self.core
+    }
+
+    fn after_instruction(
+        &mut self,
+        sh: &mut Shared,
+        now: Tick,
+        hint: Option<Inst>,
+    ) -> (DynInst, TickOutcome) {
+        self.exec_one(sh, now, hint)
     }
 }

@@ -128,9 +128,30 @@ impl FunctionalCore {
         now_ticks: u64,
         obs: &Obs,
     ) -> DynInst {
+        self.step_hinted(prog, phys, sys, now_ticks, obs, None)
+    }
+
+    /// [`step`](Self::step) with a predecoded-instruction hint.
+    ///
+    /// The block tier passes the instruction its decoded block holds for
+    /// the current `pc`, skipping the text-segment fetch. The hint is
+    /// advisory: when an interrupt redirects the pc at this boundary the
+    /// hint no longer describes the instruction about to execute and is
+    /// discarded. Every path still emits the same observer calls as the
+    /// unhinted step — the two must be byte-indistinguishable.
+    pub fn step_hinted(
+        &mut self,
+        prog: &Program,
+        phys: &mut PhysMem,
+        sys: &mut SyscallState,
+        now_ticks: u64,
+        obs: &Obs,
+        hint: Option<Inst>,
+    ) -> DynInst {
         assert!(!self.halted, "step() on a halted core");
 
         // Interrupt entry happens at an instruction boundary.
+        let mut hint = hint;
         if self.fs_mode && self.irq_pending && !self.in_irq {
             if let Some(handler) = self.irq_handler {
                 obs.call(CompClass::Device, "takeInterrupt", self.cpu_id, 35);
@@ -138,20 +159,27 @@ impl FunctionalCore {
                 self.arch.pc = handler;
                 self.in_irq = true;
                 self.irqs_taken += 1;
+                hint = None;
             }
             self.irq_pending = false;
         }
 
         let pc = self.arch.pc;
-        let inst = match prog.fetch(pc) {
-            Some(i) => i,
-            None => {
-                // Running off the text segment halts the hart (gem5 would
-                // raise a fault; our workloads always end in halt/exit, so
-                // this is purely defensive).
-                self.halted = true;
-                return self.make(pc, Inst::Halt, StepAction::Halt, 0);
+        let inst = match hint {
+            Some(i) => {
+                debug_assert_eq!(prog.fetch(pc), Some(i), "stale block-tier hint at {pc:#x}");
+                i
             }
+            None => match prog.fetch(pc) {
+                Some(i) => i,
+                None => {
+                    // Running off the text segment halts the hart (gem5 would
+                    // raise a fault; our workloads always end in halt/exit, so
+                    // this is purely defensive).
+                    self.halted = true;
+                    return self.make(pc, Inst::Halt, StepAction::Halt, 0);
+                }
+            },
         };
         obs.call(CompClass::Decoder, "decodeInst", self.cpu_id, 16);
 
@@ -346,6 +374,32 @@ mod tests {
         assert_eq!(core.irqs_taken, 1);
         assert_eq!(core.arch.read(Reg::A0), 3, "main work unaffected");
         assert_eq!(PhysMem::read(&phys, 512, MemSize::D), 1, "handler ran once");
+    }
+
+    #[test]
+    fn hint_is_used_when_valid_and_discarded_on_irq_redirect() {
+        let mut b = ProgramBuilder::new();
+        b.li(Reg::A0, 9).halt().label("__irq_handler").iret();
+        let p = b.assemble().unwrap();
+        let handler = p.symbol("__irq_handler");
+        let mut phys = PhysMem::new(1024);
+        let mut sys = SyscallState::new(0x1000);
+        let obs = Obs::none();
+
+        // Valid hint: behaves exactly like a fetch.
+        let mut core = FunctionalCore::new(0, p.entry_pc(), false, None);
+        let hint = p.fetch(p.entry_pc());
+        let d = core.step_hinted(&p, &mut phys, &mut sys, 0, &obs, hint);
+        assert_eq!(d.inst, hint.unwrap());
+        assert_eq!(core.arch.read(Reg::A0), 9);
+
+        // Pending irq redirects the pc, so the hint (for the old pc)
+        // must be dropped and the handler's instruction fetched instead.
+        let mut core = FunctionalCore::new(0, p.entry_pc(), true, handler);
+        core.irq_pending = true;
+        let d = core.step_hinted(&p, &mut phys, &mut sys, 0, &obs, hint);
+        assert_eq!(d.pc, handler.unwrap());
+        assert_eq!(d.inst, Inst::Iret);
     }
 
     #[test]

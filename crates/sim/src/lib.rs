@@ -48,6 +48,6 @@ pub mod system;
 pub mod tlb;
 pub mod trace;
 
-pub use config::{CacheConfig, CpuModel, SimMode, SystemConfig};
+pub use config::{CacheConfig, CpuModel, ExecTier, SimMode, SystemConfig};
 pub use observe::{CompClass, ExecutionObserver, HandlerCall, Obs};
 pub use system::{SimResult, System};

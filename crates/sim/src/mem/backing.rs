@@ -77,6 +77,17 @@ impl PhysMem {
             .map(|i| self.read_u8(addr.wrapping_add(i as u64)))
             .collect()
     }
+
+    /// FNV-1a hash of the full contents — a cheap fingerprint for
+    /// differential tests comparing final memory images.
+    pub fn checksum(&self) -> u64 {
+        let mut h = 0xcbf2_9ce4_8422_2325u64;
+        for &b in &self.bytes {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        h
+    }
 }
 
 impl GuestMem for PhysMem {
@@ -131,5 +142,14 @@ mod tests {
     #[should_panic(expected = "non-empty")]
     fn zero_size_panics() {
         let _ = PhysMem::new(0);
+    }
+
+    #[test]
+    fn checksum_tracks_contents() {
+        let mut a = PhysMem::new(64);
+        let b = PhysMem::new(64);
+        assert_eq!(a.checksum(), b.checksum());
+        a.write_u8(17, 1);
+        assert_ne!(a.checksum(), b.checksum());
     }
 }

@@ -1,6 +1,6 @@
 //! System assembly and the simulation run loop.
 
-use crate::config::{CpuModel, SimMode, SystemConfig};
+use crate::config::{CpuModel, ExecTier, SimMode, SystemConfig};
 use crate::cpu::{AtomicCpu, CpuBox, MinorCpu, O3Cpu, TimingCpu};
 use crate::dyninst::{DynInst, FunctionalCore};
 use crate::mem::cache::CacheStats;
@@ -10,7 +10,8 @@ use crate::syscall::SyscallState;
 use crate::tlb::Tlb;
 use crate::trace::Tracer;
 use gem5sim_event::{tick::ticks_to_seconds, EventQueue, Priority, StatDump, Tick};
-use gem5sim_isa::Program;
+use gem5sim_isa::exec::ArchState;
+use gem5sim_isa::{BlockCache, BlockCacheStats, Inst, Program};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -49,7 +50,25 @@ impl Shared {
 
     /// Steps a functional core with all shared state wired in.
     pub fn step_core(&mut self, core: &mut FunctionalCore, now: Tick) -> DynInst {
-        let d = core.step(&self.program, &mut self.phys, &mut self.sys, now, &self.obs);
+        self.step_core_hinted(core, now, None)
+    }
+
+    /// [`step_core`](Self::step_core) with a predecoded-instruction hint
+    /// from the block tier (see [`FunctionalCore::step_hinted`]).
+    pub fn step_core_hinted(
+        &mut self,
+        core: &mut FunctionalCore,
+        now: Tick,
+        hint: Option<Inst>,
+    ) -> DynInst {
+        let d = core.step_hinted(
+            &self.program,
+            &mut self.phys,
+            &mut self.sys,
+            now,
+            &self.obs,
+            hint,
+        );
         self.tracer.trace(now, core.cpu_id, &d);
         d
     }
@@ -126,6 +145,8 @@ pub struct Machine {
     pub shared: Shared,
     /// The CPUs.
     pub cpus: Vec<CpuBox>,
+    /// Per-hart decoded-block caches (block tier).
+    pub block_caches: Vec<BlockCache>,
     live_cpus: usize,
 }
 
@@ -135,7 +156,21 @@ impl Machine {
             .obs
             .call(CompClass::EventQueue, "serviceOne", 0, 22);
         let mut boxed = std::mem::take(&mut self.cpus[cpu]);
-        let outcome = boxed.tick(&mut self.shared, eq.cur_tick());
+        let outcome = if self.shared.cfg.exec_tier == ExecTier::Block && boxed.supports_block_tier()
+        {
+            let b = crate::cpu::block::run_batched(
+                &mut boxed,
+                &mut self.shared,
+                &mut self.block_caches[cpu],
+                eq,
+            );
+            if b.batched > 0 {
+                eq.credit_batched(b.batched, b.last_now);
+            }
+            b.outcome
+        } else {
+            boxed.tick(&mut self.shared, eq.cur_tick())
+        };
         let reached_limit = self
             .shared
             .cfg
@@ -322,6 +357,9 @@ impl System {
             .collect();
 
         let live = cpus.len();
+        let block_caches = (0..cfg.num_cpus)
+            .map(|_| BlockCache::new(cfg.block_cache_blocks))
+            .collect();
         let machine = Rc::new(RefCell::new(Machine {
             shared: Shared {
                 cfg,
@@ -335,6 +373,7 @@ impl System {
                 dtlb,
             },
             cpus,
+            block_caches,
             live_cpus: live,
         }));
         System {
@@ -353,8 +392,38 @@ impl System {
         self.machine.borrow_mut().shared.tracer = tracer;
     }
 
+    /// Final architectural state of hart `cpu` (for differential tests).
+    pub fn arch_state(&self, cpu: usize) -> ArchState {
+        self.machine.borrow().cpus[cpu].core().arch.clone()
+    }
+
+    /// FNV-1a checksum over all of guest physical memory (for
+    /// differential tests).
+    pub fn mem_checksum(&self) -> u64 {
+        self.machine.borrow().shared.phys.checksum()
+    }
+
+    /// Decoded-block cache counters, aggregated over all harts. All
+    /// zeros when the system ran on the interp tier.
+    pub fn block_stats(&self) -> BlockCacheStats {
+        let m = self.machine.borrow();
+        m.block_caches
+            .iter()
+            .fold(BlockCacheStats::default(), |a, c| BlockCacheStats {
+                hits: a.hits + c.stats.hits,
+                compiled: a.compiled + c.stats.compiled,
+                evicted: a.evicted + c.stats.evicted,
+                invalidated: a.invalidated + c.stats.invalidated,
+            })
+    }
+
     /// Runs the simulation to completion and returns the results.
     pub fn run(&mut self) -> SimResult {
+        let tier = self.machine.borrow().shared.cfg.exec_tier;
+        let _tier_span = gem5prof_obs::span(match tier {
+            ExecTier::Interp => "sim_run_interp",
+            ExecTier::Block => "sim_run_block",
+        });
         let n = self.machine.borrow().cpus.len();
         for cpu in 0..n {
             let me = Rc::clone(&self.machine);
@@ -381,6 +450,40 @@ impl System {
         for _ in 0..4 {
             m.shared.obs.call(CompClass::Stats, "dumpStats", 0, 80);
         }
+        // Block-cache counters go to the host-side metrics registry, NOT
+        // into [`SimResult`]: results must be tier-invariant, and these
+        // counters are not (the interp tier compiles nothing).
+        let bs = m
+            .block_caches
+            .iter()
+            .fold(BlockCacheStats::default(), |a, c| BlockCacheStats {
+                hits: a.hits + c.stats.hits,
+                compiled: a.compiled + c.stats.compiled,
+                evicted: a.evicted + c.stats.evicted,
+                invalidated: a.invalidated + c.stats.invalidated,
+            });
+        let reg = gem5prof_obs::global();
+        reg.counter(
+            "gem5sim_block_cache_hits_total",
+            "Block-tier lookups served from the decoded-block cache",
+        )
+        .add(bs.hits);
+        reg.counter(
+            "gem5sim_block_cache_compiled_total",
+            "Basic blocks decoded on block-cache misses",
+        )
+        .add(bs.compiled);
+        reg.counter(
+            "gem5sim_block_cache_evicted_total",
+            "Decoded blocks dropped by capacity eviction",
+        )
+        .add(bs.evicted);
+        reg.counter(
+            "gem5sim_block_cache_invalidated_total",
+            "Decoded blocks dropped by text-version or range invalidation",
+        )
+        .add(bs.invalidated);
+
         let committed: u64 = m.cpus.iter().map(|c| c.core().committed).sum();
         let irqs: u64 = m.cpus.iter().map(|c| c.core().irqs_taken).sum();
         let bp = m.cpus.iter().find_map(|c| c.bp_stats());

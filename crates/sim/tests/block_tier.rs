@@ -1,0 +1,128 @@
+//! Block-tier behavior at the system level: self-modification hygiene,
+//! instruction-limit precision, and event accounting.
+//!
+//! (The byte-identity contract itself is pinned by the repo-level
+//! differential harness `tests/exec_tier_diff.rs`; the decoded-block
+//! cache mechanics by unit tests in `gem5sim_isa::block`.)
+
+use gem5sim::config::{CpuModel, ExecTier, SimMode, SystemConfig};
+use gem5sim::system::{SimResult, System};
+use gem5sim_isa::asm::ProgramBuilder;
+use gem5sim_isa::{Program, Reg, TEXT_BASE};
+
+fn run(prog: &Program, cfg: SystemConfig) -> (SimResult, System) {
+    let mut sys = System::new(cfg, prog.clone());
+    let r = sys.run();
+    (r, sys)
+}
+
+/// A loop that stores into its own text range. Fetches read the program
+/// image (stores land in physical memory), so results are unaffected —
+/// but the block cache must drop the overlapping decoded blocks rather
+/// than keep serving entries it knows are stale.
+#[test]
+fn stores_into_text_invalidate_decoded_blocks() {
+    let mut b = ProgramBuilder::new();
+    // Layout (one inst each): li@0, li@4, sd@8, addi@12, bne@16, halt@20.
+    // The store targets offset 8 — the loop body's own block — so every
+    // iteration knocks out the block it is executing from.
+    b.li(Reg::S2, TEXT_BASE as i64)
+        .li(Reg::T0, 5)
+        .label("loop")
+        .sd(Reg::ZERO, Reg::S2, 8)
+        .addi(Reg::T0, Reg::T0, -1)
+        .bne(Reg::T0, Reg::ZERO, "loop")
+        .halt();
+    let prog = b.assemble().unwrap();
+
+    let cfg = SystemConfig::new(CpuModel::Atomic, SimMode::Se);
+    let (interp, _) = run(&prog, cfg.clone().with_exec_tier(ExecTier::Interp));
+    let (block, sys) = run(&prog, cfg.with_exec_tier(ExecTier::Block));
+    assert_eq!(interp, block, "self-modifying stores changed results");
+
+    let stats = sys.block_stats();
+    assert!(
+        stats.invalidated >= 5,
+        "each of the 5 stores must invalidate the block it overlaps (got {stats:?})"
+    );
+    assert!(
+        stats.compiled >= 5,
+        "invalidated blocks recompile on re-entry (got {stats:?})"
+    );
+}
+
+/// A store just past the text segment must NOT invalidate anything.
+#[test]
+fn stores_outside_text_leave_the_cache_alone() {
+    let mut b = ProgramBuilder::new();
+    b.li(Reg::S2, 0x0010_0000) // far from text
+        .li(Reg::T0, 5)
+        .label("loop")
+        .sd(Reg::ZERO, Reg::S2, 0)
+        .addi(Reg::T0, Reg::T0, -1)
+        .bne(Reg::T0, Reg::ZERO, "loop")
+        .halt();
+    let prog = b.assemble().unwrap();
+    let cfg = SystemConfig::new(CpuModel::Atomic, SimMode::Se).with_exec_tier(ExecTier::Block);
+    let (_, sys) = run(&prog, cfg);
+    let stats = sys.block_stats();
+    assert_eq!(stats.invalidated, 0, "no text overlap, no invalidation");
+    // The whole loop lives inside one decoded block, and the driver
+    // indexes into its held block by pc — so a hot single-block loop
+    // causes zero cache traffic after the initial compile.
+    assert_eq!(
+        stats.compiled, 2,
+        "loop block + halt block only (got {stats:?})"
+    );
+    assert_eq!(stats.hits, 0, "no lookups while staying in one block");
+}
+
+/// `max_insts` must stop the machine at exactly the same instruction in
+/// both tiers, even when the limit lands in the middle of a decoded
+/// block — the batch loop checks the limit per instruction, like the
+/// event loop does.
+#[test]
+fn instruction_limit_is_exact_mid_block() {
+    let mut b = ProgramBuilder::new();
+    for _ in 0..100 {
+        b.nop(); // one long straight-line block (cut only by MAX_BLOCK_INSTS)
+    }
+    b.halt();
+    let prog = b.assemble().unwrap();
+    for limit in [1, 37, 64, 65, 99] {
+        let cfg = SystemConfig::new(CpuModel::Timing, SimMode::Se).with_max_insts(limit);
+        let (interp, _) = run(&prog, cfg.clone().with_exec_tier(ExecTier::Interp));
+        let (block, _) = run(&prog, cfg.with_exec_tier(ExecTier::Block));
+        assert_eq!(interp, block, "limit {limit} diverged");
+        assert_eq!(interp.committed_insts, limit, "limit {limit} overshot");
+    }
+}
+
+/// Batched instructions are credited to the event queue: `host_events`
+/// and `sim_ticks` match the interp tier, while the block tier actually
+/// services far fewer real events (the whole point of the tier).
+#[test]
+fn batching_is_credited_not_skipped() {
+    // The loop spans two blocks (the `j` is its own block), so every
+    // iteration transitions between cached blocks and generates hits.
+    let mut b = ProgramBuilder::new();
+    b.li(Reg::T0, 400)
+        .label("loop")
+        .addi(Reg::T0, Reg::T0, -1)
+        .beq(Reg::T0, Reg::ZERO, "done")
+        .j("loop")
+        .label("done")
+        .halt();
+    let prog = b.assemble().unwrap();
+    let cfg = SystemConfig::new(CpuModel::Atomic, SimMode::Se);
+    let (interp, _) = run(&prog, cfg.clone().with_exec_tier(ExecTier::Interp));
+    let (block, sys) = run(&prog, cfg.with_exec_tier(ExecTier::Block));
+    assert_eq!(interp.host_events, block.host_events);
+    assert_eq!(interp.sim_ticks, block.sim_ticks);
+    let stats = sys.block_stats();
+    assert!(
+        stats.hits > 300,
+        "a 400-iteration loop must run from the cache (got {stats:?})"
+    );
+    assert_eq!(stats.evicted, 0, "default capacity must not evict here");
+}

@@ -8,6 +8,9 @@
 # without coalescing every concurrent duplicate of the cold hot key
 # computes independently and the herd serializes over the 2 workers;
 # with coalescing the herd costs one compute.
+#
+# Also records the execution-tier comparison: interp vs block cold
+# computes on the bare engine (no observer), via exec_tier_bench.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -73,7 +76,11 @@ target/release/loadgen --addr "$ADDR" --clients 32 --requests 3 \
     --json > "$OUT_DIR/no_coalesce.json"
 stop_daemon
 
-# --- stitch the three reports into BENCH_serving.json -----------------
+# --- execution tiers: interp vs block cold compute, bare engine -------
+target/release/exec_tier_bench --scale simmedium --reps 3 --json \
+    > "$OUT_DIR/exec_tier.json"
+
+# --- stitch the four reports into BENCH_serving.json ------------------
 awk '
 function slurp(path, indent,   line, first, out) {
     first = 1
@@ -100,6 +107,7 @@ BEGIN {
     steady = slurp(dir "/steady.json", "  ")
     co = slurp(dir "/coalesced.json", "    ")
     nc = slurp(dir "/no_coalesce.json", "    ")
+    et = slurp(dir "/exec_tier.json", "  ")
     speedup = rps(dir "/coalesced.json") / rps(dir "/no_coalesce.json")
     print "{"
     print "  \"steady_state\": " steady ","
@@ -107,9 +115,11 @@ BEGIN {
     print "    \"coalesced\": " co ","
     print "    \"no_coalesce\": " nc ","
     printf "    \"coalescing_speedup\": %.2f\n", speedup
-    print "  }"
+    print "  },"
+    print "  \"exec_tier\": " et
     print "}"
 }' "$OUT_DIR" > BENCH_serving.json
 
 echo "bench_serving: wrote BENCH_serving.json"
 grep coalescing_speedup BENCH_serving.json
+grep geomean BENCH_serving.json

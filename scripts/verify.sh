@@ -9,11 +9,36 @@ cd "$(dirname "$0")/.."
 # are built too — the root package alone does not pull them in.
 cargo build --release --offline --workspace
 # The root suite includes the golden-output regression tests
-# (tests/golden_repro.rs): every quick-fidelity figure/table diffed
-# byte-for-byte against tests/golden/.
+# (tests/golden_repro.rs) — every quick-fidelity figure/table diffed
+# byte-for-byte against tests/golden/, under both execution tiers —
+# and the interp-vs-block differential gate (tests/exec_tier_diff.rs):
+# kernels, fuzzed programs, multi-hart, and starved block caches.
 cargo test -q --offline
 cargo test -q --offline -p gem5prof-served
 cargo fmt --check
+
+# Cross-tier equivalence smoke on the bare engine: exec_tier_bench
+# exits nonzero if any (workload, CPU model) cell diverges between the
+# interp and block tiers.
+target/release/exec_tier_bench --scale simsmall --reps 1
+
+# Block-tier determinism: full quick-fidelity artifact regeneration
+# must be byte-identical across runs and across runner thread counts
+# (batching decisions depend only on guest state, never on host timing).
+DET_A="$(mktemp)"
+DET_B="$(mktemp)"
+GEM5PROF_EXEC_TIER=block GEM5PROF_THREADS=1 \
+    target/release/repro all --quick > "$DET_A"
+GEM5PROF_EXEC_TIER=block GEM5PROF_THREADS=4 \
+    target/release/repro all --quick > "$DET_B"
+if ! cmp -s "$DET_A" "$DET_B"; then
+    echo "verify: block tier output differs across thread counts" >&2
+    diff "$DET_A" "$DET_B" | head -20 >&2 || true
+    rm -f "$DET_A" "$DET_B"
+    exit 1
+fi
+rm -f "$DET_A" "$DET_B"
+echo "verify: block tier byte-identical across thread counts"
 
 # Serving smoke test: boot the daemon on an ephemeral port, probe it
 # with servectl, then drain it gracefully with SIGTERM.

@@ -1,0 +1,260 @@
+//! Differential interp-vs-block test harness.
+//!
+//! The block execution tier's contract is *byte identity*: every stat,
+//! trace entry and final machine state must match the interp tier
+//! exactly — the tier may only change how much host work the event loop
+//! performs. This harness pins that contract three ways:
+//!
+//! 1. every paper kernel, on both block-capable CPU models, in both SE
+//!    and FS modes (FS with a cranked-up timer so interrupts land in
+//!    the middle of decoded blocks);
+//! 2. seeded random guest programs (ALU soup, loads/stores, forward and
+//!    backward branches, multi-hart lockstep) — a failing case panics
+//!    with a one-line `replay: Gen::new(0x…)` seed repro courtesy of
+//!    [`testkit::run_cases`];
+//! 3. pathological block-cache shapes (capacity 1–2, forcing constant
+//!    eviction) which must recompile endlessly but never diverge.
+
+use gem5sim::config::{CpuModel, ExecTier, SimMode, SystemConfig};
+use gem5sim::system::{SimResult, System};
+use gem5sim::trace::{TraceEntry, Tracer, VecTracer};
+use gem5sim_isa::asm::ProgramBuilder;
+use gem5sim_isa::exec::ArchState;
+use gem5sim_isa::{Program, Reg};
+use gem5sim_workloads::{Scale, Workload};
+use std::cell::RefCell;
+use std::rc::Rc;
+use testkit::{prop_assert, prop_assert_eq, run_cases, Gen};
+
+/// Everything observable about one simulation run.
+struct TierRun {
+    result: SimResult,
+    trace: Vec<TraceEntry>,
+    arch: Vec<ArchState>,
+    mem_checksum: u64,
+    blocks_compiled: u64,
+}
+
+fn run_tier(prog: &Program, cfg: SystemConfig) -> TierRun {
+    let tracer = Rc::new(RefCell::new(VecTracer::default()));
+    let num_cpus = cfg.num_cpus;
+    let mut sys = System::new(cfg, prog.clone());
+    sys.set_tracer(Tracer::new(tracer.clone()));
+    let result = sys.run();
+    let arch = (0..num_cpus).map(|i| sys.arch_state(i)).collect();
+    let mem_checksum = sys.mem_checksum();
+    let blocks_compiled = sys.block_stats().compiled;
+    drop(sys);
+    TierRun {
+        result,
+        trace: Rc::try_unwrap(tracer).unwrap().into_inner().entries,
+        arch,
+        mem_checksum,
+        blocks_compiled,
+    }
+}
+
+/// Runs `prog` under both tiers and asserts every observable matches.
+fn assert_tiers_match(prog: &Program, cfg: SystemConfig, label: &str) {
+    let interp = run_tier(prog, cfg.clone().with_exec_tier(ExecTier::Interp));
+    let block = run_tier(prog, cfg.with_exec_tier(ExecTier::Block));
+    assert_eq!(
+        interp.result, block.result,
+        "{label}: SimResult diverged between tiers"
+    );
+    assert_eq!(
+        interp.trace, block.trace,
+        "{label}: instruction traces diverged between tiers"
+    );
+    assert_eq!(
+        interp.arch, block.arch,
+        "{label}: final register state diverged between tiers"
+    );
+    assert_eq!(
+        interp.mem_checksum, block.mem_checksum,
+        "{label}: final memory images diverged between tiers"
+    );
+    assert_eq!(
+        interp.blocks_compiled, 0,
+        "{label}: interp tier must not touch the block cache"
+    );
+    assert!(
+        block.blocks_compiled > 0,
+        "{label}: block tier compiled nothing — it did not actually run"
+    );
+}
+
+/// All nine paper kernels × (Atomic, Timing) × (SE, FS). The FS legs
+/// shorten the timer interval to 1 µs so interrupts redirect the pc in
+/// the middle of hot blocks many times per run.
+#[test]
+fn kernels_match_across_tiers() {
+    let mut irqs_seen = 0u64;
+    for w in Workload::PARSEC {
+        let prog = w.program(Scale::Test);
+        for model in [CpuModel::Atomic, CpuModel::Timing] {
+            for mode in [SimMode::Se, SimMode::Fs] {
+                let mut cfg = SystemConfig::new(model, mode);
+                if mode == SimMode::Fs {
+                    cfg.timer_interval_us = 1;
+                }
+                assert_tiers_match(&prog, cfg.clone(), &format!("{w}/{model:?}/{mode:?}"));
+                if mode == SimMode::Fs {
+                    let r = run_tier(&prog, cfg.with_exec_tier(ExecTier::Block));
+                    irqs_seen += r.result.irqs_taken;
+                }
+            }
+        }
+    }
+    assert!(
+        irqs_seen > 0,
+        "FS legs never took an interrupt — the irq-under-batching path went untested"
+    );
+}
+
+/// The boot and sieve workloads ride along (they exercise firmware
+/// delays and a different control-flow shape than the PARSEC kernels).
+#[test]
+fn boot_and_sieve_match_across_tiers() {
+    for w in [Workload::BootExit, Workload::Sieve] {
+        let prog = w.program(Scale::Test);
+        for mode in [SimMode::Se, SimMode::Fs] {
+            let mut cfg = SystemConfig::new(CpuModel::Atomic, mode);
+            if mode == SimMode::Fs {
+                cfg.timer_interval_us = 1;
+            }
+            assert_tiers_match(&prog, cfg, &format!("{w}/Atomic/{mode:?}"));
+        }
+    }
+}
+
+/// Multi-hart systems degrade to per-instruction execution (ties at the
+/// same tick never batch) — results must still be identical.
+#[test]
+fn multi_hart_lockstep_matches_across_tiers() {
+    let prog = Workload::Dedup.program(Scale::Test);
+    for mode in [SimMode::Se, SimMode::Fs] {
+        let cfg = SystemConfig::new(CpuModel::Atomic, mode).with_cpus(2);
+        assert_tiers_match(&prog, cfg, &format!("dedup x2/{mode:?}"));
+    }
+}
+
+/// A tiny block cache (capacity 1) recompiles on practically every
+/// block transition; eviction must be invisible to results.
+#[test]
+fn capacity_starved_cache_never_changes_results() {
+    let prog = Workload::Canneal.program(Scale::Test);
+    let cfg = SystemConfig::new(CpuModel::Timing, SimMode::Se).with_block_cache_blocks(1);
+    assert_tiers_match(&prog, cfg.clone(), "canneal/cap=1");
+    let starved = run_tier(&prog, cfg.with_exec_tier(ExecTier::Block));
+    let roomy = run_tier(
+        &prog,
+        SystemConfig::new(CpuModel::Timing, SimMode::Se).with_exec_tier(ExecTier::Block),
+    );
+    assert_eq!(starved.result, roomy.result, "capacity changed results");
+    assert!(
+        starved.blocks_compiled > roomy.blocks_compiled,
+        "capacity 1 should force recompilation"
+    );
+}
+
+/// Minor and O3 don't implement the block tier; a `Block` config must
+/// transparently run them per-instruction with identical results.
+#[test]
+fn detailed_models_ignore_the_block_tier() {
+    let prog = Workload::WaterNsquared.program(Scale::Test);
+    for model in [CpuModel::Minor, CpuModel::O3] {
+        let cfg = SystemConfig::new(model, SimMode::Se);
+        let interp = run_tier(&prog, cfg.clone().with_exec_tier(ExecTier::Interp));
+        let block = run_tier(&prog, cfg.with_exec_tier(ExecTier::Block));
+        assert_eq!(interp.result, block.result, "{model:?}");
+        assert_eq!(
+            block.blocks_compiled, 0,
+            "{model:?} must not use the block cache"
+        );
+    }
+}
+
+/// Registers random instructions may freely clobber. Excludes the
+/// irq-handler scratch registers (`s8`/`t6`), the ABI plumbing
+/// (`sp`/`tp`/`a7`) and the fuzz base registers (`s2`/`s3`).
+const POOL: [Reg; 10] = [
+    Reg::T0,
+    Reg::T1,
+    Reg::T2,
+    Reg::A0,
+    Reg::A1,
+    Reg::A2,
+    Reg::A3,
+    Reg::S4,
+    Reg::S5,
+    Reg::S6,
+];
+
+/// Builds a random guest program: ALU soup, loads/stores through two
+/// scratch base registers, and branches to arbitrary forward/backward
+/// labels. Every program is legal; nontermination is handled by a
+/// `max_insts` cap (which both tiers must honor identically).
+fn gen_program(g: &mut Gen) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.li(Reg::S2, 0x3000).li(Reg::S3, 0x4000);
+    let n = g.usize_in(16..96);
+    for i in 0..n {
+        b.label(format!("L{i}"));
+        let rd = *g.pick(&POOL);
+        let r1 = *g.pick(&POOL);
+        let r2 = *g.pick(&POOL);
+        match g.u32_in(0..12) {
+            0 => b.add(rd, r1, r2),
+            1 => b.sub(rd, r1, r2),
+            2 => b.mul(rd, r1, r2),
+            3 => b.div(rd, r1, r2),
+            4 => b.xor(rd, r1, r2),
+            5 => b.addi(rd, r1, g.i64_in(-2048..2048)),
+            6 => b.slli(rd, r1, g.i64_in(0..63)),
+            7 => b.li(rd, g.i64_in(-1_000_000..1_000_000)),
+            8 => b.ld(rd, Reg::S2, g.i64_in(0..128) * 8),
+            9 => b.sd(r1, Reg::S3, g.i64_in(0..128) * 8),
+            10 => b.beq(r1, r2, format!("L{}", g.usize_in(0..n))),
+            _ => b.bne(r1, r2, format!("L{}", g.usize_in(0..n))),
+        };
+    }
+    b.halt();
+    b.assemble().expect("generated program must assemble")
+}
+
+/// ≥100 seeded random programs through both tiers. On failure,
+/// `run_cases` prints the failing seed for one-line local replay.
+#[test]
+fn fuzzed_programs_match_across_tiers() {
+    run_cases("exec_tier_diff_fuzz", 128, |g| {
+        let prog = gen_program(g);
+        let model = if g.bool() {
+            CpuModel::Atomic
+        } else {
+            CpuModel::Timing
+        };
+        let mode = if g.bool() { SimMode::Se } else { SimMode::Fs };
+        let mut cfg = SystemConfig::new(model, mode)
+            .with_cpus(if g.u32_in(0..5) == 0 { 2 } else { 1 })
+            .with_max_insts(3_000);
+        if mode == SimMode::Fs {
+            cfg.timer_interval_us = 1;
+        }
+        if g.bool() {
+            // Starve the cache to interleave eviction with execution.
+            cfg = cfg.with_block_cache_blocks(g.usize_in(1..4));
+        }
+        let interp = run_tier(&prog, cfg.clone().with_exec_tier(ExecTier::Interp));
+        let block = run_tier(&prog, cfg.with_exec_tier(ExecTier::Block));
+        prop_assert_eq!(&interp.result, &block.result, "SimResult diverged");
+        prop_assert!(interp.trace == block.trace, "traces diverged");
+        prop_assert_eq!(&interp.arch, &block.arch, "register state diverged");
+        prop_assert_eq!(
+            interp.mem_checksum,
+            block.mem_checksum,
+            "memory images diverged"
+        );
+        Ok(())
+    });
+}

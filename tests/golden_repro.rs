@@ -19,6 +19,7 @@
 //! then review the diff of `tests/golden/` like any other code change.
 
 use gem5prof::figures::{self, Fidelity};
+use gem5sim::ExecTier;
 use std::path::PathBuf;
 
 /// Artifact names, in [`figures::all_figures`] order.
@@ -114,6 +115,47 @@ fn quick_artifacts_match_golden_outputs() {
         "{} of {} golden artifacts diverged:\n\n{}",
         failures.len(),
         NAMES.len(),
+        failures.join("\n\n")
+    );
+}
+
+/// Execution-tier matrix: the interp and block tiers must each
+/// reproduce all 17 blessed artifacts byte-for-byte. Nothing is
+/// regenerated or re-blessed here — the goldens stay exactly as the
+/// main test checked them in. The memoization cache is cleared before
+/// each leg so the second tier genuinely re-simulates every guest
+/// instead of replaying the first leg's cached traces.
+#[test]
+fn both_exec_tiers_reproduce_golden_artifacts() {
+    if blessing() {
+        return; // blessing is the main test's job
+    }
+    let dir = golden_dir();
+    let mut failures = Vec::new();
+    for tier in [ExecTier::Interp, ExecTier::Block] {
+        gem5prof::with_exec_tier(tier, || {
+            gem5prof::runner::clear_cache();
+            let tables = figures::all_figures(Fidelity::Quick);
+            assert_eq!(tables.len(), NAMES.len(), "artifact list changed");
+            for (name, table) in NAMES.iter().zip(&tables) {
+                let rendered = format!("{table}");
+                let tagged = format!("{name} [{} tier]", tier.label());
+                let path = dir.join(format!("{name}.txt"));
+                match std::fs::read_to_string(&path) {
+                    Ok(expected) if expected == rendered => {}
+                    Ok(expected) => failures.push(diff_report(&tagged, &expected, &rendered)),
+                    Err(e) => failures.push(format!(
+                        "`{tagged}`: cannot read {} ({e}) — bless with GEM5PROF_BLESS=1",
+                        path.display()
+                    )),
+                }
+            }
+        });
+    }
+    assert!(
+        failures.is_empty(),
+        "{} golden artifacts diverged across the tier matrix:\n\n{}",
+        failures.len(),
         failures.join("\n\n")
     );
 }
