@@ -259,6 +259,18 @@ fn main() {
                         "duplicate_fraction",
                         duplicate_fraction.map_or(Json::Null, Json::Num),
                     ),
+                    // Provenance: which build produced this number.
+                    // `commit` comes from the environment because the
+                    // binary can't know its own git state
+                    // (scripts/bench_serving.sh exports it); exec tier
+                    // and threads resolve from the same env the daemon
+                    // under test was started in.
+                    (
+                        "commit",
+                        std::env::var("GEM5PROF_COMMIT").map_or(Json::Null, Json::str),
+                    ),
+                    ("exec_tier", Json::str(gem5prof::exec_tier().label())),
+                    ("threads", Json::Num(gem5prof::threads() as f64)),
                 ]),
             ),
             ("wall_seconds", Json::Num(wall.as_secs_f64())),

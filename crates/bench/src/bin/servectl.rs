@@ -1,8 +1,12 @@
-//! `servectl` — query one endpoint of a running `gem5prof-served` and
-//! pretty-print the JSON response.
+//! `servectl` — query one endpoint of a running `gem5prof-served` (or
+//! cluster router) and pretty-print the JSON response, plus cluster
+//! orchestration.
 //!
 //! ```text
 //! servectl [--addr HOST:PORT] [--timeout-ms N] [--post BODY] PATH
+//! servectl cluster spawn N [--addr HOST:PORT] [--cache-dir PATH] [--port-file PATH]
+//! servectl cluster status [--addr HOST:PORT]
+//! servectl cluster drain  [--addr HOST:PORT]
 //!
 //! servectl healthz
 //! servectl stats
@@ -14,6 +18,12 @@
 //! HTTP error status, 2 on usage errors, 3 on connection failure —
 //! which makes it usable as a smoke test (`scripts/verify.sh`).
 //!
+//! `cluster spawn N` launches a detached `gem5prof-cluster --spawn N`
+//! (found next to this binary): N daemons plus the router, as one
+//! process tree. `cluster status` pretty-prints `GET /cluster` from the
+//! router; `cluster drain` posts `/drain`, which the router's process
+//! observes and turns into a graceful fleet-wide shutdown.
+//!
 //! The request rides the shared retry policy (`bench::retry`): 429s
 //! honor `Retry-After`, connect refusal backs off exponentially — so a
 //! daemon still binding its port, or momentarily saturated, does not
@@ -24,50 +34,116 @@ use gem5prof_served::minjson;
 use std::time::Duration;
 
 fn usage() -> ! {
-    eprintln!("usage: servectl [--addr HOST:PORT] [--timeout-ms N] [--post BODY] PATH");
+    eprintln!(
+        "usage: servectl [--addr HOST:PORT] [--timeout-ms N] [--post BODY] PATH\n\
+         \x20      servectl cluster spawn N [--addr HOST:PORT] [--cache-dir PATH] [--port-file PATH]\n\
+         \x20      servectl cluster status|drain [--addr HOST:PORT]"
+    );
     std::process::exit(2);
+}
+
+/// Launches a detached `gem5prof-cluster --spawn N` process tree.
+fn cluster_spawn(n: usize, addr: &str, cache_dir: Option<&str>, port_file: Option<&str>) -> ! {
+    let bin = std::env::current_exe()
+        .ok()
+        .and_then(|exe| Some(exe.parent()?.join("gem5prof-cluster")))
+        .filter(|p| p.exists());
+    let Some(bin) = bin else {
+        eprintln!("servectl: cannot find gem5prof-cluster next to this binary");
+        std::process::exit(3);
+    };
+    let mut cmd = std::process::Command::new(&bin);
+    cmd.arg("--spawn")
+        .arg(n.to_string())
+        .arg("--addr")
+        .arg(addr);
+    if let Some(dir) = cache_dir {
+        cmd.arg("--cache-dir").arg(dir);
+    }
+    if let Some(path) = port_file {
+        cmd.arg("--port-file").arg(path);
+    }
+    match cmd.spawn() {
+        Ok(child) => {
+            // The child outlives servectl (dropping a Child does not
+            // kill it); `cluster drain` or SIGTERM stops it later.
+            println!(
+                "servectl: spawned gem5prof-cluster (pid {}) with {n} nodes on {addr}",
+                child.id()
+            );
+            std::process::exit(0);
+        }
+        Err(e) => {
+            eprintln!("servectl: cannot spawn {}: {e}", bin.display());
+            std::process::exit(3);
+        }
+    }
 }
 
 fn main() {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let mut addr = "127.0.0.1:7005".to_string();
+    let mut addr: Option<String> = None;
     let mut timeout = Duration::from_secs(30);
     let mut body: Option<String> = None;
-    let mut path: Option<String> = None;
+    let mut cache_dir: Option<String> = None;
+    let mut port_file: Option<String> = None;
+    let mut positionals: Vec<String> = Vec::new();
 
     let mut i = 0;
     while i < args.len() {
+        let value = |i: usize| args.get(i + 1).cloned().unwrap_or_else(|| usage());
+        let mut step = 2;
         match args[i].as_str() {
-            "--addr" => {
-                addr = args.get(i + 1).cloned().unwrap_or_else(|| usage());
-                i += 2;
-            }
+            "--addr" => addr = Some(value(i)),
             "--timeout-ms" => {
-                let ms: u64 = args
-                    .get(i + 1)
-                    .and_then(|v| v.parse().ok())
-                    .unwrap_or_else(|| usage());
+                let ms: u64 = value(i).parse().unwrap_or_else(|_| usage());
                 timeout = Duration::from_millis(ms);
-                i += 2;
             }
-            "--post" => {
-                body = Some(args.get(i + 1).cloned().unwrap_or_else(|| usage()));
-                i += 2;
-            }
+            "--post" => body = Some(value(i)),
+            "--cache-dir" => cache_dir = Some(value(i)),
+            "--port-file" => port_file = Some(value(i)),
             "--help" | "-h" => usage(),
-            p if !p.starts_with("--") && path.is_none() => {
-                path = Some(p.to_string());
-                i += 1;
+            p if !p.starts_with("--") => {
+                positionals.push(p.to_string());
+                step = 1;
             }
             _ => usage(),
         }
+        i += step;
     }
-    let Some(path) = path else { usage() };
-    let path = if path.starts_with('/') {
-        path
-    } else {
-        format!("/{path}")
+
+    let path = match positionals.first().map(String::as_str) {
+        Some("cluster") => match positionals.get(1).map(String::as_str) {
+            Some("spawn") => {
+                let n: usize = positionals
+                    .get(2)
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .unwrap_or_else(|| usage());
+                cluster_spawn(
+                    n,
+                    addr.as_deref().unwrap_or("127.0.0.1:7100"),
+                    cache_dir.as_deref(),
+                    port_file.as_deref(),
+                );
+            }
+            Some("status") if positionals.len() == 2 => "/cluster".to_string(),
+            Some("drain") if positionals.len() == 2 => {
+                body = Some(String::new()); // POST
+                "/drain".to_string()
+            }
+            _ => usage(),
+        },
+        Some(p) if positionals.len() == 1 => {
+            if p.starts_with('/') {
+                p.to_string()
+            } else {
+                format!("/{p}")
+            }
+        }
+        _ => usage(),
     };
+    let addr = addr.unwrap_or_else(|| "127.0.0.1:7005".to_string());
     let method = if body.is_some() { "POST" } else { "GET" };
 
     let policy = RetryPolicy {

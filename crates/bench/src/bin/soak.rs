@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! soak [--seeds N] [--seed S]... [--secs T] [--requests M]
-//!      [--clients N] [--prob P]
+//!      [--clients N] [--prob P] [--cluster N]
 //! ```
 //!
 //! Runs one in-process soak episode per seed (see `bench::soak`): an
@@ -13,12 +13,19 @@
 //! time budget to a fixed per-client request count, which makes an
 //! episode exactly replayable.
 //!
+//! `--cluster N` switches to the cluster episode: N nodes behind a
+//! consistent-hash router, with a seed-chosen node killed mid-burst.
+//! The same invariants must hold fleet-wide — exactly one response per
+//! request across re-routing, no poisoned body from any tier (including
+//! peer warm-tier promotion), ejection of the dead node, and a graceful
+//! surviving-fleet drain.
+//!
 //! Exits 0 when every seed holds every invariant AND, across all seeds
 //! combined, every fault class (I/O, delay, panic, poison) actually
 //! injected at least once — a soak that injects nothing proves nothing.
 //! A failing seed prints a one-line reproduction command.
 
-use bench::soak::{soak_seed, SoakConfig};
+use bench::soak::{cluster_soak_seed, soak_seed, SoakConfig};
 use std::collections::BTreeMap;
 
 /// Fault classes that must each fire at least once across the run.
@@ -54,7 +61,8 @@ const CLASSES: &[(&str, &[&str])] = &[
 
 fn usage() -> ! {
     eprintln!(
-        "usage: soak [--seeds N] [--seed S]... [--secs T] [--requests M] [--clients N] [--prob P]"
+        "usage: soak [--seeds N] [--seed S]... [--secs T] [--requests M] [--clients N] \
+         [--prob P] [--cluster N]"
     );
     std::process::exit(2);
 }
@@ -64,6 +72,7 @@ fn main() {
     let mut cfg = SoakConfig::default();
     let mut seeds: Vec<u64> = Vec::new();
     let mut nseeds: u64 = 3;
+    let mut cluster: usize = 0;
 
     let mut i = 0;
     while i < args.len() {
@@ -99,6 +108,13 @@ fn main() {
                     .filter(|p: &f64| (0.0..=1.0).contains(p))
                     .unwrap_or_else(|| usage())
             }
+            "--cluster" => {
+                cluster = value(i)
+                    .parse()
+                    .ok()
+                    .filter(|&n| n >= 2)
+                    .unwrap_or_else(|| usage())
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }
@@ -112,7 +128,11 @@ fn main() {
     let mut failed: Vec<u64> = Vec::new();
 
     for &seed in &seeds {
-        let out = soak_seed(seed, &cfg);
+        let out = if cluster > 0 {
+            cluster_soak_seed(seed, &cfg, cluster)
+        } else {
+            soak_seed(seed, &cfg)
+        };
         println!(
             "soak: seed {seed} — issued {} completed {} dropped {} retries {} \
              injected {} recovered {}",
@@ -141,9 +161,14 @@ fn main() {
             } else {
                 format!("--secs {}", cfg.secs)
             };
+            let cluster_arg = if cluster > 0 {
+                format!(" --cluster {cluster}")
+            } else {
+                String::new()
+            };
             println!(
                 "soak: seed {seed} FAILED — rerun: cargo run --release -p bench --bin soak -- \
-                 --seed {seed} {mode} --clients {} --prob {}",
+                 --seed {seed} {mode} --clients {} --prob {}{cluster_arg}",
                 cfg.clients, cfg.prob
             );
             failed.push(seed);

@@ -18,6 +18,7 @@
 
 use crate::retry::{self, RetryPolicy};
 use gem5prof_chaos::{self as chaos, Plan, PointReport};
+use gem5prof_served::cluster::{serve_cluster, ClusterConfig, MemberSpec};
 use gem5prof_served::minjson::{self, Json};
 use gem5prof_served::{serve, ServeConfig, ServerHandle};
 use std::collections::BTreeMap;
@@ -112,6 +113,9 @@ pub fn plan_for(seed: u64, prob: f64) -> Plan {
         .with_point("cache.disk_write", hot)
         .with_point("runner.slow_worker", hot)
         .with_point("runner.queue_stall", hot)
+        // Only visited by clustered engines (a peerless node never
+        // calls peer_fetch), so single-node episodes are unchanged.
+        .with_point("cluster.peer_fetch", hot)
 }
 
 /// The request mix each client cycles through: cheap inline routes,
@@ -243,6 +247,48 @@ fn num(doc: &Json, path: &[&str]) -> Option<f64> {
     cur.as_f64()
 }
 
+/// Sums per-client tallies and checks the client-observable invariants:
+/// exactly-one-response accounting, poison-free 200 bodies, and only
+/// legitimate status codes.
+#[allow(clippy::type_complexity)]
+fn aggregate(
+    tallies: Vec<Tally>,
+    violations: &mut Vec<String>,
+) -> (u64, u64, u64, u64, BTreeMap<u16, u64>) {
+    let mut issued = 0;
+    let mut completed = 0;
+    let mut dropped = 0;
+    let mut retries = 0;
+    let mut bad_bodies = 0;
+    let mut statuses: BTreeMap<u16, u64> = BTreeMap::new();
+    for t in tallies {
+        issued += t.issued;
+        completed += t.completed;
+        dropped += t.dropped;
+        retries += t.retries;
+        bad_bodies += t.bad_bodies;
+        for (s, n) in t.statuses {
+            *statuses.entry(s).or_insert(0) += n;
+        }
+    }
+    if completed + dropped != issued {
+        violations.push(format!(
+            "request accounting leak: {issued} issued but {completed} completed + {dropped} dropped"
+        ));
+    }
+    if bad_bodies > 0 {
+        violations.push(format!(
+            "{bad_bodies} 200-response bodies were malformed — a poisoned result reached a client"
+        ));
+    }
+    for (&status, &n) in &statuses {
+        if !ALLOWED.contains(&status) {
+            violations.push(format!("unexpected status {status} ({n} responses)"));
+        }
+    }
+    (issued, completed, dropped, retries, statuses)
+}
+
 /// Graceful drain with a watchdog: `shutdown()` joins the acceptor and
 /// workers, which must complete even while chaos is armed. A wedged
 /// drain is reported as a violation instead of hanging the soak.
@@ -279,6 +325,7 @@ pub fn soak_seed(seed: u64, cfg: &SoakConfig) -> SeedOutcome {
         coalesce: true,
         deadline: Duration::from_secs(5),
         worker_delay: Duration::ZERO,
+        ..ServeConfig::default()
     })
     .expect("soak server must bind an ephemeral port");
     let addr = handle.addr().to_string();
@@ -308,37 +355,7 @@ pub fn soak_seed(seed: u64, cfg: &SoakConfig) -> SeedOutcome {
     chaos::disarm();
 
     // --- phase 3: aggregate + client-side invariants -----------------
-    let mut issued = 0;
-    let mut completed = 0;
-    let mut dropped = 0;
-    let mut retries = 0;
-    let mut bad_bodies = 0;
-    let mut statuses: BTreeMap<u16, u64> = BTreeMap::new();
-    for t in tallies {
-        issued += t.issued;
-        completed += t.completed;
-        dropped += t.dropped;
-        retries += t.retries;
-        bad_bodies += t.bad_bodies;
-        for (s, n) in t.statuses {
-            *statuses.entry(s).or_insert(0) += n;
-        }
-    }
-    if completed + dropped != issued {
-        violations.push(format!(
-            "request accounting leak: {issued} issued but {completed} completed + {dropped} dropped"
-        ));
-    }
-    if bad_bodies > 0 {
-        violations.push(format!(
-            "{bad_bodies} 200-response bodies were malformed — a poisoned result reached a client"
-        ));
-    }
-    for (&status, &n) in &statuses {
-        if !ALLOWED.contains(&status) {
-            violations.push(format!("unexpected status {status} ({n} responses)"));
-        }
-    }
+    let (issued, completed, dropped, retries, statuses) = aggregate(tallies, &mut violations);
 
     // --- phase 4: chaos-off probes -----------------------------------
     // Workers must still compute fresh work after every injected panic:
@@ -447,6 +464,212 @@ pub fn soak_seed(seed: u64, cfg: &SoakConfig) -> SeedOutcome {
     let drain_points = chaos::report();
     chaos::disarm();
     let _ = std::fs::remove_dir_all(&cache_dir);
+
+    SeedOutcome {
+        seed,
+        issued,
+        completed,
+        dropped,
+        retries,
+        statuses,
+        points: traffic_points,
+        drain_points,
+        violations,
+    }
+}
+
+// ---------------------------------------------------------------------
+// Cluster soak: node-kill chaos across a routed fleet
+// ---------------------------------------------------------------------
+
+/// One cluster episode: `nodes` in-process daemons behind a
+/// consistent-hash router, chaos armed fleet-wide, and a seed-chosen
+/// node killed mid-burst. Asserts the serving invariants cluster-wide:
+///
+/// * **exactly-one-response** — every issued request ends in exactly
+///   one status-coded response or one transport error, across node
+///   death, ejection and re-routing;
+/// * **poison-free** — no 200 body is malformed or carries the chaos
+///   corruption marker, whether computed locally, served from a cache
+///   tier, or promoted via peer fetch;
+/// * **liveness** — the router ejects the dead node, fresh keys still
+///   compute on the survivors afterwards, and the surviving fleet
+///   drains gracefully under fault load.
+///
+/// Fleet-wide `computes ≤ unique keys` is deliberately NOT asserted
+/// here: injected job panics legitimately force recomputes. The
+/// chaos-free cluster smoke in `scripts/verify.sh` (and the bench)
+/// asserts it.
+pub fn cluster_soak_seed(seed: u64, cfg: &SoakConfig, nodes: usize) -> SeedOutcome {
+    let nodes = nodes.max(2);
+    chaos::install_quiet_panic_hook();
+    let mut violations = Vec::new();
+
+    let base = std::env::temp_dir().join(format!("gem5prof-csoak-{}-{seed:x}", std::process::id()));
+    let mut node_handles: Vec<ServerHandle> = (0..nodes)
+        .map(|i| {
+            serve(ServeConfig {
+                addr: "127.0.0.1:0".into(),
+                workers: 2,
+                queue_cap: 16,
+                cache_cap: 64,
+                cache_dir: Some(base.join(format!("node{i}"))),
+                coalesce: true,
+                deadline: Duration::from_secs(5),
+                node_id: Some(format!("soak-node-{i}")),
+                ..ServeConfig::default()
+            })
+            .expect("soak node must bind an ephemeral port")
+        })
+        .collect();
+    let router = serve_cluster(ClusterConfig {
+        addr: "127.0.0.1:0".into(),
+        members: node_handles
+            .iter()
+            .map(|h| MemberSpec::new(h.addr().to_string()))
+            .collect(),
+        probe_interval: Duration::from_millis(50),
+        connect_timeout: Duration::from_secs(1),
+        io_timeout: Duration::from_secs(10),
+        ..ClusterConfig::default()
+    })
+    .expect("soak router must bind an ephemeral port");
+    let addr = router.addr().to_string();
+
+    // The victim is seed-chosen and extracted up front; once its port
+    // refuses connections, a drained node and a crashed one look the
+    // same to the router.
+    let victim = (seed as usize) % nodes;
+    let victim_addr = node_handles[victim].addr().to_string();
+    let victim_handle = node_handles.remove(victim);
+
+    // --- phase 1: traffic under chaos, node kill mid-burst -----------
+    chaos::arm(plan_for(seed, cfg.prob));
+    let stop_at = Instant::now() + Duration::from_secs_f64(cfg.secs);
+    let kill_delay = if cfg.requests > 0 {
+        Duration::from_millis(300)
+    } else {
+        Duration::from_secs_f64(cfg.secs / 2.0)
+    };
+    let (tallies, kill_violation) = std::thread::scope(|scope| {
+        let clients: Vec<_> = (0..cfg.clients.max(1))
+            .map(|idx| {
+                let addr = addr.clone();
+                scope.spawn(move || client_loop(&addr, idx, seed, cfg, stop_at))
+            })
+            .collect();
+        let killer = scope.spawn(move || -> Option<String> {
+            std::thread::sleep(kill_delay);
+            // Watchdogged on an unscoped thread: a wedged drain becomes
+            // a violation, not a hung soak.
+            let (done_tx, done_rx) = mpsc::channel();
+            std::thread::spawn(move || {
+                victim_handle.shutdown();
+                let _ = done_tx.send(());
+            });
+            done_rx
+                .recv_timeout(Duration::from_secs(60))
+                .err()
+                .map(|_| "victim node drain did not complete within 60s under fault load".into())
+        });
+        let tallies: Vec<Tally> = clients.into_iter().map(|h| h.join().unwrap()).collect();
+        (tallies, killer.join().unwrap())
+    });
+    if let Some(v) = kill_violation {
+        violations.push(v);
+    }
+    let traffic_points = chaos::report();
+    chaos::disarm();
+
+    // --- phase 2: aggregate + client-side invariants -----------------
+    let (issued, completed, dropped, retries, statuses) = aggregate(tallies, &mut violations);
+
+    // --- phase 3: chaos-off cluster probes ---------------------------
+    // The router must eject the dead node (its /healthz is gone).
+    let eject_deadline = Instant::now() + Duration::from_secs(10);
+    loop {
+        match probe_json(&addr, "GET", "/healthz", None) {
+            Ok(doc) => {
+                let alive = num(&doc, &["members_alive"]).unwrap_or(f64::NAN);
+                if alive == (nodes - 1) as f64 {
+                    break;
+                }
+                if Instant::now() > eject_deadline {
+                    violations.push(format!(
+                        "router never ejected the killed node: members_alive={alive} after 10s"
+                    ));
+                    break;
+                }
+                std::thread::sleep(Duration::from_millis(50));
+            }
+            Err(e) => {
+                violations.push(format!("router healthz probe failed: {e}"));
+                break;
+            }
+        }
+    }
+    // `/cluster` must agree on *which* member died.
+    match probe_json(&addr, "GET", "/cluster", None) {
+        Ok(doc) => {
+            if let Some(Json::Arr(members)) = doc.get("members").cloned() {
+                for m in &members {
+                    let maddr = m.get("addr").and_then(Json::as_str).unwrap_or("");
+                    let alive = m.get("alive").and_then(Json::as_bool).unwrap_or(true);
+                    if maddr == victim_addr && alive {
+                        violations.push(format!("/cluster still lists dead {maddr} as alive"));
+                    }
+                    if maddr != victim_addr && !alive {
+                        violations.push(format!("/cluster ejected surviving member {maddr} too"));
+                    }
+                }
+            } else {
+                violations.push("/cluster has no members array".into());
+            }
+        }
+        Err(e) => violations.push(format!("cluster status probe failed: {e}")),
+    }
+    // Liveness: a spec outside MIX must still compute, re-routed to a
+    // survivor regardless of which node originally owned it.
+    let fresh = r#"{"platform":"m1_pro","workload":"dedup","cpu":"minor"}"#;
+    if let Err(e) = probe_json(&addr, "POST", "/experiments", Some(fresh)) {
+        violations.push(format!(
+            "fleet cannot compute fresh work after node kill: {e}"
+        ));
+    }
+    // Poison-free: cached tables served through the router are intact.
+    for path in ["/tables/table1", "/tables/table2"] {
+        match probe(&addr, "GET", path, None) {
+            Ok(body) if body.contains("<<chaos-poison>>") => violations.push(format!(
+                "{path} served a poisoned cached body via the router"
+            )),
+            Ok(_) => {}
+            Err(e) => violations.push(format!("router cache probe failed: {e}")),
+        }
+    }
+
+    // --- phase 4: graceful fleet drain under fault load --------------
+    chaos::arm(plan_for(seed.wrapping_add(0x9E37), cfg.prob));
+    std::thread::scope(|scope| {
+        for idx in 0..2usize {
+            let addr = addr.clone();
+            let cfg = SoakConfig {
+                requests: 8,
+                clients: 1,
+                ..cfg.clone()
+            };
+            scope.spawn(move || {
+                let _ = client_loop(&addr, idx, seed, &cfg, Instant::now());
+            });
+        }
+        std::thread::sleep(Duration::from_millis(20));
+        for handle in node_handles.drain(..) {
+            drain_with_watchdog(handle, &mut violations);
+        }
+    });
+    router.shutdown();
+    let drain_points = chaos::report();
+    chaos::disarm();
+    let _ = std::fs::remove_dir_all(&base);
 
     SeedOutcome {
         seed,

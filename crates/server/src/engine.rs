@@ -45,6 +45,8 @@
 //! jobs alike). The queue is a `sync_channel`, whose `try_send` gives
 //! the non-blocking full check the 429 path needs.
 
+use crate::cluster::ring::{HashRing, DEFAULT_VNODES};
+use crate::retry::{self, RetryPolicy};
 use crate::routes;
 use crate::tier::{DiskSnapshot, TieredCache};
 use gem5prof::cache::CacheSnapshot;
@@ -126,6 +128,9 @@ pub(crate) struct EngineConfig {
     /// production; `false` exists so benchmarks can measure the
     /// thundering-herd baseline.
     pub coalesce: bool,
+    /// Peer nodes (addresses) whose warm tiers are consulted before a
+    /// cold compute — cluster mode. Empty disables peer fetch.
+    pub peers: Vec<String>,
     /// Test hook: artificial pause before each job. Zero in production.
     pub worker_delay: Duration,
 }
@@ -140,6 +145,7 @@ impl EngineConfig {
             cache_cap,
             cache_dir: None,
             coalesce: true,
+            peers: Vec::new(),
             worker_delay: Duration::ZERO,
         }
     }
@@ -288,6 +294,67 @@ fn poisoned(body: &str) -> String {
 /// engines in one process (tests, soak episodes) stay distinguishable.
 static NEXT_ENGINE_ID: AtomicU64 = AtomicU64::new(0);
 
+/// How many ring-ordered peers a cold miss consults before computing.
+/// The first candidate is the key's owner among the peers — i.e. the
+/// node that owned the key before this one did, which is where a
+/// migrated key's warm entry lives; the second covers one further
+/// membership change.
+const PEER_FETCH_CANDIDATES: usize = 2;
+
+/// Per-attempt peer-fetch timeout. A warm-tier read is a cache lookup
+/// plus one round trip; anything slower than this is cheaper to
+/// recompute than to wait for.
+const PEER_FETCH_TIMEOUT: Duration = Duration::from_secs(2);
+
+/// The peer warm tiers a node may fetch from, with the ring that orders
+/// them per key. Set at startup (`--peers`) or pushed by the cluster
+/// router (`POST /peers`) once every node's address is known.
+struct PeerSet {
+    addrs: Vec<String>,
+    ring: HashRing,
+}
+
+/// Peer-fetch outcome counters (`/stats` + `/metrics`).
+#[derive(Debug, Default)]
+struct PeerStats {
+    hits: AtomicU64,
+    misses: AtomicU64,
+    errors: AtomicU64,
+}
+
+/// Point-in-time peer-fetch counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub(crate) struct PeerSnapshot {
+    /// Cold misses answered by a peer's warm tier (each one is a
+    /// compute avoided fleet-wide).
+    pub hits: u64,
+    /// Peer lookups that found no usable entry anywhere.
+    pub misses: u64,
+    /// Peer lookups that failed (transport error, draining peer,
+    /// invalid body) — the node fell back to computing.
+    pub errors: u64,
+}
+
+impl PeerSet {
+    fn build(addrs: Vec<String>) -> Option<PeerSet> {
+        if addrs.is_empty() {
+            None
+        } else {
+            let ring = HashRing::new(&addrs, DEFAULT_VNODES);
+            Some(PeerSet { addrs, ring })
+        }
+    }
+
+    /// The first [`PEER_FETCH_CANDIDATES`] peers in ring order for `key`.
+    fn candidates(&self, key: &str) -> Vec<String> {
+        self.ring
+            .successors(key)
+            .take(PEER_FETCH_CANDIDATES)
+            .map(|i| self.addrs[i].clone())
+            .collect()
+    }
+}
+
 /// The admission queue + worker pool + tiered result cache +
 /// single-flight map.
 pub(crate) struct Engine {
@@ -303,6 +370,11 @@ pub(crate) struct Engine {
     inflight: Mutex<HashMap<String, Vec<ReplyTx>>>,
     /// Whether submissions coalesce onto in-flight keys.
     coalesce: bool,
+    /// Peer warm tiers consulted before a cold compute (cluster mode);
+    /// `None` when the node has no peers.
+    peers: Mutex<Option<PeerSet>>,
+    /// Peer-fetch outcome counters.
+    peer_stats: PeerStats,
     /// Actual compute executions (cache re-check hits excluded).
     computes: AtomicU64,
     /// Requests that joined an in-flight key instead of enqueuing.
@@ -335,6 +407,8 @@ impl Engine {
             cache: TieredCache::new(cfg.cache_cap, cfg.cache_dir.as_deref()),
             inflight: Mutex::new(HashMap::new()),
             coalesce: cfg.coalesce,
+            peers: Mutex::new(PeerSet::build(cfg.peers)),
+            peer_stats: PeerStats::default(),
             computes: AtomicU64::new(0),
             coalesced: AtomicU64::new(0),
             depth: AtomicUsize::new(0),
@@ -450,6 +524,20 @@ impl Engine {
             "requests coalesced onto an already-in-flight identical key",
             self.coalesced.load(Ordering::Relaxed) as f64,
         ));
+        let peer = self.peer_view();
+        for (outcome, v) in [
+            ("hit", peer.hits),
+            ("miss", peer.misses),
+            ("error", peer.errors),
+        ] {
+            samples.push(obs::Sample {
+                name: "gem5prof_cluster_peer_fetch_total".into(),
+                help: "peer warm-tier fetches before a cold compute, by outcome".into(),
+                kind: obs::MetricKind::Counter,
+                labels: vec![("outcome".into(), outcome.into())],
+                value: v as f64,
+            });
+        }
         if let Some((disk, entries)) = self.cache.disk_view() {
             for (name, help, v) in [
                 (
@@ -550,6 +638,16 @@ impl Engine {
                 return;
             }
         }
+        // Peer warm-tier fetch (cluster mode): before paying for a cold
+        // compute, ask the peers that owned this key before we did. A
+        // hit flows through the same `finish` path as a compute, so it
+        // answers every coalesced waiter and warms *both* local tiers
+        // (promotion) — the fleet recomputes a migrated key zero times.
+        if let Some(body) = self.peer_fetch(&job.key) {
+            leader.armed = false;
+            self.finish(&job.key, &job.reply, Ok(body));
+            return;
+        }
         if chaos::inject("engine.worker_panic") {
             // Deliberately outside the compute `catch_unwind`: proves the
             // worker loop survives panics on its own paths too.
@@ -637,6 +735,89 @@ impl Engine {
         if let Ok(body) = &outcome {
             self.cache.write_behind(key, body);
         }
+    }
+
+    /// Serves `key` from the local tiers only — never computes, never
+    /// enqueues, never asks peers. This is the `POST /peek` handler: the
+    /// read side of the peer warm-tier protocol. Because it cannot
+    /// recurse into another peer fetch, two nodes missing the same key
+    /// can never chase each other.
+    pub fn peek(&self, key: &str) -> Option<Arc<String>> {
+        self.cache.get(&key.to_string())
+    }
+
+    /// Replaces the peer set (pushed by the cluster router once every
+    /// node's ephemeral address is known, and on membership changes).
+    pub fn set_peers(&self, addrs: Vec<String>) {
+        *self.peers.lock().unwrap_or_else(|e| e.into_inner()) = PeerSet::build(addrs);
+    }
+
+    /// Peer-fetch counters.
+    pub fn peer_view(&self) -> PeerSnapshot {
+        PeerSnapshot {
+            hits: self.peer_stats.hits.load(Ordering::Relaxed),
+            misses: self.peer_stats.misses.load(Ordering::Relaxed),
+            errors: self.peer_stats.errors.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Asks up to [`PEER_FETCH_CANDIDATES`] ring-ordered peers for
+    /// `key`'s rendered body via `POST /peek`. Returns the first valid
+    /// answer; any transport error, draining peer, or malformed body
+    /// falls through to the next candidate and ultimately to a local
+    /// compute. Bodies are validated (well-formed JSON, no poison
+    /// marker) so a faulty peer can cost a recompute, never propagate a
+    /// bad entry across the fleet.
+    fn peer_fetch(&self, key: &str) -> Option<Arc<String>> {
+        let candidates = self
+            .peers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .as_ref()
+            .map(|p| p.candidates(key))?;
+        if chaos::inject("cluster.peer_fetch") {
+            // Injected partition: the whole peer tier is unreachable for
+            // this miss. Surviving it means computing locally.
+            self.peer_stats.errors.fetch_add(1, Ordering::Relaxed);
+            chaos::recovered("cluster.peer_fetch");
+            return None;
+        }
+        let policy = RetryPolicy {
+            max_retries: 1,
+            base: Duration::from_millis(5),
+            cap: Duration::from_millis(50),
+            seed: self.id,
+            timeout: PEER_FETCH_TIMEOUT,
+        };
+        let _span = obs::span("peer_fetch");
+        for (i, addr) in candidates.iter().enumerate() {
+            let mut conn = None;
+            let out = retry::request_with_retry(
+                &mut conn,
+                addr,
+                "POST",
+                "/peek",
+                Some(key),
+                &policy,
+                HashRing::key_position(key) ^ i as u64,
+            );
+            match out.result {
+                Ok((200, body)) => {
+                    if crate::minjson::parse(&body).is_ok() && !body.contains("<<chaos-poison>>") {
+                        self.peer_stats.hits.fetch_add(1, Ordering::Relaxed);
+                        return Some(Arc::new(body));
+                    }
+                    self.peer_stats.errors.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok((404, _)) => {
+                    self.peer_stats.misses.fetch_add(1, Ordering::Relaxed);
+                }
+                Ok(_) | Err(_) => {
+                    self.peer_stats.errors.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        None
     }
 
     /// Removes and returns `key`'s coalesced waiter list (empty when

@@ -292,6 +292,16 @@ impl ClientConn {
         })
     }
 
+    /// Adjusts the read/write timeout after connect. A forwarding
+    /// router connects with a short timeout (dead-node failover must
+    /// be fast) but then reads with a long one (a cold compute can
+    /// legitimately take the server's whole deadline). The cloned
+    /// reader shares the socket, so one call covers both directions.
+    pub fn set_io_timeout(&self, timeout: Duration) -> io::Result<()> {
+        self.writer.set_read_timeout(Some(timeout))?;
+        self.writer.set_write_timeout(Some(timeout))
+    }
+
     /// Sends one request and reads the response: `(status, body)`.
     pub fn request(
         &mut self,

@@ -25,8 +25,10 @@
 //! threads — consistent with the offline substrate (`testkit`,
 //! `minjson`).
 
+pub mod cluster;
 pub mod http;
 pub mod minjson;
+pub mod retry;
 
 mod engine;
 mod routes;
@@ -67,6 +69,13 @@ pub struct ServeConfig {
     /// Test hook: artificial delay before each job, for deterministic
     /// queue-full conditions in integration tests. Zero in production.
     pub worker_delay: Duration,
+    /// Stable identity reported in `/healthz` (and recorded by the
+    /// cluster router). `None` derives `node-<pid>`.
+    pub node_id: Option<String>,
+    /// Peer daemon addresses (`host:port`) whose disk warm tiers this
+    /// node may probe (`POST /peek`) before computing a cold key.
+    /// Usually empty at startup and pushed later via `POST /peers`.
+    pub peers: Vec<String>,
 }
 
 impl Default for ServeConfig {
@@ -80,6 +89,8 @@ impl Default for ServeConfig {
             coalesce: true,
             deadline: Duration::from_secs(30),
             worker_delay: Duration::ZERO,
+            node_id: None,
+            peers: Vec::new(),
         }
     }
 }
@@ -98,6 +109,13 @@ impl ServerHandle {
     /// The actually-bound address (resolves port `0`).
     pub fn addr(&self) -> SocketAddr {
         self.addr
+    }
+
+    /// Replaces the peer set the engine probes before cold computes.
+    /// The cluster router calls this (via `POST /peers`) once every
+    /// member's ephemeral address is known.
+    pub fn set_peers(&self, addrs: Vec<String>) {
+        self.engine.set_peers(addrs);
     }
 
     /// Graceful shutdown: stop accepting, answer in-progress
@@ -132,6 +150,7 @@ pub fn serve(cfg: ServeConfig) -> io::Result<ServerHandle> {
         cache_dir: cfg.cache_dir.clone(),
         coalesce: cfg.coalesce,
         worker_delay: cfg.worker_delay,
+        peers: cfg.peers.clone(),
     });
     let draining = Arc::new(AtomicBool::new(false));
     let stats = Arc::new(ServerStats::default());
@@ -146,6 +165,10 @@ pub fn serve(cfg: ServeConfig) -> io::Result<ServerHandle> {
         draining: Arc::clone(&draining),
         deadline: cfg.deadline,
         started: Instant::now(),
+        node_id: cfg
+            .node_id
+            .clone()
+            .unwrap_or_else(|| format!("node-{}", std::process::id())),
     });
 
     let draining_a = Arc::clone(&draining);
@@ -209,12 +232,19 @@ fn serve_connection(stream: TcpStream, shared: &Shared) {
                     break;
                 }
                 let draining = shared.draining.load(Ordering::Relaxed);
-                let (status, body, extra) = if draining {
+                // `/peek` stays answerable during a drain: it is a pure
+                // warm-tier read (never a compute), and a draining node
+                // is exactly the "old owner" a peer wants to fetch from
+                // before recomputing a migrated key.
+                let (status, body, extra) = if draining && req.path != "/peek" {
                     (
                         503,
                         minjson::Json::obj(vec![("error", minjson::Json::str("draining"))])
                             .to_string_compact(),
-                        Vec::new(),
+                        // `Retry-After` marks this as a transient,
+                        // retry-me-elsewhere condition; clients honor it
+                        // like a 429 (see `retry`).
+                        vec![("retry-after".into(), "1".into())],
                     )
                 } else {
                     routes::handle(&req, shared)

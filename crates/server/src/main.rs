@@ -4,7 +4,7 @@
 //! gem5prof-served [--addr HOST:PORT] [--workers N] [--threads N]
 //!                 [--queue N] [--cache-cap N] [--cache-dir PATH]
 //!                 [--deadline-ms N] [--no-coalesce] [--worker-delay-ms N]
-//!                 [--port-file PATH]
+//!                 [--port-file PATH] [--node-id ID] [--peers A,B,...]
 //! ```
 //!
 //! `--addr 127.0.0.1:0` binds an ephemeral port; `--port-file` writes
@@ -51,7 +51,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: gem5prof-served [--addr HOST:PORT] [--workers N] [--threads N] \
          [--queue N] [--cache-cap N] [--cache-dir PATH] [--deadline-ms N] \
-         [--no-coalesce] [--worker-delay-ms N] [--port-file PATH]"
+         [--no-coalesce] [--worker-delay-ms N] [--port-file PATH] \
+         [--node-id ID] [--peers HOST:PORT,HOST:PORT,...]"
     );
     std::process::exit(2);
 }
@@ -89,6 +90,15 @@ fn main() {
             }
             "--worker-delay-ms" => cfg.worker_delay = Duration::from_millis(parse_usize(i) as u64),
             "--port-file" => port_file = Some(value(i)),
+            "--node-id" => cfg.node_id = Some(value(i)),
+            "--peers" => {
+                cfg.peers = value(i)
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect()
+            }
             "--help" | "-h" => usage(),
             _ => usage(),
         }

@@ -27,6 +27,9 @@ pub(crate) struct Shared {
     pub draining: std::sync::Arc<std::sync::atomic::AtomicBool>,
     pub deadline: Duration,
     pub started: Instant,
+    /// Stable identity this node reports in `/healthz` (the cluster
+    /// router's membership probe records it).
+    pub node_id: String,
 }
 
 fn error_body(msg: &str) -> String {
@@ -35,6 +38,41 @@ fn error_body(msg: &str) -> String {
 
 fn plain(status: u16, msg: &str) -> Reply {
     (status, error_body(msg), Vec::new())
+}
+
+/// The drain rejection: `Retry-After` marks it as transient so
+/// retrying clients (see `retry`) treat it like backpressure instead
+/// of a hard failure.
+fn draining_reply() -> Reply {
+    (
+        503,
+        error_body("draining"),
+        vec![("retry-after".into(), "1".into())],
+    )
+}
+
+/// Maps a request onto the canonical result-cache key it would
+/// compute, if the route is one the cluster router shards by key.
+///
+/// Uses the same parsers as local dispatch, so router-side ownership
+/// and node-side caching agree byte-for-byte on the key. Unparseable
+/// requests return `None`: the router forwards them anyway and lets
+/// the owner node render the 4xx, keeping error bodies identical
+/// between 1-node and N-node deployments.
+pub(crate) fn route_key(req: &Request) -> Option<String> {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", path) if path.starts_with("/figures/") => {
+            parse_figure_path(&path["/figures/".len()..], req)
+                .ok()
+                .map(|w| w.key())
+        }
+        ("GET", "/tables/table1") => Some(Work::Table(1).key()),
+        ("GET", "/tables/table2") => Some(Work::Table(2).key()),
+        ("POST", "/experiments") => parse_experiment(&req.body)
+            .ok()
+            .map(|spec| Work::Experiment(spec).key()),
+        _ => None,
+    }
 }
 
 /// Dispatches one parsed request to its route.
@@ -65,10 +103,42 @@ pub(crate) fn handle(req: &Request, shared: &Shared) -> Reply {
             Ok(spec) => run_work(Work::Experiment(spec), shared),
             Err(msg) => plain(400, &msg),
         },
+        // Peer warm-tier probe: the body is a canonical result-cache
+        // key; answer from the local tiers or 404 — never compute. Kept
+        // answerable during drain (see `serve_connection`) so a
+        // draining node's warm entries remain fetchable.
+        ("POST", "/peek") => match std::str::from_utf8(&req.body) {
+            Ok(key) if !key.is_empty() => match shared.engine.peek(key) {
+                Some(body) => (200, (*body).clone(), Vec::new()),
+                None => plain(404, "not cached"),
+            },
+            _ => plain(400, "peek body must be a non-empty UTF-8 cache key"),
+        },
+        // Cluster router pushes the node's peer list once every member's
+        // ephemeral address is known: a comma-separated `host:port` list.
+        ("POST", "/peers") => match std::str::from_utf8(&req.body) {
+            Ok(list) => {
+                let peers: Vec<String> = list
+                    .split(',')
+                    .map(str::trim)
+                    .filter(|s| !s.is_empty())
+                    .map(String::from)
+                    .collect();
+                let n = peers.len();
+                shared.engine.set_peers(peers);
+                (
+                    200,
+                    Json::obj(vec![("peers", Json::Num(n as f64))]).to_string_compact(),
+                    Vec::new(),
+                )
+            }
+            Err(_) => plain(400, "peer list must be UTF-8"),
+        },
         // Known paths with the wrong method get a 405, not a 404.
-        (_, "/healthz" | "/stats" | "/metrics" | "/profile" | "/experiments") => {
-            plain(405, "method not allowed")
-        }
+        (
+            _,
+            "/healthz" | "/stats" | "/metrics" | "/profile" | "/experiments" | "/peek" | "/peers",
+        ) => plain(405, "method not allowed"),
         (_, path) if path.starts_with("/figures/") || path.starts_with("/tables/") => {
             plain(405, "method not allowed")
         }
@@ -80,7 +150,7 @@ pub(crate) fn handle(req: &Request, shared: &Shared) -> Reply {
 /// per-request deadline.
 fn run_work(work: Work, shared: &Shared) -> Reply {
     if shared.draining.load(Ordering::Relaxed) {
-        return plain(503, "draining");
+        return draining_reply();
     }
     match shared.engine.submit(work) {
         Submission::Hit(body) => (200, (*body).clone(), Vec::new()),
@@ -89,7 +159,7 @@ fn run_work(work: Work, shared: &Shared) -> Reply {
             error_body("admission queue full"),
             vec![("retry-after".into(), "1".into())],
         ),
-        Submission::Draining => plain(503, "draining"),
+        Submission::Draining => draining_reply(),
         Submission::Pending(rx) => match rx.recv_timeout(shared.deadline) {
             Ok(Ok(body)) => (200, (*body).clone(), Vec::new()),
             Ok(Err(msg)) => plain(500, &msg),
@@ -330,16 +400,17 @@ pub(crate) fn experiment_json(spec: &ExperimentSpec) -> String {
 // ---------------------------------------------------------------------
 
 fn healthz_json(shared: &Shared) -> String {
+    let uptime = shared.started.elapsed();
     Json::obj(vec![
         ("status", Json::str("ok")),
+        ("node_id", Json::str(&shared.node_id)),
+        ("version", Json::str(env!("CARGO_PKG_VERSION"))),
         (
             "draining",
             Json::Bool(shared.draining.load(Ordering::Relaxed)),
         ),
-        (
-            "uptime_ms",
-            Json::Num(shared.started.elapsed().as_millis() as f64),
-        ),
+        ("uptime_ms", Json::Num(uptime.as_millis() as f64)),
+        ("uptime_seconds", Json::Num(uptime.as_secs_f64())),
     ])
     .to_string_compact()
 }
@@ -435,6 +506,14 @@ fn stats_json(shared: &Shared) -> String {
                     ("hit_rate", Json::Num(cache_snap.hit_rate())),
                     ("computes", Json::Num(shared.engine.computes() as f64)),
                     ("coalesced", Json::Num(shared.engine.coalesced() as f64)),
+                    ("peer_fetch", {
+                        let peer = shared.engine.peer_view();
+                        Json::obj(vec![
+                            ("hits", Json::Num(peer.hits as f64)),
+                            ("misses", Json::Num(peer.misses as f64)),
+                            ("errors", Json::Num(peer.errors as f64)),
+                        ])
+                    }),
                 ];
                 if let Some((disk, entries)) = shared.engine.disk_view() {
                     fields.push((

@@ -10,21 +10,34 @@
 # with coalescing the herd costs one compute.
 #
 # Also records the execution-tier comparison: interp vs block cold
-# computes on the bare engine (no observer), via exec_tier_bench.
+# computes on the bare engine (no observer), via exec_tier_bench — and
+# the cluster comparison: the same duplicate-heavy workload against one
+# node vs. four nodes behind the consistent-hash router, with the
+# fleet-wide compute count (must stay <= unique keys).
 set -eu
 cd "$(dirname "$0")/.."
 
 cargo build --release --offline --workspace
 
+# Provenance recorded by loadgen into every report's config block.
+GEM5PROF_COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
+export GEM5PROF_COMMIT
+
 PORT_FILE="$(mktemp)"
 OUT_DIR="$(mktemp -d)"
 SERVED_PID=""
+CLUSTER_PID=""
+CLUSTER_PORT_FILE=""
 cleanup() {
     if [ -n "$SERVED_PID" ]; then
         kill "$SERVED_PID" 2>/dev/null || true
         wait "$SERVED_PID" 2>/dev/null || true
     fi
-    rm -rf "$PORT_FILE" "$OUT_DIR"
+    if [ -n "$CLUSTER_PID" ]; then
+        kill "$CLUSTER_PID" 2>/dev/null || true
+        wait "$CLUSTER_PID" 2>/dev/null || true
+    fi
+    rm -rf "$PORT_FILE" "$OUT_DIR" "$CLUSTER_PORT_FILE"
 }
 trap cleanup EXIT INT TERM
 
@@ -76,12 +89,72 @@ target/release/loadgen --addr "$ADDR" --clients 32 --requests 3 \
     --json > "$OUT_DIR/no_coalesce.json"
 stop_daemon
 
+# --- cluster: duplicate-heavy, 1 node vs 4 nodes ----------------------
+# Same cold-cache duplicate-heavy mix as above (2 unique table keys,
+# 0.9 duplicate fraction, 1 s artificial compute). Single node first,
+# then 4 nodes behind the router; the fleet's total computes are read
+# from every member afterwards — the ring + per-owner single-flight
+# must keep them <= the 2 unique keys.
+start_daemon --workers 2 --worker-delay-ms 1000
+target/release/loadgen --addr "$ADDR" --clients 32 --requests 3 \
+    --paths /tables/table1,/tables/table2 --duplicate-fraction 0.9 \
+    --json > "$OUT_DIR/cluster1.json"
+stop_daemon
+
+CLUSTER_PORT_FILE="$(mktemp)"
+rm -f "$CLUSTER_PORT_FILE"
+# The router inherits stdout; point it at stderr so command
+# substitutions and pipes over this script's stdout see EOF promptly.
+target/release/gem5prof-cluster --addr 127.0.0.1:0 --spawn 4 \
+    --port-file "$CLUSTER_PORT_FILE" \
+    --node-arg --deadline-ms --node-arg 900000 \
+    --node-arg --workers --node-arg 2 \
+    --node-arg --worker-delay-ms --node-arg 1000 >&2 &
+CLUSTER_PID=$!
+i=0
+while [ ! -s "$CLUSTER_PORT_FILE" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 200 ]; then
+        echo "bench_serving: cluster router never wrote its port file" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+RADDR="$(cat "$CLUSTER_PORT_FILE")"
+i=0
+until target/release/servectl --addr "$RADDR" --timeout-ms 5000 healthz \
+    | grep -q '"members_alive": *4'; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "bench_serving: cluster never reached 4 live members" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+target/release/loadgen --addr "$RADDR" --clients 32 --requests 3 \
+    --paths /tables/table1,/tables/table2 --duplicate-fraction 0.9 \
+    --json > "$OUT_DIR/cluster4.json"
+FLEET_COMPUTES=0
+for MADDR in $(target/release/servectl --addr "$RADDR" --timeout-ms 5000 cluster status \
+    | grep -o '"addr": *"[^"]*"' | cut -d'"' -f4); do
+    NODE_COMPUTES="$(target/release/servectl --addr "$MADDR" --timeout-ms 5000 metrics \
+        | awk '/^gem5prof_result_cache_computes_total/ { s += $2 } END { print s+0 }')"
+    FLEET_COMPUTES=$((FLEET_COMPUTES + NODE_COMPUTES))
+done
+kill -TERM "$CLUSTER_PID"
+wait "$CLUSTER_PID" || true
+rm -f "$CLUSTER_PORT_FILE"
+if [ "$FLEET_COMPUTES" -gt 2 ]; then
+    echo "bench_serving: fleet computed $FLEET_COMPUTES times for 2 unique keys" >&2
+    exit 1
+fi
+
 # --- execution tiers: interp vs block cold compute, bare engine -------
 target/release/exec_tier_bench --scale simmedium --reps 3 --json \
     > "$OUT_DIR/exec_tier.json"
 
-# --- stitch the four reports into BENCH_serving.json ------------------
-awk '
+# --- stitch the six reports into BENCH_serving.json -------------------
+awk -v fleet_computes="$FLEET_COMPUTES" '
 function slurp(path, indent,   line, first, out) {
     first = 1
     out = ""
@@ -107,6 +180,8 @@ BEGIN {
     steady = slurp(dir "/steady.json", "  ")
     co = slurp(dir "/coalesced.json", "    ")
     nc = slurp(dir "/no_coalesce.json", "    ")
+    c1 = slurp(dir "/cluster1.json", "    ")
+    c4 = slurp(dir "/cluster4.json", "    ")
     et = slurp(dir "/exec_tier.json", "  ")
     speedup = rps(dir "/coalesced.json") / rps(dir "/no_coalesce.json")
     print "{"
@@ -115,6 +190,12 @@ BEGIN {
     print "    \"coalesced\": " co ","
     print "    \"no_coalesce\": " nc ","
     printf "    \"coalescing_speedup\": %.2f\n", speedup
+    print "  },"
+    print "  \"cluster_duplicate_heavy\": {"
+    print "    \"single_node\": " c1 ","
+    print "    \"four_nodes_routed\": " c4 ","
+    print "    \"four_node_fleet_computes\": " fleet_computes ","
+    print "    \"unique_keys\": 2"
     print "  },"
     print "  \"exec_tier\": " et
     print "}"

