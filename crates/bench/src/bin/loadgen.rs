@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! loadgen [--addr HOST:PORT] [--clients N] [--requests M] [--paths P1,P2,…]
-//!         [--duplicate-fraction F] [--json]
+//!         [--duplicate-fraction F] [--json] [--profile-snapshot]
 //! ```
 //!
 //! Spawns `N` concurrent clients, each holding one keep-alive
@@ -25,7 +25,10 @@
 //! (any transport error that survives its retries), and the
 //! server-side result cache hit rate read from `/stats` afterwards.
 //! `--json` prints the same report as a JSON object (the format stored
-//! in `BENCH_serving.json`).
+//! in `BENCH_serving.json`). `--profile-snapshot` captures a profstore
+//! snapshot (`POST /profile/snapshot?label=loadgen`) after the run and
+//! records its id in the report's config block, so every bench result
+//! is diffable (`servectl profile diff`) after the fact.
 //!
 //! Clients are well-behaved: 429s honor the server's `Retry-After` and
 //! transport errors reconnect with jittered exponential backoff (see
@@ -54,7 +57,7 @@ struct Outcome {
 fn usage() -> ! {
     eprintln!(
         "usage: loadgen [--addr HOST:PORT] [--clients N] [--requests M] [--paths P1,P2,…] \
-         [--duplicate-fraction F] [--json]"
+         [--duplicate-fraction F] [--json] [--profile-snapshot]"
     );
     std::process::exit(2);
 }
@@ -81,6 +84,7 @@ fn main() {
     let mut paths: Vec<String> = vec!["/figures/fig01".into()];
     let mut duplicate_fraction: Option<f64> = None;
     let mut json_out = false;
+    let mut profile_snapshot = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -131,6 +135,10 @@ fn main() {
             }
             "--json" => {
                 json_out = true;
+                i += 1;
+            }
+            "--profile-snapshot" => {
+                profile_snapshot = true;
                 i += 1;
             }
             _ => usage(),
@@ -243,6 +251,25 @@ fn main() {
         .and_then(|(_, body)| minjson::parse(&body).ok())
         .and_then(|doc| doc.get("result_cache")?.get("hit_rate")?.as_f64());
 
+    // Freeze this run's server-side profile window into the profstore
+    // and record the snapshot id as provenance. Null when the daemon
+    // has no `--profile-dir` (503) or the capture fails.
+    let snapshot_id = if profile_snapshot {
+        one_shot(
+            &addr,
+            "POST",
+            "/profile/snapshot?label=loadgen",
+            Some(""),
+            Duration::from_secs(10),
+        )
+        .ok()
+        .filter(|(status, _)| *status == 200)
+        .and_then(|(_, body)| minjson::parse(&body).ok())
+        .and_then(|doc| doc.get("id")?.as_f64())
+    } else {
+        None
+    };
+
     if json_out {
         let status_obj: Vec<(String, Json)> = statuses
             .iter()
@@ -271,6 +298,10 @@ fn main() {
                     ),
                     ("exec_tier", Json::str(gem5prof::exec_tier().label())),
                     ("threads", Json::Num(gem5prof::threads() as f64)),
+                    (
+                        "profile_snapshot",
+                        snapshot_id.map_or(Json::Null, Json::Num),
+                    ),
                 ]),
             ),
             ("wall_seconds", Json::Num(wall.as_secs_f64())),
@@ -315,6 +346,9 @@ fn main() {
         }
         if let Some(h) = hit_rate {
             println!("  result-cache hit rate: {:.1}%", 100.0 * h);
+        }
+        if let Some(id) = snapshot_id {
+            println!("  profile snapshot: {}", id as u64);
         }
     }
     std::process::exit(if dropped == 0 { 0 } else { 1 });

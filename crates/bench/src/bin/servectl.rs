@@ -7,6 +7,10 @@
 //! servectl cluster spawn N [--addr HOST:PORT] [--cache-dir PATH] [--port-file PATH]
 //! servectl cluster status [--addr HOST:PORT]
 //! servectl cluster drain  [--addr HOST:PORT]
+//! servectl profile history                    (snapshot index)
+//! servectl profile snapshot [LABEL]           (capture a window)
+//! servectl profile diff [A] [B]               (diff + regression gate; exit 4 on gate failure)
+//! servectl profile bless [ID]                 (mark the baseline)
 //!
 //! servectl healthz
 //! servectl stats
@@ -17,6 +21,11 @@
 //! A leading `/` on PATH is optional. Exits 0 on a 2xx response, 1 on an
 //! HTTP error status, 2 on usage errors, 3 on connection failure —
 //! which makes it usable as a smoke test (`scripts/verify.sh`).
+//!
+//! `profile diff` adds exit code 4: the HTTP exchange succeeded but the
+//! hot-span regression gate reported `pass: false`. `A`/`B` default to
+//! `blessed`/`latest`, so a bare `servectl profile diff` is the
+//! regression gate against the blessed baseline.
 //!
 //! `cluster spawn N` launches a detached `gem5prof-cluster --spawn N`
 //! (found next to this binary): N daemons plus the router, as one
@@ -37,7 +46,8 @@ fn usage() -> ! {
     eprintln!(
         "usage: servectl [--addr HOST:PORT] [--timeout-ms N] [--post BODY] PATH\n\
          \x20      servectl cluster spawn N [--addr HOST:PORT] [--cache-dir PATH] [--port-file PATH]\n\
-         \x20      servectl cluster status|drain [--addr HOST:PORT]"
+         \x20      servectl cluster status|drain [--addr HOST:PORT]\n\
+         \x20      servectl profile history|snapshot [LABEL]|diff [A] [B]|bless [ID] [--addr HOST:PORT]"
     );
     std::process::exit(2);
 }
@@ -112,7 +122,32 @@ fn main() {
         i += step;
     }
 
+    // `profile diff` succeeds as an HTTP exchange even when the gate
+    // fails; the gate verdict surfaces as exit code 4 instead.
+    let mut gate_check = false;
     let path = match positionals.first().map(String::as_str) {
+        Some("profile") if positionals.len() >= 2 => {
+            match positionals.get(1).map(String::as_str) {
+                Some("history") if positionals.len() == 2 => "/profile/history".to_string(),
+                Some("snapshot") if positionals.len() <= 3 => {
+                    let label = positionals.get(2).map_or("manual", String::as_str);
+                    body = Some(String::new()); // POST
+                    format!("/profile/snapshot?label={label}")
+                }
+                Some("diff") if positionals.len() <= 4 => {
+                    let a = positionals.get(2).map_or("blessed", String::as_str);
+                    let b = positionals.get(3).map_or("latest", String::as_str);
+                    gate_check = true;
+                    format!("/profile/diff?a={a}&b={b}")
+                }
+                Some("bless") if positionals.len() <= 3 => {
+                    let id = positionals.get(2).map_or("latest", String::as_str);
+                    body = Some(String::new()); // POST
+                    format!("/profile/bless?id={id}")
+                }
+                _ => usage(),
+            }
+        }
         Some("cluster") => match positionals.get(1).map(String::as_str) {
             Some("spawn") => {
                 let n: usize = positionals
@@ -165,7 +200,20 @@ fn main() {
                 Ok(doc) => println!("{}", doc.to_string_pretty()),
                 Err(_) => println!("{body}"),
             }
-            std::process::exit(if (200..300).contains(&status) { 0 } else { 1 });
+            if !(200..300).contains(&status) {
+                std::process::exit(1);
+            }
+            if gate_check {
+                let pass = minjson::parse(&body)
+                    .ok()
+                    .and_then(|doc| doc.get("gate")?.get("pass")?.as_bool())
+                    .unwrap_or(true);
+                if !pass {
+                    eprintln!("servectl: hot-span regression gate FAILED");
+                    std::process::exit(4);
+                }
+            }
+            std::process::exit(0);
         }
         Err(e) => {
             eprintln!("servectl: {method} http://{addr}{path} failed: {e}");

@@ -111,6 +111,7 @@ pub fn plan_for(seed: u64, prob: f64) -> Plan {
         .with_point("engine.worker_panic", hot)
         .with_point("engine.leader_panic", hot)
         .with_point("cache.disk_write", hot)
+        .with_point("profstore.disk_write", hot)
         .with_point("runner.slow_worker", hot)
         .with_point("runner.queue_stall", hot)
         // Only visited by clustered engines (a peerless node never
@@ -147,6 +148,11 @@ const MIX: &[(&str, &str, Option<&str>)] = &[
         Some(r#"{"platform":"intel_xeon","workload":"dedup","cpu":"timing"}"#),
     ),
     ("GET", "/profile", None),
+    // Continuous profiling under chaos: snapshot captures hit the
+    // profstore.disk_write torn-write point; cluster episodes (no
+    // --profile-dir on the nodes) answer 503, which ALLOWED covers.
+    ("POST", "/profile/snapshot?label=soak", Some("")),
+    ("GET", "/profile/history", None),
 ];
 
 /// Statuses the server may legitimately answer with under this mix.
@@ -325,6 +331,11 @@ pub fn soak_seed(seed: u64, cfg: &SoakConfig) -> SeedOutcome {
         coalesce: true,
         deadline: Duration::from_secs(5),
         worker_delay: Duration::ZERO,
+        // A per-episode profstore so snapshot captures and their torn
+        // writes (`profstore.disk_write`) run under soak load. The
+        // subdirectory keeps `.g5ps` segments out of the disk tier's
+        // scan; the episode cleanup removes both.
+        profile_dir: Some(cache_dir.join("prof")),
         ..ServeConfig::default()
     })
     .expect("soak server must bind an ephemeral port");

@@ -22,6 +22,13 @@
 //!   `# TYPE` metadata, label escaping, and `_bucket`/`_sum`/`_count`
 //!   series for histograms.
 //!
+//! The continuous profiling store (`gem5prof-profstore`) captures both
+//! layers per window: [`span::snapshot`] + [`span::reset`] delimit a
+//! window of span statistics, and [`Registry::flat_values`] flattens
+//! the metric registry into the `(series, value)` pairs recorded next
+//! to it. [`span::set_inflation`] (env: `GEM5PROF_SPAN_INFLATE=name=ns`)
+//! synthetically slows a named span for regression-gate self-tests.
+//!
 //! # Example
 //!
 //! ```

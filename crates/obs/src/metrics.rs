@@ -421,6 +421,52 @@ impl Registry {
         crate::prom::render(self)
     }
 
+    /// Flattens the registry into `(series, value)` pairs for snapshot
+    /// capture (the continuous profiling store records these alongside
+    /// the span table). Series are keyed `name` or `name{k="v",…}`;
+    /// histograms flatten to `_count` and `_sum` (per-bucket detail
+    /// stays with `/metrics`); duplicate series — the same counter
+    /// surfaced by several collectors — are summed, matching the
+    /// Prometheus exposition. Sorted by series name.
+    pub fn flat_values(&self) -> Vec<(String, f64)> {
+        fn series(name: &str, suffix: &str, labels: &[(String, String)]) -> String {
+            let mut out = format!("{name}{suffix}");
+            if !labels.is_empty() {
+                out.push('{');
+                for (i, (k, v)) in labels.iter().enumerate() {
+                    if i > 0 {
+                        out.push(',');
+                    }
+                    out.push_str(&format!("{k}=\"{}\"", crate::prom::escape_label(v)));
+                }
+                out.push('}');
+            }
+            out
+        }
+        let (scraped, extra) = self.scrape();
+        let mut flat = std::collections::BTreeMap::<String, f64>::new();
+        for m in &scraped {
+            match &m.value {
+                ScrapedValue::Counter(v) => {
+                    *flat.entry(series(&m.name, "", &m.labels)).or_default() += *v as f64;
+                }
+                ScrapedValue::Gauge(v) => {
+                    *flat.entry(series(&m.name, "", &m.labels)).or_default() += *v as f64;
+                }
+                ScrapedValue::Histogram(h) => {
+                    *flat
+                        .entry(series(&m.name, "_count", &m.labels))
+                        .or_default() += h.count() as f64;
+                    *flat.entry(series(&m.name, "_sum", &m.labels)).or_default() += h.sum;
+                }
+            }
+        }
+        for s in &extra {
+            *flat.entry(series(&s.name, "", &s.labels)).or_default() += s.value;
+        }
+        flat.into_iter().collect()
+    }
+
     /// Flat scrape of every registered instrument and collector.
     /// Histograms expand into `_bucket`/`_sum`/`_count` samples in
     /// [`crate::prom`]; here they stay structured.
@@ -543,6 +589,79 @@ mod tests {
         h.observe(0.5);
         assert_eq!(h.snapshot().overflow(), 1);
         assert_eq!(Histogram::new(&[1.0]).snapshot().overflow(), 0);
+    }
+
+    #[test]
+    fn quantile_edges_never_nan_or_panic() {
+        // Empty histogram: every quantile is None, count/overflow zero —
+        // consumers that divide (the profile diff report) must see the
+        // absence, not a NaN.
+        let empty = Histogram::new(&[1.0, 2.0]).snapshot();
+        assert_eq!(empty.count(), 0);
+        assert_eq!(empty.overflow(), 0);
+        for q in [0.0, 0.5, 0.99, 1.0] {
+            assert_eq!(empty.quantile(q), None);
+        }
+
+        // Single sample: all quantiles interpolate inside one bucket and
+        // stay finite, including the q=0 corner.
+        let one = Histogram::new(&[10.0, 20.0]);
+        one.observe(15.0);
+        let s = one.snapshot();
+        assert_eq!(s.count(), 1);
+        for q in [0.0, 0.5, 1.0] {
+            let v = s.quantile(q).unwrap();
+            assert!(v.is_finite(), "q={q} gave {v}");
+            assert!((10.0..=20.0).contains(&v), "q={q} gave {v}");
+        }
+
+        // Everything in the +Inf overflow bucket: quantiles clamp to the
+        // last bound (finite), and overflow() == count() exposes the
+        // saturation.
+        let sat = Histogram::new(&[1.0, 2.0]);
+        for _ in 0..10 {
+            sat.observe(1e9);
+        }
+        let s = sat.snapshot();
+        assert_eq!(s.overflow(), s.count());
+        for q in [0.0, 0.5, 0.999, 1.0] {
+            assert_eq!(s.quantile(q), Some(2.0), "q={q} must clamp, not NaN");
+        }
+    }
+
+    #[test]
+    fn flat_values_flatten_sum_and_sort() {
+        let r = Registry::new();
+        r.counter("c_total", "help").add(3);
+        r.gauge("g", "help").set(-2);
+        let h = r.histogram("lat_seconds", "help", &[1.0, 2.0]);
+        h.observe(0.5);
+        h.observe(5.0);
+        r.counter_with("by_tier_total", "help", &[("tier", "mem")])
+            .add(7);
+        // Two collectors surfacing the same plain series: values sum.
+        for _ in 0..2 {
+            r.register_collector(Box::new(|| {
+                vec![Sample::plain("ext_total", "ext", MetricKind::Counter, 3.0)]
+            }));
+        }
+        let flat = r.flat_values();
+        let get = |name: &str| {
+            flat.iter()
+                .find(|(n, _)| n == name)
+                .unwrap_or_else(|| panic!("missing {name} in {flat:?}"))
+                .1
+        };
+        assert_eq!(get("c_total"), 3.0);
+        assert_eq!(get("g"), -2.0);
+        assert_eq!(get("lat_seconds_count"), 2.0);
+        assert!((get("lat_seconds_sum") - 5.5).abs() < 1e-9);
+        assert_eq!(get("by_tier_total{tier=\"mem\"}"), 7.0);
+        assert_eq!(get("ext_total"), 6.0, "duplicate series must sum");
+        let names: Vec<&String> = flat.iter().map(|(n, _)| n).collect();
+        let mut sorted = names.clone();
+        sorted.sort();
+        assert_eq!(names, sorted);
     }
 
     #[test]

@@ -23,6 +23,7 @@
 
 use std::cell::RefCell;
 use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, Ordering};
 use std::sync::{Mutex, OnceLock};
 use std::time::Instant;
 
@@ -60,6 +61,51 @@ fn table() -> &'static Mutex<HashMap<Path, Stat>> {
     TABLE.get_or_init(|| Mutex::new(HashMap::new()))
 }
 
+/// Fast disarm check for the inflation hook: one relaxed load when no
+/// inflation is configured, which is every production run.
+static INFLATE_ARMED: AtomicBool = AtomicBool::new(false);
+
+fn inflation_cell() -> &'static Mutex<Option<(String, u64)>> {
+    static CELL: OnceLock<Mutex<Option<(String, u64)>>> = OnceLock::new();
+    CELL.get_or_init(|| {
+        // `GEM5PROF_SPAN_INFLATE=name=ns` arms the hook at process
+        // start: the profstore regression gate's self-test uses it to
+        // make a hot span look slower without burning wall time.
+        let parsed = std::env::var("GEM5PROF_SPAN_INFLATE")
+            .ok()
+            .and_then(|spec| {
+                let (name, ns) = spec.split_once('=')?;
+                Some((name.trim().to_string(), ns.trim().parse().ok()?))
+            });
+        if parsed.is_some() {
+            INFLATE_ARMED.store(true, Ordering::Release);
+        }
+        Mutex::new(parsed)
+    })
+}
+
+/// Test/CI hook: every completed span *named* `name` (any path) gets
+/// `ns` of synthetic time added to its total and self time, as if the
+/// span had run that much longer. `None` disarms. The same hook arms
+/// from the `GEM5PROF_SPAN_INFLATE=name=ns` environment variable so
+/// out-of-process daemons (the verify.sh gate self-test) can use it.
+pub fn set_inflation(spec: Option<(&str, u64)>) {
+    let mut cell = inflation_cell().lock().unwrap_or_else(|e| e.into_inner());
+    *cell = spec.map(|(name, ns)| (name.to_string(), ns));
+    INFLATE_ARMED.store(cell.is_some(), Ordering::Release);
+}
+
+fn inflation_for(name: &str) -> u64 {
+    let cell = inflation_cell(); // force the env parse on first use
+    if !INFLATE_ARMED.load(Ordering::Acquire) {
+        return 0;
+    }
+    match &*cell.lock().unwrap_or_else(|e| e.into_inner()) {
+        Some((target, ns)) if target == name => *ns,
+        _ => 0,
+    }
+}
+
 /// Starts a span named `name`. Drop the guard to end it. Guards must
 /// end in LIFO order (the natural result of holding them in scopes);
 /// a guard dropped out of order ends the spans nested inside it too.
@@ -84,7 +130,7 @@ fn end_innermost(s: &mut ThreadState) -> bool {
     let Some(frame) = s.frames.pop() else {
         return true;
     };
-    let total_ns = frame.start.elapsed().as_nanos() as u64;
+    let total_ns = frame.start.elapsed().as_nanos() as u64 + inflation_for(frame.name);
     let self_ns = total_ns.saturating_sub(frame.child_ns);
     let mut path: Path = s.prefix.clone();
     path.extend(s.frames.iter().map(|f| f.name));
@@ -388,6 +434,31 @@ mod tests {
         let nodes = snapshot();
         assert_eq!(node(&nodes, &["a"]).count, 1);
         assert_eq!(node(&nodes, &["a", "b"]).count, 1);
+    }
+
+    #[test]
+    fn inflation_pads_matching_spans_only() {
+        let _g = serial();
+        reset();
+        set_inflation(Some(("slowed", 5_000_000_000)));
+        {
+            let _a = span("slowed");
+        }
+        {
+            let _b = span("untouched");
+        }
+        set_inflation(None);
+        {
+            let _c = span("slowed");
+        }
+        let nodes = snapshot();
+        let slowed = node(&nodes, &["slowed"]);
+        assert_eq!(slowed.count, 2);
+        assert!(
+            (5_000_000_000..6_000_000_000).contains(&slowed.self_ns),
+            "exactly one completion inflated: {slowed:?}"
+        );
+        assert!(node(&nodes, &["untouched"]).self_ns < 1_000_000_000);
     }
 
     #[test]

@@ -10,6 +10,10 @@
 //! GET  /stats                      queue, result-cache and trace-cache counters
 //! GET  /metrics                    Prometheus text exposition (gem5prof-obs registry)
 //! GET  /profile                    self-profiler span table (JSON + collapsed stacks)
+//! GET  /profile/history            continuous-profiling snapshot index
+//! GET  /profile/diff               per-span self-time delta + hot-span regression gate
+//! POST /profile/snapshot           capture a window into the profstore ring
+//! POST /profile/bless              mark a snapshot as the regression baseline
 //! GET  /figures/fig01..fig15       one figure (?fidelity=quick|paper)
 //! GET  /tables/table1|table2       configuration tables
 //! POST /experiments                parameterized spec (platform, cpu, workload, knobs)
@@ -76,6 +80,12 @@ pub struct ServeConfig {
     /// node may probe (`POST /peek`) before computing a cold key.
     /// Usually empty at startup and pushed later via `POST /peers`.
     pub peers: Vec<String>,
+    /// Continuous profiling store directory: span/metrics snapshots
+    /// persist here as a bounded ring and survive restarts. `None`
+    /// disables the `/profile/history|diff|snapshot|bless` routes.
+    pub profile_dir: Option<PathBuf>,
+    /// Profstore ring capacity (snapshots kept, memory and disk).
+    pub profile_cap: usize,
 }
 
 impl Default for ServeConfig {
@@ -91,6 +101,8 @@ impl Default for ServeConfig {
             worker_delay: Duration::ZERO,
             node_id: None,
             peers: Vec::new(),
+            profile_dir: None,
+            profile_cap: 64,
         }
     }
 }
@@ -103,6 +115,7 @@ pub struct ServerHandle {
     draining: Arc<AtomicBool>,
     engine: Arc<Engine>,
     acceptor: Option<JoinHandle<()>>,
+    profstore: Option<Arc<gem5prof_profstore::ProfStore>>,
 }
 
 impl ServerHandle {
@@ -127,6 +140,12 @@ impl ServerHandle {
             let _ = a.join();
         }
         self.engine.drain();
+        // Land any queued profile segments before reporting "drained":
+        // a restarted daemon must see every snapshot captured before
+        // the shutdown.
+        if let Some(store) = &self.profstore {
+            store.flush();
+        }
     }
 }
 
@@ -159,6 +178,61 @@ pub fn serve(cfg: ServeConfig) -> io::Result<ServerHandle> {
     // server's counts visible, so the summed series stays monotone.
     let stats_m = Arc::clone(&stats);
     gem5prof_obs::global().register_collector(Box::new(move || stats_m.metric_samples()));
+    // The continuous profiling store is best-effort infrastructure: an
+    // unusable directory disables it with a warning instead of failing
+    // the daemon, mirroring the disk warm tier.
+    let profstore = cfg.profile_dir.as_ref().and_then(|dir| {
+        match gem5prof_profstore::ProfStore::open(dir, cfg.profile_cap) {
+            Ok(store) => {
+                let ps = store.stats_handle();
+                gem5prof_obs::global().register_collector(Box::new(move || {
+                    use gem5prof_obs::{MetricKind, Sample};
+                    let s = ps.snapshot();
+                    vec![
+                        Sample::plain(
+                            "gem5prof_profstore_snapshots_total",
+                            "profile snapshots captured",
+                            MetricKind::Counter,
+                            s.snapshots as f64,
+                        ),
+                        Sample::plain(
+                            "gem5prof_profstore_writes_total",
+                            "profile segments persisted",
+                            MetricKind::Counter,
+                            s.writes as f64,
+                        ),
+                        Sample::plain(
+                            "gem5prof_profstore_write_errors_total",
+                            "profile segment writes that failed",
+                            MetricKind::Counter,
+                            s.write_errors as f64,
+                        ),
+                        Sample::plain(
+                            "gem5prof_profstore_segments_corrupt_total",
+                            "profile segments skipped at open for corruption",
+                            MetricKind::Counter,
+                            s.corrupt as f64,
+                        ),
+                        Sample::plain(
+                            "gem5prof_profstore_segments_stale_total",
+                            "profile segments skipped at open for stale versions",
+                            MetricKind::Counter,
+                            s.stale as f64,
+                        ),
+                    ]
+                }));
+                Some(store)
+            }
+            Err(e) => {
+                eprintln!(
+                    "gem5prof-served: profile dir {} unusable ({e}); \
+                     continuous profiling disabled",
+                    dir.display()
+                );
+                None
+            }
+        }
+    });
     let shared = Arc::new(Shared {
         engine: Arc::clone(&engine),
         stats,
@@ -169,6 +243,7 @@ pub fn serve(cfg: ServeConfig) -> io::Result<ServerHandle> {
             .node_id
             .clone()
             .unwrap_or_else(|| format!("node-{}", std::process::id())),
+        profstore: profstore.clone(),
     });
 
     let draining_a = Arc::clone(&draining);
@@ -197,6 +272,7 @@ pub fn serve(cfg: ServeConfig) -> io::Result<ServerHandle> {
         draining,
         engine,
         acceptor: Some(acceptor),
+        profstore,
     })
 }
 

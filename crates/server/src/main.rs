@@ -5,6 +5,7 @@
 //!                 [--queue N] [--cache-cap N] [--cache-dir PATH]
 //!                 [--deadline-ms N] [--no-coalesce] [--worker-delay-ms N]
 //!                 [--port-file PATH] [--node-id ID] [--peers A,B,...]
+//!                 [--profile-dir PATH] [--profile-cap N]
 //! ```
 //!
 //! `--addr 127.0.0.1:0` binds an ephemeral port; `--port-file` writes
@@ -17,6 +18,9 @@
 //! the naive thundering-herd engine (benchmark baseline only);
 //! `--worker-delay-ms`
 //! adds an artificial pause before each job (benchmarks and tests).
+//! `--profile-dir` arms the continuous profiling store: span/metrics
+//! snapshots persist there as a bounded ring (`--profile-cap` entries)
+//! and the `/profile/history|diff|snapshot|bless` routes come alive.
 //! SIGINT/SIGTERM trigger a graceful drain: stop accepting,
 //! finish in-flight work, reject new requests with 503, then exit.
 
@@ -52,7 +56,8 @@ fn usage() -> ! {
         "usage: gem5prof-served [--addr HOST:PORT] [--workers N] [--threads N] \
          [--queue N] [--cache-cap N] [--cache-dir PATH] [--deadline-ms N] \
          [--no-coalesce] [--worker-delay-ms N] [--port-file PATH] \
-         [--node-id ID] [--peers HOST:PORT,HOST:PORT,...]"
+         [--node-id ID] [--peers HOST:PORT,HOST:PORT,...] \
+         [--profile-dir PATH] [--profile-cap N]"
     );
     std::process::exit(2);
 }
@@ -89,6 +94,8 @@ fn main() {
                 step = 1;
             }
             "--worker-delay-ms" => cfg.worker_delay = Duration::from_millis(parse_usize(i) as u64),
+            "--profile-dir" => cfg.profile_dir = Some(value(i).into()),
+            "--profile-cap" => cfg.profile_cap = parse_usize(i).max(1),
             "--port-file" => port_file = Some(value(i)),
             "--node-id" => cfg.node_id = Some(value(i)),
             "--peers" => {
@@ -134,12 +141,15 @@ fn main() {
     }
     eprintln!(
         "gem5prof-served: listening on http://{addr} \
-         (queue={}, cache={}, deadline={}ms, coalesce={}, disk-tier={})",
+         (queue={}, cache={}, deadline={}ms, coalesce={}, disk-tier={}, profstore={})",
         cfg.queue_cap,
         cfg.cache_cap,
         cfg.deadline.as_millis(),
         cfg.coalesce,
         cfg.cache_dir
+            .as_deref()
+            .map_or("off".into(), |p| p.display().to_string()),
+        cfg.profile_dir
             .as_deref()
             .map_or("off".into(), |p| p.display().to_string()),
     );

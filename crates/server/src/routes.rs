@@ -12,9 +12,11 @@ use gem5prof::figures::{self, Fidelity};
 use gem5prof::report::Table;
 use gem5prof::spec::{self, ExperimentSpec};
 use gem5prof::ProfileRun;
+use gem5prof_profstore::{self as profstore, ProfStore};
 use platforms::{PlatformId, SystemKnobs};
 use std::sync::atomic::Ordering;
 use std::sync::mpsc;
+use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 /// A finished response: status, JSON body, extra headers.
@@ -30,6 +32,9 @@ pub(crate) struct Shared {
     /// Stable identity this node reports in `/healthz` (the cluster
     /// router's membership probe records it).
     pub node_id: String,
+    /// Continuous profiling store (`--profile-dir`); `None` turns the
+    /// `/profile/history|diff|snapshot|bless` routes into 503s.
+    pub profstore: Option<Arc<ProfStore>>,
 }
 
 fn error_body(msg: &str) -> String {
@@ -89,6 +94,10 @@ pub(crate) fn handle(req: &Request, shared: &Shared) -> Reply {
             )],
         ),
         ("GET", "/profile") => (200, profile_json(), Vec::new()),
+        ("GET", "/profile/history") => profile_history(req, shared),
+        ("GET", "/profile/diff") => profile_diff(req, shared),
+        ("POST", "/profile/snapshot") => profile_snapshot(req, shared),
+        ("POST", "/profile/bless") => profile_bless(req, shared),
         ("GET", path) if path.starts_with("/figures/") => {
             match parse_figure_path(&path["/figures/".len()..], req) {
                 Ok(work) => run_work(work, shared),
@@ -137,7 +146,8 @@ pub(crate) fn handle(req: &Request, shared: &Shared) -> Reply {
         // Known paths with the wrong method get a 405, not a 404.
         (
             _,
-            "/healthz" | "/stats" | "/metrics" | "/profile" | "/experiments" | "/peek" | "/peers",
+            "/healthz" | "/stats" | "/metrics" | "/profile" | "/profile/history" | "/profile/diff"
+            | "/profile/snapshot" | "/profile/bless" | "/experiments" | "/peek" | "/peers",
         ) => plain(405, "method not allowed"),
         (_, path) if path.starts_with("/figures/") || path.starts_with("/tables/") => {
             plain(405, "method not allowed")
@@ -447,6 +457,297 @@ fn profile_json() -> String {
     .to_string_compact()
 }
 
+// ---------------------------------------------------------------------
+// Continuous profiling (`/profile/history|diff|snapshot|bless`)
+// ---------------------------------------------------------------------
+
+/// Rejects any query key outside `allowed` with a 400 naming the
+/// offending key — the same strictness `/figures/*` applies to
+/// `fidelity`, so typos fail loudly instead of silently using defaults.
+fn check_query(req: &Request, allowed: &[&str]) -> Result<(), Reply> {
+    let Some(q) = req.query.as_deref() else {
+        return Ok(());
+    };
+    for pair in q.split('&').filter(|p| !p.is_empty()) {
+        let key = pair.split_once('=').map_or(pair, |(k, _)| k);
+        if !allowed.contains(&key) {
+            let accepted = if allowed.is_empty() {
+                "none are accepted".to_string()
+            } else {
+                let list: Vec<String> = allowed.iter().map(|k| format!("`{k}`")).collect();
+                format!("only {} accepted", list.join(", "))
+            };
+            return Err(plain(
+                400,
+                &format!("unknown query parameter `{key}` ({accepted})"),
+            ));
+        }
+    }
+    Ok(())
+}
+
+/// The profstore, or the bare 503 (no `Retry-After`: this is a
+/// configuration condition, not backpressure — clients fail fast).
+fn store_or_503(shared: &Shared) -> Result<&Arc<ProfStore>, Reply> {
+    shared.profstore.as_ref().ok_or_else(|| {
+        plain(
+            503,
+            "continuous profiling store not configured (start with --profile-dir)",
+        )
+    })
+}
+
+/// Resolves a snapshot selector (`latest`, `blessed`, or an id) or
+/// renders the 404 naming it.
+fn resolve_or_404(store: &ProfStore, sel: &str) -> Result<Arc<profstore::Snapshot>, Reply> {
+    store
+        .resolve(sel)
+        .and_then(|id| store.get(id))
+        .ok_or_else(|| plain(404, &format!("unknown snapshot `{sel}`")))
+}
+
+/// Captures the current profiling window: the span table and flattened
+/// metrics go into the store, then the span table resets so the next
+/// snapshot starts a fresh window. Consecutive snapshots are disjoint.
+fn capture_snapshot(store: &ProfStore, label: &str, node_id: &str) -> u64 {
+    let spans = gem5prof_obs::span::snapshot()
+        .into_iter()
+        .map(|n| profstore::SpanRow {
+            path: n.path.join(";"),
+            count: n.count,
+            total_ns: n.total_ns,
+            self_ns: n.self_ns,
+        })
+        .collect();
+    let metrics = gem5prof_obs::global()
+        .flat_values()
+        .into_iter()
+        .map(|(name, value)| profstore::MetricRow { name, value })
+        .collect();
+    gem5prof_obs::span::reset();
+    store.store(label, node_id, spans, metrics)
+}
+
+fn snapshot_meta_json(s: &profstore::Snapshot) -> Json {
+    Json::obj(vec![
+        ("id", Json::Num(s.id as f64)),
+        ("taken_unix_ms", Json::Num(s.taken_unix_ms as f64)),
+        ("label", Json::str(&s.label)),
+        ("node_id", Json::str(&s.node_id)),
+        ("spans", Json::Num(s.spans.len() as f64)),
+        ("total_self_ns", Json::Num(s.total_self_ns() as f64)),
+    ])
+}
+
+fn profile_history(req: &Request, shared: &Shared) -> Reply {
+    if let Err(r) = check_query(req, &[]) {
+        return r;
+    }
+    let store = match store_or_503(shared) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let stats = store.stats();
+    let body = Json::obj(vec![
+        (
+            "snapshots",
+            Json::Arr(
+                store
+                    .history()
+                    .iter()
+                    .map(|s| snapshot_meta_json(s))
+                    .collect(),
+            ),
+        ),
+        (
+            "blessed",
+            store
+                .blessed()
+                .map_or(Json::Null, |id| Json::Num(id as f64)),
+        ),
+        ("capacity", Json::Num(store.capacity() as f64)),
+        (
+            "stats",
+            Json::obj(vec![
+                ("snapshots", Json::Num(stats.snapshots as f64)),
+                ("writes", Json::Num(stats.writes as f64)),
+                ("write_errors", Json::Num(stats.write_errors as f64)),
+                ("corrupt", Json::Num(stats.corrupt as f64)),
+                ("stale", Json::Num(stats.stale as f64)),
+            ]),
+        ),
+    ])
+    .to_string_compact();
+    (200, body, Vec::new())
+}
+
+fn profile_snapshot(req: &Request, shared: &Shared) -> Reply {
+    if let Err(r) = check_query(req, &["label"]) {
+        return r;
+    }
+    let store = match store_or_503(shared) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let label = req.query_param("label").unwrap_or("manual");
+    let id = capture_snapshot(store, label, &shared.node_id);
+    (
+        200,
+        Json::obj(vec![
+            ("id", Json::Num(id as f64)),
+            ("label", Json::str(label)),
+        ])
+        .to_string_compact(),
+        Vec::new(),
+    )
+}
+
+fn profile_bless(req: &Request, shared: &Shared) -> Reply {
+    if let Err(r) = check_query(req, &["id"]) {
+        return r;
+    }
+    let store = match store_or_503(shared) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let sel = req.query_param("id").unwrap_or("latest");
+    let snap = match resolve_or_404(store, sel) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    match store.bless(snap.id) {
+        Ok(id) => (
+            200,
+            Json::obj(vec![("blessed", Json::Num(id as f64))]).to_string_compact(),
+            Vec::new(),
+        ),
+        Err(e) => plain(500, &format!("cannot persist blessed marker: {e}")),
+    }
+}
+
+fn profile_diff(req: &Request, shared: &Shared) -> Reply {
+    if let Err(r) = check_query(
+        req,
+        &[
+            "a",
+            "b",
+            "top",
+            "format",
+            "threshold",
+            "min_delta_ns",
+            "spans",
+        ],
+    ) {
+        return r;
+    }
+    let store = match store_or_503(shared) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let a = match resolve_or_404(store, req.query_param("a").unwrap_or("blessed")) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let b = match resolve_or_404(store, req.query_param("b").unwrap_or("latest")) {
+        Ok(s) => s,
+        Err(r) => return r,
+    };
+    let top: usize = match req.query_param("top").map(str::parse).transpose() {
+        Ok(t) => t.unwrap_or(20),
+        Err(_) => return plain(400, "bad top (want an unsigned integer)"),
+    };
+    let threshold: f64 = match req.query_param("threshold").map(str::parse).transpose() {
+        Ok(t) => t.unwrap_or(profstore::DEFAULT_THRESHOLD_PCT),
+        Err(_) => return plain(400, "bad threshold (want a percentage number)"),
+    };
+    let min_delta_ns: f64 = match req.query_param("min_delta_ns").map(str::parse).transpose() {
+        Ok(t) => t.unwrap_or(profstore::DEFAULT_MIN_DELTA_NS),
+        Err(_) => return plain(400, "bad min_delta_ns (want nanoseconds)"),
+    };
+    let spans: Vec<String> = match req.query_param("spans") {
+        None => profstore::DEFAULT_HOT_SPANS
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
+        Some(list) => list
+            .split(',')
+            .map(str::trim)
+            .filter(|s| !s.is_empty())
+            .map(String::from)
+            .collect(),
+    };
+    let report = profstore::diff::diff(&a, &b);
+    match req.query_param("format").unwrap_or("json") {
+        "collapsed" => (
+            200,
+            profstore::collapsed(&report, top),
+            vec![("content-type".into(), "text/plain; charset=utf-8".into())],
+        ),
+        "json" => {
+            let gate = profstore::gate(&a, &b, &spans, threshold, min_delta_ns);
+            let opt = |v: Option<f64>| v.map_or(Json::Null, Json::Num);
+            let body = Json::obj(vec![
+                ("a", snapshot_meta_json(&a)),
+                ("b", snapshot_meta_json(&b)),
+                (
+                    "rows",
+                    Json::Arr(
+                        report
+                            .rows
+                            .iter()
+                            .take(top)
+                            .map(|r| {
+                                Json::obj(vec![
+                                    ("path", Json::str(&r.path)),
+                                    ("a_count", Json::Num(r.a_count as f64)),
+                                    ("a_self_ns", Json::Num(r.a_self_ns as f64)),
+                                    ("b_count", Json::Num(r.b_count as f64)),
+                                    ("b_self_ns", Json::Num(r.b_self_ns as f64)),
+                                    ("a_self_per_call_ns", Json::Num(r.a_self_per_call_ns)),
+                                    ("b_self_per_call_ns", Json::Num(r.b_self_per_call_ns)),
+                                    ("delta_pct", opt(r.delta_pct)),
+                                ])
+                            })
+                            .collect(),
+                    ),
+                ),
+                (
+                    "gate",
+                    Json::obj(vec![
+                        ("threshold_pct", Json::Num(gate.threshold_pct)),
+                        ("min_delta_ns", Json::Num(gate.min_delta_ns)),
+                        (
+                            "hot_spans",
+                            Json::Arr(spans.iter().map(|s| Json::str(s)).collect()),
+                        ),
+                        (
+                            "checks",
+                            Json::Arr(
+                                gate.checks
+                                    .iter()
+                                    .map(|c| {
+                                        Json::obj(vec![
+                                            ("span", Json::str(&c.span)),
+                                            ("a_self_per_call_ns", Json::Num(c.a_self_per_call_ns)),
+                                            ("b_self_per_call_ns", Json::Num(c.b_self_per_call_ns)),
+                                            ("delta_pct", opt(c.delta_pct)),
+                                            ("regressed", Json::Bool(c.regressed)),
+                                        ])
+                                    })
+                                    .collect(),
+                            ),
+                        ),
+                        ("pass", Json::Bool(gate.pass)),
+                    ]),
+                ),
+            ])
+            .to_string_compact();
+            (200, body, Vec::new())
+        }
+        other => plain(400, &format!("bad format `{other}` (json|collapsed)")),
+    }
+}
+
 fn stats_json(shared: &Shared) -> String {
     let s = &shared.stats;
     let (cache_snap, cache_len, cache_cap) = shared.engine.cache_view();
@@ -540,6 +841,30 @@ fn stats_json(shared: &Shared) -> String {
                 ("insertions", Json::Num(trace.insertions as f64)),
                 ("resident_events", Json::Num(trace.resident_events as f64)),
             ]),
+        ),
+        (
+            "profstore",
+            match &shared.profstore {
+                None => Json::Null,
+                Some(store) => {
+                    let ps = store.stats();
+                    Json::obj(vec![
+                        ("snapshots", Json::Num(ps.snapshots as f64)),
+                        ("writes", Json::Num(ps.writes as f64)),
+                        ("write_errors", Json::Num(ps.write_errors as f64)),
+                        ("corrupt", Json::Num(ps.corrupt as f64)),
+                        ("stale", Json::Num(ps.stale as f64)),
+                        ("entries", Json::Num(store.len() as f64)),
+                        ("capacity", Json::Num(store.capacity() as f64)),
+                        (
+                            "blessed",
+                            store
+                                .blessed()
+                                .map_or(Json::Null, |id| Json::Num(id as f64)),
+                        ),
+                    ])
+                }
+            },
         ),
     ])
     .to_string_compact()

@@ -19,12 +19,17 @@ cd "$(dirname "$0")/.."
 
 cargo build --release --offline --workspace
 
-# Provenance recorded by loadgen into every report's config block.
+# Provenance recorded by loadgen into every report's config block:
+# GEM5PROF_COMMIT plus (via --profile-snapshot) the id of a profstore
+# snapshot capturing the run's span/metrics window, so a surprising
+# number in BENCH_serving.json can be diffed later with
+# `servectl profile diff`.
 GEM5PROF_COMMIT="$(git rev-parse --short HEAD 2>/dev/null || echo unknown)"
 export GEM5PROF_COMMIT
 
 PORT_FILE="$(mktemp)"
 OUT_DIR="$(mktemp -d)"
+PROF_DIR="$(mktemp -d)"
 SERVED_PID=""
 CLUSTER_PID=""
 CLUSTER_PORT_FILE=""
@@ -37,7 +42,7 @@ cleanup() {
         kill "$CLUSTER_PID" 2>/dev/null || true
         wait "$CLUSTER_PID" 2>/dev/null || true
     fi
-    rm -rf "$PORT_FILE" "$OUT_DIR" "$CLUSTER_PORT_FILE"
+    rm -rf "$PORT_FILE" "$OUT_DIR" "$PROF_DIR" "$CLUSTER_PORT_FILE"
 }
 trap cleanup EXIT INT TERM
 
@@ -46,7 +51,7 @@ trap cleanup EXIT INT TERM
 start_daemon() {
     rm -f "$PORT_FILE"
     target/release/gem5prof-served --addr 127.0.0.1:0 --deadline-ms 900000 \
-        --port-file "$PORT_FILE" "$@" &
+        --profile-dir "$PROF_DIR" --port-file "$PORT_FILE" "$@" &
     SERVED_PID=$!
     i=0
     while [ ! -s "$PORT_FILE" ]; do
@@ -73,20 +78,20 @@ start_daemon
 target/release/servectl --addr "$ADDR" --timeout-ms 900000 \
     'figures/fig01?fidelity=quick' > /dev/null
 target/release/loadgen --addr "$ADDR" --clients 64 --requests 100 \
-    --json > "$OUT_DIR/steady.json"
+    --profile-snapshot --json > "$OUT_DIR/steady.json"
 stop_daemon
 
 # --- duplicate-heavy cold cache: coalescing on, then off --------------
 start_daemon --workers 2 --worker-delay-ms 1000
 target/release/loadgen --addr "$ADDR" --clients 32 --requests 3 \
     --paths /tables/table1,/tables/table2 --duplicate-fraction 0.9 \
-    --json > "$OUT_DIR/coalesced.json"
+    --profile-snapshot --json > "$OUT_DIR/coalesced.json"
 stop_daemon
 
 start_daemon --workers 2 --worker-delay-ms 1000 --no-coalesce
 target/release/loadgen --addr "$ADDR" --clients 32 --requests 3 \
     --paths /tables/table1,/tables/table2 --duplicate-fraction 0.9 \
-    --json > "$OUT_DIR/no_coalesce.json"
+    --profile-snapshot --json > "$OUT_DIR/no_coalesce.json"
 stop_daemon
 
 # --- cluster: duplicate-heavy, 1 node vs 4 nodes ----------------------
@@ -98,7 +103,7 @@ stop_daemon
 start_daemon --workers 2 --worker-delay-ms 1000
 target/release/loadgen --addr "$ADDR" --clients 32 --requests 3 \
     --paths /tables/table1,/tables/table2 --duplicate-fraction 0.9 \
-    --json > "$OUT_DIR/cluster1.json"
+    --profile-snapshot --json > "$OUT_DIR/cluster1.json"
 stop_daemon
 
 CLUSTER_PORT_FILE="$(mktemp)"

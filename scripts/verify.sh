@@ -249,3 +249,102 @@ echo "verify: cluster smoke test passed"
 # must hold across re-routing and peer fetch.
 target/release/soak --seeds 2 --secs 3 --cluster 3
 echo "verify: cluster chaos soak passed"
+
+# Continuous-profiling regression gate: snapshots must survive a daemon
+# restart, a clean re-run must pass the hot-span gate against the
+# blessed baseline (set GEM5PROF_BLESS=1 to accept a changed baseline
+# and re-bless instead of failing), and a daemon whose guest_sim
+# accounting is inflated by 2 s per call MUST trip the gate (exit 4).
+PROF_DIR="$(mktemp -d)"
+cleanup_prof() { rm -rf "$PROF_DIR"; }
+trap 'cleanup; cleanup_cluster; cleanup_prof' EXIT INT TERM
+
+# start_prof_daemon [ENV=VAL...] — fresh daemon sharing $PROF_DIR. No
+# --cache-dir: every profiling window recomputes, so the span windows
+# being diffed contain like-for-like work.
+start_prof_daemon() {
+    rm -f "$PORT_FILE"
+    env "$@" target/release/gem5prof-served --addr 127.0.0.1:0 \
+        --deadline-ms 900000 --profile-dir "$PROF_DIR" \
+        --port-file "$PORT_FILE" &
+    SERVED_PID=$!
+    i=0
+    while [ ! -s "$PORT_FILE" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "verify: profstore daemon never wrote its port file" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    ADDR="$(cat "$PORT_FILE")"
+}
+
+# The same three specs every window, so per-call self time averages
+# over three real computes.
+profile_window() {
+    for CPU in atomic timing o3; do
+        target/release/servectl --addr "$ADDR" --timeout-ms 900000 \
+            --post "{\"platform\":\"intel_xeon\",\"workload\":\"dedup\",\"cpu\":\"$CPU\"}" \
+            experiments > /dev/null
+    done
+}
+
+# Window 1: baseline, blessed.
+start_prof_daemon
+profile_window
+target/release/servectl --addr "$ADDR" --timeout-ms 5000 \
+    profile snapshot baseline > /dev/null
+target/release/servectl --addr "$ADDR" --timeout-ms 5000 profile bless > /dev/null
+kill -TERM "$SERVED_PID"
+wait "$SERVED_PID"
+SERVED_PID=""
+
+# Window 2: restart on the same store — the baseline must have survived
+# — then a clean re-run must pass the gate against it.
+start_prof_daemon
+if ! target/release/servectl --addr "$ADDR" --timeout-ms 5000 profile history \
+    | grep -q '"label": "baseline"'; then
+    echo "verify: baseline snapshot did not survive the daemon restart" >&2
+    exit 1
+fi
+profile_window
+target/release/servectl --addr "$ADDR" --timeout-ms 5000 \
+    profile snapshot clean > /dev/null
+GATE_RC=0
+target/release/servectl --addr "$ADDR" --timeout-ms 5000 profile diff > /dev/null \
+    || GATE_RC=$?
+if [ "$GATE_RC" -eq 4 ]; then
+    if [ "${GEM5PROF_BLESS:-0}" = "1" ]; then
+        echo "verify: clean run regressed but GEM5PROF_BLESS=1 — re-blessing latest"
+        target/release/servectl --addr "$ADDR" --timeout-ms 5000 \
+            profile bless > /dev/null
+    else
+        echo "verify: hot-span gate failed on a clean re-run" >&2
+        echo "verify: (rerun with GEM5PROF_BLESS=1 to accept and re-bless)" >&2
+        exit 1
+    fi
+elif [ "$GATE_RC" -ne 0 ]; then
+    echo "verify: profile diff failed (exit $GATE_RC)" >&2
+    exit 1
+fi
+kill -TERM "$SERVED_PID"
+wait "$SERVED_PID"
+SERVED_PID=""
+
+# Window 3: inflated guest_sim accounting MUST trip the gate.
+start_prof_daemon GEM5PROF_SPAN_INFLATE=guest_sim=2000000000
+profile_window
+target/release/servectl --addr "$ADDR" --timeout-ms 5000 \
+    profile snapshot inflated > /dev/null
+GATE_RC=0
+target/release/servectl --addr "$ADDR" --timeout-ms 5000 profile diff > /dev/null \
+    || GATE_RC=$?
+if [ "$GATE_RC" -ne 4 ]; then
+    echo "verify: gate did not catch a 2 s/call guest_sim inflation (exit $GATE_RC)" >&2
+    exit 1
+fi
+kill -TERM "$SERVED_PID"
+wait "$SERVED_PID"
+SERVED_PID=""
+echo "verify: profstore regression gate passed"
