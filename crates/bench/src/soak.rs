@@ -434,11 +434,12 @@ pub fn soak_seed(seed: u64, cfg: &SoakConfig) -> SeedOutcome {
         // at or ahead of the snapshot we just took.
         match probe(&addr, "GET", "/metrics", None) {
             Ok(text) => {
+                let series_value =
+                    |l: &str| l.split_whitespace().nth(1).and_then(|v| v.parse::<f64>().ok());
                 let metric = text
                     .lines()
                     .find(|l| l.starts_with("gem5prof_served_requests_total "))
-                    .and_then(|l| l.split_whitespace().nth(1))
-                    .and_then(|v| v.parse::<f64>().ok());
+                    .and_then(series_value);
                 match metric {
                     Some(m) if m >= requests => {}
                     Some(m) => violations.push(format!(
@@ -446,6 +447,29 @@ pub fn soak_seed(seed: u64, cfg: &SoakConfig) -> SeedOutcome {
                     )),
                     None => violations
                         .push("gem5prof_served_requests_total missing from /metrics".into()),
+                }
+                // The status-labeled response series feed from the same
+                // atomics: summed, they can only be at or ahead of the
+                // /stats snapshot — and never ahead of the request
+                // counter, or some request got two counted outcomes
+                // (the try_clone / torn-connection double-count bug).
+                let responses_metric: f64 = text
+                    .lines()
+                    .filter(|l| l.starts_with("gem5prof_served_responses_total{"))
+                    .filter_map(series_value)
+                    .sum();
+                if responses_metric < responses {
+                    violations.push(format!(
+                        "/metrics responses sum {responses_metric} fell behind \
+                         /stats responses {responses}"
+                    ));
+                }
+                match metric {
+                    Some(m) if responses_metric > m => violations.push(format!(
+                        "/metrics counted more responses ({responses_metric}) than \
+                         requests ({m}): a request got two outcomes"
+                    )),
+                    _ => {}
                 }
             }
             Err(e) => violations.push(format!("metrics probe failed: {e}")),

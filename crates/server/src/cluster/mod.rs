@@ -34,13 +34,14 @@
 
 pub mod ring;
 
+use crate::core::{self, CoreConfig, CoreHandle, Dispatch};
 use crate::http::{self, ClientConn, Request};
 use crate::minjson::Json;
 use crate::routes;
 use gem5prof_obs as obs;
 use ring::{HashRing, DEFAULT_VNODES};
-use std::io::{self, BufReader};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::io;
+use std::net::{SocketAddr, TcpListener};
 use std::sync::atomic::{AtomicBool, AtomicU32, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
@@ -92,6 +93,18 @@ pub struct ClusterConfig {
     /// Read/write timeout for forwarded requests; must exceed the
     /// nodes' compute deadline or slow cold computes look like faults.
     pub io_timeout: Duration,
+    /// Client-connection cap on the router's readiness core; accepts
+    /// beyond it get a canned 503 + `Retry-After`.
+    pub max_conns: usize,
+    /// Blocking forward pool size: how many member forwards can be in
+    /// flight at once (the poller thread itself never blocks).
+    pub forward_threads: usize,
+    /// Idle / slow-header client deadline (not extended by partial
+    /// request bytes).
+    pub read_timeout: Duration,
+    /// Stalled-reader client deadline (extended only by write
+    /// progress).
+    pub write_timeout: Duration,
 }
 
 impl Default for ClusterConfig {
@@ -104,6 +117,10 @@ impl Default for ClusterConfig {
             fail_threshold: 2,
             connect_timeout: Duration::from_secs(1),
             io_timeout: Duration::from_secs(35),
+            max_conns: 4096,
+            forward_threads: 32,
+            read_timeout: IDLE_TIMEOUT,
+            write_timeout: Duration::from_secs(10),
         }
     }
 }
@@ -576,9 +593,10 @@ impl Cluster {
     }
 }
 
-/// Router-local dispatch; anything unrecognized is forwarded.
-fn handle(req: &Request, cluster: &Cluster) -> Reply {
-    match (req.method.as_str(), req.path.as_str()) {
+/// Router-local routes: liveness, status, metrics, drain control and
+/// their 405s. `None` means "not ours — forward to the owner".
+fn local_reply(req: &Request, cluster: &Cluster) -> Option<Reply> {
+    Some(match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => (200, cluster.healthz_json(), Vec::new()),
         ("GET", "/cluster") => (200, cluster.status_json(), Vec::new()),
         ("GET", "/metrics") => (
@@ -598,45 +616,55 @@ fn handle(req: &Request, cluster: &Cluster) -> Reply {
             )
         }
         (_, "/cluster" | "/drain") => (405, error_body("method not allowed"), Vec::new()),
-        _ => cluster.forward(req),
-    }
+        _ => return None,
+    })
 }
 
-fn serve_connection(stream: TcpStream, cluster: &Cluster) {
-    let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
-    loop {
-        match http::read_request(&mut reader) {
-            Ok(Some(req)) => {
-                cluster.requests.fetch_add(1, Ordering::Relaxed);
-                let draining = cluster.draining.load(Ordering::Relaxed);
-                // `/healthz` and `/cluster` stay observable during a
-                // drain so orchestration can watch it complete.
-                let (status, body, extra) =
-                    if draining && req.path != "/healthz" && req.path != "/cluster" {
-                        (503, error_body("draining"), retry_after_header())
-                    } else {
-                        handle(&req, cluster)
-                    };
-                let close = req.close || draining;
-                match http::write_response(&mut writer, status, body.as_bytes(), &extra, close) {
-                    Ok(()) if !close => {}
-                    _ => break,
-                }
-            }
-            Ok(None) => break,
-            Err(e) if e.kind() == io::ErrorKind::InvalidData => {
-                let body = error_body(&e.to_string());
-                let _ = http::write_response(&mut writer, 400, body.as_bytes(), &[], true);
-                break;
-            }
-            Err(_) => break,
+/// The router's half of the readiness core: local routes answered
+/// inline on the poller thread; everything else offloaded to the
+/// forward pool (a member forward is blocking I/O bounded by
+/// `connect_timeout`/`io_timeout`, which must never stall the poller).
+struct RouterService {
+    cluster: Arc<Cluster>,
+    /// Backstop for a wedged forward; the transport timeouts inside
+    /// `forward` fire far earlier on every healthy path.
+    forward_deadline: Duration,
+}
+
+impl core::Service for RouterService {
+    fn dispatch(&self, req: Request) -> Dispatch {
+        let draining = self.cluster.draining.load(Ordering::Relaxed);
+        // `/healthz` and `/cluster` stay observable during a drain so
+        // orchestration can watch it complete.
+        if draining && req.path != "/healthz" && req.path != "/cluster" {
+            return Dispatch::Reply((503, error_body("draining"), retry_after_header()));
         }
+        match local_reply(&req, &self.cluster) {
+            Some(reply) => Dispatch::Reply(reply),
+            None => {
+                let cluster = Arc::clone(&self.cluster);
+                Dispatch::Offload(Box::new(move || cluster.forward(&req)))
+            }
+        }
+    }
+
+    fn count_request(&self) {
+        self.cluster.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    // The router has never kept response books (nodes count their own
+    // outcomes); parse errors likewise go uncounted, matching the old
+    // blocking loop which only counted parsed requests.
+    fn count_response(&self, _status: u16) {}
+
+    fn count_parse_error(&self) {}
+
+    fn draining(&self) -> bool {
+        self.cluster.draining.load(Ordering::Relaxed)
+    }
+
+    fn deadline(&self) -> Duration {
+        self.forward_deadline
     }
 }
 
@@ -646,7 +674,7 @@ fn serve_connection(stream: TcpStream, cluster: &Cluster) {
 pub struct ClusterHandle {
     addr: SocketAddr,
     cluster: Arc<Cluster>,
-    acceptor: Option<JoinHandle<()>>,
+    core: Option<CoreHandle>,
     prober: Option<JoinHandle<()>>,
 }
 
@@ -671,8 +699,8 @@ impl ClusterHandle {
     pub fn shutdown(mut self) {
         self.cluster.draining.store(true, Ordering::SeqCst);
         self.cluster.stop.store(true, Ordering::SeqCst);
-        if let Some(t) = self.acceptor.take() {
-            let _ = t.join();
+        if let Some(mut core) = self.core.take() {
+            core.join();
         }
         if let Some(t) = self.prober.take() {
             let _ = t.join();
@@ -721,33 +749,29 @@ pub fn serve_cluster(cfg: ClusterConfig) -> io::Result<ClusterHandle> {
             })?
     };
 
-    let acceptor = {
-        let cluster = Arc::clone(&cluster);
-        std::thread::Builder::new()
-            .name("cluster-acceptor".into())
-            .spawn(move || loop {
-                if cluster.stop.load(Ordering::Relaxed) {
-                    break;
-                }
-                match listener.accept() {
-                    Ok((stream, _)) => {
-                        let cluster = Arc::clone(&cluster);
-                        let _ = std::thread::Builder::new()
-                            .name("cluster-conn".into())
-                            .spawn(move || serve_connection(stream, &cluster));
-                    }
-                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                        std::thread::sleep(Duration::from_millis(10));
-                    }
-                    Err(_) => std::thread::sleep(Duration::from_millis(10)),
-                }
-            })?
-    };
+    let service: Arc<dyn core::Service> = Arc::new(RouterService {
+        cluster: Arc::clone(&cluster),
+        // Generous: `forward` walks owner + successors, each attempt
+        // bounded by connect/io timeouts; this only catches a wedge.
+        forward_deadline: (cfg.connect_timeout + cfg.io_timeout) * 4,
+    });
+    let core = core::spawn(
+        listener,
+        service,
+        CoreConfig {
+            name: "cluster",
+            max_conns: cfg.max_conns,
+            read_timeout: cfg.read_timeout,
+            write_timeout: cfg.write_timeout,
+            sndbuf: None,
+            offload_threads: cfg.forward_threads.max(1),
+        },
+    )?;
 
     Ok(ClusterHandle {
         addr,
         cluster,
-        acceptor: Some(acceptor),
+        core: Some(core),
         prober: Some(prober),
     })
 }

@@ -393,6 +393,11 @@ pub(crate) struct Engine {
     handles: Mutex<Vec<JoinHandle<()>>>,
     /// Request-path histograms (shared series in the global registry).
     metrics: EngineMetrics,
+    /// Completion hook for the readiness core: called whenever a job
+    /// finishes (any outcome) so the poller re-checks pending
+    /// receivers instead of blocking in `recv_timeout`. `None` under
+    /// the legacy thread-per-connection path.
+    waker: Mutex<Option<Box<dyn Fn() + Send + Sync>>>,
 }
 
 impl Engine {
@@ -418,6 +423,7 @@ impl Engine {
             id: NEXT_ENGINE_ID.fetch_add(1, Ordering::Relaxed),
             handles: Mutex::new(Vec::new()),
             metrics: EngineMetrics::new(),
+            waker: Mutex::new(None),
         });
         // Surface the result cache's counters in `/metrics` from the
         // same counters the `/stats` endpoint reads. A `Weak` keeps the
@@ -469,6 +475,11 @@ impl Engine {
                                     "engine.worker_panic"
                                 });
                             }
+                            // `finish` never ran (the panic unwound past
+                            // it); the dropped reply senders are the
+                            // outcome. Wake the core so pending
+                            // connections observe the disconnect now.
+                            engine_w.wake();
                         }
                     })
                     .expect("spawn worker"),
@@ -735,6 +746,7 @@ impl Engine {
         if let Ok(body) = &outcome {
             self.cache.write_behind(key, body);
         }
+        self.wake();
     }
 
     /// Serves `key` from the local tiers only — never computes, never
@@ -744,6 +756,20 @@ impl Engine {
     /// can never chase each other.
     pub fn peek(&self, key: &str) -> Option<Arc<String>> {
         self.cache.get(&key.to_string())
+    }
+
+    /// Installs the readiness core's completion hook. Every job
+    /// outcome — reply sent, panic, poison — ends with one call, so a
+    /// pending connection is re-polled promptly instead of waiting
+    /// for the poller's idle tick.
+    pub fn set_waker(&self, f: Box<dyn Fn() + Send + Sync>) {
+        *self.waker.lock().unwrap_or_else(|e| e.into_inner()) = Some(f);
+    }
+
+    fn wake(&self) {
+        if let Some(f) = &*self.waker.lock().unwrap_or_else(|e| e.into_inner()) {
+            f();
+        }
     }
 
     /// Replaces the peer set (pushed by the cluster router once every

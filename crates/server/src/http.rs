@@ -6,9 +6,16 @@
 //! Client side: [`ClientConn`] is a keep-alive connection used by
 //! `servectl`, `loadgen` and the integration tests.
 //!
-//! Only what the serving layer needs is implemented: no chunked
-//! encoding, no multipart, no TLS. Every response carries an explicit
-//! `Content-Length`, which keeps both directions of the parser trivial.
+//! Only what the serving layer needs is implemented: no multipart, no
+//! TLS. Responses carry an explicit `Content-Length`, except streamed
+//! progress responses which use `Transfer-Encoding: chunked` (the one
+//! place the readiness core emits a body of unknown length).
+//!
+//! The readiness-loop core parses requests incrementally from its
+//! per-connection buffers via [`try_parse_request`]; the blocking
+//! [`read_request`] form remains for the thread-per-connection
+//! baseline (`--thread-per-conn`) and tests. Both share the same
+//! validation rules and limits.
 
 use gem5prof_chaos as chaos;
 use std::io::{self, BufRead, BufReader, Read, Write};
@@ -204,6 +211,152 @@ pub fn read_request(r: &mut impl BufRead) -> io::Result<Option<Request>> {
     }))
 }
 
+/// Progress of [`try_parse_request`] over a byte buffer.
+#[derive(Debug)]
+pub(crate) enum ParseStatus {
+    /// More bytes needed. `body_expected` is true once the header
+    /// block is complete and a nonzero body is still outstanding —
+    /// the readiness core uses this for the `http.short_read` chaos
+    /// point (a peer dying mid-body).
+    Partial { body_expected: bool },
+    /// One complete request, with how many buffer bytes it consumed.
+    Complete { req: Request, consumed: usize },
+}
+
+/// Takes one `\r\n`-terminated line (tolerating bare `\n`) from
+/// `buf[*pos..]`, advancing `pos` past it. `Ok(None)` means the line
+/// is still incomplete; an over-long partial line fails immediately
+/// so a drip-fed attacker cannot buffer without bound.
+fn take_line(buf: &[u8], pos: &mut usize) -> io::Result<Option<String>> {
+    let rest = &buf[*pos..];
+    match rest.iter().position(|&b| b == b'\n') {
+        None => {
+            // +1: a complete line of exactly MAX_LINE bytes may still
+            // have its `\r` buffered while the `\n` is in flight.
+            if rest.len() > MAX_LINE + 1 {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "line too long"));
+            }
+            Ok(None)
+        }
+        Some(nl) => {
+            let mut line = &rest[..nl];
+            if line.last() == Some(&b'\r') {
+                line = &line[..line.len() - 1];
+            }
+            if line.len() > MAX_LINE {
+                return Err(io::Error::new(io::ErrorKind::InvalidData, "line too long"));
+            }
+            let s = std::str::from_utf8(line)
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 header line"))?
+                .to_string();
+            *pos += nl + 1;
+            Ok(Some(s))
+        }
+    }
+}
+
+/// Incremental form of [`read_request`]: parses one request from the
+/// front of `buf` without consuming it (the caller drains `consumed`
+/// bytes on `Complete`). Validation — limits, malformed lines,
+/// duplicate `Content-Length` — matches `read_request` exactly;
+/// errors are detected as early as the bytes allow.
+pub(crate) fn try_parse_request(buf: &[u8]) -> io::Result<ParseStatus> {
+    let mut pos = 0usize;
+    let line = match take_line(buf, &mut pos)? {
+        None => return Ok(ParseStatus::Partial { body_expected: false }),
+        Some(l) => l,
+    };
+    let mut parts = line.split(' ');
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) if !m.is_empty() && t.starts_with('/') => (m, t, v),
+        _ => {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                format!("malformed request line `{line}`"),
+            ))
+        }
+    };
+    if version != "HTTP/1.1" && version != "HTTP/1.0" {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "unsupported HTTP version",
+        ));
+    }
+
+    let mut headers = Vec::new();
+    loop {
+        let line = match take_line(buf, &mut pos)? {
+            None => return Ok(ParseStatus::Partial { body_expected: false }),
+            Some(l) => l,
+        };
+        if line.is_empty() {
+            break;
+        }
+        if headers.len() >= MAX_HEADERS {
+            return Err(io::Error::new(
+                io::ErrorKind::InvalidData,
+                "too many headers",
+            ));
+        }
+        let (k, v) = line
+            .split_once(':')
+            .ok_or_else(|| io::Error::new(io::ErrorKind::InvalidData, "malformed header line"))?;
+        headers.push((k.trim().to_ascii_lowercase(), v.trim().to_string()));
+    }
+
+    if headers
+        .iter()
+        .filter(|(k, _)| k == "content-length")
+        .count()
+        > 1
+    {
+        return Err(io::Error::new(
+            io::ErrorKind::InvalidData,
+            "duplicate Content-Length headers",
+        ));
+    }
+    let content_length = headers
+        .iter()
+        .find(|(k, _)| k == "content-length")
+        .map(|(_, v)| {
+            v.parse::<usize>()
+                .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length"))
+        })
+        .transpose()?
+        .unwrap_or(0);
+    if content_length > MAX_BODY {
+        return Err(io::Error::new(io::ErrorKind::InvalidData, "body too large"));
+    }
+    if buf.len() - pos < content_length {
+        return Ok(ParseStatus::Partial {
+            body_expected: true,
+        });
+    }
+    let body = buf[pos..pos + content_length].to_vec();
+
+    let close = headers
+        .iter()
+        .find(|(k, _)| k == "connection")
+        .map(|(_, v)| v.eq_ignore_ascii_case("close"))
+        .unwrap_or(version == "HTTP/1.0");
+    let (path, query) = match target.split_once('?') {
+        Some((p, q)) => (p.to_string(), Some(q.to_string())),
+        None => (target.to_string(), None),
+    };
+
+    Ok(ParseStatus::Complete {
+        consumed: pos + content_length,
+        req: Request {
+            method: method.to_ascii_uppercase(),
+            path,
+            query,
+            headers,
+            body,
+            close,
+        },
+    })
+}
+
 /// Reason phrase for the status codes this server emits.
 pub fn reason(status: u16) -> &'static str {
     match status {
@@ -231,22 +384,7 @@ pub fn write_response(
     extra_headers: &[(String, String)],
     close: bool,
 ) -> io::Result<()> {
-    let has_content_type = extra_headers
-        .iter()
-        .any(|(k, _)| k.eq_ignore_ascii_case("content-type"));
-    let mut head = format!("HTTP/1.1 {status} {}\r\n", reason(status));
-    if !has_content_type {
-        head.push_str("content-type: application/json\r\n");
-    }
-    head.push_str(&format!("content-length: {}\r\n", body.len()));
-    for (k, v) in extra_headers {
-        head.push_str(&format!("{k}: {v}\r\n"));
-    }
-    head.push_str(if close {
-        "connection: close\r\n\r\n"
-    } else {
-        "connection: keep-alive\r\n\r\n"
-    });
+    let head = response_head(status, Some(body.len()), extra_headers, close);
     if chaos::inject("http.torn_write") {
         // A torn response: full header (advertising the real length) but
         // only half the body, then the connection errors out. The client
@@ -263,6 +401,49 @@ pub fn write_response(
     w.write_all(body)?;
     w.flush()
 }
+
+/// Renders a response head. `body_len: Some(n)` frames with
+/// `Content-Length`; `None` frames with `Transfer-Encoding: chunked`
+/// (streamed progress responses). Header order matches what
+/// [`write_response`] has always emitted.
+pub(crate) fn response_head(
+    status: u16,
+    body_len: Option<usize>,
+    extra_headers: &[(String, String)],
+    close: bool,
+) -> String {
+    let has_content_type = extra_headers
+        .iter()
+        .any(|(k, _)| k.eq_ignore_ascii_case("content-type"));
+    let mut head = format!("HTTP/1.1 {status} {}\r\n", reason(status));
+    if !has_content_type {
+        head.push_str("content-type: application/json\r\n");
+    }
+    match body_len {
+        Some(n) => head.push_str(&format!("content-length: {n}\r\n")),
+        None => head.push_str("transfer-encoding: chunked\r\n"),
+    }
+    for (k, v) in extra_headers {
+        head.push_str(&format!("{k}: {v}\r\n"));
+    }
+    head.push_str(if close {
+        "connection: close\r\n\r\n"
+    } else {
+        "connection: keep-alive\r\n\r\n"
+    });
+    head
+}
+
+/// Frames one chunk of a `Transfer-Encoding: chunked` body.
+pub(crate) fn chunk(data: &[u8]) -> Vec<u8> {
+    let mut out = format!("{:x}\r\n", data.len()).into_bytes();
+    out.extend_from_slice(data);
+    out.extend_from_slice(b"\r\n");
+    out
+}
+
+/// The terminal zero-length chunk.
+pub(crate) const FINAL_CHUNK: &[u8] = b"0\r\n\r\n";
 
 // ---------------------------------------------------------------------
 // Client
@@ -343,6 +524,7 @@ impl ClientConn {
                 )
             })?;
         let mut content_length = 0usize;
+        let mut chunked = false;
         let mut headers = Vec::new();
         loop {
             let line = read_line(&mut self.reader)?.ok_or_else(|| {
@@ -358,14 +540,71 @@ impl ClientConn {
                         io::Error::new(io::ErrorKind::InvalidData, "bad Content-Length")
                     })?;
                 }
+                if k == "transfer-encoding" && v.eq_ignore_ascii_case("chunked") {
+                    chunked = true;
+                }
                 headers.push((k, v));
             }
         }
-        let mut body = vec![0u8; content_length];
-        self.reader.read_exact(&mut body)?;
+        let body = if chunked {
+            self.read_chunked_body()?
+        } else {
+            let mut body = vec![0u8; content_length];
+            self.reader.read_exact(&mut body)?;
+            body
+        };
         let body = String::from_utf8(body)
             .map_err(|_| io::Error::new(io::ErrorKind::InvalidData, "non-UTF-8 body"))?;
         Ok((status, headers, body))
+    }
+
+    /// Decodes a `Transfer-Encoding: chunked` body (streamed progress
+    /// responses), concatenating the chunks. Bounded so a runaway
+    /// stream cannot buffer without limit.
+    fn read_chunked_body(&mut self) -> io::Result<Vec<u8>> {
+        const MAX_STREAM_BODY: usize = 16 * 1024 * 1024;
+        let mut body = Vec::new();
+        loop {
+            let line = read_line(&mut self.reader)?
+                .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "EOF in chunk size"))?;
+            let size_str = line.split(';').next().unwrap_or("").trim();
+            let size = usize::from_str_radix(size_str, 16).map_err(|_| {
+                io::Error::new(io::ErrorKind::InvalidData, format!("bad chunk size `{line}`"))
+            })?;
+            if size == 0 {
+                // Trailer section: read lines until the blank terminator.
+                loop {
+                    match read_line(&mut self.reader)? {
+                        Some(l) if l.is_empty() => return Ok(body),
+                        Some(_) => continue,
+                        None => {
+                            return Err(io::Error::new(
+                                io::ErrorKind::UnexpectedEof,
+                                "EOF in chunk trailer",
+                            ))
+                        }
+                    }
+                }
+            }
+            if body.len() + size > MAX_STREAM_BODY {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "chunked body too large",
+                ));
+            }
+            let start = body.len();
+            body.resize(start + size, 0);
+            self.reader.read_exact(&mut body[start..])?;
+            // The CRLF after the chunk payload.
+            let sep = read_line(&mut self.reader)?
+                .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "EOF after chunk"))?;
+            if !sep.is_empty() {
+                return Err(io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    "missing chunk terminator",
+                ));
+            }
+        }
     }
 }
 
@@ -468,6 +707,90 @@ mod tests {
         assert!(s.contains("content-length: 2\r\n"));
         assert!(s.contains("retry-after: 1\r\n"));
         assert!(s.ends_with("\r\n\r\n{}"));
+    }
+
+    #[test]
+    fn incremental_parser_agrees_with_blocking_parser() {
+        let corpus: &[&[u8]] = &[
+            b"POST /experiments?x=1&y=2 HTTP/1.1\r\nHost: h\r\nContent-Length: 4\r\n\r\nabcd",
+            b"GET /x?quick&depth=3 HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nConnection: close\r\n\r\n",
+            b"GET /x HTTP/1.0\r\n\r\n",
+            b"GARBAGE\r\n\r\n",
+            b"GET /x HTTP/2.0\r\n\r\n",
+            b"GET noslash HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nbadheader\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nContent-Length: nope\r\n\r\n",
+            b"POST /x HTTP/1.1\r\nContent-Length: 4\r\nContent-Length: 4\r\n\r\nabcd",
+        ];
+        for raw in corpus {
+            let blocking = read_request(&mut Cursor::new(*raw));
+            let incremental = try_parse_request(raw);
+            match (blocking, incremental) {
+                (Ok(Some(a)), Ok(ParseStatus::Complete { req: b, consumed })) => {
+                    assert_eq!(a.method, b.method, "{raw:?}");
+                    assert_eq!(a.path, b.path);
+                    assert_eq!(a.query, b.query);
+                    assert_eq!(a.headers, b.headers);
+                    assert_eq!(a.body, b.body);
+                    assert_eq!(a.close, b.close);
+                    assert_eq!(consumed, raw.len(), "{raw:?}");
+                }
+                (Err(a), Err(b)) => assert_eq!(a.kind(), b.kind(), "{raw:?}"),
+                (a, b) => panic!("parsers disagree on {raw:?}: {a:?} vs {b:?}"),
+            }
+        }
+    }
+
+    #[test]
+    fn incremental_parser_reports_partials_byte_by_byte() {
+        let raw = b"POST /experiments HTTP/1.1\r\nContent-Length: 4\r\n\r\nabcd";
+        for cut in 0..raw.len() {
+            match try_parse_request(&raw[..cut]).unwrap() {
+                ParseStatus::Partial { body_expected } => {
+                    // The body is only "expected" once the blank line landed.
+                    let headers_done = cut >= raw.len() - 4;
+                    assert_eq!(body_expected, headers_done, "cut={cut}");
+                }
+                ParseStatus::Complete { .. } => panic!("complete at cut {cut}"),
+            }
+        }
+        assert!(matches!(
+            try_parse_request(raw).unwrap(),
+            ParseStatus::Complete { consumed, .. } if consumed == raw.len()
+        ));
+    }
+
+    #[test]
+    fn incremental_parser_consumes_one_pipelined_request_at_a_time() {
+        let raw = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let ParseStatus::Complete { req, consumed } = try_parse_request(raw).unwrap() else {
+            panic!("first request incomplete");
+        };
+        assert_eq!(req.path, "/a");
+        let ParseStatus::Complete { req, consumed: c2 } = try_parse_request(&raw[consumed..]).unwrap()
+        else {
+            panic!("second request incomplete");
+        };
+        assert_eq!(req.path, "/b");
+        assert_eq!(consumed + c2, raw.len());
+    }
+
+    #[test]
+    fn incremental_parser_rejects_overlong_partial_lines() {
+        let raw = vec![b'A'; MAX_LINE + 16];
+        let err = try_parse_request(&raw).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::InvalidData);
+    }
+
+    #[test]
+    fn chunk_framing_round_trips() {
+        let framed = [chunk(b"hello"), chunk(b", world"), FINAL_CHUNK.to_vec()].concat();
+        assert!(framed.starts_with(b"5\r\nhello\r\n"));
+        assert!(framed.ends_with(b"0\r\n\r\n"));
+        let head = response_head(200, None, &[], true);
+        assert!(head.contains("transfer-encoding: chunked\r\n"));
+        assert!(!head.contains("content-length"));
     }
 
     #[test]

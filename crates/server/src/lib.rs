@@ -32,15 +32,19 @@
 pub mod cluster;
 pub mod http;
 pub mod minjson;
+pub mod poll;
 pub mod retry;
 
+mod core;
 mod engine;
 mod routes;
 mod tier;
 
+use crate::core::{CoreConfig, CoreHandle, Dispatch, Service};
 use engine::{Engine, EngineConfig, ServerStats};
 use gem5prof_chaos as chaos;
-use routes::Shared;
+use http::Request;
+use routes::{Routed, Shared};
 use std::io::{self, BufReader};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
@@ -86,6 +90,26 @@ pub struct ServeConfig {
     pub profile_dir: Option<PathBuf>,
     /// Profstore ring capacity (snapshots kept, memory and disk).
     pub profile_cap: usize,
+    /// Connection cap for the readiness core: accepts beyond it get an
+    /// immediate canned 503 + `Retry-After` instead of an unbounded
+    /// per-connection thread.
+    pub max_conns: usize,
+    /// Idle / slow-header deadline. Partial request bytes do NOT
+    /// extend it, so drip-fed headers (slow loris) die on schedule.
+    pub read_timeout: Duration,
+    /// Stalled-reader deadline: a client that stops draining its
+    /// response is disconnected once writes make no progress for this
+    /// long.
+    pub write_timeout: Duration,
+    /// Serve with the legacy blocking thread-per-connection core.
+    /// Exists only for benchmarking the structural baseline the
+    /// readiness core replaces (`--thread-per-conn`), like
+    /// `--no-coalesce` does for the thundering herd.
+    pub thread_per_conn: bool,
+    /// Socket send-buffer override for accepted connections. Tests and
+    /// benches force tiny buffers to hit write deadlines
+    /// deterministically; `None` (production) keeps kernel defaults.
+    pub sndbuf: Option<usize>,
 }
 
 impl Default for ServeConfig {
@@ -103,6 +127,11 @@ impl Default for ServeConfig {
             peers: Vec::new(),
             profile_dir: None,
             profile_cap: 64,
+            max_conns: 4096,
+            read_timeout: IDLE_TIMEOUT,
+            write_timeout: Duration::from_secs(10),
+            thread_per_conn: false,
+            sndbuf: None,
         }
     }
 }
@@ -114,7 +143,10 @@ pub struct ServerHandle {
     addr: SocketAddr,
     draining: Arc<AtomicBool>,
     engine: Arc<Engine>,
+    /// Legacy thread-per-connection acceptor (`thread_per_conn`).
     acceptor: Option<JoinHandle<()>>,
+    /// Readiness core (the default serving path).
+    core: Option<CoreHandle>,
     profstore: Option<Arc<gem5prof_profstore::ProfStore>>,
 }
 
@@ -136,10 +168,21 @@ impl ServerHandle {
     /// workers. Returns when the engine is idle.
     pub fn shutdown(mut self) {
         self.draining.store(true, Ordering::SeqCst);
+        // Nudge the core so it observes the flag now: it stops
+        // accepting, answers buffered requests with 503, and holds
+        // only connections still waiting on the engine.
+        if let Some(core) = &self.core {
+            core.wake();
+        }
         if let Some(a) = self.acceptor.take() {
             let _ = a.join();
         }
+        // Resolves every in-flight compute; each completion wakes the
+        // core, which unwinds its last pending connections.
         self.engine.drain();
+        if let Some(mut core) = self.core.take() {
+            core.join();
+        }
         // Land any queued profile segments before reporting "drained":
         // a restarted daemon must see every snapshot captured before
         // the shutdown.
@@ -246,34 +289,167 @@ pub fn serve(cfg: ServeConfig) -> io::Result<ServerHandle> {
         profstore: profstore.clone(),
     });
 
-    let draining_a = Arc::clone(&draining);
-    let acceptor = std::thread::Builder::new()
-        .name("served-acceptor".into())
-        .spawn(move || loop {
-            if draining_a.load(Ordering::Relaxed) {
-                break;
-            }
-            match listener.accept() {
-                Ok((stream, _)) => {
-                    let shared = Arc::clone(&shared);
-                    let _ = std::thread::Builder::new()
-                        .name("served-conn".into())
-                        .spawn(move || serve_connection(stream, &shared));
-                }
-                Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
-                    std::thread::sleep(Duration::from_millis(10));
-                }
-                Err(_) => std::thread::sleep(Duration::from_millis(10)),
-            }
-        })?;
+    let (acceptor, core) = if cfg.thread_per_conn {
+        (Some(legacy_acceptor(listener, shared, &cfg)?), None)
+    } else {
+        let service: Arc<dyn Service> = Arc::new(ServedService { shared });
+        let core = core::spawn(
+            listener,
+            service,
+            CoreConfig {
+                name: "served",
+                max_conns: cfg.max_conns,
+                read_timeout: cfg.read_timeout,
+                write_timeout: cfg.write_timeout,
+                sndbuf: cfg.sndbuf,
+                // The served daemon never offloads: blocking work runs
+                // on the engine's worker pool.
+                offload_threads: 0,
+            },
+        )?;
+        // Completed jobs nudge the poller so pending connections are
+        // answered promptly instead of on the idle tick.
+        let waker = core.waker();
+        engine.set_waker(Box::new(move || waker.wake()));
+        (None, Some(core))
+    };
 
     Ok(ServerHandle {
         addr,
         draining,
         engine,
-        acceptor: Some(acceptor),
+        acceptor,
+        core,
         profstore,
     })
+}
+
+/// The experiment server's routing/accounting half of the readiness
+/// core: request counting, chaos connection drops, drain rejection
+/// (with the `/peek` exemption), then route dispatch.
+struct ServedService {
+    shared: Arc<Shared>,
+}
+
+impl Service for ServedService {
+    fn dispatch(&self, req: Request) -> Dispatch {
+        // One span per request: routing + submission. (Compute time is
+        // accounted by the worker's own `serve_compute` span; the
+        // poller thread cannot hold a span open across loop turns.)
+        let _span = gem5prof_obs::span("http_request");
+        if chaos::inject("server.conn_drop") {
+            // The connection dies after the request is parsed but
+            // before any response: the client must see a clean
+            // transport error. Count it as an "other" response so
+            // `/stats` accounting stays exact (every parsed request
+            // gets an outcome).
+            self.shared.stats.count(0);
+            chaos::recovered("server.conn_drop");
+            return Dispatch::Hangup;
+        }
+        // `/peek` stays answerable during a drain: it is a pure
+        // warm-tier read (never a compute), and a draining node is
+        // exactly the "old owner" a peer wants to fetch from before
+        // recomputing a migrated key.
+        if self.shared.draining.load(Ordering::Relaxed) && req.path != "/peek" {
+            return Dispatch::Reply(routes::draining_reply());
+        }
+        match routes::dispatch(&req, &self.shared) {
+            Routed::Done(reply) => Dispatch::Reply(reply),
+            Routed::Pending { rx, stream } => Dispatch::Pending { rx, stream },
+        }
+    }
+
+    fn count_request(&self) {
+        self.shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    fn count_response(&self, status: u16) {
+        self.shared.stats.count(status);
+    }
+
+    fn count_parse_error(&self) {
+        // Same books as the blocking core's `InvalidData` arm: the
+        // malformed request is counted, and so is its 400.
+        self.shared.stats.requests.fetch_add(1, Ordering::Relaxed);
+        self.shared.stats.count(400);
+    }
+
+    fn draining(&self) -> bool {
+        self.shared.draining.load(Ordering::Relaxed)
+    }
+
+    fn deadline(&self) -> Duration {
+        self.shared.deadline
+    }
+
+    fn recover_wire_chaos(&self) -> bool {
+        true
+    }
+
+    fn progress_body(&self, elapsed: Duration) -> String {
+        minjson::Json::obj(vec![(
+            "progress",
+            minjson::Json::obj(vec![
+                ("elapsed_ms", minjson::Json::Num(elapsed.as_millis() as f64)),
+                (
+                    "queue_depth",
+                    minjson::Json::Num(self.shared.engine.queue_depth() as f64),
+                ),
+                (
+                    "in_flight",
+                    minjson::Json::Num(self.shared.engine.in_flight() as f64),
+                ),
+            ]),
+        )])
+        .to_string_compact()
+    }
+}
+
+/// The pre-readiness-core serving loop: one OS thread per connection.
+/// Kept (behind `thread_per_conn`) as the structural baseline
+/// `bench_serving.sh` measures the core against, with its connection
+/// bugs fixed: no fallible `try_clone`, a write timeout, and
+/// exponential accept-error backoff.
+fn legacy_acceptor(
+    listener: TcpListener,
+    shared: Arc<Shared>,
+    cfg: &ServeConfig,
+) -> io::Result<JoinHandle<()>> {
+    let draining = Arc::clone(&shared.draining);
+    let (read_timeout, write_timeout) = (cfg.read_timeout, cfg.write_timeout);
+    std::thread::Builder::new()
+        .name("served-acceptor".into())
+        .spawn(move || {
+            let mut error_streak = 0u32;
+            loop {
+                if draining.load(Ordering::Relaxed) {
+                    break;
+                }
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        error_streak = 0;
+                        let shared = Arc::clone(&shared);
+                        let _ = std::thread::Builder::new()
+                            .name("served-conn".into())
+                            .spawn(move || {
+                                serve_connection(stream, &shared, read_timeout, write_timeout)
+                            });
+                    }
+                    Err(e) if e.kind() == io::ErrorKind::WouldBlock => {
+                        error_streak = 0;
+                        std::thread::sleep(Duration::from_millis(10));
+                    }
+                    Err(_) => {
+                        // EMFILE and friends: retrying in a hot 10ms
+                        // loop just spins; back off exponentially.
+                        error_streak += 1;
+                        let pause = (1u64 << error_streak.min(10)).min(1000);
+                        std::thread::sleep(Duration::from_millis(pause));
+                    }
+                }
+            }
+        })
 }
 
 /// Idle keep-alive timeout: a connection with no request for this long
@@ -283,14 +459,22 @@ const IDLE_TIMEOUT: Duration = Duration::from_secs(5);
 /// Serves one connection: a keep-alive loop of request → route →
 /// response. Returns (closing the connection) on EOF, idle timeout,
 /// malformed input, drain, or an explicit `Connection: close`.
-fn serve_connection(stream: TcpStream, shared: &Shared) {
+fn serve_connection(
+    stream: TcpStream,
+    shared: &Shared,
+    read_timeout: Duration,
+    write_timeout: Duration,
+) {
     let _ = stream.set_nodelay(true);
-    let _ = stream.set_read_timeout(Some(IDLE_TIMEOUT));
-    let mut writer = match stream.try_clone() {
-        Ok(w) => w,
-        Err(_) => return,
-    };
-    let mut reader = BufReader::new(stream);
+    let _ = stream.set_read_timeout(Some(read_timeout));
+    // A stalled reader must not wedge this thread forever (the
+    // readiness core enforces the same bound with its write deadline).
+    let _ = stream.set_write_timeout(Some(write_timeout));
+    // Read and write through plain references to the one stream — the
+    // old `try_clone` had a failure path that silently dropped the
+    // connection with no response and no stats count.
+    let mut writer = &stream;
+    let mut reader = BufReader::new(&stream);
     loop {
         match http::read_request(&mut reader) {
             Ok(Some(req)) => {

@@ -6,6 +6,8 @@
 //!                 [--deadline-ms N] [--no-coalesce] [--worker-delay-ms N]
 //!                 [--port-file PATH] [--node-id ID] [--peers A,B,...]
 //!                 [--profile-dir PATH] [--profile-cap N]
+//!                 [--max-conns N] [--read-timeout-ms N]
+//!                 [--write-timeout-ms N] [--thread-per-conn] [--sndbuf BYTES]
 //! ```
 //!
 //! `--addr 127.0.0.1:0` binds an ephemeral port; `--port-file` writes
@@ -57,7 +59,9 @@ fn usage() -> ! {
          [--queue N] [--cache-cap N] [--cache-dir PATH] [--deadline-ms N] \
          [--no-coalesce] [--worker-delay-ms N] [--port-file PATH] \
          [--node-id ID] [--peers HOST:PORT,HOST:PORT,...] \
-         [--profile-dir PATH] [--profile-cap N]"
+         [--profile-dir PATH] [--profile-cap N] [--max-conns N] \
+         [--read-timeout-ms N] [--write-timeout-ms N] [--thread-per-conn] \
+         [--sndbuf BYTES]"
     );
     std::process::exit(2);
 }
@@ -94,6 +98,20 @@ fn main() {
                 step = 1;
             }
             "--worker-delay-ms" => cfg.worker_delay = Duration::from_millis(parse_usize(i) as u64),
+            "--max-conns" => cfg.max_conns = parse_usize(i).max(1),
+            "--read-timeout-ms" => {
+                cfg.read_timeout = Duration::from_millis(parse_usize(i).max(1) as u64)
+            }
+            "--write-timeout-ms" => {
+                cfg.write_timeout = Duration::from_millis(parse_usize(i).max(1) as u64)
+            }
+            "--thread-per-conn" => {
+                // Benchmark baseline only: the pre-readiness-core
+                // blocking serving loop, one OS thread per connection.
+                cfg.thread_per_conn = true;
+                step = 1;
+            }
+            "--sndbuf" => cfg.sndbuf = Some(parse_usize(i).max(1)),
             "--profile-dir" => cfg.profile_dir = Some(value(i).into()),
             "--profile-cap" => cfg.profile_cap = parse_usize(i).max(1),
             "--port-file" => port_file = Some(value(i)),

@@ -1,0 +1,460 @@
+//! Readiness primitives for the nonblocking server core: a thin
+//! epoll wrapper over raw syscalls (no external crates, matching the
+//! workspace's offline-safe policy) plus the wakeup pipe worker
+//! threads use to hand completed results back to the poller thread.
+//!
+//! Linux gets real `epoll`; other unixes fall back to `poll(2)` with
+//! the same API. The module is `pub` so the bench harness
+//! (`loadgen --open-loop`) can drive thousands of client connections
+//! from a single thread with the same readiness loop the server uses.
+
+use std::io;
+use std::os::fd::RawFd;
+use std::sync::Arc;
+use std::time::Duration;
+
+/// One readiness event: the registered token plus what the fd is
+/// ready for. `error` covers hangups and socket errors (always
+/// reported, regardless of requested interest).
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    pub token: u64,
+    pub readable: bool,
+    pub writable: bool,
+    pub error: bool,
+}
+
+// Syscalls shared by both backends. These link against the libc the
+// std runtime already carries — no crate dependency (the same idiom
+// `main.rs` uses for `signal`).
+extern "C" {
+    fn pipe(fds: *mut i32) -> i32;
+    fn fcntl(fd: i32, cmd: i32, ...) -> i32;
+    fn close(fd: i32) -> i32;
+    fn read(fd: i32, buf: *mut u8, count: usize) -> isize;
+    fn write(fd: i32, buf: *const u8, count: usize) -> isize;
+    fn setsockopt(fd: i32, level: i32, optname: i32, optval: *const i32, optlen: u32) -> i32;
+}
+
+const F_GETFL: i32 = 3;
+const F_SETFL: i32 = 4;
+#[cfg(target_os = "linux")]
+const O_NONBLOCK: i32 = 0o4000;
+#[cfg(not(target_os = "linux"))]
+const O_NONBLOCK: i32 = 0x0004;
+
+#[cfg(target_os = "linux")]
+const SOL_SOCKET: i32 = 1;
+#[cfg(target_os = "linux")]
+const SO_SNDBUF: i32 = 7;
+#[cfg(target_os = "linux")]
+const SO_RCVBUF: i32 = 8;
+#[cfg(not(target_os = "linux"))]
+const SOL_SOCKET: i32 = 0xffff;
+#[cfg(not(target_os = "linux"))]
+const SO_SNDBUF: i32 = 0x1001;
+#[cfg(not(target_os = "linux"))]
+const SO_RCVBUF: i32 = 0x1002;
+
+/// Marks an fd nonblocking via `fcntl` (for fds std cannot configure,
+/// like pipe ends).
+pub fn set_nonblocking(fd: RawFd) -> io::Result<()> {
+    unsafe {
+        let flags = fcntl(fd, F_GETFL);
+        if flags < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        if fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0 {
+            return Err(io::Error::last_os_error());
+        }
+    }
+    Ok(())
+}
+
+/// Clamps a socket's kernel send buffer. Test/bench hook: a small
+/// `SO_SNDBUF` makes write-deadline behavior deterministic without
+/// megabytes of response data.
+pub fn set_sndbuf(fd: RawFd, bytes: usize) {
+    let v = bytes as i32;
+    unsafe {
+        let _ = setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &v, std::mem::size_of::<i32>() as u32);
+    }
+}
+
+/// Clamps a socket's kernel receive buffer. Test hook: a stalled-reader
+/// client shrinks its `SO_RCVBUF` so the server's send side backs up
+/// after kilobytes instead of megabytes.
+pub fn set_rcvbuf(fd: RawFd, bytes: usize) {
+    let v = bytes as i32;
+    unsafe {
+        let _ = setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &v, std::mem::size_of::<i32>() as u32);
+    }
+}
+
+/// Converts a poll timeout to the millisecond form both backends take:
+/// `None` blocks forever; sub-millisecond waits round up so a due
+/// deadline is never spun on.
+fn timeout_ms(timeout: Option<Duration>) -> i32 {
+    match timeout {
+        None => -1,
+        Some(d) => d.as_millis().min(i32::MAX as u128) as i32 + i32::from(d.subsec_nanos() % 1_000_000 != 0),
+    }
+}
+
+// ---------------------------------------------------------------------
+// Linux backend: epoll
+// ---------------------------------------------------------------------
+
+#[cfg(target_os = "linux")]
+mod sys {
+    use super::*;
+
+    #[cfg_attr(target_arch = "x86_64", repr(C, packed))]
+    #[cfg_attr(not(target_arch = "x86_64"), repr(C))]
+    #[derive(Clone, Copy)]
+    pub struct EpollEvent {
+        pub events: u32,
+        pub data: u64,
+    }
+
+    extern "C" {
+        fn epoll_create1(flags: i32) -> i32;
+        fn epoll_ctl(epfd: i32, op: i32, fd: i32, event: *mut EpollEvent) -> i32;
+        fn epoll_wait(epfd: i32, events: *mut EpollEvent, maxevents: i32, timeout: i32) -> i32;
+    }
+
+    const EPOLL_CLOEXEC: i32 = 0o2000000;
+    const EPOLL_CTL_ADD: i32 = 1;
+    const EPOLL_CTL_DEL: i32 = 2;
+    const EPOLL_CTL_MOD: i32 = 3;
+    const EPOLLIN: u32 = 0x001;
+    const EPOLLOUT: u32 = 0x004;
+    const EPOLLERR: u32 = 0x008;
+    const EPOLLHUP: u32 = 0x010;
+    const EPOLLRDHUP: u32 = 0x2000;
+
+    /// Level-triggered readiness over an epoll instance.
+    #[derive(Debug)]
+    pub struct Poller {
+        epfd: i32,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            let epfd = unsafe { epoll_create1(EPOLL_CLOEXEC) };
+            if epfd < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(Poller { epfd })
+        }
+
+        fn ctl(&self, op: i32, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+            let mut events = EPOLLRDHUP;
+            if readable {
+                events |= EPOLLIN;
+            }
+            if writable {
+                events |= EPOLLOUT;
+            }
+            let mut ev = EpollEvent { events, data: token };
+            if unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        pub fn add(&mut self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_ADD, fd, token, readable, writable)
+        }
+
+        pub fn modify(&mut self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+            self.ctl(EPOLL_CTL_MOD, fd, token, readable, writable)
+        }
+
+        pub fn delete(&mut self, fd: RawFd) -> io::Result<()> {
+            let mut ev = EpollEvent { events: 0, data: 0 };
+            if unsafe { epoll_ctl(self.epfd, EPOLL_CTL_DEL, fd, &mut ev) } < 0 {
+                return Err(io::Error::last_os_error());
+            }
+            Ok(())
+        }
+
+        /// Waits for readiness, appending into `out` (cleared first).
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            out.clear();
+            let mut buf = [EpollEvent { events: 0, data: 0 }; 256];
+            let n = loop {
+                let n = unsafe {
+                    epoll_wait(self.epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms(timeout))
+                };
+                if n >= 0 {
+                    break n as usize;
+                }
+                let e = io::Error::last_os_error();
+                if e.kind() != io::ErrorKind::Interrupted {
+                    return Err(e);
+                }
+            };
+            for ev in &buf[..n] {
+                let bits = ev.events;
+                out.push(Event {
+                    token: ev.data,
+                    readable: bits & EPOLLIN != 0,
+                    writable: bits & EPOLLOUT != 0,
+                    error: bits & (EPOLLERR | EPOLLHUP | EPOLLRDHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+
+    impl Drop for Poller {
+        fn drop(&mut self) {
+            unsafe {
+                close(self.epfd);
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------
+// Portable unix fallback: poll(2)
+// ---------------------------------------------------------------------
+
+#[cfg(all(unix, not(target_os = "linux")))]
+mod sys {
+    use super::*;
+    use std::collections::HashMap;
+
+    #[repr(C)]
+    struct PollFd {
+        fd: i32,
+        events: i16,
+        revents: i16,
+    }
+
+    extern "C" {
+        fn poll(fds: *mut PollFd, nfds: u64, timeout: i32) -> i32;
+    }
+
+    const POLLIN: i16 = 0x001;
+    const POLLOUT: i16 = 0x004;
+    const POLLERR: i16 = 0x008;
+    const POLLHUP: i16 = 0x010;
+
+    /// Level-triggered readiness rebuilt per wait from a registration
+    /// map — O(n) per wake, fine for the connection counts non-Linux
+    /// dev machines see.
+    #[derive(Debug)]
+    pub struct Poller {
+        registered: HashMap<RawFd, (u64, bool, bool)>,
+    }
+
+    impl Poller {
+        pub fn new() -> io::Result<Poller> {
+            Ok(Poller {
+                registered: HashMap::new(),
+            })
+        }
+
+        pub fn add(&mut self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+            self.registered.insert(fd, (token, readable, writable));
+            Ok(())
+        }
+
+        pub fn modify(&mut self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+            self.registered.insert(fd, (token, readable, writable));
+            Ok(())
+        }
+
+        pub fn delete(&mut self, fd: RawFd) -> io::Result<()> {
+            self.registered.remove(&fd);
+            Ok(())
+        }
+
+        pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<()> {
+            out.clear();
+            let mut fds: Vec<PollFd> = self
+                .registered
+                .iter()
+                .map(|(&fd, &(_, r, w))| PollFd {
+                    fd,
+                    events: if r { POLLIN } else { 0 } | if w { POLLOUT } else { 0 },
+                    revents: 0,
+                })
+                .collect();
+            let n = loop {
+                let n = unsafe { poll(fds.as_mut_ptr(), fds.len() as u64, timeout_ms(timeout)) };
+                if n >= 0 {
+                    break n;
+                }
+                let e = io::Error::last_os_error();
+                if e.kind() != io::ErrorKind::Interrupted {
+                    return Err(e);
+                }
+            };
+            if n == 0 {
+                return Ok(());
+            }
+            for pfd in &fds {
+                if pfd.revents == 0 {
+                    continue;
+                }
+                let (token, _, _) = self.registered[&pfd.fd];
+                out.push(Event {
+                    token,
+                    readable: pfd.revents & POLLIN != 0,
+                    writable: pfd.revents & POLLOUT != 0,
+                    error: pfd.revents & (POLLERR | POLLHUP) != 0,
+                });
+            }
+            Ok(())
+        }
+    }
+}
+
+#[cfg(not(unix))]
+compile_error!("the gem5prof-served readiness core requires a unix platform");
+
+pub use sys::Poller;
+
+// ---------------------------------------------------------------------
+// Wakeup pipe
+// ---------------------------------------------------------------------
+
+/// The write end of the wakeup pipe, closed when the last clone drops.
+#[derive(Debug)]
+struct WriteEnd(i32);
+
+impl Drop for WriteEnd {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.0);
+        }
+    }
+}
+
+/// Wakes a [`Poller`] blocked in `wait` from another thread. Clone
+/// freely; engine workers and offload threads each hold one.
+#[derive(Debug, Clone)]
+pub struct Waker(Arc<WriteEnd>);
+
+impl Waker {
+    /// Best-effort one-byte write. A full pipe already guarantees a
+    /// pending wakeup, so `EAGAIN` (like every other error here) is
+    /// deliberately ignored.
+    pub fn wake(&self) {
+        let b = 1u8;
+        unsafe {
+            let _ = write(self.0 .0, &b, 1);
+        }
+    }
+}
+
+/// A nonblocking self-pipe: register [`read_fd`](WakePipe::read_fd)
+/// for readability, hand [`waker`](WakePipe::waker)s to other threads,
+/// and [`drain`](WakePipe::drain) on every readable event.
+#[derive(Debug)]
+pub struct WakePipe {
+    read_fd: i32,
+    write_end: Arc<WriteEnd>,
+}
+
+impl WakePipe {
+    pub fn new() -> io::Result<WakePipe> {
+        let mut fds = [0i32; 2];
+        if unsafe { pipe(fds.as_mut_ptr()) } < 0 {
+            return Err(io::Error::last_os_error());
+        }
+        let (r, w) = (fds[0], fds[1]);
+        let pipe = WakePipe {
+            read_fd: r,
+            write_end: Arc::new(WriteEnd(w)),
+        };
+        set_nonblocking(r)?;
+        set_nonblocking(w)?;
+        Ok(pipe)
+    }
+
+    pub fn read_fd(&self) -> RawFd {
+        self.read_fd
+    }
+
+    pub fn waker(&self) -> Waker {
+        Waker(Arc::clone(&self.write_end))
+    }
+
+    /// Consumes every queued wakeup byte.
+    pub fn drain(&self) {
+        let mut buf = [0u8; 256];
+        loop {
+            let n = unsafe { read(self.read_fd, buf.as_mut_ptr(), buf.len()) };
+            if n <= 0 {
+                break;
+            }
+        }
+    }
+}
+
+impl Drop for WakePipe {
+    fn drop(&mut self) {
+        unsafe {
+            close(self.read_fd);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Instant;
+
+    #[test]
+    fn wake_pipe_wakes_a_blocked_wait() {
+        let mut poller = Poller::new().unwrap();
+        let pipe = WakePipe::new().unwrap();
+        poller.add(pipe.read_fd(), 7, true, false).unwrap();
+        let waker = pipe.waker();
+        let t = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(50));
+            waker.wake();
+        });
+        let mut events = Vec::new();
+        let started = Instant::now();
+        poller.wait(&mut events, Some(Duration::from_secs(10))).unwrap();
+        assert!(started.elapsed() < Duration::from_secs(5), "wakeup never arrived");
+        assert!(events.iter().any(|e| e.token == 7 && e.readable));
+        pipe.drain();
+        t.join().unwrap();
+    }
+
+    #[test]
+    fn wait_times_out_with_no_events() {
+        let mut poller = Poller::new().unwrap();
+        let pipe = WakePipe::new().unwrap();
+        poller.add(pipe.read_fd(), 1, true, false).unwrap();
+        let mut events = Vec::new();
+        let started = Instant::now();
+        poller.wait(&mut events, Some(Duration::from_millis(30))).unwrap();
+        assert!(events.is_empty());
+        assert!(started.elapsed() >= Duration::from_millis(25));
+    }
+
+    #[test]
+    fn repeated_wakes_coalesce_and_drain() {
+        let mut poller = Poller::new().unwrap();
+        let pipe = WakePipe::new().unwrap();
+        poller.add(pipe.read_fd(), 3, true, false).unwrap();
+        let waker = pipe.waker();
+        for _ in 0..1000 {
+            waker.wake();
+        }
+        let mut events = Vec::new();
+        poller.wait(&mut events, Some(Duration::from_secs(1))).unwrap();
+        assert!(events.iter().any(|e| e.token == 3 && e.readable));
+        pipe.drain();
+        // Fully drained: the next wait sees nothing.
+        poller.wait(&mut events, Some(Duration::from_millis(20))).unwrap();
+        assert!(events.is_empty());
+    }
+}

@@ -37,7 +37,7 @@ pub(crate) struct Shared {
     pub profstore: Option<Arc<ProfStore>>,
 }
 
-fn error_body(msg: &str) -> String {
+pub(crate) fn error_body(msg: &str) -> String {
     Json::obj(vec![("error", Json::str(msg))]).to_string_compact()
 }
 
@@ -48,7 +48,7 @@ fn plain(status: u16, msg: &str) -> Reply {
 /// The drain rejection: `Retry-After` marks it as transient so
 /// retrying clients (see `retry`) treat it like backpressure instead
 /// of a hard failure.
-fn draining_reply() -> Reply {
+pub(crate) fn draining_reply() -> Reply {
     (
         503,
         error_body("draining"),
@@ -80,8 +80,85 @@ pub(crate) fn route_key(req: &Request) -> Option<String> {
     }
 }
 
-/// Dispatches one parsed request to its route.
+/// A routed request: either already answered, or waiting on a compute
+/// whose result arrives on `rx`.
+pub(crate) enum Routed {
+    Done(Reply),
+    /// `stream` asks for a chunked response with progress lines while
+    /// the compute runs (`POST /experiments?stream=progress`).
+    Pending {
+        rx: mpsc::Receiver<Result<Arc<String>, String>>,
+        stream: bool,
+    },
+}
+
+/// Dispatches one parsed request to its route without blocking on
+/// computes: the readiness core polls `Routed::Pending` receivers.
+pub(crate) fn dispatch(req: &Request, shared: &Shared) -> Routed {
+    match (req.method.as_str(), req.path.as_str()) {
+        ("GET", path) if path.starts_with("/figures/") => {
+            match parse_figure_path(&path["/figures/".len()..], req) {
+                Ok(work) => start_work(work, shared, false),
+                Err((status, msg)) => Routed::Done(plain(status, &msg)),
+            }
+        }
+        ("GET", "/tables/table1") => start_work(Work::Table(1), shared, false),
+        ("GET", "/tables/table2") => start_work(Work::Table(2), shared, false),
+        ("POST", "/experiments") => {
+            // Streaming is opt-in per request; any other value fails
+            // loudly instead of silently running unstreamed.
+            let stream = match req.query_param("stream") {
+                None => false,
+                Some("progress") => true,
+                Some(other) => {
+                    return Routed::Done(plain(
+                        400,
+                        &format!("unknown stream mode `{other}` (want `progress`)"),
+                    ))
+                }
+            };
+            match parse_experiment(&req.body) {
+                Ok(spec) => start_work(Work::Experiment(spec), shared, stream),
+                Err(msg) => Routed::Done(plain(400, &msg)),
+            }
+        }
+        _ => Routed::Done(inline_routes(req, shared)),
+    }
+}
+
+/// Blocking dispatch: routes, then waits out any compute under the
+/// per-request deadline. The legacy thread-per-connection path (and
+/// tests) use this; the readiness core uses [`dispatch`] directly.
 pub(crate) fn handle(req: &Request, shared: &Shared) -> Reply {
+    match dispatch(req, shared) {
+        Routed::Done(reply) => reply,
+        Routed::Pending { rx, .. } => await_pending(&rx, shared.deadline),
+    }
+}
+
+/// Waits for a compute result the way `recv_timeout` always has:
+/// 200/500 on an answer, 504 on deadline (the eventual result still
+/// warms the cache), 500 if the worker died without answering.
+pub(crate) fn await_pending(
+    rx: &mpsc::Receiver<Result<Arc<String>, String>>,
+    deadline: Duration,
+) -> Reply {
+    match rx.recv_timeout(deadline) {
+        Ok(Ok(body)) => (200, (*body).clone(), Vec::new()),
+        Ok(Err(msg)) => plain(500, &msg),
+        Err(mpsc::RecvTimeoutError::Timeout) => {
+            plain(504, "deadline exceeded (result will be cached)")
+        }
+        // The worker dropped the reply sender without answering (it
+        // panicked mid-job): a server fault, reported immediately —
+        // not a deadline expiry after a pointless full wait.
+        Err(mpsc::RecvTimeoutError::Disconnected) => plain(500, "worker failed before replying"),
+    }
+}
+
+/// Routes answered inline (no compute): status, caches, profiles,
+/// peers, and the 4xx fall-throughs.
+fn inline_routes(req: &Request, shared: &Shared) -> Reply {
     match (req.method.as_str(), req.path.as_str()) {
         ("GET", "/healthz") => (200, healthz_json(shared), Vec::new()),
         ("GET", "/stats") => (200, stats_json(shared), Vec::new()),
@@ -98,20 +175,11 @@ pub(crate) fn handle(req: &Request, shared: &Shared) -> Reply {
         ("GET", "/profile/diff") => profile_diff(req, shared),
         ("POST", "/profile/snapshot") => profile_snapshot(req, shared),
         ("POST", "/profile/bless") => profile_bless(req, shared),
-        ("GET", path) if path.starts_with("/figures/") => {
-            match parse_figure_path(&path["/figures/".len()..], req) {
-                Ok(work) => run_work(work, shared),
-                Err((status, msg)) => plain(status, &msg),
-            }
-        }
-        ("GET", "/tables/table1") => run_work(Work::Table(1), shared),
-        ("GET", "/tables/table2") => run_work(Work::Table(2), shared),
+        // Compute routes (`/figures/*`, `/tables/table1|2`,
+        // `POST /experiments`) are intercepted by `dispatch` and never
+        // reach here; only their method/path near-misses fall through.
         // `/tables/<anything else>` is a missing resource, not a bad request.
         ("GET", path) if path.starts_with("/tables/") => plain(404, "not found"),
-        ("POST", "/experiments") => match parse_experiment(&req.body) {
-            Ok(spec) => run_work(Work::Experiment(spec), shared),
-            Err(msg) => plain(400, &msg),
-        },
         // Peer warm-tier probe: the body is a canonical result-cache
         // key; answer from the local tiers or 404 — never compute. Kept
         // answerable during drain (see `serve_connection`) so a
@@ -156,13 +224,13 @@ pub(crate) fn handle(req: &Request, shared: &Shared) -> Reply {
     }
 }
 
-/// Runs compute work through the cache + admission queue, bounded by the
-/// per-request deadline.
-fn run_work(work: Work, shared: &Shared) -> Reply {
+/// Submits compute work through the cache + admission queue; a miss
+/// comes back as `Routed::Pending` for the caller to await.
+fn start_work(work: Work, shared: &Shared, stream: bool) -> Routed {
     if shared.draining.load(Ordering::Relaxed) {
-        return draining_reply();
+        return Routed::Done(draining_reply());
     }
-    match shared.engine.submit(work) {
+    Routed::Done(match shared.engine.submit(work) {
         Submission::Hit(body) => (200, (*body).clone(), Vec::new()),
         Submission::Busy => (
             429,
@@ -170,20 +238,8 @@ fn run_work(work: Work, shared: &Shared) -> Reply {
             vec![("retry-after".into(), "1".into())],
         ),
         Submission::Draining => draining_reply(),
-        Submission::Pending(rx) => match rx.recv_timeout(shared.deadline) {
-            Ok(Ok(body)) => (200, (*body).clone(), Vec::new()),
-            Ok(Err(msg)) => plain(500, &msg),
-            Err(mpsc::RecvTimeoutError::Timeout) => {
-                plain(504, "deadline exceeded (result will be cached)")
-            }
-            // The worker dropped the reply sender without answering (it
-            // panicked mid-job): a server fault, reported immediately —
-            // not a deadline expiry after a pointless full wait.
-            Err(mpsc::RecvTimeoutError::Disconnected) => {
-                plain(500, "worker failed before replying")
-            }
-        },
-    }
+        Submission::Pending(rx) => return Routed::Pending { rx, stream },
+    })
 }
 
 /// Parses `figNN` (accepting `fig1` and `fig01`) plus an optional
