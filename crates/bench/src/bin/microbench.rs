@@ -1,0 +1,146 @@
+//! `microbench` — guest-MIPS table for the microbenchmark suite.
+//!
+//! Runs every microbenchmark variant under the Atomic and Timing CPU
+//! models, in both execution tiers, asserting the tiers produce
+//! identical results and that each run deposits its expected guest
+//! checksum. Reports guest MIPS per cell (a pure guest-time metric, so
+//! it is deterministic) plus per-tier host wall seconds.
+//!
+//! ```text
+//! microbench [--json] [--scale test|simsmall|simmedium]
+//! ```
+//!
+//! `--json` emits a machine-readable summary on stdout (consumed by
+//! `scripts/bench_serving.sh` to refresh the `microbench` section of
+//! `BENCH_serving.json`); the human-readable table always goes to
+//! stderr. Commit provenance comes from `GEM5PROF_COMMIT` when set.
+
+use gem5sim::config::{CpuModel, ExecTier, SimMode, SystemConfig};
+use gem5sim::system::{SimResult, System};
+use gem5sim_workloads::{Microbench, Scale, Workload};
+use std::time::Instant;
+
+const MODELS: [CpuModel; 2] = [CpuModel::Atomic, CpuModel::Timing];
+
+struct Cell {
+    variant: &'static str,
+    cpu: &'static str,
+    insts: u64,
+    guest_mips: f64,
+    checksum: u64,
+    interp_s: f64,
+    block_s: f64,
+}
+
+fn run_tier(m: Microbench, scale: Scale, model: CpuModel, tier: ExecTier) -> (f64, SimResult) {
+    let cfg = SystemConfig::new(model, SimMode::Se).with_exec_tier(tier);
+    let mut sys = System::new(cfg, Workload::Micro(m).program(scale));
+    let start = Instant::now();
+    let r = sys.run();
+    (start.elapsed().as_secs_f64(), r)
+}
+
+fn main() {
+    let mut json = false;
+    let mut scale = Scale::Test;
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut i = 0;
+    while i < argv.len() {
+        match argv[i].as_str() {
+            "--json" => json = true,
+            "--scale" => {
+                i += 1;
+                scale = match argv.get(i).map(String::as_str) {
+                    Some("test") => Scale::Test,
+                    Some("simsmall") => Scale::SimSmall,
+                    Some("simmedium") => Scale::SimMedium,
+                    _ => {
+                        eprintln!("usage: microbench [--json] [--scale S]");
+                        std::process::exit(2);
+                    }
+                };
+            }
+            _ => {
+                eprintln!("usage: microbench [--json] [--scale S]");
+                std::process::exit(2);
+            }
+        }
+        i += 1;
+    }
+    let scale_name = match scale {
+        Scale::Test => "test",
+        Scale::SimSmall => "simsmall",
+        Scale::SimMedium => "simmedium",
+    };
+    let commit = std::env::var("GEM5PROF_COMMIT").unwrap_or_else(|_| "unknown".into());
+    eprintln!("microbench guest-MIPS: scale={scale_name}, commit={commit}");
+
+    let mut ok = true;
+    let mut cells = Vec::new();
+    for m in Microbench::ALL {
+        for model in MODELS {
+            let (interp_s, ri) = run_tier(m, scale, model, ExecTier::Interp);
+            let (block_s, rb) = run_tier(m, scale, model, ExecTier::Block);
+            if ri != rb {
+                eprintln!("error: {m}/{} tiers diverged", model.label());
+                ok = false;
+            }
+            let expected = m.expected_checksum(scale);
+            let got = rb.guest_checksums.first().copied().unwrap_or(0);
+            if got != expected {
+                eprintln!(
+                    "error: {m}/{} checksum {got:#x} != expected {expected:#x}",
+                    model.label()
+                );
+                ok = false;
+            }
+            let cell = Cell {
+                variant: m.name(),
+                cpu: model.label(),
+                insts: rb.committed_insts,
+                guest_mips: rb.committed_insts as f64 / rb.sim_seconds() / 1e6,
+                checksum: got,
+                interp_s,
+                block_s,
+            };
+            eprintln!(
+                "  {:<13} {:<7} {:>9} insts  {:>9.1} guest-MIPS  chk {:#018x}  interp {:>7.4}s  block {:>7.4}s",
+                cell.variant, cell.cpu, cell.insts, cell.guest_mips, cell.checksum,
+                cell.interp_s, cell.block_s
+            );
+            cells.push(cell);
+        }
+    }
+
+    if json {
+        let mut out = String::from("{\n");
+        out.push_str(&format!("  \"commit\": \"{commit}\",\n"));
+        out.push_str(&format!("  \"scale\": \"{scale_name}\",\n"));
+        out.push_str("  \"tiers\": [\"interp\", \"block\"],\n");
+        out.push_str("  \"runs\": [\n");
+        for (i, c) in cells.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"variant\": \"{}\", \"cpu\": \"{}\", \"insts\": {}, \
+                 \"guest_mips\": {:.3}, \"checksum\": \"{:#018x}\", \
+                 \"interp_seconds\": {:.6}, \"block_seconds\": {:.6}}}{}\n",
+                c.variant,
+                c.cpu,
+                c.insts,
+                c.guest_mips,
+                c.checksum,
+                c.interp_s,
+                c.block_s,
+                if i + 1 == cells.len() { "" } else { "," }
+            ));
+        }
+        out.push_str("  ],\n");
+        out.push_str(&format!("  \"all_verified\": {ok}\n"));
+        out.push('}');
+        println!("{out}");
+    }
+
+    if !ok {
+        eprintln!("error: microbench verification failed");
+        std::process::exit(1);
+    }
+}

@@ -3,7 +3,7 @@
 //!
 //! ```text
 //! repro all [--quick]        # everything, in paper order
-//! repro fig1 ... fig15       # one figure
+//! repro fig1 ... fig17       # one figure
 //! repro table1 | table2      # configuration tables
 //! repro hottest [cpu]        # named hottest functions (Fig. 15 detail)
 //! ```
@@ -103,6 +103,8 @@ fn main() {
         "fig13" => println!("{}", figures::fig13(f)),
         "fig14" => println!("{}", figures::fig14(f)),
         "fig15" => println!("{}", figures::fig15(f)),
+        "fig16" => println!("{}", figures::fig16(f)),
+        "fig17" => println!("{}", figures::fig17(f)),
         "ablation" => {
             println!("{}", ablation::accelerator_study(f));
             println!("{}", ablation::host_mechanism_ablation(f));
@@ -121,7 +123,7 @@ fn main() {
         }
         other => {
             eprintln!(
-                "unknown command `{other}`; try: all, table1, table2, fig1..fig15, hottest, ablation"
+                "unknown command `{other}`; try: all, table1, table2, fig1..fig17, hottest, ablation"
             );
             std::process::exit(2);
         }

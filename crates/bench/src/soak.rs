@@ -434,8 +434,11 @@ pub fn soak_seed(seed: u64, cfg: &SoakConfig) -> SeedOutcome {
         // at or ahead of the snapshot we just took.
         match probe(&addr, "GET", "/metrics", None) {
             Ok(text) => {
-                let series_value =
-                    |l: &str| l.split_whitespace().nth(1).and_then(|v| v.parse::<f64>().ok());
+                let series_value = |l: &str| {
+                    l.split_whitespace()
+                        .nth(1)
+                        .and_then(|v| v.parse::<f64>().ok())
+                };
                 let metric = text
                     .lines()
                     .find(|l| l.starts_with("gem5prof_served_requests_total "))

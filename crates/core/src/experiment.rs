@@ -11,7 +11,7 @@ use crate::runner::{self, CachedGuest, TRACE_CACHE_CAP};
 use gem5sim::config::{CpuModel, SimMode, SystemConfig};
 use gem5sim::observe::{ExecutionObserver, Obs};
 use gem5sim::system::{SimResult, System};
-use gem5sim_workloads::{Scale, Workload};
+use gem5sim_workloads::{Microbench, Scale, Workload};
 use hostmodel::{HostEngine, HostRunStats};
 use hosttrace::record::{replay, FanoutSink, RecordingSink, TeeSink};
 use hosttrace::{BinaryVariant, CallProfile, PageBacking, Registry, TraceAdapter};
@@ -35,26 +35,67 @@ pub struct GuestSpec {
     pub cpu: CpuModel,
     /// FS or SE mode.
     pub mode: SimMode,
+    /// Number of guest harts. With no co-run partner, every hart runs
+    /// `workload`; interference happens in the shared L2 and DRAM.
+    pub harts: usize,
+    /// Co-run partner for odd harts (requires `workload` to be a
+    /// microbench — the pair is built by
+    /// [`gem5sim_workloads::corun_program`]).
+    pub corun: Option<Microbench>,
+    /// Clock divider applied to odd harts (1 = all harts share the
+    /// system clock), for asymmetric co-run scenarios.
+    pub corun_div: u64,
 }
 
 impl GuestSpec {
-    /// Creates a spec.
+    /// Creates a single-hart spec.
     pub fn new(workload: Workload, scale: Scale, cpu: CpuModel, mode: SimMode) -> Self {
         GuestSpec {
             workload,
             scale,
             cpu,
             mode,
+            harts: 1,
+            corun: None,
+            corun_div: 1,
         }
     }
 
-    /// Figure-style label, e.g. `O3_WATER_NSQUARED`.
+    /// Sets the hart count (builder style).
+    pub fn with_harts(mut self, harts: usize) -> Self {
+        assert!(harts >= 1, "at least one hart required");
+        self.harts = harts;
+        self
+    }
+
+    /// Sets the odd-hart co-run partner (builder style).
+    pub fn with_corun(mut self, partner: Microbench) -> Self {
+        self.corun = Some(partner);
+        self
+    }
+
+    /// Sets the odd-hart clock divider (builder style).
+    pub fn with_corun_div(mut self, div: u64) -> Self {
+        assert!(div >= 1, "clock divider must be >= 1");
+        self.corun_div = div;
+        self
+    }
+
+    /// Figure-style label, e.g. `O3_WATER_NSQUARED`; co-run specs get
+    /// `_VS_<partner>` and multi-hart specs `_X<harts>` suffixes.
     pub fn label(&self) -> String {
-        format!(
+        let mut l = format!(
             "{}_{}",
             self.cpu.label(),
             self.workload.name().to_uppercase()
-        )
+        );
+        if let Some(p) = self.corun {
+            l.push_str(&format!("_VS_{}", p.name().to_uppercase()));
+        }
+        if self.harts > 1 {
+            l.push_str(&format!("_X{}", self.harts));
+        }
+        l
     }
 }
 
@@ -172,8 +213,30 @@ pub fn profile(guest: &GuestSpec, hosts: &[HostSetup]) -> ProfileRun {
     let adapter = Rc::new(RefCell::new(TraceAdapter::new(Arc::clone(&canon), tee)));
     let obs = Obs::new(Rc::clone(&adapter) as Rc<RefCell<dyn ExecutionObserver>>);
 
-    let program = guest.workload.program(guest.scale);
-    let cfg = SystemConfig::new(guest.cpu, guest.mode).with_exec_tier(crate::runner::exec_tier());
+    let program = match guest.corun {
+        Some(partner) => {
+            let Workload::Micro(main) = guest.workload else {
+                panic!(
+                    "co-run partner requires a microbench workload, got `{}`",
+                    guest.workload
+                );
+            };
+            gem5sim_workloads::corun_program(main, partner, guest.scale)
+        }
+        None => guest.workload.program(guest.scale),
+    };
+    let mut cfg = SystemConfig::new(guest.cpu, guest.mode)
+        .with_cpus(guest.harts)
+        .with_exec_tier(crate::runner::exec_tier());
+    if guest.corun_div > 1 {
+        // Asymmetric pair: odd harts (the co-run partner's slot) run on
+        // a divided clock.
+        cfg = cfg.with_hart_clock_divs(
+            (0..guest.harts)
+                .map(|i| if i % 2 == 1 { guest.corun_div } else { 1 })
+                .collect(),
+        );
+    }
     let mut sys = System::with_observer(cfg, program, obs);
     let guest_result = {
         let _sim = gem5prof_obs::span("guest_sim");
@@ -307,6 +370,45 @@ mod tests {
     #[test]
     fn labels_are_paper_style() {
         assert_eq!(quick(CpuModel::O3).label(), "O3_DEDUP");
+        let pair = GuestSpec::new(
+            Workload::Micro(Microbench::MemStride),
+            Scale::Test,
+            CpuModel::Timing,
+            SimMode::Se,
+        )
+        .with_harts(4)
+        .with_corun(Microbench::Alu);
+        assert_eq!(pair.label(), "TIMING_MEM_STRIDE_VS_ALU_X4");
+    }
+
+    #[test]
+    fn corun_profile_reports_parity_checksums() {
+        let spec = GuestSpec::new(
+            Workload::Micro(Microbench::MemStride),
+            Scale::Test,
+            CpuModel::Timing,
+            SimMode::Se,
+        )
+        .with_harts(2)
+        .with_corun(Microbench::Alu);
+        let run = profile(&spec, &[HostSetup::platform(&intel_xeon())]);
+        assert_eq!(
+            run.guest.guest_checksums,
+            vec![
+                Microbench::MemStride.expected_checksum(Scale::Test),
+                Microbench::Alu.expected_checksum(Scale::Test),
+            ]
+        );
+        // The memoized replay serves the multi-hart spec too.
+        let replayed = profile(&spec, &[HostSetup::platform(&intel_xeon())]);
+        assert_eq!(run.guest, replayed.guest);
+    }
+
+    #[test]
+    #[should_panic(expected = "requires a microbench workload")]
+    fn corun_with_non_microbench_workload_panics() {
+        let spec = quick(CpuModel::Atomic).with_corun(Microbench::Alu);
+        let _ = profile(&spec, &[HostSetup::platform(&intel_xeon())]);
     }
 
     #[test]

@@ -11,6 +11,8 @@
 mod fig01;
 mod fig14;
 mod fig15;
+mod fig16;
+mod fig17;
 mod frontend;
 mod platform;
 mod tables;
@@ -19,6 +21,8 @@ mod tuning;
 pub use fig01::fig01;
 pub use fig14::fig14;
 pub use fig15::{fig15, fig15_hottest};
+pub use fig16::fig16;
+pub use fig17::fig17;
 pub use frontend::{fig02, fig03, fig04, fig05, fig06};
 pub use platform::{fig07, fig08, fig09};
 pub use tables::{table1, table2};
@@ -85,6 +89,8 @@ pub fn all_figures(f: Fidelity) -> Vec<Table> {
         fig13(f),
         fig14(f),
         fig15(f),
+        fig16(f),
+        fig17(f),
     ]
 }
 

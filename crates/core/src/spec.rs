@@ -16,13 +16,13 @@
 use crate::experiment::{profile, GuestSpec, HostSetup, ProfileRun};
 use crate::figures::Fidelity;
 use gem5sim::config::{CpuModel, SimMode};
-use gem5sim_workloads::{Scale, Workload};
+use gem5sim_workloads::{Microbench, Scale, Workload};
 use hostmodel::CorunScenario;
 use hosttrace::{BinaryVariant, PageBacking};
 use platforms::{PlatformId, SystemKnobs};
 
 /// Every workload, in a fixed order (for parsing and enumeration).
-pub const ALL_WORKLOADS: [Workload; 11] = [
+pub const ALL_WORKLOADS: [Workload; 17] = [
     Workload::Blackscholes,
     Workload::Canneal,
     Workload::Dedup,
@@ -34,12 +34,25 @@ pub const ALL_WORKLOADS: [Workload; 11] = [
     Workload::Fmm,
     Workload::BootExit,
     Workload::Sieve,
+    Workload::Micro(Microbench::Alu),
+    Workload::Micro(Microbench::BranchPred),
+    Workload::Micro(Microbench::BranchUnpred),
+    Workload::Micro(Microbench::MemSeq),
+    Workload::Micro(Microbench::MemStride),
+    Workload::Micro(Microbench::CallRet),
 ];
 
 /// Parses a workload by its paper name (case-insensitive; `-` ≡ `_`).
 pub fn parse_workload(s: &str) -> Option<Workload> {
     let norm = s.trim().to_ascii_lowercase().replace('-', "_");
     ALL_WORKLOADS.into_iter().find(|w| w.name() == norm)
+}
+
+/// Parses a microbenchmark variant by wire name (case-insensitive;
+/// `-` ≡ `_`) — the co-run `corun` field accepts only these.
+pub fn parse_microbench(s: &str) -> Option<Microbench> {
+    let norm = s.trim().to_ascii_lowercase().replace('-', "_");
+    Microbench::ALL.into_iter().find(|m| m.name() == norm)
 }
 
 /// Parses an input scale: `test`, `simsmall`, or `simmedium`.
@@ -105,10 +118,16 @@ pub struct ExperimentSpec {
     pub mode: SimMode,
     /// System tuning knobs applied to the host.
     pub knobs: SystemKnobs,
+    /// Number of guest harts (default 1).
+    pub harts: usize,
+    /// Odd-hart co-run partner (requires a microbench workload).
+    pub corun: Option<Microbench>,
+    /// Odd-hart clock divider (default 1 = symmetric clocks).
+    pub corun_div: u64,
 }
 
 impl ExperimentSpec {
-    /// A spec at default knobs.
+    /// A single-hart spec at default knobs.
     pub fn new(
         platform: PlatformId,
         workload: Workload,
@@ -123,13 +142,22 @@ impl ExperimentSpec {
             cpu,
             mode,
             knobs: SystemKnobs::new(),
+            harts: 1,
+            corun: None,
+            corun_div: 1,
         }
     }
 
     /// The guest half of the spec (the memoization key of the trace
     /// cache — host knobs never affect it).
     pub fn guest(&self) -> GuestSpec {
-        GuestSpec::new(self.workload, self.scale, self.cpu, self.mode)
+        let mut g = GuestSpec::new(self.workload, self.scale, self.cpu, self.mode)
+            .with_harts(self.harts)
+            .with_corun_div(self.corun_div);
+        if let Some(p) = self.corun {
+            g = g.with_corun(p);
+        }
+        g
     }
 
     /// The host half: the platform with the knobs applied.
@@ -147,7 +175,7 @@ impl ExperimentSpec {
     /// always produce equal keys, so this is the serving result-cache
     /// key.
     pub fn canonical_key(&self) -> String {
-        format!(
+        let mut key = format!(
             "exp:platform={}:workload={}:scale={}:cpu={}:mode={}:knobs={}",
             self.platform.name().to_ascii_lowercase(),
             self.workload.name(),
@@ -155,7 +183,20 @@ impl ExperimentSpec {
             self.cpu.label().to_ascii_lowercase(),
             self.mode.label().to_ascii_lowercase(),
             canonical_knobs(&self.knobs),
-        )
+        );
+        // Co-run axes append in fixed order, defaults elided, so every
+        // pre-existing spec keeps its exact pre-co-run key (cache
+        // entries, cluster ring placement and golden artifacts survive).
+        if self.harts != 1 {
+            key.push_str(&format!(":harts={}", self.harts));
+        }
+        if let Some(p) = self.corun {
+            key.push_str(&format!(":corun={}", p.name()));
+        }
+        if self.corun_div != 1 {
+            key.push_str(&format!(":div={}", self.corun_div));
+        }
+        key
     }
 }
 
@@ -209,6 +250,12 @@ mod tests {
         for c in CpuModel::ALL {
             assert_eq!(parse_cpu(&c.label().to_lowercase()), Some(c));
         }
+        for m in Microbench::ALL {
+            assert_eq!(parse_microbench(m.name()), Some(m), "{m}");
+            assert_eq!(parse_workload(m.name()), Some(Workload::Micro(m)));
+        }
+        assert_eq!(parse_microbench("MEM-STRIDE"), Some(Microbench::MemStride));
+        assert_eq!(parse_microbench("dedup"), None);
         assert_eq!(parse_mode("SE"), Some(SimMode::Se));
         assert_eq!(parse_mode("fs"), Some(SimMode::Fs));
         assert_eq!(parse_fidelity("quick"), Some(Fidelity::Quick));
@@ -245,6 +292,39 @@ mod tests {
             ..base.clone()
         };
         assert_eq!(rebuilt.canonical_key(), tuned.canonical_key());
+    }
+
+    #[test]
+    fn corun_axes_extend_the_key_only_when_non_default() {
+        let base = ExperimentSpec::new(
+            PlatformId::IntelXeon,
+            Workload::Micro(Microbench::MemStride),
+            Scale::Test,
+            CpuModel::Timing,
+            SimMode::Se,
+        );
+        // Defaults elided: the key is exactly the pre-co-run shape.
+        assert_eq!(
+            base.canonical_key(),
+            "exp:platform=intel_xeon:workload=mem_stride:scale=test:cpu=timing:mode=se:knobs=default"
+        );
+        let mut pair = base.clone();
+        pair.harts = 4;
+        pair.corun = Some(Microbench::Alu);
+        pair.corun_div = 2;
+        assert!(pair
+            .canonical_key()
+            .ends_with("knobs=default:harts=4:corun=alu:div=2"));
+        // Each axis discriminates.
+        let mut h2 = pair.clone();
+        h2.harts = 2;
+        assert_ne!(h2.canonical_key(), pair.canonical_key());
+        let mut nodiv = pair.clone();
+        nodiv.corun_div = 1;
+        assert_ne!(nodiv.canonical_key(), pair.canonical_key());
+        assert_eq!(pair.guest().harts, 4);
+        assert_eq!(pair.guest().corun, Some(Microbench::Alu));
+        assert_eq!(pair.guest().corun_div, 2);
     }
 
     #[test]

@@ -47,3 +47,12 @@ pub mod program;
 pub use block::{decode_block, BasicBlock, BlockCache, BlockCacheStats, MAX_BLOCK_INSTS};
 pub use inst::{AluOp, BranchCond, FCmpOp, FReg, FpuOp, Inst, InstClass, MemSize, Reg};
 pub use program::{Program, INST_BYTES, TEXT_BASE};
+
+/// Guest-ABI address of the per-hart result-checksum slots: hart `i`
+/// deposits its 64-bit checksum at `GUEST_CHECKSUM_BASE + 8 * i` before
+/// halting. The simulator reads the slots back into
+/// `SimResult::guest_checksums` after every run; workloads that emit no
+/// checksum simply leave their slot zero. The region sits just below the
+/// workload data segment (`0x0010_0000`) and below the FS-mode jiffies
+/// slot at `0x0010_0000 - 64`, so up to 24 harts fit without overlap.
+pub const GUEST_CHECKSUM_BASE: u64 = 0x000F_FF00;

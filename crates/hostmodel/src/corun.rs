@@ -25,6 +25,25 @@ pub enum CorunScenario {
 }
 
 impl CorunScenario {
+    /// The host-side scenario that mirrors an `harts`-wide *guest* co-run:
+    /// one gem5 process per simulated hart, SMT off, sharing the uncore.
+    pub fn for_harts(harts: u64) -> CorunScenario {
+        if harts <= 1 {
+            CorunScenario::Single
+        } else {
+            CorunScenario::PerPhysicalCore { procs: harts }
+        }
+    }
+
+    /// Number of co-running processes (1 for [`CorunScenario::Single`]).
+    pub fn procs(&self) -> u64 {
+        match self {
+            CorunScenario::Single => 1,
+            CorunScenario::PerPhysicalCore { procs }
+            | CorunScenario::PerHardwareThread { procs } => *procs,
+        }
+    }
+
     /// Label used in figures.
     pub fn label(&self) -> String {
         match self {
@@ -164,6 +183,18 @@ mod tests {
         ] {
             corun_adjust(&base(), s).validate();
         }
+    }
+
+    #[test]
+    fn for_harts_mirrors_guest_corun_width() {
+        assert_eq!(CorunScenario::for_harts(1), CorunScenario::Single);
+        assert_eq!(
+            CorunScenario::for_harts(4),
+            CorunScenario::PerPhysicalCore { procs: 4 }
+        );
+        assert_eq!(CorunScenario::for_harts(1).procs(), 1);
+        assert_eq!(CorunScenario::for_harts(4).procs(), 4);
+        assert_eq!(CorunScenario::PerHardwareThread { procs: 40 }.procs(), 40);
     }
 
     #[test]

@@ -117,7 +117,10 @@ pub(crate) trait Service: Send + Sync + 'static {
     }
     /// One progress line for streamed responses.
     fn progress_body(&self, elapsed: Duration) -> String {
-        format!("{{\"progress\":{{\"elapsed_ms\":{}}}}}", elapsed.as_millis())
+        format!(
+            "{{\"progress\":{{\"elapsed_ms\":{}}}}}",
+            elapsed.as_millis()
+        )
     }
 }
 
@@ -337,9 +340,7 @@ pub(crate) fn spawn(
                     };
                     let (token, f) = job;
                     let reply = std::panic::catch_unwind(std::panic::AssertUnwindSafe(f))
-                        .unwrap_or_else(|_| {
-                            (500, error_body("forward task panicked"), Vec::new())
-                        });
+                        .unwrap_or_else(|_| (500, error_body("forward task panicked"), Vec::new()));
                     completions
                         .lock()
                         .unwrap_or_else(|e| e.into_inner())
@@ -562,7 +563,9 @@ impl Core {
     /// close. Never counted in the request/response balance — no
     /// request was parsed — but visible as its own counter.
     fn reject_overload(&mut self, stream: TcpStream) {
-        self.stats.saturation_rejects.fetch_add(1, Ordering::Relaxed);
+        self.stats
+            .saturation_rejects
+            .fetch_add(1, Ordering::Relaxed);
         let body = error_body("connection limit reached");
         let head = http::response_head(
             503,
@@ -810,10 +813,7 @@ impl Core {
                     let head = http::response_head(
                         200,
                         None,
-                        &[(
-                            "content-type".into(),
-                            "application/x-ndjson".into(),
-                        )],
+                        &[("content-type".into(), "application/x-ndjson".into())],
                         req_close,
                     );
                     c.wbuf.extend_from_slice(head.as_bytes());
@@ -888,19 +888,13 @@ impl Core {
                     // Offloaded work: only the deadline applies here;
                     // results arrive via the completions list.
                     if now >= p.deadline {
-                        PendingAction::Resolve((
-                            504,
-                            error_body("deadline exceeded"),
-                            Vec::new(),
-                        ))
+                        PendingAction::Resolve((504, error_body("deadline exceeded"), Vec::new()))
                     } else {
                         PendingAction::Nothing
                     }
                 }
                 Some(rx) => match rx.try_recv() {
-                    Ok(Ok(body)) => {
-                        PendingAction::Resolve((200, (*body).clone(), Vec::new()))
-                    }
+                    Ok(Ok(body)) => PendingAction::Resolve((200, (*body).clone(), Vec::new())),
                     Ok(Err(msg)) => PendingAction::Resolve((500, error_body(&msg), Vec::new())),
                     // The worker dropped the sender without answering
                     // (it panicked mid-job): report immediately.
@@ -1097,7 +1091,11 @@ impl Core {
             && c.wbuf.len() - c.woff < WBUF_SOFT_CAP;
         let want_write = c.woff < c.wbuf.len();
         if (want_read, want_write) != (c.reg_read, c.reg_write) {
-            if self.poller.modify(c.fd, token, want_read, want_write).is_ok() {
+            if self
+                .poller
+                .modify(c.fd, token, want_read, want_write)
+                .is_ok()
+            {
                 c.reg_read = want_read;
                 c.reg_write = want_write;
             }
@@ -1184,11 +1182,7 @@ mod tests {
 
     impl Service for EchoService {
         fn dispatch(&self, req: Request) -> Dispatch {
-            Dispatch::Reply((
-                200,
-                format!("{{\"path\":\"{}\"}}", req.path),
-                Vec::new(),
-            ))
+            Dispatch::Reply((200, format!("{{\"path\":\"{}\"}}", req.path), Vec::new()))
         }
         fn count_request(&self) {
             self.requests.fetch_add(1, Ordering::Relaxed);
@@ -1211,9 +1205,7 @@ mod tests {
         }
     }
 
-    fn start(
-        max_conns: usize,
-    ) -> (std::net::SocketAddr, Arc<EchoService>, CoreHandle) {
+    fn start(max_conns: usize) -> (std::net::SocketAddr, Arc<EchoService>, CoreHandle) {
         let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
         let addr = listener.local_addr().expect("addr");
         let service = Arc::new(EchoService::new());
@@ -1273,10 +1265,7 @@ mod tests {
             "expected canned 503, got: {raw:?}"
         );
         assert!(raw.contains("connection limit reached"), "{raw:?}");
-        assert_eq!(
-            handle.stats.saturation_rejects.load(Ordering::Relaxed),
-            1
-        );
+        assert_eq!(handle.stats.saturation_rejects.load(Ordering::Relaxed), 1);
         // The canned 503 is out-of-band: no request was parsed, so the
         // request/response balance is untouched.
         stop(&service, &mut handle);
@@ -1288,7 +1277,8 @@ mod tests {
     fn malformed_request_gets_a_400_and_closes() {
         let (addr, service, mut handle) = start(8);
         let mut s = std::net::TcpStream::connect(addr).expect("connect");
-        s.set_read_timeout(Some(Duration::from_secs(5))).expect("timeout");
+        s.set_read_timeout(Some(Duration::from_secs(5)))
+            .expect("timeout");
         s.write_all(b"BOGUS\r\n\r\n").expect("write");
         let mut raw = String::new();
         s.read_to_string(&mut raw).expect("read");

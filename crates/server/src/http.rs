@@ -263,7 +263,11 @@ fn take_line(buf: &[u8], pos: &mut usize) -> io::Result<Option<String>> {
 pub(crate) fn try_parse_request(buf: &[u8]) -> io::Result<ParseStatus> {
     let mut pos = 0usize;
     let line = match take_line(buf, &mut pos)? {
-        None => return Ok(ParseStatus::Partial { body_expected: false }),
+        None => {
+            return Ok(ParseStatus::Partial {
+                body_expected: false,
+            })
+        }
         Some(l) => l,
     };
     let mut parts = line.split(' ');
@@ -286,7 +290,11 @@ pub(crate) fn try_parse_request(buf: &[u8]) -> io::Result<ParseStatus> {
     let mut headers = Vec::new();
     loop {
         let line = match take_line(buf, &mut pos)? {
-            None => return Ok(ParseStatus::Partial { body_expected: false }),
+            None => {
+                return Ok(ParseStatus::Partial {
+                    body_expected: false,
+                })
+            }
             Some(l) => l,
         };
         if line.is_empty() {
@@ -569,7 +577,10 @@ impl ClientConn {
                 .ok_or_else(|| io::Error::new(io::ErrorKind::UnexpectedEof, "EOF in chunk size"))?;
             let size_str = line.split(';').next().unwrap_or("").trim();
             let size = usize::from_str_radix(size_str, 16).map_err(|_| {
-                io::Error::new(io::ErrorKind::InvalidData, format!("bad chunk size `{line}`"))
+                io::Error::new(
+                    io::ErrorKind::InvalidData,
+                    format!("bad chunk size `{line}`"),
+                )
             })?;
             if size == 0 {
                 // Trailer section: read lines until the blank terminator.
@@ -768,7 +779,8 @@ mod tests {
             panic!("first request incomplete");
         };
         assert_eq!(req.path, "/a");
-        let ParseStatus::Complete { req, consumed: c2 } = try_parse_request(&raw[consumed..]).unwrap()
+        let ParseStatus::Complete { req, consumed: c2 } =
+            try_parse_request(&raw[consumed..]).unwrap()
         else {
             panic!("second request incomplete");
         };

@@ -14,7 +14,7 @@
 //! GET  /profile/diff               per-span self-time delta + hot-span regression gate
 //! POST /profile/snapshot           capture a window into the profstore ring
 //! POST /profile/bless              mark a snapshot as the regression baseline
-//! GET  /figures/fig01..fig15       one figure (?fidelity=quick|paper)
+//! GET  /figures/fig01..fig17       one figure (?fidelity=quick|paper)
 //! GET  /tables/table1|table2       configuration tables
 //! POST /experiments                parameterized spec (platform, cpu, workload, knobs)
 //! ```

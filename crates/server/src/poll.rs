@@ -77,7 +77,13 @@ pub fn set_nonblocking(fd: RawFd) -> io::Result<()> {
 pub fn set_sndbuf(fd: RawFd, bytes: usize) {
     let v = bytes as i32;
     unsafe {
-        let _ = setsockopt(fd, SOL_SOCKET, SO_SNDBUF, &v, std::mem::size_of::<i32>() as u32);
+        let _ = setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_SNDBUF,
+            &v,
+            std::mem::size_of::<i32>() as u32,
+        );
     }
 }
 
@@ -87,7 +93,13 @@ pub fn set_sndbuf(fd: RawFd, bytes: usize) {
 pub fn set_rcvbuf(fd: RawFd, bytes: usize) {
     let v = bytes as i32;
     unsafe {
-        let _ = setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &v, std::mem::size_of::<i32>() as u32);
+        let _ = setsockopt(
+            fd,
+            SOL_SOCKET,
+            SO_RCVBUF,
+            &v,
+            std::mem::size_of::<i32>() as u32,
+        );
     }
 }
 
@@ -97,7 +109,10 @@ pub fn set_rcvbuf(fd: RawFd, bytes: usize) {
 fn timeout_ms(timeout: Option<Duration>) -> i32 {
     match timeout {
         None => -1,
-        Some(d) => d.as_millis().min(i32::MAX as u128) as i32 + i32::from(d.subsec_nanos() % 1_000_000 != 0),
+        Some(d) => {
+            d.as_millis().min(i32::MAX as u128) as i32
+                + i32::from(d.subsec_nanos() % 1_000_000 != 0)
+        }
     }
 }
 
@@ -148,7 +163,14 @@ mod sys {
             Ok(Poller { epfd })
         }
 
-        fn ctl(&self, op: i32, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        fn ctl(
+            &self,
+            op: i32,
+            fd: RawFd,
+            token: u64,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
             let mut events = EPOLLRDHUP;
             if readable {
                 events |= EPOLLIN;
@@ -156,18 +178,33 @@ mod sys {
             if writable {
                 events |= EPOLLOUT;
             }
-            let mut ev = EpollEvent { events, data: token };
+            let mut ev = EpollEvent {
+                events,
+                data: token,
+            };
             if unsafe { epoll_ctl(self.epfd, op, fd, &mut ev) } < 0 {
                 return Err(io::Error::last_os_error());
             }
             Ok(())
         }
 
-        pub fn add(&mut self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        pub fn add(
+            &mut self,
+            fd: RawFd,
+            token: u64,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
             self.ctl(EPOLL_CTL_ADD, fd, token, readable, writable)
         }
 
-        pub fn modify(&mut self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        pub fn modify(
+            &mut self,
+            fd: RawFd,
+            token: u64,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
             self.ctl(EPOLL_CTL_MOD, fd, token, readable, writable)
         }
 
@@ -185,7 +222,12 @@ mod sys {
             let mut buf = [EpollEvent { events: 0, data: 0 }; 256];
             let n = loop {
                 let n = unsafe {
-                    epoll_wait(self.epfd, buf.as_mut_ptr(), buf.len() as i32, timeout_ms(timeout))
+                    epoll_wait(
+                        self.epfd,
+                        buf.as_mut_ptr(),
+                        buf.len() as i32,
+                        timeout_ms(timeout),
+                    )
                 };
                 if n >= 0 {
                     break n as usize;
@@ -257,12 +299,24 @@ mod sys {
             })
         }
 
-        pub fn add(&mut self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        pub fn add(
+            &mut self,
+            fd: RawFd,
+            token: u64,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
             self.registered.insert(fd, (token, readable, writable));
             Ok(())
         }
 
-        pub fn modify(&mut self, fd: RawFd, token: u64, readable: bool, writable: bool) -> io::Result<()> {
+        pub fn modify(
+            &mut self,
+            fd: RawFd,
+            token: u64,
+            readable: bool,
+            writable: bool,
+        ) -> io::Result<()> {
             self.registered.insert(fd, (token, readable, writable));
             Ok(())
         }
@@ -421,8 +475,13 @@ mod tests {
         });
         let mut events = Vec::new();
         let started = Instant::now();
-        poller.wait(&mut events, Some(Duration::from_secs(10))).unwrap();
-        assert!(started.elapsed() < Duration::from_secs(5), "wakeup never arrived");
+        poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(
+            started.elapsed() < Duration::from_secs(5),
+            "wakeup never arrived"
+        );
         assert!(events.iter().any(|e| e.token == 7 && e.readable));
         pipe.drain();
         t.join().unwrap();
@@ -435,7 +494,9 @@ mod tests {
         poller.add(pipe.read_fd(), 1, true, false).unwrap();
         let mut events = Vec::new();
         let started = Instant::now();
-        poller.wait(&mut events, Some(Duration::from_millis(30))).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(30)))
+            .unwrap();
         assert!(events.is_empty());
         assert!(started.elapsed() >= Duration::from_millis(25));
     }
@@ -450,11 +511,15 @@ mod tests {
             waker.wake();
         }
         let mut events = Vec::new();
-        poller.wait(&mut events, Some(Duration::from_secs(1))).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(1)))
+            .unwrap();
         assert!(events.iter().any(|e| e.token == 3 && e.readable));
         pipe.drain();
         // Fully drained: the next wait sees nothing.
-        poller.wait(&mut events, Some(Duration::from_millis(20))).unwrap();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
         assert!(events.is_empty());
     }
 }

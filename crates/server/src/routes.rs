@@ -252,8 +252,8 @@ fn parse_figure_path(name: &str, req: &Request) -> Result<Work, (u16, String)> {
     let n: usize = name
         .strip_prefix("fig")
         .and_then(|d| d.parse().ok())
-        .filter(|&n| (1..=15).contains(&n))
-        .ok_or_else(|| (404, format!("unknown figure `{name}` (want fig01..fig15)")))?;
+        .filter(|&n| (1..=17).contains(&n))
+        .ok_or_else(|| (404, format!("unknown figure `{name}` (want fig01..fig17)")))?;
     if let Some(q) = req.query.as_deref() {
         for pair in q.split('&').filter(|p| !p.is_empty()) {
             let key = pair.split_once('=').map_or(pair, |(k, _)| k);
@@ -280,12 +280,34 @@ fn parse_figure_path(name: &str, req: &Request) -> Result<Work, (u16, String)> {
 ///  "cpu": "o3", "mode": "se", "knobs": "thp,freq=2.4"}
 /// ```
 ///
-/// `scale`, `mode` and `knobs` are optional (`test`, `se`, default).
+/// `scale`, `mode`, `knobs`, `harts`, `corun` and `corun_div` are
+/// optional (`test`, `se`, default, 1, none, 1). Any other field is a
+/// 400 naming the offending key — matching `/figures/*` query handling,
+/// so typos fail loudly instead of silently running the default.
 fn parse_experiment(body: &[u8]) -> Result<ExperimentSpec, String> {
     let text = std::str::from_utf8(body).map_err(|_| "body is not UTF-8".to_string())?;
     let doc = minjson::parse(text).map_err(|e| format!("malformed JSON: {e}"))?;
-    if !matches!(doc, Json::Obj(_)) {
+    let Json::Obj(pairs) = &doc else {
         return Err("experiment spec must be a JSON object".into());
+    };
+    const KNOWN: [&str; 9] = [
+        "platform",
+        "workload",
+        "scale",
+        "cpu",
+        "mode",
+        "knobs",
+        "harts",
+        "corun",
+        "corun_div",
+    ];
+    for (k, _) in pairs {
+        if !KNOWN.contains(&k.as_str()) {
+            return Err(format!(
+                "unknown field `{k}` (accepted: {})",
+                KNOWN.join(", ")
+            ));
+        }
     }
     let field = |name: &str| -> Result<&str, String> {
         doc.get(name)
@@ -321,6 +343,33 @@ fn parse_experiment(body: &[u8]) -> Result<ExperimentSpec, String> {
             SystemKnobs::parse(s)?
         }
     };
+    let small_int = |name: &str, max: u64| -> Result<u64, String> {
+        match doc.get(name) {
+            None => Ok(1),
+            Some(v) => v
+                .as_u64()
+                .filter(|&n| (1..=max).contains(&n))
+                .ok_or_else(|| format!("field `{name}` must be an integer in 1..={max}")),
+        }
+    };
+    let harts = small_int("harts", 8)? as usize;
+    let corun_div = small_int("corun_div", 8)?;
+    let corun = match doc.get("corun") {
+        None => None,
+        Some(v) => {
+            let s = v
+                .as_str()
+                .ok_or_else(|| "field `corun` must be a microbenchmark name".to_string())?;
+            let m = spec::parse_microbench(s)
+                .ok_or_else(|| format!("unknown corun microbenchmark `{s}`"))?;
+            if !matches!(workload, gem5sim_workloads::Workload::Micro(_)) {
+                return Err(format!(
+                    "field `corun` requires a microbenchmark workload, got `{workload}`"
+                ));
+            }
+            Some(m)
+        }
+    };
     Ok(ExperimentSpec {
         platform,
         workload,
@@ -328,6 +377,9 @@ fn parse_experiment(body: &[u8]) -> Result<ExperimentSpec, String> {
         cpu,
         mode,
         knobs,
+        harts,
+        corun,
+        corun_div,
     })
 }
 
@@ -382,6 +434,8 @@ pub(crate) fn figure_json(n: usize, f: Fidelity) -> String {
         13 => figures::fig13(f),
         14 => figures::fig14(f),
         15 => figures::fig15(f),
+        16 => figures::fig16(f),
+        17 => figures::fig17(f),
         _ => unreachable!("figure index validated at parse time"),
     };
     table_to_json(&table).to_string_compact()
@@ -412,6 +466,14 @@ pub(crate) fn experiment_json(spec: &ExperimentSpec) -> String {
                 ("scale", Json::str(spec::scale_name(spec.scale))),
                 ("cpu", Json::str(spec.cpu.label())),
                 ("mode", Json::str(spec.mode.label())),
+                ("harts", Json::Num(spec.harts as f64)),
+                (
+                    "corun",
+                    match spec.corun {
+                        Some(m) => Json::str(m.name()),
+                        None => Json::Null,
+                    },
+                ),
             ]),
         ),
         (
@@ -423,6 +485,20 @@ pub(crate) fn experiment_json(spec: &ExperimentSpec) -> String {
                     Json::Num(run.guest.committed_insts as f64),
                 ),
                 ("host_events", Json::Num(run.guest.host_events as f64)),
+                (
+                    "guest_mips",
+                    Json::Num(run.guest.committed_insts as f64 / run.guest.sim_seconds() / 1e6),
+                ),
+                (
+                    "checksums",
+                    Json::Arr(
+                        run.guest
+                            .guest_checksums
+                            .iter()
+                            .map(|&c| Json::str(format!("{c:#018x}")))
+                            .collect(),
+                    ),
+                ),
             ]),
         ),
         (
@@ -963,6 +1039,65 @@ mod tests {
     }
 
     #[test]
+    fn unknown_experiment_fields_are_rejected_by_name() {
+        for (body, offender) in [
+            (
+                // typo'd axis: must 400 naming the key, not silently default
+                &br#"{"platform":"intel_xeon","workload":"alu","cpu":"timing","hartz":4}"#[..],
+                "hartz",
+            ),
+            (
+                &br#"{"platform":"intel_xeon","workload":"dedup","cpu":"o3","fidelity":"paper"}"#[..],
+                "fidelity",
+            ),
+        ] {
+            let err = parse_experiment(body).unwrap_err();
+            assert!(
+                err.contains(&format!("`{offender}`")),
+                "`{err}` must name the offending key"
+            );
+        }
+    }
+
+    #[test]
+    fn corun_axes_parse_and_validate() {
+        let ok = parse_experiment(
+            br#"{"platform":"intel_xeon","workload":"mem_stride","cpu":"timing",
+                "harts":4,"corun":"alu","corun_div":2}"#,
+        )
+        .unwrap();
+        assert_eq!(ok.harts, 4);
+        assert_eq!(ok.corun, Some(gem5sim_workloads::Microbench::Alu));
+        assert_eq!(ok.corun_div, 2);
+        assert!(ok.canonical_key().ends_with(":harts=4:corun=alu:div=2"));
+
+        for (body, needle) in [
+            (
+                // harts outside 1..=8
+                &br#"{"platform":"intel_xeon","workload":"alu","cpu":"timing","harts":0}"#[..],
+                "harts",
+            ),
+            (
+                &br#"{"platform":"intel_xeon","workload":"alu","cpu":"timing","harts":"two"}"#[..],
+                "harts",
+            ),
+            (
+                // corun partner must itself be a microbench name
+                &br#"{"platform":"intel_xeon","workload":"alu","cpu":"timing","corun":"dedup"}"#[..],
+                "corun",
+            ),
+            (
+                // corun on a non-microbench workload is meaningless
+                &br#"{"platform":"intel_xeon","workload":"dedup","cpu":"timing","corun":"alu"}"#[..],
+                "microbench",
+            ),
+        ] {
+            let err = parse_experiment(body).unwrap_err();
+            assert!(err.contains(needle), "`{err}` should mention {needle}");
+        }
+    }
+
+    #[test]
     fn figure_paths_parse() {
         let req = |path: &str, q: Option<&str>| Request {
             method: "GET".into(),
@@ -987,7 +1122,12 @@ mod tests {
             parse_figure_path("fig7", &r).unwrap(),
             Work::Figure(7, Fidelity::Quick)
         );
-        for bad in ["fig0", "fig16", "table1", ""] {
+        let r = req("/figures/fig17", None);
+        assert_eq!(
+            parse_figure_path("fig17", &r).unwrap(),
+            Work::Figure(17, Fidelity::Quick)
+        );
+        for bad in ["fig0", "fig18", "table1", ""] {
             let r = req("/figures/x", None);
             assert_eq!(parse_figure_path(bad, &r).unwrap_err().0, 404, "{bad}");
         }

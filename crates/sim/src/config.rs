@@ -190,6 +190,12 @@ pub struct SystemConfig {
     /// Safety valve: maximum committed instructions before forced exit
     /// (`None` = unlimited).
     pub max_insts: Option<u64>,
+    /// Per-hart clock dividers: hart `i` ticks at `clock /
+    /// hart_clock_div[i]` (missing entries divide by 1). The divider
+    /// stretches only the CPU's own event cadence on the queue —
+    /// cache/DRAM/TLB latencies stay on the undivided system clock, as
+    /// with gem5's per-object clock domains.
+    pub hart_clock_div: Vec<u64>,
     /// Guest execution tier (see [`ExecTier`]). Results are identical
     /// either way; `Block` is the fast default.
     pub exec_tier: ExecTier,
@@ -238,6 +244,7 @@ impl SystemConfig {
             fp_phys_regs: 192,
             btb_entries: 4096,
             max_insts: None,
+            hart_clock_div: Vec::new(),
             exec_tier: ExecTier::Block,
             block_cache_blocks: 4096,
         }
@@ -253,6 +260,17 @@ impl SystemConfig {
     /// Sets the committed-instruction limit (builder style).
     pub fn with_max_insts(mut self, n: u64) -> Self {
         self.max_insts = Some(n);
+        self
+    }
+
+    /// Sets per-hart clock dividers (builder style). Harts beyond the
+    /// vector's length run undivided.
+    pub fn with_hart_clock_divs(mut self, divs: Vec<u64>) -> Self {
+        assert!(
+            divs.iter().all(|&d| d >= 1),
+            "clock dividers must be >= 1: {divs:?}"
+        );
+        self.hart_clock_div = divs;
         self
     }
 
@@ -338,5 +356,19 @@ mod tests {
             .with_block_cache_blocks(8);
         assert_eq!(cfg.exec_tier, ExecTier::Interp);
         assert_eq!(cfg.block_cache_blocks, 8);
+    }
+
+    #[test]
+    fn hart_clock_divs_default_to_undivided() {
+        let cfg = SystemConfig::new(CpuModel::Timing, SimMode::Se);
+        assert!(cfg.hart_clock_div.is_empty());
+        let cfg = cfg.with_cpus(4).with_hart_clock_divs(vec![1, 2]);
+        assert_eq!(cfg.hart_clock_div, vec![1, 2]);
+    }
+
+    #[test]
+    #[should_panic(expected = "clock dividers must be >= 1")]
+    fn zero_clock_divider_panics() {
+        let _ = SystemConfig::new(CpuModel::Timing, SimMode::Se).with_hart_clock_divs(vec![1, 0]);
     }
 }

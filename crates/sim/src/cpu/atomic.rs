@@ -56,7 +56,7 @@ impl AtomicCpu {
         if d.is_halt {
             return (d, TickOutcome { next_at: None });
         }
-        let mut next = now + sh.period();
+        let mut next = now + sh.period_of(id as usize);
         if d.stall_us > 0 {
             next += d.stall_us * 1_000_000; // µs in ps
         }

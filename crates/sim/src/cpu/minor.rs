@@ -87,7 +87,7 @@ impl MinorCpu {
         }
         let id = self.core.cpu_id;
         let width = sh.cfg.minor_width as u64;
-        let slot = sh.period() / width.max(1);
+        let slot = sh.period_of(id as usize) / width.max(1);
 
         // Minor evaluates all pipeline stages every cycle; its evaluate
         // chain is one of the heavier per-event code paths in gem5.

@@ -127,7 +127,7 @@ impl O3Cpu {
         }
         let id = self.core.cpu_id;
         let width = sh.cfg.o3_width as u64;
-        let slot = sh.period() / width.max(1);
+        let slot = sh.period_of(id as usize) / width.max(1);
 
         // Front end.
         sh.obs.call(CompClass::CpuO3, "fetch_tick", id, 55);

@@ -51,7 +51,7 @@ impl TimingCpu {
         sh.obs.call(CompClass::CpuTiming, "completeIfetch", id, 35);
         sh.obs.call(CompClass::CpuTiming, "executeInst", id, 40);
 
-        let mut lat = fetch_lat.max(sh.period());
+        let mut lat = fetch_lat.max(sh.period_of(id as usize));
         if let Some(m) = d.mem {
             sh.obs.call(CompClass::CpuTiming, "sendTimingReq", id, 30);
             let dlat = sh.data_access(id as usize, m.addr, m.write, now + lat);
@@ -60,7 +60,7 @@ impl TimingCpu {
             if !m.write {
                 lat += dlat;
             } else {
-                lat += sh.period();
+                lat += sh.period_of(id as usize);
             }
         }
         if d.is_syscall {

@@ -161,13 +161,17 @@ impl MemSystem {
         );
 
         // L2 port occupancy (contention between CPUs; skipped in atomic
-        // mode).
+        // mode). The port is busy for the full line transfer — 16 bytes
+        // per cycle — so co-running harts that miss their L1s queue
+        // behind each other, while a single blocking hart (whose L2
+        // accesses are at least a hit latency apart) never waits.
         if atomic {
             lat += self.cyc(self.l2.config().hit_latency);
         } else {
+            let transfer = (self.l2.config().line as u64).div_ceil(16);
             let start = (now + lat).max(self.l2_busy_until);
             let queue = start - (now + lat);
-            self.l2_busy_until = start + self.cyc(1);
+            self.l2_busy_until = start + self.cyc(transfer);
             lat += queue + self.cyc(self.l2.config().hit_latency);
         }
 

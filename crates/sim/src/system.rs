@@ -11,7 +11,7 @@ use crate::tlb::Tlb;
 use crate::trace::Tracer;
 use gem5sim_event::{tick::ticks_to_seconds, EventQueue, Priority, StatDump, Tick};
 use gem5sim_isa::exec::ArchState;
-use gem5sim_isa::{BlockCache, BlockCacheStats, Inst, Program};
+use gem5sim_isa::{BlockCache, BlockCacheStats, Inst, MemSize, Program};
 use std::cell::RefCell;
 use std::rc::Rc;
 
@@ -41,6 +41,14 @@ impl Shared {
     /// Guest clock period in ticks.
     pub fn period(&self) -> Tick {
         self.cfg.clock.period_ticks()
+    }
+
+    /// Hart `cpu`'s clock period in ticks: the system period stretched
+    /// by its divider from [`SystemConfig::hart_clock_div`]. Each hart's
+    /// tick events land on the shared queue at its own cadence, the way
+    /// gem5 clock domains divide a source domain.
+    pub fn period_of(&self, cpu: usize) -> Tick {
+        self.period() * self.cfg.hart_clock_div.get(cpu).copied().unwrap_or(1)
     }
 
     /// Converts guest cycles to ticks.
@@ -251,6 +259,11 @@ pub struct SimResult {
     pub irqs_taken: u64,
     /// Guest clock in GHz (for IPC computation).
     pub clock_ghz: f64,
+    /// Per-hart result checksums read back from the guest-ABI slots at
+    /// [`gem5sim_isa::GUEST_CHECKSUM_BASE`] after the run. Zero for
+    /// workloads that deposit none; tier- and model-invariant for those
+    /// that do (memory contents are part of the byte-identity contract).
+    pub guest_checksums: Vec<u64>,
 }
 
 impl SimResult {
@@ -488,6 +501,15 @@ impl System {
         let irqs: u64 = m.cpus.iter().map(|c| c.core().irqs_taken).sum();
         let bp = m.cpus.iter().find_map(|c| c.bp_stats());
         let exit_code = m.cpus.iter().find_map(|c| c.core().exit_code);
+        // Read back the per-hart checksum slots workloads deposit into
+        // (zero when a workload emits none).
+        let guest_checksums: Vec<u64> = (0..m.cpus.len() as u64)
+            .map(|i| {
+                m.shared
+                    .phys
+                    .read(gem5sim_isa::GUEST_CHECKSUM_BASE + 8 * i, MemSize::D)
+            })
+            .collect();
         SimResult {
             sim_ticks: self.eq.cur_tick(),
             committed_insts: committed,
@@ -503,6 +525,7 @@ impl System {
             bp,
             irqs_taken: irqs,
             clock_ghz: m.shared.cfg.clock.ghz(),
+            guest_checksums,
         }
     }
 }

@@ -23,7 +23,10 @@
 
 mod boot;
 mod kernels;
+mod microbench;
 mod sieve;
+
+pub use microbench::{corun_program, Microbench};
 
 use gem5sim_isa::asm::ProgramBuilder;
 use gem5sim_isa::{Program, Reg};
@@ -66,6 +69,8 @@ pub enum Workload {
     Fmm,
     BootExit,
     Sieve,
+    /// A checksummed microbenchmark variant (see [`Microbench`]).
+    Micro(Microbench),
 }
 
 impl Workload {
@@ -82,6 +87,16 @@ impl Workload {
         Workload::Fmm,
     ];
 
+    /// The six checksummed microbenchmark variants, in wire order.
+    pub const MICRO: [Workload; 6] = [
+        Workload::Micro(Microbench::Alu),
+        Workload::Micro(Microbench::BranchPred),
+        Workload::Micro(Microbench::BranchUnpred),
+        Workload::Micro(Microbench::MemSeq),
+        Workload::Micro(Microbench::MemStride),
+        Workload::Micro(Microbench::CallRet),
+    ];
+
     /// Lower-case name as used in the paper's figures.
     pub fn name(self) -> &'static str {
         match self {
@@ -96,6 +111,7 @@ impl Workload {
             Workload::Fmm => "fmm",
             Workload::BootExit => "boot_exit",
             Workload::Sieve => "sieve",
+            Workload::Micro(m) => m.name(),
         }
     }
 
@@ -114,6 +130,7 @@ impl Workload {
             Workload::Fmm => kernels::fmm(&mut b, scale),
             Workload::BootExit => boot::boot_exit(&mut b, scale),
             Workload::Sieve => sieve::sieve(&mut b, scale),
+            Workload::Micro(m) => microbench::emit_single(&mut b, m, scale),
         }
         append_irq_handler(&mut b);
         b.assemble()
@@ -133,7 +150,7 @@ pub(crate) const DATA_BASE: i64 = 0x0010_0000;
 /// Appends the standard timer-interrupt handler used in FS mode: bump a
 /// jiffies counter and return. Uses only the reserved scratch registers
 /// `s8`/`t6`, so it never perturbs workload state.
-fn append_irq_handler(b: &mut ProgramBuilder) {
+pub(crate) fn append_irq_handler(b: &mut ProgramBuilder) {
     b.label("__irq_handler")
         .li(Reg::S8, DATA_BASE - 64) // jiffies slot below the data segment
         .ld(Reg::T6, Reg::S8, 0)
@@ -264,9 +281,14 @@ mod tests {
 
     #[test]
     fn workload_names_are_unique() {
-        let mut names: Vec<_> = Workload::PARSEC.iter().map(|w| w.name()).collect();
+        let mut names: Vec<_> = Workload::PARSEC
+            .iter()
+            .chain(Workload::MICRO.iter())
+            .chain([Workload::BootExit, Workload::Sieve].iter())
+            .map(|w| w.name())
+            .collect();
         names.sort();
         names.dedup();
-        assert_eq!(names.len(), 9);
+        assert_eq!(names.len(), 17);
     }
 }

@@ -1,0 +1,480 @@
+//! Deterministic guest microbenchmarks with checksummed results.
+//!
+//! Six single-behaviour kernels isolate one microarchitectural axis
+//! each — ALU throughput, predictable vs data-dependent branching,
+//! streaming vs cache-hostile strided memory, and call/return — so the
+//! per-variant guest-MIPS matrix (Fig. 16) localizes *which* kind of
+//! simulation work each CPU model pays for, the way the paper's kernel
+//! sweep localizes gem5's host hot spots.
+//!
+//! Every variant folds its observable work into a 64-bit checksum and
+//! stores it at `GUEST_CHECKSUM_BASE + 8 * tp` before halting. The
+//! checksum is mirrored bit-exactly by [`Microbench::expected_checksum`]
+//! on the host, giving each run a correctness guardrail: a simulator
+//! change that alters any architectural result flips the checksum, in
+//! every CPU model and both execution tiers.
+//!
+//! [`corun_program`] pairs two variants into one multi-hart program:
+//! even harts run the primary variant, odd harts the partner, with
+//! disjoint label namespaces and disjoint data arrays so interference
+//! happens only where it should — in the shared L2 and DRAM.
+
+use crate::{Scale, DATA_BASE};
+use gem5sim_isa::asm::ProgramBuilder;
+use gem5sim_isa::{Program, Reg, GUEST_CHECKSUM_BASE};
+
+/// Sequences-of-64-bit-words length of `mem_seq`'s walk and of the
+/// LCG-filled prefix of every memory variant's window: 64 KB, twice the
+/// default 32 KB L1D.
+const WORDS: u64 = 8192;
+/// Words in `mem_stride`'s walk window: 512 KB = 8192 cache lines,
+/// eight lines in each of the default L2's 1024 sets *per hart*. One
+/// strided hart therefore fits the 16-way shared L2 (cold misses only),
+/// two harts exactly fill it, and four harts demand twice its capacity
+/// — cyclic LRU then evicts every line before its reuse, so co-running
+/// memory-bound harts thrash each other into DRAM. Only the first
+/// [`WORDS`] slots are LCG-filled; the rest of the window reads as the
+/// zeros guest physical memory is initialised to, which the host mirror
+/// reproduces.
+const STRIDE_WINDOW: u64 = 65536;
+/// Stride (in words) of `mem_stride`'s walk: 65 cache lines. 65 is odd
+/// and coprime with the window's 8192 lines, so the walk lands on every
+/// line exactly once per 8192 accesses with uniform set coverage — each
+/// access touches a new line whose revisit distance (8192 lines) dwarfs
+/// the default L1D's 512-line capacity, so once warm every access
+/// misses L1.
+const STRIDE: u64 = 520;
+/// Knuth's MMIX LCG, the same generator the PARSEC-like kernels use.
+const LCG_A: u64 = 6364136223846793005;
+const LCG_C: u64 = 1442695040888963407;
+/// xorshift* output constant — fits in a positive `i64` so it can be an
+/// `addi` immediate.
+const MIX: u64 = 0x2545_F491_4F6C_DD1D;
+const ALU_SEED: u64 = 0x243F_6A88_85A3_08D3;
+const BR_SEED: u64 = 0x1319_8A2E_0370_7344;
+const MEM_SEQ_SEED: u64 = 9001;
+const MEM_STRIDE_SEED: u64 = 777;
+
+/// Data array used by a single-workload (non-co-run) microbench, and by
+/// the even-hart slot of a co-run pair. Each hart offsets its array by
+/// `tp << 20` (1 MB of spacing, ample for the 512 KB stride window), so
+/// co-running memory harts keep *disjoint* footprints — the interference
+/// they suffer is shared-L2 capacity and port pressure, never sharing.
+const ARR_A: i64 = DATA_BASE;
+/// Data array of the odd-hart slot of a co-run pair — disjoint from
+/// [`ARR_A`] and from every even hart's offset window, so paired memory
+/// variants never read each other's fills.
+const ARR_B: i64 = DATA_BASE + 0x40_0000;
+
+/// One guest microbenchmark variant.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum Microbench {
+    /// Dependent 64-bit ALU chain (LCG + shift/xor mixing), no memory
+    /// traffic beyond instruction fetch.
+    Alu,
+    /// Nested counted loops: branches taken with a fixed pattern, so
+    /// any predictor converges.
+    BranchPred,
+    /// Branch direction decided by the low bit of an LCG stream:
+    /// deterministic but pattern-free, the predictor's worst case.
+    BranchUnpred,
+    /// Sequential read sweep over a 64 KB array (streaming, one miss
+    /// per line).
+    MemSeq,
+    /// Line-strided read walk over a 512 KB per-hart window whose
+    /// revisit distance exceeds L1D capacity (one L1 miss per access
+    /// once warm) and whose per-hart L2 footprint — eight lines per set
+    /// — makes four co-running harts oversubscribe the 16-way shared L2
+    /// and thrash each other into DRAM.
+    MemStride,
+    /// A tight loop of leaf calls exercising call/return and the RAS.
+    CallRet,
+}
+
+impl Microbench {
+    /// All variants, in fixed wire order.
+    pub const ALL: [Microbench; 6] = [
+        Microbench::Alu,
+        Microbench::BranchPred,
+        Microbench::BranchUnpred,
+        Microbench::MemSeq,
+        Microbench::MemStride,
+        Microbench::CallRet,
+    ];
+
+    /// Lower-case wire name (also the workload name on `/experiments`).
+    pub fn name(self) -> &'static str {
+        match self {
+            Microbench::Alu => "alu",
+            Microbench::BranchPred => "branch_pred",
+            Microbench::BranchUnpred => "branch_unpred",
+            Microbench::MemSeq => "mem_seq",
+            Microbench::MemStride => "mem_stride",
+            Microbench::CallRet => "call_ret",
+        }
+    }
+
+    /// Iteration count at `scale`.
+    fn iters(self, scale: Scale) -> u64 {
+        let f = scale.factor();
+        match self {
+            Microbench::Alu => 4000 * f,
+            Microbench::BranchPred => 400 * f, // x8 inner iterations
+            Microbench::BranchUnpred => 3000 * f,
+            Microbench::MemSeq => 6000 * f,
+            // Three full orbits of the 8192-line stride window, so the
+            // steady-state (post-warmup) miss behaviour dominates.
+            Microbench::MemStride => 24576 * f,
+            Microbench::CallRet => 2000 * f,
+        }
+    }
+
+    /// Host-side mirror of the guest checksum: bit-exact wrapping u64
+    /// arithmetic over the same sequence the guest executes. Any
+    /// simulator defect that perturbs an architectural result makes the
+    /// guest-deposited checksum diverge from this value.
+    pub fn expected_checksum(self, scale: Scale) -> u64 {
+        let n = self.iters(scale);
+        let mut chk = 0u64;
+        match self {
+            Microbench::Alu => {
+                let mut x = ALU_SEED;
+                for _ in 0..n {
+                    x = x.wrapping_mul(LCG_A).wrapping_add(LCG_C);
+                    chk = chk.wrapping_add((x >> 29) ^ x);
+                }
+            }
+            Microbench::BranchPred => {
+                for i in 0..n {
+                    for j in 0..8 {
+                        chk = chk.wrapping_add(i ^ j);
+                    }
+                }
+            }
+            Microbench::BranchUnpred => {
+                let mut x = BR_SEED;
+                for _ in 0..n {
+                    x = x.wrapping_mul(LCG_A).wrapping_add(LCG_C);
+                    // Bit 33: the LCG's low bits cycle with tiny periods
+                    // (bit 0 strictly alternates), which any predictor
+                    // learns; a high bit is pattern-free.
+                    if (x >> 33) & 1 == 1 {
+                        chk = chk.wrapping_add(x);
+                    } else {
+                        chk ^= x;
+                    }
+                }
+            }
+            Microbench::MemSeq | Microbench::MemStride => {
+                let (seed, stride, window) = if self == Microbench::MemSeq {
+                    (MEM_SEQ_SEED, 1, WORDS)
+                } else {
+                    (MEM_STRIDE_SEED, STRIDE, STRIDE_WINDOW)
+                };
+                let mut arr = vec![0u64; WORDS as usize];
+                let mut s = seed;
+                for slot in arr.iter_mut() {
+                    s = s.wrapping_mul(LCG_A).wrapping_add(LCG_C);
+                    *slot = s;
+                }
+                let mut idx = 0u64;
+                for _ in 0..n {
+                    // Beyond the filled prefix the guest reads the zeros
+                    // its physical memory is initialised to.
+                    let word = if idx < WORDS { arr[idx as usize] } else { 0 };
+                    chk = (chk ^ word).wrapping_add(MIX);
+                    idx = (idx + stride) & (window - 1);
+                }
+            }
+            Microbench::CallRet => {
+                for i in 0..n {
+                    chk = chk.wrapping_add(MIX) ^ i;
+                }
+            }
+        }
+        chk
+    }
+}
+
+impl std::fmt::Display for Microbench {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// LCG fill of `WORDS` slots at this hart's offset window above `base`
+/// — the microbench-local twin of the kernels' fill, with a
+/// caller-chosen label so two fills can coexist in one co-run program.
+/// Clobbers t0..t4, a6.
+fn fill(b: &mut ProgramBuilder, label: &str, base: i64, seed: u64) {
+    b.li(Reg::T0, base)
+        .slli(Reg::T4, Reg::TP, 20)
+        .add(Reg::T0, Reg::T0, Reg::T4)
+        .li(Reg::T1, 0)
+        .li(Reg::T2, WORDS as i64)
+        .li(Reg::A6, seed as i64)
+        .li(Reg::T3, LCG_A as i64)
+        .label(label.to_string())
+        .mul(Reg::A6, Reg::A6, Reg::T3)
+        .addi(Reg::A6, Reg::A6, LCG_C as i64)
+        .sd(Reg::A6, Reg::T0, 0)
+        .addi(Reg::T0, Reg::T0, 8)
+        .addi(Reg::T1, Reg::T1, 1)
+        .bne(Reg::T1, Reg::T2, label.to_string());
+}
+
+/// Emits the checksum deposit + halt epilogue: the running checksum in
+/// `a0` is stored to this hart's slot at `GUEST_CHECKSUM_BASE + 8*tp`.
+fn deposit_and_halt(b: &mut ProgramBuilder) {
+    b.slli(Reg::T0, Reg::TP, 3)
+        .li(Reg::T1, GUEST_CHECKSUM_BASE as i64)
+        .add(Reg::T0, Reg::T0, Reg::T1)
+        .sd(Reg::A0, Reg::T0, 0)
+        .halt();
+}
+
+/// Emits one variant's body with all labels under `prefix` and memory
+/// traffic confined to the array at `base`. The body keeps its checksum
+/// in `a0` and ends with the deposit/halt epilogue, so a fallthrough
+/// never crosses into whatever is emitted next.
+///
+/// Register use: `a0` checksum, `a1`/`a6` generator state, `s0`/`s1`
+/// loop bounds, `t0..t5` scratch — `s8`/`t6` stay reserved for the
+/// FS-mode interrupt handler, as everywhere in this crate.
+fn emit(b: &mut ProgramBuilder, mb: Microbench, scale: Scale, prefix: &str, base: i64) {
+    let n = mb.iters(scale) as i64;
+    b.li(Reg::A0, 0);
+    match mb {
+        Microbench::Alu => {
+            let l = format!("{prefix}_alu");
+            b.li(Reg::A1, ALU_SEED as i64)
+                .li(Reg::S0, 0)
+                .li(Reg::S1, n)
+                .li(Reg::T3, LCG_A as i64)
+                .label(l.clone())
+                .mul(Reg::A1, Reg::A1, Reg::T3)
+                .addi(Reg::A1, Reg::A1, LCG_C as i64)
+                .srli(Reg::T0, Reg::A1, 29)
+                .xor(Reg::T0, Reg::T0, Reg::A1)
+                .add(Reg::A0, Reg::A0, Reg::T0)
+                .addi(Reg::S0, Reg::S0, 1)
+                .bne(Reg::S0, Reg::S1, l);
+        }
+        Microbench::BranchPred => {
+            let outer = format!("{prefix}_bp_outer");
+            let inner = format!("{prefix}_bp_inner");
+            b.li(Reg::S0, 0)
+                .li(Reg::S1, n)
+                .li(Reg::T5, 8)
+                .label(outer.clone())
+                .li(Reg::T0, 0)
+                .label(inner.clone())
+                .xor(Reg::T1, Reg::S0, Reg::T0)
+                .add(Reg::A0, Reg::A0, Reg::T1)
+                .addi(Reg::T0, Reg::T0, 1)
+                .bne(Reg::T0, Reg::T5, inner)
+                .addi(Reg::S0, Reg::S0, 1)
+                .bne(Reg::S0, Reg::S1, outer);
+        }
+        Microbench::BranchUnpred => {
+            let l = format!("{prefix}_bu");
+            let odd = format!("{prefix}_bu_odd");
+            let next = format!("{prefix}_bu_next");
+            b.li(Reg::A1, BR_SEED as i64)
+                .li(Reg::S0, 0)
+                .li(Reg::S1, n)
+                .li(Reg::T3, LCG_A as i64)
+                .label(l.clone())
+                .mul(Reg::A1, Reg::A1, Reg::T3)
+                .addi(Reg::A1, Reg::A1, LCG_C as i64)
+                .srli(Reg::T0, Reg::A1, 33)
+                .andi(Reg::T0, Reg::T0, 1)
+                // Data-dependent direction: taken iff LCG bit 33 is set.
+                .bne(Reg::T0, Reg::ZERO, odd.clone())
+                .xor(Reg::A0, Reg::A0, Reg::A1)
+                .j(next.clone())
+                .label(odd)
+                .add(Reg::A0, Reg::A0, Reg::A1)
+                .label(next)
+                .addi(Reg::S0, Reg::S0, 1)
+                .bne(Reg::S0, Reg::S1, l);
+        }
+        Microbench::MemSeq | Microbench::MemStride => {
+            let (seed, stride, window) = if mb == Microbench::MemSeq {
+                (MEM_SEQ_SEED, 1, WORDS)
+            } else {
+                (MEM_STRIDE_SEED, STRIDE, STRIDE_WINDOW)
+            };
+            let l = format!("{prefix}_mem");
+            fill(b, &format!("{prefix}_fill"), base, seed);
+            b.li(Reg::S0, 0)
+                .li(Reg::S1, n)
+                .li(Reg::S4, base)
+                .slli(Reg::T1, Reg::TP, 20)
+                .add(Reg::S4, Reg::S4, Reg::T1) // per-hart window
+                .li(Reg::T0, 0) // word index
+                .label(l.clone())
+                .slli(Reg::T1, Reg::T0, 3)
+                .add(Reg::T1, Reg::T1, Reg::S4)
+                .ld(Reg::T2, Reg::T1, 0)
+                .xor(Reg::A0, Reg::A0, Reg::T2)
+                .addi(Reg::A0, Reg::A0, MIX as i64)
+                .addi(Reg::T0, Reg::T0, stride as i64)
+                .andi(Reg::T0, Reg::T0, window as i64 - 1)
+                .addi(Reg::S0, Reg::S0, 1)
+                .bne(Reg::S0, Reg::S1, l);
+        }
+        Microbench::CallRet => {
+            let l = format!("{prefix}_cr");
+            let leaf = format!("{prefix}_cr_leaf");
+            let done = format!("{prefix}_cr_done");
+            b.li(Reg::S0, 0)
+                .li(Reg::S1, n)
+                .label(l.clone())
+                .call(leaf.clone())
+                .addi(Reg::S0, Reg::S0, 1)
+                .bne(Reg::S0, Reg::S1, l)
+                .j(done.clone())
+                .label(leaf)
+                .addi(Reg::A0, Reg::A0, MIX as i64)
+                .xor(Reg::A0, Reg::A0, Reg::S0)
+                .ret()
+                .label(done);
+        }
+    }
+    deposit_and_halt(b);
+}
+
+/// Emits a single-workload microbench (used by `Workload::program`).
+pub(crate) fn emit_single(b: &mut ProgramBuilder, mb: Microbench, scale: Scale) {
+    emit(b, mb, scale, "mb", ARR_A);
+}
+
+/// Builds the combined co-run program: even harts (`tp & 1 == 0`) run
+/// `a` against one data array, odd harts run `b` against a disjoint
+/// one. Any hart count works — parity decides the slot — so the same
+/// program serves 1-, 2- and 4-hart scenarios.
+pub fn corun_program(a: Microbench, partner: Microbench, scale: Scale) -> Program {
+    let mut b = ProgramBuilder::new();
+    b.andi(Reg::T0, Reg::TP, 1)
+        .bne(Reg::T0, Reg::ZERO, "corun_b");
+    emit(&mut b, a, scale, "ca", ARR_A);
+    b.label("corun_b");
+    emit(&mut b, partner, scale, "cb", ARR_B);
+    crate::append_irq_handler(&mut b);
+    b.assemble()
+        .unwrap_or_else(|e| panic!("corun {a}+{partner}: {e}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::Workload;
+    use gem5sim::config::{CpuModel, SimMode, SystemConfig};
+    use gem5sim::system::System;
+
+    fn run_micro(mb: Microbench, scale: Scale, model: CpuModel) -> gem5sim::SimResult {
+        let prog = Workload::Micro(mb).program(scale);
+        let mut sys = System::new(SystemConfig::new(model, SimMode::Se), prog);
+        sys.run()
+    }
+
+    #[test]
+    fn every_variant_matches_its_expected_checksum() {
+        for mb in Microbench::ALL {
+            let r = run_micro(mb, Scale::Test, CpuModel::Atomic);
+            assert_eq!(
+                r.guest_checksums,
+                vec![mb.expected_checksum(Scale::Test)],
+                "{mb}: checksum mismatch"
+            );
+            assert!(r.committed_insts > 800, "{mb}: {}", r.committed_insts);
+            assert!(
+                r.committed_insts < 3_000_000,
+                "{mb} too large at Test scale: {}",
+                r.committed_insts
+            );
+        }
+    }
+
+    #[test]
+    fn checksums_are_model_invariant() {
+        for mb in [Microbench::Alu, Microbench::MemStride, Microbench::CallRet] {
+            let outs: Vec<_> = CpuModel::ALL
+                .iter()
+                .map(|&m| run_micro(mb, Scale::Test, m).guest_checksums)
+                .collect();
+            assert!(
+                outs.iter().all(|o| *o == outs[0]),
+                "{mb}: models disagree: {outs:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn checksums_discriminate_variants_and_scales() {
+        let mut seen = Vec::new();
+        for mb in Microbench::ALL {
+            for scale in [Scale::Test, Scale::SimSmall] {
+                seen.push(mb.expected_checksum(scale));
+            }
+        }
+        seen.sort_unstable();
+        seen.dedup();
+        assert_eq!(seen.len(), 12, "checksum collision across variants/scales");
+    }
+
+    #[test]
+    fn branch_variants_differ_in_mispredicts() {
+        let prog = |mb: Microbench| Workload::Micro(mb).program(Scale::Test);
+        let run = |mb| {
+            let mut sys = System::new(SystemConfig::new(CpuModel::O3, SimMode::Se), prog(mb));
+            sys.run()
+        };
+        let pred = run(Microbench::BranchPred);
+        let unpred = run(Microbench::BranchUnpred);
+        let rate = |r: &gem5sim::SimResult| {
+            let (l, m) = r.bp.expect("O3 reports branch stats");
+            m as f64 / l.max(1) as f64
+        };
+        assert!(
+            rate(&unpred) > 2.0 * rate(&pred),
+            "unpred {:.4} vs pred {:.4}",
+            rate(&unpred),
+            rate(&pred)
+        );
+    }
+
+    #[test]
+    fn mem_variants_differ_in_locality() {
+        let seq = run_micro(Microbench::MemSeq, Scale::Test, CpuModel::Timing);
+        let stride = run_micro(Microbench::MemStride, Scale::Test, CpuModel::Timing);
+        assert!(
+            stride.l1d.miss_rate() > 2.0 * seq.l1d.miss_rate(),
+            "stride {:.4} vs seq {:.4}",
+            stride.l1d.miss_rate(),
+            seq.l1d.miss_rate()
+        );
+    }
+
+    #[test]
+    fn corun_parity_assigns_checksums() {
+        let prog = corun_program(Microbench::MemStride, Microbench::Alu, Scale::Test);
+        let cfg = SystemConfig::new(CpuModel::Timing, SimMode::Se).with_cpus(4);
+        let mut sys = System::new(cfg, prog);
+        let r = sys.run();
+        let ms = Microbench::MemStride.expected_checksum(Scale::Test);
+        let alu = Microbench::Alu.expected_checksum(Scale::Test);
+        assert_eq!(r.guest_checksums, vec![ms, alu, ms, alu]);
+    }
+
+    #[test]
+    fn corun_of_identical_variants_assembles_disjointly() {
+        let prog = corun_program(Microbench::MemSeq, Microbench::MemSeq, Scale::Test);
+        let cfg = SystemConfig::new(CpuModel::Atomic, SimMode::Se).with_cpus(2);
+        let mut sys = System::new(cfg, prog);
+        let r = sys.run();
+        let want = Microbench::MemSeq.expected_checksum(Scale::Test);
+        assert_eq!(r.guest_checksums, vec![want, want]);
+    }
+}

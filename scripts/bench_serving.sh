@@ -15,7 +15,9 @@
 # node vs. four nodes behind the consistent-hash router, with the
 # fleet-wide compute count (must stay <= unique keys) — and the serving
 # core comparison: thread-per-connection vs readiness loop at 512
-# closed-loop clients, plus the 10 000-connection open-loop run.
+# closed-loop clients, plus the 10 000-connection open-loop run — and
+# the microbench guest-MIPS matrix (every variant x Atomic/Timing, both
+# tiers, each run pinned by its guest checksum).
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -179,7 +181,13 @@ stop_daemon
 target/release/exec_tier_bench --scale simmedium --reps 3 --json \
     > "$OUT_DIR/exec_tier.json"
 
-# --- stitch the six reports into BENCH_serving.json -------------------
+# --- microbenchmarks: guest-MIPS matrix, both tiers verified ----------
+# Every variant under Atomic and Timing, interp and block; the binary
+# exits nonzero if the tiers diverge or any checksum is wrong, so a
+# benchmark refresh doubles as a correctness gate.
+target/release/microbench --json > "$OUT_DIR/microbench.json"
+
+# --- stitch the reports into BENCH_serving.json -----------------------
 awk -v fleet_computes="$FLEET_COMPUTES" '
 function slurp(path, indent,   line, first, out) {
     first = 1
@@ -212,6 +220,7 @@ BEGIN {
     sc = slurp(dir "/serving_core.json", "    ")
     s10k = slurp(dir "/serving_10k.json", "    ")
     et = slurp(dir "/exec_tier.json", "  ")
+    mb = slurp(dir "/microbench.json", "  ")
     speedup = rps(dir "/coalesced.json") / rps(dir "/no_coalesce.json")
     print "{"
     print "  \"steady_state\": " steady ","
@@ -231,10 +240,12 @@ BEGIN {
     print "    \"readiness_core_512\": " sc ","
     print "    \"open_loop_10k\": " s10k
     print "  },"
-    print "  \"exec_tier\": " et
+    print "  \"exec_tier\": " et ","
+    print "  \"microbench\": " mb
     print "}"
 }' "$OUT_DIR" > BENCH_serving.json
 
 echo "bench_serving: wrote BENCH_serving.json"
 grep coalescing_speedup BENCH_serving.json
 grep geomean BENCH_serving.json
+grep all_verified BENCH_serving.json

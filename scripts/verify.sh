@@ -102,6 +102,64 @@ wait "$SERVED_PID"
 SERVED_PID=""
 echo "verify: serving smoke test passed"
 
+# Microbench smoke: one strided microbenchmark and one 2-hart co-run,
+# served by a daemon pinned to each execution tier in turn. Every
+# response must carry the guest_mips rate and per-hart checksums, and
+# the checksums must be identical across tiers — the end-to-end
+# HTTP-visible face of the differential suite.
+MB_SPEC='{"platform":"intel_xeon","workload":"mem_stride","cpu":"timing"}'
+CORUN_SPEC='{"platform":"intel_xeon","workload":"mem_stride","cpu":"timing","harts":2,"corun":"alu"}'
+INTERP_SUMS=""
+BLOCK_SUMS=""
+for TIER in interp block; do
+    rm -f "$PORT_FILE"
+    GEM5PROF_EXEC_TIER="$TIER" target/release/gem5prof-served \
+        --addr 127.0.0.1:0 --deadline-ms 900000 --port-file "$PORT_FILE" &
+    SERVED_PID=$!
+    i=0
+    while [ ! -s "$PORT_FILE" ]; do
+        i=$((i + 1))
+        if [ "$i" -gt 100 ]; then
+            echo "verify: $TIER-tier daemon never wrote its port file" >&2
+            exit 1
+        fi
+        sleep 0.1
+    done
+    ADDR="$(cat "$PORT_FILE")"
+    TIER_SUMS=""
+    for SPEC in "$MB_SPEC" "$CORUN_SPEC"; do
+        BODY="$(target/release/servectl --addr "$ADDR" --timeout-ms 900000 \
+            --post "$SPEC" experiments)"
+        if ! printf '%s' "$BODY" | grep -q '"guest_mips"'; then
+            echo "verify: $TIER response missing guest_mips for $SPEC" >&2
+            exit 1
+        fi
+        SUMS="$(printf '%s' "$BODY" | grep -o '0x[0-9a-f]\{16\}' | tr '\n' ' ')"
+        if [ -z "$SUMS" ]; then
+            echo "verify: $TIER response missing checksums for $SPEC" >&2
+            exit 1
+        fi
+        TIER_SUMS="$TIER_SUMS$SUMS/"
+    done
+    if [ "$TIER" = interp ]; then INTERP_SUMS="$TIER_SUMS"; else BLOCK_SUMS="$TIER_SUMS"; fi
+    kill -TERM "$SERVED_PID"
+    wait "$SERVED_PID"
+    SERVED_PID=""
+done
+# The co-run response holds two checksums (one per hart): 3 in total
+# with the single-hart microbench run.
+if [ "$(printf '%s' "$INTERP_SUMS" | tr ' ' '\n' | grep -c '^0x')" -ne 3 ]; then
+    echo "verify: expected 3 guest checksums across the two specs: $INTERP_SUMS" >&2
+    exit 1
+fi
+if [ "$INTERP_SUMS" != "$BLOCK_SUMS" ]; then
+    echo "verify: guest checksums diverged across tiers" >&2
+    echo "verify: interp: $INTERP_SUMS" >&2
+    echo "verify: block:  $BLOCK_SUMS" >&2
+    exit 1
+fi
+echo "verify: microbench checksums identical across tiers ($INTERP_SUMS)"
+
 # Chaos soak: three seeded fault-injection episodes against an
 # in-process server; exits nonzero (with a one-line repro) if any
 # serving invariant breaks or a fault class never fires.

@@ -1,5 +1,5 @@
 //! Golden-output regression suite: every quick-fidelity artifact the
-//! `repro` binary can emit — Table I, Table II, Fig. 1 through Fig. 15
+//! `repro` binary can emit — Table I, Table II, Fig. 1 through Fig. 17
 //! — rendered in-process and diffed byte-for-byte against the checked-in
 //! references under `tests/golden/`.
 //!
@@ -23,9 +23,9 @@ use gem5sim::ExecTier;
 use std::path::PathBuf;
 
 /// Artifact names, in [`figures::all_figures`] order.
-const NAMES: [&str; 17] = [
+const NAMES: [&str; 19] = [
     "table1", "table2", "fig01", "fig02", "fig03", "fig04", "fig05", "fig06", "fig07", "fig08",
-    "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15",
+    "fig09", "fig10", "fig11", "fig12", "fig13", "fig14", "fig15", "fig16", "fig17",
 ];
 
 fn golden_dir() -> PathBuf {
@@ -120,7 +120,7 @@ fn quick_artifacts_match_golden_outputs() {
 }
 
 /// Execution-tier matrix: the interp and block tiers must each
-/// reproduce all 17 blessed artifacts byte-for-byte. Nothing is
+/// reproduce all 19 blessed artifacts byte-for-byte. Nothing is
 /// regenerated or re-blessed here — the goldens stay exactly as the
 /// main test checked them in. The memoization cache is cleared before
 /// each leg so the second tier genuinely re-simulates every guest

@@ -54,6 +54,34 @@ fn server_flow_end_to_end() {
     let bad_spec = r#"{"platform":"intel_xeon","workload":"not_a_workload","cpu":"o3"}"#;
     assert_eq!(post(&addr, "/experiments", bad_spec).0, 400);
 
+    // An unknown field is a 400 that names the offending key, so a
+    // typo'd co-run axis can never silently run the default instead.
+    let typo = r#"{"workload":"alu","hartz":4}"#;
+    let (status, body) = post(&addr, "/experiments", typo);
+    assert_eq!(status, 400, "typo'd spec field must be rejected: {body}");
+    assert!(
+        body.contains("`hartz`"),
+        "400 body must name the offending key: {body}"
+    );
+
+    // A multi-hart co-run microbenchmark experiment: the response must
+    // carry per-hart guest checksums and a guest-MIPS rate.
+    let corun = r#"{"platform":"intel_xeon","workload":"mem_stride","cpu":"timing","harts":2,"corun":"alu"}"#;
+    let (status, body) = post(&addr, "/experiments", corun);
+    assert_eq!(status, 200, "co-run experiment failed: {body}");
+    let doc = parse(&body);
+    let guest = doc.get("guest").expect("guest section in response");
+    let checksums = guest
+        .get("checksums")
+        .and_then(|v| v.as_arr())
+        .expect("guest.checksums array");
+    assert_eq!(checksums.len(), 2, "one checksum per hart");
+    let mips = guest
+        .get("guest_mips")
+        .and_then(|v| v.as_f64())
+        .expect("guest.guest_mips in response");
+    assert!(mips > 0.0, "guest MIPS must be positive, got {mips}");
+
     // A real parameterized experiment.
     let spec = r#"{"platform":"intel_xeon","workload":"dedup","cpu":"o3"}"#;
     let (status, body) = post(&addr, "/experiments", spec);

@@ -49,8 +49,7 @@ fn slow_loris_drip_does_not_starve_healthy_clients() {
             .map(|_| {
                 let addr = &addr;
                 s.spawn(move || {
-                    let mut stream =
-                        TcpStream::connect(addr.as_str()).expect("loris connect");
+                    let mut stream = TcpStream::connect(addr.as_str()).expect("loris connect");
                     stream
                         .set_read_timeout(Some(Duration::from_millis(50)))
                         .unwrap();
@@ -85,9 +84,8 @@ fn slow_loris_drip_does_not_starve_healthy_clients() {
         // While the drips are in flight, healthy clients must be
         // served promptly — a 2 s transport budget, not the 15 s one.
         for _ in 0..5 {
-            let (status, body) =
-                one_shot(&addr, "GET", "/healthz", None, Duration::from_secs(2))
-                    .expect("healthy client must be served during a loris attack");
+            let (status, body) = one_shot(&addr, "GET", "/healthz", None, Duration::from_secs(2))
+                .expect("healthy client must be served during a loris attack");
             assert_eq!(status, 200);
             assert_eq!(
                 parse(&body).get("status").and_then(|v| v.as_str()),
@@ -230,10 +228,7 @@ fn connection_cap_rejects_extras_with_a_canned_503() {
         .filter_map(|l| l.split_whitespace().last())
         .filter_map(|v| v.parse::<f64>().ok())
         .sum();
-    assert!(
-        rejects >= 1.0,
-        "saturation reject not counted:\n{text}"
-    );
+    assert!(rejects >= 1.0, "saturation reject not counted:\n{text}");
     assert!(
         text.lines()
             .any(|l| l.starts_with("gem5prof_core_open_connections")),
@@ -268,7 +263,10 @@ fn streamed_experiment_emits_progress_then_the_result() {
     )
     .expect("bad stream mode transport");
     assert_eq!(status, 400, "unknown stream mode must be a 400: {body}");
-    assert!(body.contains("unknown stream mode"), "unhelpful 400: {body}");
+    assert!(
+        body.contains("unknown stream mode"),
+        "unhelpful 400: {body}"
+    );
 
     let spec = r#"{"platform":"intel_xeon","workload":"dedup","cpu":"o3"}"#;
     let mut conn = ClientConn::connect(&addr, LONG).expect("connect");
@@ -287,7 +285,10 @@ fn streamed_experiment_emits_progress_then_the_result() {
         .cloned()
         .unwrap_or_else(|| panic!("first frame is not a progress frame: {}", lines[0]));
     assert!(
-        progress.get("elapsed_ms").and_then(|v| v.as_f64()).is_some(),
+        progress
+            .get("elapsed_ms")
+            .and_then(|v| v.as_f64())
+            .is_some(),
         "progress frame lacks elapsed_ms: {}",
         lines[0]
     );

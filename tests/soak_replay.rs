@@ -25,6 +25,9 @@ fn same_seed_replays_the_same_soak_episode() {
             cpu,
             mode: gem5sim::config::SimMode::Se,
             knobs: platforms::SystemKnobs::new(),
+            harts: 1,
+            corun: None,
+            corun_div: 1,
         };
         spec.run();
     }
